@@ -1,0 +1,39 @@
+//! CoMD proxy: classical molecular dynamics (the ExaScale co-design MD proxy app).
+//!
+//! Communication skeleton: each timestep exchanges atom halos with the six face
+//! neighbours of a 3-D domain decomposition (modelled as three bidirectional partner
+//! exchanges) and closes with a single global energy reduction. Neighbour lists are
+//! refreshed periodically with an all-to-all. Per-rank state is calibrated to the
+//! paper's 32 MB/rank checkpoint size (Table 3), and the call mix to its measured
+//! 3.7M context switches per second over 27 ranks (§6.3).
+//!
+//! CoMD is one of the two applications the paper runs under ExaMPI (Figure 3), so the
+//! profile deliberately avoids any MPI feature outside ExaMPI's subset.
+
+use crate::skeleton::{AppId, AppProfile};
+
+/// The CoMD communication/memory profile.
+pub fn profile() -> AppProfile {
+    AppProfile {
+        id: AppId::CoMd,
+        halo_neighbors: 3,
+        halo_elements: 512,
+        allreduces_per_iter: 1,
+        alltoall_every: 20,
+        uses_split_comm: false,
+        state_elements_full_scale: 4_000_000, // 32 MB of f64 per rank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_matches_table3() {
+        let p = profile();
+        assert_eq!(p.state_bytes_at_scale(1.0), 32_000_000);
+        assert!(p.calls_per_iteration() > 0);
+        assert!(!p.uses_split_comm, "CoMD must stay inside the ExaMPI subset");
+    }
+}

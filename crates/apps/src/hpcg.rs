@@ -1,0 +1,34 @@
+//! HPCG proxy: the High Performance Conjugate Gradients benchmark.
+//!
+//! Communication skeleton: each CG iteration performs a sparse matrix-vector product
+//! whose halo exchange touches the 3-D face neighbours, followed by two global dot
+//! products (allreduces). Per-rank state is calibrated to the paper's 934 MB/rank
+//! checkpoint image — by far the largest of the five applications (Table 3) — and the
+//! call mix to its 4.7M context switches per second over 56 ranks (§6.3).
+
+use crate::skeleton::{AppId, AppProfile};
+
+/// The HPCG communication/memory profile.
+pub fn profile() -> AppProfile {
+    AppProfile {
+        id: AppId::Hpcg,
+        halo_neighbors: 3,
+        halo_elements: 1024,
+        allreduces_per_iter: 2,
+        alltoall_every: 0,
+        uses_split_comm: true,
+        state_elements_full_scale: 116_750_000, // 934 MB of f64 per rank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_matches_table3() {
+        let p = profile();
+        assert_eq!(p.state_bytes_at_scale(1.0), 934_000_000);
+        assert_eq!(p.allreduces_per_iter, 2, "CG has two dot products per iteration");
+    }
+}

@@ -1,0 +1,43 @@
+//! LAMMPS proxy: the Lennard-Jones benchmark (`bench/in.lj`, run=50000).
+//!
+//! Communication skeleton: very frequent, relatively small halo exchanges with the six
+//! spatial neighbours in both directions plus the diagonal-ish extra passes LAMMPS'
+//! communication staging performs, a per-step thermodynamic reduction, and periodic
+//! neighbour-list rebuilds. LAMMPS is the most chatty of the five applications — the
+//! paper measures 22.9M context switches per second over 56 ranks, the highest rate in
+//! §6.3, which is why it shows the largest MANA overhead on the no-FSGSBASE cluster
+//! (Figure 2) and why that overhead collapses to ~5% on Perlmutter (Figure 4).
+//! Per-rank state is calibrated to the paper's 42 MB/rank checkpoint size.
+
+use crate::skeleton::{AppId, AppProfile};
+
+/// The LAMMPS communication/memory profile.
+pub fn profile() -> AppProfile {
+    AppProfile {
+        id: AppId::Lammps,
+        halo_neighbors: 6,
+        halo_elements: 256,
+        allreduces_per_iter: 1,
+        alltoall_every: 5,
+        uses_split_comm: true,
+        state_elements_full_scale: 5_250_000, // 42 MB of f64 per rank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{comd, lulesh};
+
+    #[test]
+    fn calibration_matches_table3() {
+        let p = profile();
+        assert_eq!(p.state_bytes_at_scale(1.0), 42_000_000);
+    }
+
+    #[test]
+    fn lammps_is_the_chattiest_per_iteration() {
+        assert!(profile().calls_per_iteration() > comd::profile().calls_per_iteration());
+        assert!(profile().calls_per_iteration() > lulesh::profile().calls_per_iteration());
+    }
+}

@@ -1,0 +1,39 @@
+//! LULESH-2.0 proxy: the Livermore unstructured Lagrangian shock hydrodynamics proxy.
+//!
+//! Communication skeleton: a 27-point stencil whose face exchanges dominate, closed by
+//! a single global time-step (`dt`) reduction. LULESH makes relatively few MPI calls
+//! per unit of computation — the paper measures only 1.3M context switches per second
+//! (§6.3), the lowest of the five — but carries a lot of state: 207 MB/rank (Table 3).
+//! Like the paper, the proxy models the no-OpenMP build (the paper disabled OpenMP to
+//! work around thrashing on the local cluster's Slurm/MPICH stack), so all parallelism
+//! is across ranks.
+//!
+//! LULESH is the second application the paper runs under ExaMPI (Figure 3), so the
+//! profile stays inside ExaMPI's subset.
+
+use crate::skeleton::{AppId, AppProfile};
+
+/// The LULESH communication/memory profile.
+pub fn profile() -> AppProfile {
+    AppProfile {
+        id: AppId::Lulesh,
+        halo_neighbors: 1,
+        halo_elements: 2048,
+        allreduces_per_iter: 1,
+        alltoall_every: 0,
+        uses_split_comm: false,
+        state_elements_full_scale: 25_875_000, // 207 MB of f64 per rank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_matches_table3() {
+        let p = profile();
+        assert_eq!(p.state_bytes_at_scale(1.0), 207_000_000);
+        assert!(!p.uses_split_comm, "LULESH must stay inside the ExaMPI subset");
+    }
+}

@@ -1,0 +1,35 @@
+//! SW4 proxy: seismic wave propagation with summation-by-parts finite differences
+//! (`tests/curvimr/energy-1.in`).
+//!
+//! Communication skeleton: wide halo exchanges (fourth-order stencils need two ghost
+//! layers) with four partners per step in each direction and an energy reduction. SW4
+//! sits between CoMD and LAMMPS in call frequency — 12.5M context switches per second
+//! over 56 ranks in §6.3 — and checkpoints at 49 MB/rank (Table 3). Like LULESH it is
+//! run without OpenMP, matching the paper's workaround for the local cluster.
+
+use crate::skeleton::{AppId, AppProfile};
+
+/// The SW4 communication/memory profile.
+pub fn profile() -> AppProfile {
+    AppProfile {
+        id: AppId::Sw4,
+        halo_neighbors: 4,
+        halo_elements: 2048,
+        allreduces_per_iter: 1,
+        alltoall_every: 0,
+        uses_split_comm: true,
+        state_elements_full_scale: 6_125_000, // 49 MB of f64 per rank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_matches_table3() {
+        let p = profile();
+        assert_eq!(p.state_bytes_at_scale(1.0), 49_000_000);
+        assert!(p.calls_per_iteration() > crate::lulesh::profile().calls_per_iteration());
+    }
+}

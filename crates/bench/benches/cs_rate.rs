@@ -1,0 +1,37 @@
+//! Section 6.3 companion bench: wrapped-MPI-call (context-switch) production rate of
+//! each proxy application, measured by running the application and counting crossings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mana::ManaConfig;
+use mana_apps::AppId;
+use mana_bench::runner::{run_small_scale, SmallScaleConfig};
+use std::hint::black_box;
+
+fn bench_cs_rate(c: &mut Criterion) {
+    let config = SmallScaleConfig {
+        ranks: 4,
+        iterations: 4,
+        state_scale: 1e-5,
+        mana: ManaConfig::new_design(),
+        checkpoint_and_restart: false,
+    };
+    let mut group = c.benchmark_group("crossings_per_iteration");
+    group.sample_size(10);
+    for app in AppId::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(app.name()), &app, |b, &app| {
+            b.iter(|| {
+                let result =
+                    run_small_scale(app, &mpich_sim::MpichFactory::cray(), &config).unwrap();
+                black_box(result.crossings_per_rank_per_iteration)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_cs_rate
+}
+criterion_main!(benches);

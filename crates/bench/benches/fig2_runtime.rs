@@ -1,0 +1,74 @@
+//! Figure 2 companion bench: scaled-down executions of the five proxy applications
+//! under MANA (legacy ids) and MANA+virtId on MPICH, and MANA+virtId on Open MPI.
+//!
+//! Absolute times are this machine's, not the paper's; the point is the relative
+//! ordering of the configurations for a fixed workload, which is what Figure 2 shows.
+//! The full five-bar reconstruction (including the native baselines taken from the
+//! paper) is produced by `cargo run -p mana-bench --bin harness -- figure2`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mana::ManaConfig;
+use mana_apps::AppId;
+use mana_bench::runner::{run_small_scale, SmallScaleConfig};
+use std::hint::black_box;
+
+fn config(mana: ManaConfig) -> SmallScaleConfig {
+    SmallScaleConfig {
+        ranks: 4,
+        iterations: 4,
+        state_scale: 1e-5,
+        mana,
+        checkpoint_and_restart: false,
+    }
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure2_scaled");
+    group.sample_size(10);
+    for app in AppId::ALL {
+        group.bench_with_input(BenchmarkId::new("mana_legacy_mpich", app.name()), &app, |b, &app| {
+            b.iter(|| {
+                black_box(
+                    run_small_scale(
+                        app,
+                        &mpich_sim::MpichFactory::mpich(),
+                        &config(ManaConfig::legacy_design()),
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("mana_virtid_mpich", app.name()), &app, |b, &app| {
+            b.iter(|| {
+                black_box(
+                    run_small_scale(
+                        app,
+                        &mpich_sim::MpichFactory::mpich(),
+                        &config(ManaConfig::new_design()),
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("mana_virtid_openmpi", app.name()), &app, |b, &app| {
+            b.iter(|| {
+                black_box(
+                    run_small_scale(
+                        app,
+                        &openmpi_sim::OpenMpiFactory::new(),
+                        &config(ManaConfig::new_design()),
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_fig2
+}
+criterion_main!(benches);

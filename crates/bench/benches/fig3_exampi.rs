@@ -1,0 +1,47 @@
+//! Figure 3 companion bench: the two ExaMPI-compatible applications (CoMD and LULESH)
+//! under MANA+virtId on ExaMPI vs on MPICH.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mana::ManaConfig;
+use mana_apps::AppId;
+use mana_bench::runner::{run_small_scale, SmallScaleConfig};
+use std::hint::black_box;
+
+fn config() -> SmallScaleConfig {
+    SmallScaleConfig {
+        ranks: 4,
+        iterations: 4,
+        state_scale: 1e-5,
+        mana: ManaConfig::new_design(),
+        checkpoint_and_restart: false,
+    }
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure3_scaled");
+    group.sample_size(10);
+    for app in [AppId::Lulesh, AppId::CoMd] {
+        group.bench_with_input(BenchmarkId::new("mana_virtid_mpich", app.name()), &app, |b, &app| {
+            b.iter(|| {
+                black_box(
+                    run_small_scale(app, &mpich_sim::MpichFactory::mpich(), &config()).unwrap(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("mana_virtid_exampi", app.name()), &app, |b, &app| {
+            b.iter(|| {
+                black_box(
+                    run_small_scale(app, &exampi_sim::ExaMpiFactory::new(), &config()).unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_fig3
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Figure 4 companion bench: the FSGSBASE vs prctl crossing-cost regimes, applied to
+//! the Perlmutter (Cray MPI) workloads' call rates, for both virtual-id designs.
+//!
+//! The quantity benchmarked is the overhead model itself (it is what turns call counts
+//! into the Figure 4 bars); the scaled-down Cray MPI executions behind the call counts
+//! are exercised by the `cs_rate` bench and the harness's `validate` section.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mana::config::VirtIdMode;
+use mana_apps::workloads::{perlmutter_workloads, single_node_workloads};
+use mana_bench::model::CostModel;
+use split_proc::crossing::CrossingMode;
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let cost = CostModel::default();
+    let single = single_node_workloads();
+    let mut group = c.benchmark_group("figure4_overhead_model");
+    for spec in perlmutter_workloads() {
+        let calls = single
+            .iter()
+            .find(|w| w.app == spec.app)
+            .map(|w| w.calls_per_rank_per_sec())
+            .unwrap_or(250_000.0);
+        for (label, mode) in [
+            ("fsgsbase_virtid", CrossingMode::Fsgsbase),
+            ("prctl_virtid", CrossingMode::Prctl),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, spec.app.name()),
+                &(calls, spec.native_craympi),
+                |b, &(calls, native)| {
+                    b.iter(|| {
+                        black_box(cost.mana_runtime(
+                            native,
+                            calls,
+                            mode,
+                            VirtIdMode::UnifiedTable,
+                            0.0,
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fig4
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Eager vs lazy vs hybrid ggid computation (paper §4.2 and the §9 future-work
+//! discussion about codes that create and free communicators in a loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mana::config::GgidPolicy;
+use mana::virtid::{blank_descriptor, VirtualIdTable};
+use mpi_model::types::{HandleKind, PhysHandle, Rank};
+use std::hint::black_box;
+
+/// A communicator-churn loop: create and free communicators of `members` ranks.
+fn churn(policy: GgidPolicy, members: usize, rounds: usize) -> usize {
+    let member_list: Vec<Rank> = (0..members as Rank).collect();
+    let mut table = VirtualIdTable::new();
+    for i in 0..rounds {
+        let vid = table.insert_with(HandleKind::Comm, None, policy, |_vid, _seq| {
+            let mut d = blank_descriptor(HandleKind::Comm, PhysHandle(i as u64 + 1));
+            d.members_world = Some(member_list.clone());
+            d
+        });
+        table.remove(vid).unwrap();
+    }
+    table.len()
+}
+
+fn bench_ggid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comm_churn_1024_ranks");
+    for (label, policy) in [
+        ("eager", GgidPolicy::Eager),
+        ("lazy", GgidPolicy::Lazy),
+        ("hybrid_64", GgidPolicy::Hybrid { eager_up_to: 64 }),
+    ] {
+        group.bench_function(label, |b| b.iter(|| black_box(churn(policy, 1024, 64))));
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("comm_churn_16_ranks");
+    for (label, policy) in [
+        ("eager", GgidPolicy::Eager),
+        ("lazy", GgidPolicy::Lazy),
+        ("hybrid_64", GgidPolicy::Hybrid { eager_up_to: 64 }),
+    ] {
+        group.bench_function(label, |b| b.iter(|| black_box(churn(policy, 16, 64))));
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_ggid
+}
+criterion_main!(benches);

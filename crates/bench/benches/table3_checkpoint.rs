@@ -1,0 +1,65 @@
+//! Table 3 companion bench: building and encoding checkpoint images of increasing
+//! per-rank state size, plus the NFSv3 write-time model at the paper's image sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mana_apps::workloads::single_node_workloads;
+use split_proc::address_space::UpperHalfSpace;
+use split_proc::image::{CheckpointImage, ImageMetadata};
+use split_proc::store::{CheckpointStore, StoreConfig};
+use std::hint::black_box;
+
+fn image_with(bytes: usize) -> CheckpointImage {
+    let mut upper = UpperHalfSpace::new();
+    upper.map_region("app.lattice", vec![0x5Au8; bytes]);
+    upper.map_region("mana.descriptors", vec![0x11u8; 4096]);
+    CheckpointImage::new(
+        ImageMetadata {
+            rank: 0,
+            world_size: 1,
+            generation: 0,
+            implementation: "mpich".into(),
+        },
+        upper,
+    )
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkpoint_image_encode");
+    for kb in [64usize, 512, 4096] {
+        let image = image_with(kb * 1024);
+        group.throughput(Throughput::Bytes((kb * 1024) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(kb), &image, |b, image| {
+            b.iter(|| black_box(image.encode().len()))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("checkpoint_store_write");
+    let store = CheckpointStore::new(StoreConfig::nfs_discovery());
+    for kb in [64usize, 1024] {
+        let image = image_with(kb * 1024);
+        group.bench_with_input(BenchmarkId::from_parameter(kb), &image, |b, image| {
+            b.iter(|| black_box(store.write(0, image)))
+        });
+    }
+    group.finish();
+
+    // The Table 3 model itself (pure arithmetic, but part of the reproduction surface).
+    let mut group = c.benchmark_group("table3_write_time_model");
+    let config = StoreConfig::nfs_discovery();
+    for spec in single_node_workloads() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(spec.app.name()),
+            &spec.ckpt_mb_per_rank,
+            |b, &mb| b.iter(|| black_box(config.write_time_s(mb))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_table3
+}
+criterion_main!(benches);

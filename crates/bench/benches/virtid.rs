@@ -1,0 +1,103 @@
+//! Micro-benchmark of the two virtual-id designs (paper §4.1 vs §4.2, the source of
+//! the "MANA" vs "MANA+virtId" gap in Figures 2 and 4).
+//!
+//! Measures, for the legacy string-keyed per-type maps and the new unified descriptor
+//! table: insertion, the hot virtual→physical translation, and the rare
+//! physical→virtual reverse translation (O(n) in the legacy design, O(1) in the new
+//! one).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mana::config::GgidPolicy;
+use mana::legacy::LegacyTables;
+use mana::virtid::{blank_descriptor, VirtualId, VirtualIdTable};
+use mpi_model::types::{HandleKind, PhysHandle};
+use std::hint::black_box;
+
+const LIVE_OBJECTS: usize = 512;
+
+fn fill_unified(n: usize) -> (VirtualIdTable, Vec<VirtualId>) {
+    let mut table = VirtualIdTable::new();
+    let vids = (0..n)
+        .map(|i| {
+            table.insert_with(HandleKind::Comm, None, GgidPolicy::Eager, |_vid, _seq| {
+                let mut d = blank_descriptor(HandleKind::Comm, PhysHandle(0x1000 + i as u64));
+                d.members_world = Some(vec![0, 1, 2, 3]);
+                d
+            })
+        })
+        .collect();
+    (table, vids)
+}
+
+fn fill_legacy(n: usize) -> (LegacyTables, Vec<VirtualId>) {
+    let mut table = LegacyTables::new();
+    let vids = (0..n)
+        .map(|i| {
+            table.insert_with(HandleKind::Comm, None, GgidPolicy::Eager, |_vid, _seq| {
+                let mut d = blank_descriptor(HandleKind::Comm, PhysHandle(0x1000 + i as u64));
+                d.members_world = Some(vec![0, 1, 2, 3]);
+                d
+            })
+        })
+        .collect();
+    (table, vids)
+}
+
+fn bench_translation(c: &mut Criterion) {
+    let (unified, unified_vids) = fill_unified(LIVE_OBJECTS);
+    let (legacy, legacy_vids) = fill_legacy(LIVE_OBJECTS);
+
+    let mut group = c.benchmark_group("virtual_to_physical");
+    group.bench_function(BenchmarkId::new("unified_table", LIVE_OBJECTS), |b| {
+        b.iter(|| {
+            for vid in &unified_vids {
+                black_box(unified.virtual_to_physical(*vid).unwrap());
+            }
+        })
+    });
+    group.bench_function(BenchmarkId::new("legacy_maps", LIVE_OBJECTS), |b| {
+        b.iter(|| {
+            for vid in &legacy_vids {
+                black_box(legacy.virtual_to_physical(*vid).unwrap());
+            }
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("physical_to_virtual");
+    group.bench_function(BenchmarkId::new("unified_table", LIVE_OBJECTS), |b| {
+        b.iter(|| black_box(unified.physical_to_virtual(PhysHandle(0x1000 + 400))))
+    });
+    group.bench_function(BenchmarkId::new("legacy_maps", LIVE_OBJECTS), |b| {
+        b.iter(|| black_box(legacy.physical_to_virtual(PhysHandle(0x1000 + 400))))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("insert_and_remove");
+    group.bench_function("unified_table", |b| {
+        b.iter(|| {
+            let (mut table, vids) = fill_unified(64);
+            for vid in vids {
+                table.remove(vid).unwrap();
+            }
+            black_box(table.len())
+        })
+    });
+    group.bench_function("legacy_maps", |b| {
+        b.iter(|| {
+            let (mut table, vids) = fill_legacy(64);
+            for vid in vids {
+                table.remove(vid).unwrap();
+            }
+            black_box(table.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_translation
+}
+criterion_main!(benches);

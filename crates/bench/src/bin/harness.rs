@@ -1,0 +1,169 @@
+//! The evaluation harness: regenerates every table and figure of the paper's §6.
+//!
+//! Usage:
+//!
+//! ```text
+//! harness [--json] [table1|table2|table3|figure2|figure3|figure4|cs-rate|validate|all]
+//! ```
+//!
+//! With no argument (or `all`) every section is produced. `--json` emits the
+//! machine-readable report used to populate EXPERIMENTS.md.
+
+use mana_bench::model::{figure2_rows, figure3_rows, figure4_rows, table3_rows, CostModel};
+use mana_bench::report::Report;
+use mana_bench::runner::{run_small_scale, SmallScaleConfig};
+use mana_apps::workloads::{perlmutter_workloads, single_node_workloads};
+use mana_apps::AppId;
+
+fn table1_note() -> String {
+    let mut note = String::from("== Table 1: single-node inputs (Discovery) ==\n");
+    note.push_str(&format!("{:<8} {:>6}  {}\n", "app", "ranks", "input"));
+    for spec in single_node_workloads() {
+        note.push_str(&format!(
+            "{:<8} {:>6}  {}\n",
+            spec.app.name(),
+            spec.ranks,
+            spec.input
+        ));
+    }
+    note
+}
+
+fn table2_note() -> String {
+    let mut note = String::from("== Table 2: Perlmutter inputs ==\n");
+    note.push_str(&format!("{:<8} {:>6}  {}\n", "app", "ranks", "input"));
+    for spec in perlmutter_workloads() {
+        note.push_str(&format!(
+            "{:<8} {:>6}  {}\n",
+            spec.app.name(),
+            spec.ranks,
+            spec.input
+        ));
+    }
+    note
+}
+
+fn cs_rate_note() -> String {
+    let mut note = String::from(
+        "== Section 6.3: context switches per second (paper) and wrapped calls per \
+         iteration (measured profile) ==\n",
+    );
+    note.push_str(&format!(
+        "{:<8} {:>12} {:>16} {:>18}\n",
+        "app", "ranks", "paper CS/s", "calls/iter (proxy)"
+    ));
+    for spec in single_node_workloads() {
+        let profile = match spec.app {
+            AppId::CoMd => mana_apps::comd::profile(),
+            AppId::Hpcg => mana_apps::hpcg::profile(),
+            AppId::Lammps => mana_apps::lammps::profile(),
+            AppId::Lulesh => mana_apps::lulesh::profile(),
+            AppId::Sw4 => mana_apps::sw4::profile(),
+        };
+        note.push_str(&format!(
+            "{:<8} {:>12} {:>16.1e} {:>18}\n",
+            spec.app.name(),
+            spec.ranks,
+            spec.cs_rate_per_sec,
+            profile.calls_per_iteration()
+        ));
+    }
+    note
+}
+
+fn validation_runs() -> Vec<mana_bench::SmallScaleResult> {
+    let mut runs = Vec::new();
+    let base = SmallScaleConfig {
+        ranks: 4,
+        iterations: 6,
+        checkpoint_and_restart: true,
+        ..Default::default()
+    };
+    for app in AppId::ALL {
+        runs.push(
+            run_small_scale(app, &mpich_sim::MpichFactory::mpich(), &base)
+                .expect("mpich validation run"),
+        );
+        runs.push(
+            run_small_scale(app, &openmpi_sim::OpenMpiFactory::new(), &base)
+                .expect("openmpi validation run"),
+        );
+        // Only the ExaMPI-compatible applications run there (paper Figure 3).
+        if matches!(app, AppId::CoMd | AppId::Lulesh) {
+            runs.push(
+                run_small_scale(app, &exampi_sim::ExaMpiFactory::new(), &base)
+                    .expect("exampi validation run"),
+            );
+        }
+    }
+    runs
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let selections: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.as_str())
+        .collect();
+    let want = |section: &str| {
+        selections.is_empty() || selections.contains(&"all") || selections.contains(&section)
+    };
+
+    let cost = CostModel::default();
+    let single_node = single_node_workloads();
+    let mut report = Report::default();
+
+    if want("table1") {
+        report.notes.push(table1_note());
+    }
+    if want("table2") {
+        report.notes.push(table2_note());
+    }
+    if want("figure2") {
+        let rows = single_node
+            .iter()
+            .flat_map(|spec| figure2_rows(spec, &cost))
+            .collect();
+        report.runtime_sections.push((
+            "Figure 2: MPICH vs Open MPI on Discovery (no FSGSBASE)".into(),
+            rows,
+        ));
+    }
+    if want("figure3") {
+        let rows = single_node
+            .iter()
+            .filter(|spec| spec.exampi_compatible())
+            .flat_map(|spec| figure3_rows(spec, &cost))
+            .collect();
+        report
+            .runtime_sections
+            .push(("Figure 3: ExaMPI vs MPICH on Discovery".into(), rows));
+    }
+    if want("figure4") {
+        let rows = perlmutter_workloads()
+            .iter()
+            .flat_map(|spec| figure4_rows(spec, &single_node, &cost))
+            .collect();
+        report.runtime_sections.push((
+            "Figure 4: Cray MPI on Perlmutter (userspace FSGSBASE)".into(),
+            rows,
+        ));
+    }
+    if want("cs-rate") {
+        report.notes.push(cs_rate_note());
+    }
+    if want("table3") {
+        report.checkpoint_rows = table3_rows(&single_node);
+    }
+    if want("validate") {
+        report.validation_runs = validation_runs();
+    }
+
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        println!("{}", report.render_text());
+    }
+}

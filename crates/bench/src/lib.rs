@@ -1,0 +1,32 @@
+//! # mana-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the paper's
+//! evaluation (§6), plus the shared machinery used by the Criterion micro-benchmarks.
+//!
+//! Two kinds of numbers appear in the output:
+//!
+//! * **Reproduced (model)** — the runtime-overhead model: the paper's measured native
+//!   runtimes and per-application MPI-call rates (encoded in
+//!   [`mana_apps::workloads`]), combined with this reproduction's crossing-cost model
+//!   ([`split_proc::crossing`]) and per-call wrapper costs for the legacy and new
+//!   virtual-id designs. This is what reproduces the *shape* of Figures 2-4: which
+//!   configuration wins, by roughly what factor, and where the FSGSBASE/prctl regime
+//!   change lands.
+//! * **Measured (scaled-down)** — actual executions of the proxy applications through
+//!   the full MANA stack on the simulated MPI implementations, at a reduced rank count
+//!   and iteration count, reporting real crossing counts, real checkpoint image sizes,
+//!   and real restart equivalence. These validate that the modelled call mixes come
+//!   from code that genuinely runs.
+//!
+//! The `harness` binary prints both, side by side with the paper's reference values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod report;
+pub mod runner;
+
+pub use model::{CostModel, OverheadRow};
+pub use report::Report;
+pub use runner::{run_small_scale, SmallScaleConfig, SmallScaleResult};

@@ -1,0 +1,119 @@
+//! Plain-text and JSON rendering of the harness output.
+
+use crate::model::{CheckpointRow, OverheadRow};
+use crate::runner::SmallScaleResult;
+use serde::{Deserialize, Serialize};
+
+/// A complete harness report: one section per table/figure requested.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Report {
+    /// Section title → rows of (paper, model) runtimes.
+    pub runtime_sections: Vec<(String, Vec<OverheadRow>)>,
+    /// Table 3 rows, if requested.
+    pub checkpoint_rows: Vec<CheckpointRow>,
+    /// Scaled-down validation runs, if requested.
+    pub validation_runs: Vec<SmallScaleResult>,
+    /// Free-form notes (workload tables, context-switch rates).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Render the report as aligned plain text for the terminal.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (title, rows) in &self.runtime_sections {
+            out.push_str(&format!("\n== {title} ==\n"));
+            out.push_str(&format!(
+                "{:<8} {:<22} {:>12} {:>12} {:>9}\n",
+                "app", "configuration", "paper (s)", "model (s)", "err"
+            ));
+            for row in rows {
+                let paper = row
+                    .paper_seconds
+                    .map(|p| format!("{p:>12.1}"))
+                    .unwrap_or_else(|| format!("{:>12}", "-"));
+                let err = row
+                    .relative_error()
+                    .map(|e| format!("{:>8.1}%", e * 100.0))
+                    .unwrap_or_else(|| format!("{:>9}", "-"));
+                out.push_str(&format!(
+                    "{:<8} {:<22} {} {:>12.1} {}\n",
+                    row.app, row.configuration, paper, row.model_seconds, err
+                ));
+            }
+        }
+        if !self.checkpoint_rows.is_empty() {
+            out.push_str("\n== Table 3: checkpoint size vs time (NFSv3 model) ==\n");
+            out.push_str(&format!(
+                "{:<8} {:>12} {:>14} {:>14} {:>12} {:>12}\n",
+                "app", "MB/rank", "paper time(s)", "model time(s)", "paper MB/s", "model MB/s"
+            ));
+            for row in &self.checkpoint_rows {
+                out.push_str(&format!(
+                    "{:<8} {:>12.0} {:>14.1} {:>14.1} {:>12.1} {:>12.1}\n",
+                    row.app,
+                    row.ckpt_mb_per_rank,
+                    row.paper_time_s,
+                    row.model_time_s,
+                    row.paper_mb_s,
+                    row.model_mb_s
+                ));
+            }
+        }
+        if !self.validation_runs.is_empty() {
+            out.push_str("\n== Scaled-down validation runs (this machine) ==\n");
+            out.push_str(&format!(
+                "{:<8} {:<10} {:>6} {:>6} {:>14} {:>14} {:>10} {:>8}\n",
+                "app", "impl", "ranks", "iters", "cross/rank", "cross/iter", "ckpt B", "restart"
+            ));
+            for run in &self.validation_runs {
+                out.push_str(&format!(
+                    "{:<8} {:<10} {:>6} {:>6} {:>14.0} {:>14.1} {:>10} {:>8}\n",
+                    run.app.name(),
+                    run.implementation,
+                    run.ranks,
+                    run.iterations,
+                    run.crossings_per_rank,
+                    run.crossings_per_rank_per_iteration,
+                    run.ckpt_bytes_per_rank,
+                    if run.restart_equivalent { "ok" } else { "MISMATCH" }
+                ));
+            }
+        }
+        for note in &self.notes {
+            out.push_str(&format!("\n{note}\n"));
+        }
+        out
+    }
+
+    /// Render as pretty-printed JSON (machine-readable form for EXPERIMENTS.md).
+    pub fn render_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_text_and_json() {
+        let mut report = Report::default();
+        report.runtime_sections.push((
+            "Figure 2".into(),
+            vec![OverheadRow {
+                app: "CoMD".into(),
+                configuration: "native/MPICH".into(),
+                paper_seconds: Some(32.8),
+                model_seconds: 32.8,
+            }],
+        ));
+        report.notes.push("a note".into());
+        let text = report.render_text();
+        assert!(text.contains("Figure 2"));
+        assert!(text.contains("CoMD"));
+        assert!(text.contains("a note"));
+        let json = report.render_json();
+        assert!(json.contains("\"model_seconds\""));
+    }
+}

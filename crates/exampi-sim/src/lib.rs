@@ -1,0 +1,33 @@
+//! # exampi-sim
+//!
+//! A simulated MPI implementation in the style of **ExaMPI**, the experimental
+//! C++-based implementation the paper uses to demonstrate that MANA's new virtual-id
+//! design copes with implementations that (a) cover only a subset of MPI and (b) make
+//! unusual representation choices.
+//!
+//! The externally visible traits the paper cares about (§3, §4.3, §5):
+//!
+//! * **Primitive datatypes are enum-class discriminants**, not table indices or heap
+//!   pointers; some primitives *alias* each other (the paper's example: `MPI_INT8_T`
+//!   and `MPI_CHAR` share a pointer). Handles for every other object kind are
+//!   pointer-like values.
+//! * **Global constants are lazily materialized** ("smart, shared pointers with
+//!   reinterpret casts"): the physical value of a constant is not known until first
+//!   use, so MANA cannot capture constants at init time and must translate them on a
+//!   lazy basis.
+//! * **Only a subset of MPI is provided** — the MANA-required subset of §5 plus the
+//!   operations the compatible applications (CoMD, LULESH proxies) need. Everything
+//!   else reports `MPI_ERR_UNSUPPORTED_OPERATION`, which is how the workspace's tests
+//!   verify that MANA itself stays within the documented subset.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod factory;
+
+pub use codec::ExaMpiCodec;
+pub use factory::ExaMpiFactory;
+
+/// The engine type used by this implementation (one per rank).
+pub type ExaMpiRank = mpi_engine::Engine<ExaMpiCodec>;

@@ -1,0 +1,194 @@
+//! Transparent checkpoint: drain the network, then save the upper half.
+//!
+//! The checkpoint is *collective and cooperative*: every rank calls
+//! [`ManaRank::checkpoint`] (in the real system a checkpoint-request signal interrupts
+//! the ranks at a wrapper boundary; the coordination protocol from there on is the
+//! same). The algorithm uses only MPI calls from the required subset of paper §5:
+//!
+//! 1. `MPI_Barrier` on the world communicator — every rank has stopped injecting new
+//!    point-to-point messages.
+//! 2. `MPI_Alltoall` of per-destination send counts — every rank learns how many
+//!    messages are still headed its way.
+//! 3. A drain loop of `MPI_Iprobe` + `MPI_Recv` over every live communicator until the
+//!    received counts match the expected counts. Drained messages are buffered in the
+//!    *upper half*, so the application will still receive them (from the buffer) after
+//!    the restart.
+//! 4. `MPI_Barrier`, then serialize the upper half — application regions, the
+//!    descriptor table, the replay log, the drained-message buffer and the drain
+//!    counters — into a [`CheckpointImage`] and hand it to the checkpoint store.
+//!
+//! Nothing from the lower half (fabric mailboxes, library object stores, constant
+//! addresses) is saved: that is the whole point of the split-process design.
+
+use crate::runtime::{BufferedMessage, ManaRank};
+use mpi_model::buffer::{bytes_to_u64, u64_to_bytes};
+use mpi_model::constants::PredefinedObject;
+use mpi_model::error::{MpiError, MpiResult};
+use mpi_model::types::{HandleKind, ANY_SOURCE, ANY_TAG};
+use split_proc::image::{CheckpointImage, ImageMetadata};
+use split_proc::store::{CheckpointStore, WriteReport};
+
+/// Upper-half region names used for MANA's own state inside a checkpoint image.
+pub mod regions {
+    /// The virtual-id translator (descriptor table or legacy maps).
+    pub const TRANSLATOR: &str = "mana.translator";
+    /// The object-creation replay log.
+    pub const REPLAY_LOG: &str = "mana.replay_log";
+    /// Messages drained from the network at checkpoint time.
+    pub const BUFFERED: &str = "mana.buffered";
+    /// Per-peer send/receive counters.
+    pub const COUNTERS: &str = "mana.counters";
+}
+
+impl ManaRank {
+    /// Take a transparent checkpoint and continue running.
+    ///
+    /// Collective: every rank of the job must call this at the same logical point.
+    /// Returns the write report (image size and modelled write time) for this rank.
+    pub fn checkpoint(&mut self, store: &CheckpointStore) -> MpiResult<WriteReport> {
+        let world = self.world()?;
+        let world_phys = self.phys(world, HandleKind::Comm)?;
+
+        // Phase 1: quiesce. After this barrier no rank injects new messages until the
+        // checkpoint completes.
+        self.cross();
+        self.lower.barrier(world_phys)?;
+
+        // Phase 2: publish per-destination send counts (required subset, category 3).
+        let send_counts = u64_to_bytes(&self.counters.sent_to);
+        self.cross();
+        let exchanged = self.lower.alltoall(&send_counts, 8, world_phys)?;
+        let expected_from = bytes_to_u64(&exchanged);
+        if expected_from.len() != self.world_size {
+            return Err(MpiError::Checkpoint(
+                "send-count exchange returned the wrong number of peers".into(),
+            ));
+        }
+
+        // Phase 3: drain until everything that was in flight has been buffered
+        // (required subset, category 1: Iprobe + Recv).
+        self.drain(&expected_from)?;
+
+        // Phase 4: everyone has drained; it is now safe to snapshot.
+        self.cross();
+        self.lower.barrier(world_phys)?;
+
+        // Refresh ggids that a lazy policy deferred (paper §4.2: "At the time of
+        // checkpoint, the structures may be further updated").
+        let comm_and_group_vids: Vec<_> = self
+            .translator
+            .iter_in_creation_order()
+            .iter()
+            .filter(|d| matches!(d.kind, HandleKind::Comm | HandleKind::Group))
+            .map(|d| d.vid)
+            .collect();
+        for vid in comm_and_group_vids {
+            self.translator.get_mut(vid)?.ggid_or_compute();
+        }
+
+        let image = self.build_image()?;
+        let report = store.write(self.generation, &image);
+        self.generation += 1;
+        Ok(report)
+    }
+
+    /// Build the checkpoint image for this rank without writing it anywhere (used by
+    /// tests and by the Table 3 bench, which only needs sizes).
+    pub fn build_image(&mut self) -> MpiResult<CheckpointImage> {
+        let mut upper = self.upper.clone();
+        upper.store_json(regions::TRANSLATOR, &self.translator)?;
+        upper.store_json(regions::REPLAY_LOG, &self.replay_log)?;
+        upper.store_json(regions::BUFFERED, &self.buffered)?;
+        upper.store_json(regions::COUNTERS, &self.counters)?;
+        Ok(CheckpointImage::new(
+            ImageMetadata {
+                rank: self.world_rank,
+                world_size: self.world_size,
+                generation: self.generation,
+                implementation: self.lower.implementation_name().to_string(),
+            },
+            upper,
+        ))
+    }
+
+    /// Drain pending point-to-point traffic until `expected_from` is satisfied.
+    fn drain(&mut self, expected_from: &[u64]) -> MpiResult<()> {
+        // Snapshot the live communicators (vid, physical handle, membership) so we can
+        // iterate without holding a borrow on the translator.
+        let comms: Vec<_> = self
+            .translator
+            .iter_in_creation_order()
+            .iter()
+            .filter(|d| d.kind == HandleKind::Comm && !d.phys.is_null())
+            .map(|d| {
+                (
+                    d.vid,
+                    d.phys,
+                    d.members_world.clone().unwrap_or_default(),
+                )
+            })
+            .collect();
+
+        let mut idle_rounds = 0u64;
+        const MAX_IDLE_ROUNDS: u64 = 1_000_000;
+        loop {
+            let satisfied = self
+                .counters
+                .received_from
+                .iter()
+                .zip(expected_from.iter())
+                .all(|(got, want)| got >= want);
+            if satisfied {
+                return Ok(());
+            }
+            let mut progressed = false;
+            for (vid, phys, members) in &comms {
+                self.cross();
+                if let Some(status) = self.lower.iprobe(ANY_SOURCE, ANY_TAG, *phys)? {
+                    // Receive exactly the probed message and buffer it in the upper half.
+                    let byte_type = self.constant(PredefinedObject::Datatype(
+                        mpi_model::datatype::PrimitiveType::Byte,
+                    ))?;
+                    let byte_phys = self.phys(byte_type, HandleKind::Datatype)?;
+                    self.cross();
+                    let (payload, status) = self.lower.recv(
+                        byte_phys,
+                        status.count_bytes,
+                        status.source,
+                        status.tag,
+                        *phys,
+                    )?;
+                    let source_world =
+                        members
+                            .get(status.source.max(0) as usize)
+                            .copied()
+                            .ok_or_else(|| {
+                                MpiError::Checkpoint(
+                                    "drained message from a rank outside the communicator".into(),
+                                )
+                            })?;
+                    self.counters.received_from[source_world as usize] += 1;
+                    self.buffered.push(BufferedMessage {
+                        comm: *vid,
+                        source: status.source,
+                        tag: status.tag,
+                        payload,
+                    });
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                idle_rounds += 1;
+                if idle_rounds > MAX_IDLE_ROUNDS {
+                    return Err(MpiError::Checkpoint(format!(
+                        "drain stalled on rank {}: expected {:?}, received {:?}",
+                        self.world_rank, expected_from, self.counters.received_from
+                    )));
+                }
+                std::thread::yield_now();
+            } else {
+                idle_rounds = 0;
+            }
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Creation recipes and the per-rank replay log.
+//!
+//! MANA reconstructs MPI objects at restart by *record-replay*: during normal execution
+//! every object-creating wrapper appends a [`ReplayEvent`] describing how the object
+//! was created (its [`CreationRecipe`]); at restart the log is replayed, in order,
+//! against the fresh lower half. Collectively-created objects (communicators) need
+//! every original participant to replay the call — including ranks whose result was
+//! `MPI_COMM_NULL` — which is why events record participation even when no virtual id
+//! was produced.
+//!
+//! This is the "record-replay of MPI objects during restart" strategy the paper lists
+//! among the options its descriptor design keeps open (§1.2, point 4); the descriptor's
+//! cached metadata (datatype contents, communicator membership) would equally support
+//! the alternative "serialize a representation of the MPI object" strategy.
+
+use crate::virtid::VirtualId;
+use mpi_model::constants::PredefinedObject;
+use mpi_model::datatype::TypeDescriptor;
+use mpi_model::types::Rank;
+use serde::{Deserialize, Serialize};
+
+/// How an MPI object was created, in enough detail to create a semantically equivalent
+/// object in a fresh lower half.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CreationRecipe {
+    /// A predefined object (world/self communicators, named datatypes, built-in ops);
+    /// re-resolved from the lower half's constants rather than re-created.
+    Predefined(PredefinedObject),
+    /// `MPI_Comm_dup(parent)`.
+    CommDup {
+        /// Virtual id of the parent communicator.
+        parent: VirtualId,
+    },
+    /// `MPI_Comm_split(parent, color, key)`; `color == None` is `MPI_UNDEFINED`.
+    CommSplit {
+        /// Virtual id of the parent communicator.
+        parent: VirtualId,
+        /// Split colour (`None` = `MPI_UNDEFINED`).
+        color: Option<i32>,
+        /// Ordering key.
+        key: i32,
+    },
+    /// `MPI_Comm_create(parent, group)`, with the group's membership captured as world
+    /// ranks so the group object itself need not survive.
+    CommCreate {
+        /// Virtual id of the parent communicator.
+        parent: VirtualId,
+        /// World ranks of the new communicator's members, in group order.
+        members_world: Vec<Rank>,
+    },
+    /// `MPI_Comm_group(comm)`.
+    GroupFromComm {
+        /// Virtual id of the communicator whose group was taken.
+        comm: VirtualId,
+    },
+    /// `MPI_Group_incl(parent_group, ranks)`.
+    GroupIncl {
+        /// Virtual id of the parent group.
+        parent: VirtualId,
+        /// Group ranks selected from the parent.
+        ranks: Vec<Rank>,
+    },
+    /// Any derived-datatype constructor, captured structurally. The structural
+    /// description is exactly what `MPI_Type_get_envelope`/`MPI_Type_get_contents`
+    /// decode to (paper §5, category 2).
+    DerivedDatatype {
+        /// Structural description of the datatype.
+        descriptor: TypeDescriptor,
+        /// Whether `MPI_Type_commit` had been called by checkpoint time.
+        committed: bool,
+    },
+    /// `MPI_Op_create(func_id, commutative)`.
+    UserOp {
+        /// Upper-half function id.
+        func_id: u64,
+        /// Commutativity flag.
+        commutative: bool,
+    },
+}
+
+impl CreationRecipe {
+    /// Whether replaying this recipe requires a collective call (and therefore the
+    /// participation of other ranks).
+    pub fn is_collective(&self) -> bool {
+        matches!(
+            self,
+            CreationRecipe::CommDup { .. }
+                | CreationRecipe::CommSplit { .. }
+                | CreationRecipe::CommCreate { .. }
+        )
+    }
+}
+
+/// One entry in the per-rank replay log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplayEvent {
+    /// The recipe to replay.
+    pub recipe: CreationRecipe,
+    /// The virtual id the original call produced on this rank, or `None` if the call
+    /// returned a null handle here (e.g. `MPI_Comm_split` with `MPI_UNDEFINED`).
+    pub vid: Option<VirtualId>,
+    /// Whether the object has since been freed. Freed objects are still *replayed*
+    /// (collective creation must stay aligned across ranks) and then immediately freed
+    /// again in the fresh lower half.
+    pub freed: bool,
+}
+
+impl ReplayEvent {
+    /// A new, live event.
+    pub fn new(recipe: CreationRecipe, vid: Option<VirtualId>) -> Self {
+        ReplayEvent {
+            recipe,
+            vid,
+            freed: false,
+        }
+    }
+}
+
+/// The ordered log of object-creating calls made by one rank.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReplayLog {
+    events: Vec<ReplayEvent>,
+}
+
+impl ReplayLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        ReplayLog::default()
+    }
+
+    /// Append an event.
+    pub fn push(&mut self, event: ReplayEvent) {
+        self.events.push(event);
+    }
+
+    /// Mark the event that produced `vid` as freed.
+    pub fn mark_freed(&mut self, vid: VirtualId) {
+        if let Some(event) = self
+            .events
+            .iter_mut()
+            .rev()
+            .find(|e| e.vid == Some(vid) && !e.freed)
+        {
+            event.freed = true;
+        }
+    }
+
+    /// The events in creation order.
+    pub fn events(&self) -> &[ReplayEvent] {
+        &self.events
+    }
+
+    /// Mutable access to one event by position (used to record late facts such as
+    /// `MPI_Type_commit` having been called on an already-recorded datatype).
+    pub fn event_mut(&mut self, index: usize) -> &mut ReplayEvent {
+        &mut self.events[index]
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events that will need collective replay at restart.
+    pub fn collective_events(&self) -> usize {
+        self.events.iter().filter(|e| e.recipe.is_collective()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpi_model::types::HandleKind;
+
+    fn vid(i: u32) -> VirtualId {
+        VirtualId::new(HandleKind::Comm, false, i)
+    }
+
+    #[test]
+    fn push_and_mark_freed() {
+        let mut log = ReplayLog::new();
+        log.push(ReplayEvent::new(
+            CreationRecipe::CommDup { parent: vid(1) },
+            Some(vid(2)),
+        ));
+        log.push(ReplayEvent::new(
+            CreationRecipe::CommSplit {
+                parent: vid(1),
+                color: None,
+                key: 0,
+            },
+            None,
+        ));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.collective_events(), 2);
+        log.mark_freed(vid(2));
+        assert!(log.events()[0].freed);
+        assert!(!log.events()[1].freed);
+        // Marking an unknown vid is a no-op.
+        log.mark_freed(vid(99));
+    }
+
+    #[test]
+    fn collectives_are_identified() {
+        assert!(CreationRecipe::CommSplit {
+            parent: vid(1),
+            color: Some(0),
+            key: 0
+        }
+        .is_collective());
+        assert!(!CreationRecipe::UserOp {
+            func_id: 1,
+            commutative: true
+        }
+        .is_collective());
+        assert!(!CreationRecipe::GroupFromComm { comm: vid(1) }.is_collective());
+    }
+}

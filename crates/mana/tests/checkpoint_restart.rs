@@ -1,0 +1,411 @@
+//! End-to-end transparent checkpoint-restart tests for the MANA layer.
+//!
+//! These are the behavioural claims of the paper, exercised across all three simulated
+//! MPI implementations:
+//!
+//! * virtual ids held in application memory stay valid across a restart even though
+//!   every physical handle and constant address in the new lower half is different;
+//! * point-to-point messages that were in flight at checkpoint time are delivered
+//!   after restart;
+//! * communicators/datatypes/ops created before the checkpoint work after it;
+//! * a checkpoint taken under one implementation can be restarted under another
+//!   (the §9 "future work" scenario, possible here because nothing lower-half-specific
+//!   is stored in the image).
+
+use mana::restart::restart_job;
+use mana::runtime::AppHandle;
+use mana::{ManaConfig, ManaRank};
+use mpi_model::api::MpiImplementationFactory;
+use mpi_model::buffer::{bytes_to_f64, bytes_to_i32, f64_to_bytes, i32_to_bytes};
+use mpi_model::constants::PredefinedObject;
+use mpi_model::datatype::PrimitiveType;
+use mpi_model::op::{PredefinedOp, UserFunctionRegistry};
+use mpi_model::types::ANY_SOURCE;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use split_proc::store::CheckpointStore;
+use std::sync::Arc;
+
+fn registry() -> Arc<RwLock<UserFunctionRegistry>> {
+    Arc::new(RwLock::new(UserFunctionRegistry::new()))
+}
+
+/// Application state the "app" stores in its upper half: the virtual handles it holds
+/// and a little progress marker. Surviving serialization of *handles* is the point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct AppState {
+    world: AppHandle,
+    row_comm: AppHandle,
+    double_type: AppHandle,
+    sum_op: AppHandle,
+    iteration: u64,
+}
+
+const STATE_REGION: &str = "app.state";
+const TAG_INFLIGHT: i32 = 99;
+const TAG_NORMAL: i32 = 7;
+
+/// Phase 1 of the scenario: build objects, do some traffic, leave one message in
+/// flight, then checkpoint.
+fn phase_before(mut rank: ManaRank, store: &CheckpointStore) -> (u64, usize) {
+    let me = rank.world_rank();
+    let n = rank.world_size() as i32;
+
+    let world = rank.world().unwrap();
+    let double_type = rank
+        .constant(PredefinedObject::Datatype(PrimitiveType::Double))
+        .unwrap();
+    let int_type = rank
+        .constant(PredefinedObject::Datatype(PrimitiveType::Int))
+        .unwrap();
+    let sum_op = rank
+        .constant(PredefinedObject::Op(PredefinedOp::Sum))
+        .unwrap();
+
+    // Split the world into two "rows".
+    let color = me % 2;
+    let row_comm = rank.comm_split(world, Some(color), me).unwrap();
+    assert!(!row_comm.is_null());
+
+    // Some completed traffic: an allreduce over the row communicator.
+    let total = rank
+        .allreduce(&i32_to_bytes(&[me + 1]), int_type, sum_op, row_comm)
+        .unwrap();
+    assert!(bytes_to_i32(&total)[0] > 0);
+
+    // A normal send/recv ring on the world communicator.
+    let next = (me + 1) % n;
+    let prev = (me + n - 1) % n;
+    rank.send(&f64_to_bytes(&[me as f64]), double_type, next, TAG_NORMAL, world)
+        .unwrap();
+    let (data, status) = rank
+        .recv(double_type, 64, prev, TAG_NORMAL, world)
+        .unwrap();
+    assert_eq!(status.source, prev);
+    assert_eq!(bytes_to_f64(&data)[0] as i32, prev);
+
+    // Leave one message *in flight*: rank 0 sends to rank 1, but rank 1 will only
+    // receive it after the restart. The checkpoint drain must preserve it.
+    if me == 0 {
+        rank.send(
+            &f64_to_bytes(&[1234.5, 678.9]),
+            double_type,
+            1,
+            TAG_INFLIGHT,
+            world,
+        )
+        .unwrap();
+    }
+
+    // Stash the handles and progress in the upper half: this is the application state
+    // the checkpoint must preserve.
+    let state = AppState {
+        world,
+        row_comm,
+        double_type,
+        sum_op,
+        iteration: 41 + me as u64,
+    };
+    rank.upper_mut().store_json(STATE_REGION, &state).unwrap();
+
+    let report = rank.checkpoint(store).unwrap();
+    assert!(report.bytes > 0);
+    (rank.crossings(), rank.buffered_messages())
+}
+
+/// Phase 2: after restart, recover the state, receive the in-flight message, and keep
+/// computing with the pre-checkpoint handles.
+fn phase_after(mut rank: ManaRank) {
+    let me = rank.world_rank();
+    let state: AppState = rank.upper().load_json(STATE_REGION).unwrap();
+    assert_eq!(state.iteration, 41 + me as u64);
+
+    // The saved virtual ids still work, even though the lower half is brand new.
+    assert_eq!(rank.comm_size(state.world).unwrap(), rank.world_size());
+    assert_eq!(rank.comm_rank(state.world).unwrap(), me);
+    let row_size = rank.comm_size(state.row_comm).unwrap();
+    let n = rank.world_size();
+    let expected_row = if me % 2 == 0 { n.div_ceil(2) } else { n / 2 };
+    assert_eq!(row_size, expected_row);
+
+    // The in-flight message arrives after restart.
+    if me == 1 {
+        let (payload, status) = rank
+            .recv(state.double_type, 64, ANY_SOURCE, TAG_INFLIGHT, state.world)
+            .unwrap();
+        assert_eq!(status.tag, TAG_INFLIGHT);
+        assert_eq!(bytes_to_f64(&payload), vec![1234.5, 678.9]);
+    }
+
+    // Collectives over both surviving communicators still work.
+    let int_type = rank
+        .constant(PredefinedObject::Datatype(PrimitiveType::Int))
+        .unwrap();
+    let total = rank
+        .allreduce(&i32_to_bytes(&[1]), int_type, state.sum_op, state.world)
+        .unwrap();
+    assert_eq!(bytes_to_i32(&total)[0] as usize, rank.world_size());
+    let row_total = rank
+        .allreduce(&i32_to_bytes(&[1]), int_type, state.sum_op, state.row_comm)
+        .unwrap();
+    assert_eq!(bytes_to_i32(&row_total)[0] as usize, row_size);
+
+    rank.barrier(state.world).unwrap();
+}
+
+fn run_scenario(
+    first: &dyn MpiImplementationFactory,
+    second: &dyn MpiImplementationFactory,
+    config: ManaConfig,
+    world_size: usize,
+) {
+    let reg = registry();
+    let store = CheckpointStore::unmetered();
+
+    // --- Run until the checkpoint under the first implementation. ---
+    let lowers = first.launch(world_size, reg.clone(), 1).unwrap();
+    let handles: Vec<_> = lowers
+        .into_iter()
+        .map(|lower| {
+            let reg = reg.clone();
+            let store = store.clone();
+            std::thread::spawn(move || {
+                let rank = ManaRank::new(lower, config, reg).unwrap();
+                phase_before(rank, &store)
+            })
+        })
+        .collect();
+    for handle in handles {
+        let (crossings, _buffered) = handle.join().unwrap();
+        assert!(crossings > 0, "wrapped calls must cross into the lower half");
+    }
+
+    // --- Restart under the second implementation (a brand-new session). ---
+    let images: Vec<_> = (0..world_size)
+        .map(|r| store.read(0, r as i32).unwrap())
+        .collect();
+    assert!(images.iter().all(|i| i.metadata.implementation == first.name()));
+    let new_lowers = second.launch(world_size, reg.clone(), 2).unwrap();
+    let second_name = second.name();
+    let restarted = restart_job(new_lowers, images, config, reg).unwrap();
+    let handles: Vec<_> = restarted
+        .into_iter()
+        .map(|rank| {
+            std::thread::spawn(move || {
+                assert_eq!(rank.implementation_name(), second_name);
+                phase_after(rank)
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+}
+
+#[test]
+fn checkpoint_restart_on_mpich_new_virtid() {
+    run_scenario(
+        &mpich_sim::MpichFactory::mpich(),
+        &mpich_sim::MpichFactory::mpich(),
+        ManaConfig::new_design(),
+        4,
+    );
+}
+
+#[test]
+fn checkpoint_restart_on_mpich_legacy_design() {
+    run_scenario(
+        &mpich_sim::MpichFactory::mpich(),
+        &mpich_sim::MpichFactory::mpich(),
+        ManaConfig::legacy_design(),
+        4,
+    );
+}
+
+#[test]
+fn checkpoint_restart_on_openmpi() {
+    run_scenario(
+        &openmpi_sim::OpenMpiFactory::new(),
+        &openmpi_sim::OpenMpiFactory::new(),
+        ManaConfig::new_design(),
+        4,
+    );
+}
+
+#[test]
+fn checkpoint_restart_on_craympi() {
+    run_scenario(
+        &mpich_sim::MpichFactory::cray(),
+        &mpich_sim::MpichFactory::cray(),
+        ManaConfig::new_design(),
+        3,
+    );
+}
+
+#[test]
+fn cross_implementation_restart_mpich_to_openmpi() {
+    // Checkpoint under MPICH, restart under Open MPI: nothing implementation-specific
+    // survives in the image, so this works for applications inside the common subset.
+    run_scenario(
+        &mpich_sim::MpichFactory::mpich(),
+        &openmpi_sim::OpenMpiFactory::new(),
+        ManaConfig::new_design(),
+        4,
+    );
+}
+
+#[test]
+fn cross_implementation_restart_openmpi_to_mpich() {
+    run_scenario(
+        &openmpi_sim::OpenMpiFactory::new(),
+        &mpich_sim::MpichFactory::mpich(),
+        ManaConfig::new_design(),
+        2,
+    );
+}
+
+#[test]
+fn exampi_checkpoint_restart_within_subset() {
+    // ExaMPI does not provide comm_dup/comm_create or user ops, but comm_split,
+    // reductions and point-to-point are enough for the CoMD/LULESH-style workload this
+    // scenario models.
+    run_scenario(
+        &exampi_sim::ExaMpiFactory::new(),
+        &exampi_sim::ExaMpiFactory::new(),
+        ManaConfig::new_design(),
+        4,
+    );
+}
+
+#[test]
+fn multiple_checkpoint_generations() {
+    let reg = registry();
+    let store = CheckpointStore::unmetered();
+    let factory = mpich_sim::MpichFactory::mpich();
+    let lowers = factory.launch(2, reg.clone(), 1).unwrap();
+    let handles: Vec<_> = lowers
+        .into_iter()
+        .map(|lower| {
+            let reg = reg.clone();
+            let store = store.clone();
+            std::thread::spawn(move || {
+                let mut rank = ManaRank::new(lower, ManaConfig::new_design(), reg).unwrap();
+                let world = rank.world().unwrap();
+                let int_type = rank
+                    .constant(PredefinedObject::Datatype(PrimitiveType::Int))
+                    .unwrap();
+                let sum = rank
+                    .constant(PredefinedObject::Op(PredefinedOp::Sum))
+                    .unwrap();
+                for generation in 0..3u64 {
+                    let total = rank
+                        .allreduce(&i32_to_bytes(&[1]), int_type, sum, world)
+                        .unwrap();
+                    assert_eq!(bytes_to_i32(&total)[0], 2);
+                    let report = rank.checkpoint(&store).unwrap();
+                    assert!(report.bytes > 0);
+                    assert_eq!(rank.generation(), generation + 1);
+                }
+                rank.world_rank()
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    // Three generations of two ranks each.
+    assert_eq!(store.image_count(), 6);
+    // The restart path works from the latest generation.
+    let images: Vec<_> = (0..2).map(|r| store.read(2, r).unwrap()).collect();
+    let new_lowers = factory.launch(2, reg.clone(), 9).unwrap();
+    let restarted = restart_job(new_lowers, images, ManaConfig::new_design(), reg).unwrap();
+    assert_eq!(restarted.len(), 2);
+    assert_eq!(restarted[0].generation(), 3);
+}
+
+#[test]
+fn drain_buffers_many_inflight_messages() {
+    let reg = registry();
+    let store = CheckpointStore::unmetered();
+    let factory = mpich_sim::MpichFactory::mpich();
+    let lowers = factory.launch(2, reg.clone(), 1).unwrap();
+    let handles: Vec<_> = lowers
+        .into_iter()
+        .map(|lower| {
+            let reg = reg.clone();
+            let store = store.clone();
+            std::thread::spawn(move || {
+                let mut rank = ManaRank::new(lower, ManaConfig::new_design(), reg).unwrap();
+                let me = rank.world_rank();
+                let world = rank.world().unwrap();
+                let byte_type = rank
+                    .constant(PredefinedObject::Datatype(PrimitiveType::Byte))
+                    .unwrap();
+                // Rank 0 fires 20 messages that rank 1 never receives before the
+                // checkpoint; the drain must buffer all of them, in order.
+                if me == 0 {
+                    for i in 0..20u8 {
+                        rank.send(&[i], byte_type, 1, 5, world).unwrap();
+                    }
+                }
+                rank.checkpoint(&store).unwrap();
+                if me == 1 {
+                    assert_eq!(rank.buffered_messages(), 20);
+                    // And they are delivered, in FIFO order, by ordinary receives.
+                    for i in 0..20u8 {
+                        let (payload, status) =
+                            rank.recv(byte_type, 16, 0, 5, world).unwrap();
+                        assert_eq!(payload, vec![i]);
+                        assert_eq!(status.source, 0);
+                    }
+                    assert_eq!(rank.buffered_messages(), 0);
+                } else {
+                    assert_eq!(rank.buffered_messages(), 0);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+}
+
+#[test]
+fn nonblocking_requests_survive_checkpoint() {
+    let reg = registry();
+    let store = CheckpointStore::unmetered();
+    let factory = openmpi_sim::OpenMpiFactory::new();
+    let lowers = factory.launch(2, reg.clone(), 1).unwrap();
+    let handles: Vec<_> = lowers
+        .into_iter()
+        .map(|lower| {
+            let reg = reg.clone();
+            let store = store.clone();
+            std::thread::spawn(move || {
+                let mut rank = ManaRank::new(lower, ManaConfig::new_design(), reg).unwrap();
+                let me = rank.world_rank();
+                let world = rank.world().unwrap();
+                let byte_type = rank
+                    .constant(PredefinedObject::Datatype(PrimitiveType::Byte))
+                    .unwrap();
+                if me == 0 {
+                    let req = rank.isend(&[42, 43], byte_type, 1, 11, world).unwrap();
+                    rank.checkpoint(&store).unwrap();
+                    let (status, payload) = rank.wait(req).unwrap();
+                    assert!(payload.is_none());
+                    assert_eq!(status.tag, 11);
+                } else {
+                    // Post the irecv *before* the checkpoint; satisfy it afterwards.
+                    let req = rank.irecv(byte_type, 16, 0, 11, world).unwrap();
+                    rank.checkpoint(&store).unwrap();
+                    let (status, payload) = rank.wait(req).unwrap();
+                    assert_eq!(status.count_bytes, 2);
+                    assert_eq!(payload.unwrap(), vec![42, 43]);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,64 @@
+//! Message status objects (`MPI_Status`).
+
+use crate::types::{Rank, Tag};
+use serde::{Deserialize, Serialize};
+
+/// The information MPI returns about a received (or probed) message.
+///
+/// `MPI_Get_count` is folded in as [`Status::count_bytes`] plus
+/// [`Status::element_count`], since the simulated fabric always knows the exact byte
+/// length of the payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Status {
+    /// Rank of the sender, in the communicator the receive/probe was posted on.
+    pub source: Rank,
+    /// Tag of the matched message.
+    pub tag: Tag,
+    /// Payload length in bytes.
+    pub count_bytes: usize,
+    /// Whether the operation was cancelled (always `false` in this model; MANA never
+    /// cancels requests, it drains them).
+    pub cancelled: bool,
+}
+
+impl Status {
+    /// Construct a status for a matched message.
+    pub fn new(source: Rank, tag: Tag, count_bytes: usize) -> Self {
+        Status {
+            source,
+            tag,
+            count_bytes,
+            cancelled: false,
+        }
+    }
+
+    /// Number of whole elements of `element_size` bytes in the payload
+    /// (the `MPI_Get_count` result), or `None` if the payload is not a whole number of
+    /// elements (`MPI_UNDEFINED` in real MPI).
+    pub fn element_count(&self, element_size: usize) -> Option<usize> {
+        if element_size == 0 {
+            return None;
+        }
+        if self.count_bytes % element_size == 0 {
+            Some(self.count_bytes / element_size)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_count() {
+        let s = Status::new(3, 7, 32);
+        assert_eq!(s.element_count(8), Some(4));
+        assert_eq!(s.element_count(5), None);
+        assert_eq!(s.element_count(0), None);
+        assert_eq!(s.source, 3);
+        assert_eq!(s.tag, 7);
+        assert!(!s.cancelled);
+    }
+}

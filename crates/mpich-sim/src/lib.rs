@@ -1,0 +1,34 @@
+//! # mpich-sim
+//!
+//! A simulated MPI implementation in the style of the **MPICH family** (MPICH,
+//! MVAPICH, Intel MPI, HPE Cray MPI).
+//!
+//! The externally visible traits the paper cares about (§3):
+//!
+//! * **Handles are 32-bit integers** encoding a two-level table lookup: a few bits say
+//!   whether the handle names a communicator, group, request, op or datatype (plus a
+//!   "predefined" bit), and the remaining bits are split into a first-level index into
+//!   a directory and a second-level index into the block the directory entry points to
+//!   — the same shape as a two-level page table.
+//! * **Global constants are compile-time integers**: `MPI_COMM_WORLD` has the same bit
+//!   pattern in the upper and lower halves and in every session. (This apparent
+//!   convenience is what let the original MANA prototype hard-wire Cray MPI
+//!   assumptions; the virtual-id layer must not rely on it.)
+//! * **Feature-complete** for the subset of MPI-3 modelled in this workspace.
+//!
+//! The crate exposes two factory configurations, [`MpichFactory::mpich`] and
+//! [`MpichFactory::cray`], because the paper's evaluation treats MPICH as the local
+//! stand-in for HPE Cray MPI on Perlmutter (§6, "HPE Cray MPI and MPICH share much of
+//! their code").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod factory;
+
+pub use codec::MpichCodec;
+pub use factory::{MpichFactory, MpichVariant};
+
+/// The engine type used by this implementation (one per rank).
+pub type MpichRank = mpi_engine::Engine<MpichCodec>;

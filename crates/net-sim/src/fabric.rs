@@ -1,0 +1,597 @@
+//! The fabric: the shared, in-memory "network" connecting all ranks of a job, and the
+//! per-rank [`Endpoint`] the MPI implementations use to move bytes.
+
+use crate::mailbox::Mailbox;
+use crate::message::{Envelope, MatchSpec};
+use crate::stats::{FabricStats, StatsSnapshot};
+use mpi_model::error::{MpiError, MpiResult};
+use mpi_model::status::Status;
+use mpi_model::types::{ContextId, Rank};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long a blocking receive or collective will wait for its counterpart before the
+/// fabric declares the job wedged. Real MPI would hang forever; failing fast keeps the
+/// test suite debuggable. Generous enough for heavily oversubscribed CI machines.
+const BLOCKING_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Configuration for a fabric instance.
+#[derive(Debug, Clone)]
+pub struct FabricConfig {
+    /// Number of ranks connected to the fabric.
+    pub world_size: usize,
+    /// Session nonce distinguishing this "hardware instantiation" from any other.
+    ///
+    /// This models the non-checkpointable NIC/switch state: a restarted job gets a new
+    /// fabric with a new nonce, and nothing in a checkpoint image may depend on it.
+    pub session_nonce: u64,
+}
+
+impl FabricConfig {
+    /// Convenience constructor.
+    pub fn new(world_size: usize, session_nonce: u64) -> Self {
+        FabricConfig {
+            world_size,
+            session_nonce,
+        }
+    }
+}
+
+struct RankSlot {
+    mailbox: Mutex<Mailbox>,
+    arrival: Condvar,
+    open: AtomicBool,
+}
+
+struct CollectiveSlot {
+    expected: usize,
+    contributions: HashMap<usize, Vec<u8>>,
+    result: Option<Arc<Vec<Vec<u8>>>>,
+    readers_remaining: usize,
+}
+
+struct FabricInner {
+    world_size: usize,
+    session_nonce: u64,
+    slots: Vec<RankSlot>,
+    collectives: Mutex<HashMap<(ContextId, u64), CollectiveSlot>>,
+    collective_done: Condvar,
+    next_context: AtomicU64,
+    next_seq: AtomicU64,
+    stats: FabricStats,
+}
+
+/// The shared fabric connecting every rank of one job (one "session" of the network
+/// hardware). Cloning is cheap (it is an `Arc` underneath); each simulated MPI
+/// implementation's launch routine creates one fabric and hands each rank an
+/// [`Endpoint`] onto it.
+#[derive(Clone)]
+pub struct Fabric {
+    inner: Arc<FabricInner>,
+}
+
+impl std::fmt::Debug for Fabric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fabric")
+            .field("world_size", &self.inner.world_size)
+            .field("session_nonce", &self.inner.session_nonce)
+            .finish()
+    }
+}
+
+impl Fabric {
+    /// Create a new fabric for `config.world_size` ranks.
+    pub fn new(config: FabricConfig) -> Self {
+        let slots = (0..config.world_size)
+            .map(|_| RankSlot {
+                mailbox: Mutex::new(Mailbox::new()),
+                arrival: Condvar::new(),
+                open: AtomicBool::new(true),
+            })
+            .collect();
+        Fabric {
+            inner: Arc::new(FabricInner {
+                world_size: config.world_size,
+                session_nonce: config.session_nonce,
+                slots,
+                collectives: Mutex::new(HashMap::new()),
+                collective_done: Condvar::new(),
+                // Contexts 1 and 2 are reserved for MPI_COMM_WORLD / MPI_COMM_SELF.
+                next_context: AtomicU64::new(16),
+                next_seq: AtomicU64::new(0),
+                stats: FabricStats::new(),
+            }),
+        }
+    }
+
+    /// Number of ranks connected to this fabric.
+    pub fn world_size(&self) -> usize {
+        self.inner.world_size
+    }
+
+    /// The per-session hardware nonce (never stable across restarts).
+    pub fn session_nonce(&self) -> u64 {
+        self.inner.session_nonce
+    }
+
+    /// Obtain the endpoint for `world_rank`.
+    pub fn endpoint(&self, world_rank: Rank) -> MpiResult<Endpoint> {
+        if world_rank < 0 || world_rank as usize >= self.inner.world_size {
+            return Err(MpiError::InvalidRank {
+                rank: world_rank,
+                size: self.inner.world_size,
+            });
+        }
+        Ok(Endpoint {
+            inner: Arc::clone(&self.inner),
+            world_rank,
+        })
+    }
+
+    /// Allocate a fresh communication context (one per communicator created by the
+    /// implementation using this fabric).
+    pub fn allocate_context(&self) -> ContextId {
+        self.inner.next_context.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Total number of point-to-point messages currently in flight (injected but not
+    /// yet received), across all ranks. After a correct MANA drain this is zero.
+    pub fn pending_messages(&self) -> usize {
+        self.inner
+            .slots
+            .iter()
+            .map(|s| s.mailbox.lock().pending())
+            .sum()
+    }
+
+    /// Number of in-flight messages addressed to one rank.
+    pub fn pending_for_rank(&self, world_rank: Rank) -> MpiResult<usize> {
+        let slot = self
+            .inner
+            .slots
+            .get(world_rank.max(0) as usize)
+            .ok_or(MpiError::InvalidRank {
+                rank: world_rank,
+                size: self.inner.world_size,
+            })?;
+        Ok(slot.mailbox.lock().pending())
+    }
+
+    /// Snapshot of the traffic counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+}
+
+/// One rank's attachment to the fabric. All methods are callable from that rank's
+/// thread; the endpoint is `Send` so the owning lower half can live inside a rank
+/// thread.
+pub struct Endpoint {
+    inner: Arc<FabricInner>,
+    world_rank: Rank,
+}
+
+impl std::fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Endpoint")
+            .field("world_rank", &self.world_rank)
+            .finish()
+    }
+}
+
+impl Endpoint {
+    /// World rank of this endpoint.
+    pub fn world_rank(&self) -> Rank {
+        self.world_rank
+    }
+
+    /// Number of ranks on the fabric.
+    pub fn world_size(&self) -> usize {
+        self.inner.world_size
+    }
+
+    /// The per-session hardware nonce.
+    pub fn session_nonce(&self) -> u64 {
+        self.inner.session_nonce
+    }
+
+    /// Allocate a fresh communication context.
+    pub fn allocate_context(&self) -> ContextId {
+        self.inner.next_context.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn slot(&self, world_rank: Rank) -> MpiResult<&RankSlot> {
+        if world_rank < 0 {
+            return Err(MpiError::InvalidRank {
+                rank: world_rank,
+                size: self.inner.world_size,
+            });
+        }
+        self.inner
+            .slots
+            .get(world_rank as usize)
+            .ok_or(MpiError::InvalidRank {
+                rank: world_rank,
+                size: self.inner.world_size,
+            })
+    }
+
+    /// Inject a point-to-point message (eager protocol: the payload is buffered at the
+    /// destination immediately, whether or not a receive is posted).
+    pub fn send(
+        &self,
+        dest_world: Rank,
+        source_comm_rank: Rank,
+        context: ContextId,
+        tag: i32,
+        payload: Vec<u8>,
+    ) -> MpiResult<()> {
+        let dest = self.slot(dest_world)?;
+        if !dest.open.load(Ordering::Acquire) {
+            return Err(MpiError::PeerUnreachable(dest_world));
+        }
+        let seq = self.inner.next_seq.fetch_add(1, Ordering::Relaxed);
+        self.inner.stats.record_send(payload.len());
+        let envelope = Envelope {
+            source_world: self.world_rank,
+            source_comm_rank,
+            dest_world,
+            context,
+            tag,
+            seq,
+            payload,
+        };
+        {
+            let mut mailbox = dest.mailbox.lock();
+            mailbox.deposit(envelope);
+        }
+        dest.arrival.notify_all();
+        Ok(())
+    }
+
+    /// Non-blocking receive: take the earliest matching message if one is present.
+    pub fn try_recv(&self, spec: &MatchSpec) -> MpiResult<Option<Envelope>> {
+        let slot = self.slot(self.world_rank)?;
+        let mut mailbox = slot.mailbox.lock();
+        let taken = mailbox.take(spec);
+        if taken.is_some() {
+            self.inner.stats.record_recv();
+        }
+        Ok(taken)
+    }
+
+    /// Blocking receive: wait until a matching message arrives, then take it.
+    pub fn recv_blocking(&self, spec: &MatchSpec) -> MpiResult<Envelope> {
+        let slot = self.slot(self.world_rank)?;
+        let mut mailbox = slot.mailbox.lock();
+        loop {
+            if let Some(envelope) = mailbox.take(spec) {
+                self.inner.stats.record_recv();
+                return Ok(envelope);
+            }
+            if !slot.open.load(Ordering::Acquire) {
+                return Err(MpiError::PeerUnreachable(self.world_rank));
+            }
+            if slot
+                .arrival
+                .wait_for(&mut mailbox, BLOCKING_TIMEOUT)
+                .timed_out()
+            {
+                return Err(MpiError::Internal(format!(
+                    "rank {} blocked in receive for more than {:?} (context {}, source {:?}, tag {:?})",
+                    self.world_rank, BLOCKING_TIMEOUT, spec.context, spec.source_comm_rank, spec.tag
+                )));
+            }
+        }
+    }
+
+    /// Probe for a matching message without consuming it (`MPI_Iprobe`).
+    pub fn probe(&self, spec: &MatchSpec) -> MpiResult<Option<Status>> {
+        let slot = self.slot(self.world_rank)?;
+        let mailbox = slot.mailbox.lock();
+        Ok(mailbox
+            .probe(spec)
+            .map(|e| Status::new(e.source_comm_rank, e.tag, e.payload.len())))
+    }
+
+    /// Number of messages currently queued for this rank (any context).
+    pub fn pending_incoming(&self) -> usize {
+        self.slot(self.world_rank)
+            .map(|s| s.mailbox.lock().pending())
+            .unwrap_or(0)
+    }
+
+    /// Number of messages currently queued for this rank on one context.
+    pub fn pending_incoming_for_context(&self, context: ContextId) -> usize {
+        self.slot(self.world_rank)
+            .map(|s| s.mailbox.lock().pending_for_context(context))
+            .unwrap_or(0)
+    }
+
+    /// Mark this endpoint as closed: subsequent sends to it fail and blocked receives
+    /// are woken with an error. Used for failure-injection tests.
+    pub fn close(&self) {
+        if let Ok(slot) = self.slot(self.world_rank) {
+            slot.open.store(false, Ordering::Release);
+            slot.arrival.notify_all();
+        }
+    }
+
+    /// Whether this endpoint is still open.
+    pub fn is_open(&self) -> bool {
+        self.slot(self.world_rank)
+            .map(|s| s.open.load(Ordering::Acquire))
+            .unwrap_or(false)
+    }
+
+    /// Synchronous all-to-all exchange used as the building block for every collective.
+    ///
+    /// All `comm_size` members of a communicator call this with the same `(context,
+    /// seq)` key and their own `my_index` (their rank within the communicator). Every
+    /// caller blocks until all contributions have arrived and then receives the full
+    /// ordered vector of contributions. The `(context, seq)` key is what isolates
+    /// concurrent collectives on different communicators — and why collective sequence
+    /// numbers restart cleanly after a MANA restart (the new lower half starts a new
+    /// context space on a new fabric).
+    pub fn collective_exchange(
+        &self,
+        context: ContextId,
+        seq: u64,
+        my_index: usize,
+        comm_size: usize,
+        contribution: Vec<u8>,
+    ) -> MpiResult<Vec<Vec<u8>>> {
+        if comm_size == 0 || my_index >= comm_size {
+            return Err(MpiError::Internal(format!(
+                "collective exchange with index {my_index} out of {comm_size}"
+            )));
+        }
+        self.inner.stats.record_collective(contribution.len());
+        let key = (context, seq);
+        let mut table = self.inner.collectives.lock();
+        {
+            let slot = table.entry(key).or_insert_with(|| CollectiveSlot {
+                expected: comm_size,
+                contributions: HashMap::with_capacity(comm_size),
+                result: None,
+                readers_remaining: comm_size,
+            });
+            if slot.expected != comm_size {
+                return Err(MpiError::CollectiveMismatch(format!(
+                    "ranks disagree about communicator size: {} vs {}",
+                    slot.expected, comm_size
+                )));
+            }
+            if slot.contributions.insert(my_index, contribution).is_some() {
+                return Err(MpiError::CollectiveMismatch(format!(
+                    "rank index {my_index} contributed twice to collective {key:?}"
+                )));
+            }
+            if slot.contributions.len() == slot.expected {
+                let mut ordered = Vec::with_capacity(slot.expected);
+                for i in 0..slot.expected {
+                    ordered.push(
+                        slot.contributions
+                            .remove(&i)
+                            .expect("all indices 0..expected contributed"),
+                    );
+                }
+                slot.result = Some(Arc::new(ordered));
+                self.inner.collective_done.notify_all();
+            }
+        }
+        // Wait for completion, then pick up the shared result.
+        loop {
+            let finished = {
+                let slot = table.get(&key).ok_or_else(|| {
+                    MpiError::Internal("collective slot vanished before completion".into())
+                })?;
+                slot.result.clone()
+            };
+            if let Some(result) = finished {
+                let remove = {
+                    let slot = table
+                        .get_mut(&key)
+                        .expect("slot exists while readers remain");
+                    slot.readers_remaining -= 1;
+                    slot.readers_remaining == 0
+                };
+                if remove {
+                    table.remove(&key);
+                }
+                return Ok(result.as_ref().clone());
+            }
+            if self
+                .inner
+                .collective_done
+                .wait_for(&mut table, BLOCKING_TIMEOUT)
+                .timed_out()
+            {
+                return Err(MpiError::Internal(format!(
+                    "rank {} blocked in collective (context {context}, seq {seq}) for more than {:?}",
+                    self.world_rank, BLOCKING_TIMEOUT
+                )));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn fabric(n: usize) -> Fabric {
+        Fabric::new(FabricConfig::new(n, 0xdead_beef))
+    }
+
+    #[test]
+    fn send_then_recv_same_thread() {
+        let f = fabric(2);
+        let e0 = f.endpoint(0).unwrap();
+        let e1 = f.endpoint(1).unwrap();
+        e0.send(1, 0, 1, 7, vec![1, 2, 3]).unwrap();
+        assert_eq!(f.pending_messages(), 1);
+        let spec = MatchSpec::from_mpi_args(1, 0, 7);
+        let env = e1.recv_blocking(&spec).unwrap();
+        assert_eq!(env.payload, vec![1, 2, 3]);
+        assert_eq!(env.source_comm_rank, 0);
+        assert_eq!(f.pending_messages(), 0);
+        assert_eq!(f.stats().messages_sent, 1);
+        assert_eq!(f.stats().messages_received, 1);
+    }
+
+    #[test]
+    fn blocking_recv_waits_for_sender() {
+        let f = fabric(2);
+        let e1 = f.endpoint(1).unwrap();
+        let f2 = f.clone();
+        let sender = thread::spawn(move || {
+            let e0 = f2.endpoint(0).unwrap();
+            std::thread::sleep(Duration::from_millis(20));
+            e0.send(1, 0, 1, 3, vec![9]).unwrap();
+        });
+        let env = e1
+            .recv_blocking(&MatchSpec::from_mpi_args(1, 0, 3))
+            .unwrap();
+        assert_eq!(env.payload, vec![9]);
+        sender.join().unwrap();
+    }
+
+    #[test]
+    fn probe_and_try_recv() {
+        let f = fabric(2);
+        let e0 = f.endpoint(0).unwrap();
+        let e1 = f.endpoint(1).unwrap();
+        let spec = MatchSpec::from_mpi_args(1, 0, 5);
+        assert!(e1.probe(&spec).unwrap().is_none());
+        assert!(e1.try_recv(&spec).unwrap().is_none());
+        e0.send(1, 0, 1, 5, vec![0; 16]).unwrap();
+        let st = e1.probe(&spec).unwrap().unwrap();
+        assert_eq!(st.count_bytes, 16);
+        assert_eq!(e1.pending_incoming(), 1);
+        assert!(e1.try_recv(&spec).unwrap().is_some());
+        assert_eq!(e1.pending_incoming(), 0);
+    }
+
+    #[test]
+    fn contexts_isolate_traffic() {
+        let f = fabric(2);
+        let e0 = f.endpoint(0).unwrap();
+        let e1 = f.endpoint(1).unwrap();
+        e0.send(1, 0, 100, 0, vec![1]).unwrap();
+        // A receive on context 200 must not match the message on context 100.
+        assert!(e1
+            .try_recv(&MatchSpec::from_mpi_args(200, 0, 0))
+            .unwrap()
+            .is_none());
+        assert_eq!(e1.pending_incoming_for_context(100), 1);
+        assert_eq!(e1.pending_incoming_for_context(200), 0);
+    }
+
+    #[test]
+    fn closed_endpoint_rejects_sends() {
+        let f = fabric(2);
+        let e0 = f.endpoint(0).unwrap();
+        let e1 = f.endpoint(1).unwrap();
+        assert!(e1.is_open());
+        e1.close();
+        assert!(!e1.is_open());
+        assert_eq!(
+            e0.send(1, 0, 1, 0, vec![1]),
+            Err(MpiError::PeerUnreachable(1))
+        );
+    }
+
+    #[test]
+    fn collective_exchange_gathers_all_contributions() {
+        let n = 4;
+        let f = fabric(n);
+        let mut handles = vec![];
+        for rank in 0..n {
+            let f = f.clone();
+            handles.push(thread::spawn(move || {
+                let ep = f.endpoint(rank as Rank).unwrap();
+                ep.collective_exchange(1, 0, rank, n, vec![rank as u8; 2])
+                    .unwrap()
+            }));
+        }
+        for h in handles {
+            let result = h.join().unwrap();
+            assert_eq!(result.len(), n);
+            for (i, contribution) in result.iter().enumerate() {
+                assert_eq!(contribution, &vec![i as u8; 2]);
+            }
+        }
+        // The collective slot must have been cleaned up.
+        assert_eq!(f.inner.collectives.lock().len(), 0);
+        assert_eq!(f.stats().collective_rounds, n as u64);
+    }
+
+    #[test]
+    fn collective_mismatch_detected() {
+        let f = fabric(3);
+        let e0 = f.endpoint(0).unwrap();
+        let e1 = f.endpoint(1).unwrap();
+        // Rank 0 claims the communicator has 1 member and completes alone.
+        e0.collective_exchange(7, 0, 0, 1, vec![]).unwrap();
+        // Rank 1 then claims it has 2 members under the same key: size mismatch.
+        // (The slot was cleaned up after rank 0's solo collective, so re-create it
+        //  and then disagree within the same generation.)
+        let r = e1.collective_exchange(7, 1, 0, 1, vec![]);
+        assert!(r.is_ok());
+        let e2 = f.endpoint(2).unwrap();
+        let h = {
+            let f = f.clone();
+            thread::spawn(move || {
+                let ep = f.endpoint(0).unwrap();
+                ep.collective_exchange(9, 0, 0, 2, vec![])
+            })
+        };
+        // Let rank 0 create the slot with size 2, then rank 2 disagrees with size 3.
+        std::thread::sleep(Duration::from_millis(20));
+        let err = e2.collective_exchange(9, 0, 1, 3, vec![]).unwrap_err();
+        assert!(matches!(err, MpiError::CollectiveMismatch(_)));
+        // Unblock rank 0 by providing the second size-2 contribution.
+        e1.collective_exchange(9, 0, 1, 2, vec![]).unwrap();
+        h.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn context_allocation_is_unique() {
+        let f = fabric(2);
+        let a = f.allocate_context();
+        let b = f.allocate_context();
+        let c = f.endpoint(0).unwrap().allocate_context();
+        assert!(a != b && b != c && a != c);
+        assert!(a >= 16, "low context ids are reserved for world/self");
+    }
+
+    #[test]
+    fn invalid_rank_is_rejected() {
+        let f = fabric(2);
+        assert!(f.endpoint(2).is_err());
+        assert!(f.endpoint(-1).is_err());
+        let e0 = f.endpoint(0).unwrap();
+        assert!(e0.send(5, 0, 1, 0, vec![]).is_err());
+        assert!(f.pending_for_rank(9).is_err());
+    }
+
+    #[test]
+    fn fifo_order_preserved_per_sender() {
+        let f = fabric(2);
+        let e0 = f.endpoint(0).unwrap();
+        let e1 = f.endpoint(1).unwrap();
+        for i in 0..10u8 {
+            e0.send(1, 0, 1, 0, vec![i]).unwrap();
+        }
+        let spec = MatchSpec::from_mpi_args(1, 0, 0);
+        for i in 0..10u8 {
+            let env = e1.recv_blocking(&spec).unwrap();
+            assert_eq!(env.payload, vec![i]);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # openmpi-sim
+//!
+//! A simulated MPI implementation in the style of **Open MPI**.
+//!
+//! The externally visible traits the paper cares about (§3, §4.3):
+//!
+//! * **Handles are 64-bit pointers** to internal structs. There is no index arithmetic
+//!   an outsider could rely on: the value is an address, different for every object,
+//!   different between the upper and lower halves, and different between sessions.
+//!   This is what broke MANA's original `int`-typed virtual ids — an `int` cannot even
+//!   hold an Open MPI `MPI_Comm`.
+//! * **Global constants are macros that expand to functions** returning such pointers,
+//!   resolved when the library starts up. `MPI_COMM_WORLD` before a checkpoint and
+//!   `MPI_COMM_WORLD` after a restart are different bit patterns.
+//! * **Feature-complete** for the subset of MPI-3 modelled in this workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod factory;
+
+pub use codec::OpenMpiCodec;
+pub use factory::OpenMpiFactory;
+
+/// The engine type used by this implementation (one per rank).
+pub type OpenMpiRank = mpi_engine::Engine<OpenMpiCodec>;

@@ -1,0 +1,180 @@
+//! The simulated upper-half address space: named, byte-addressed memory regions.
+//!
+//! Real MANA saves the upper half by walking `/proc/self/maps` and writing out every
+//! writable region that belongs to the application. Here the application's state lives
+//! in explicitly named regions ("heap", "app.lattice", "mana.descriptors", ...), which
+//! gives the same property the paper relies on: the checkpoint contains *all* of the
+//! application's and MANA's memory — including any MPI virtual ids the application has
+//! stashed in its own data structures — and *none* of the lower half's.
+
+use mpi_model::error::{MpiError, MpiResult};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One named region of upper-half memory.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryRegion {
+    /// Region name (unique within a space).
+    pub name: String,
+    /// Region contents.
+    pub data: Vec<u8>,
+}
+
+impl MemoryRegion {
+    /// Create a region.
+    pub fn new(name: impl Into<String>, data: Vec<u8>) -> Self {
+        MemoryRegion {
+            name: name.into(),
+            data,
+        }
+    }
+
+    /// Region length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// The upper half of one rank's split process: everything that will be saved at
+/// checkpoint time and restored at restart time.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UpperHalfSpace {
+    regions: BTreeMap<String, Vec<u8>>,
+}
+
+impl UpperHalfSpace {
+    /// An empty upper half.
+    pub fn new() -> Self {
+        UpperHalfSpace::default()
+    }
+
+    /// Create or overwrite a region.
+    pub fn map_region(&mut self, name: impl Into<String>, data: Vec<u8>) {
+        self.regions.insert(name.into(), data);
+    }
+
+    /// Remove a region (e.g. when the application frees a large buffer).
+    pub fn unmap_region(&mut self, name: &str) -> MpiResult<Vec<u8>> {
+        self.regions
+            .remove(name)
+            .ok_or_else(|| MpiError::Checkpoint(format!("no region named {name:?} to unmap")))
+    }
+
+    /// Read-only view of a region.
+    pub fn region(&self, name: &str) -> MpiResult<&[u8]> {
+        self.regions
+            .get(name)
+            .map(|d| d.as_slice())
+            .ok_or_else(|| MpiError::Checkpoint(format!("no region named {name:?}")))
+    }
+
+    /// Mutable view of a region.
+    pub fn region_mut(&mut self, name: &str) -> MpiResult<&mut Vec<u8>> {
+        self.regions
+            .get_mut(name)
+            .ok_or_else(|| MpiError::Checkpoint(format!("no region named {name:?}")))
+    }
+
+    /// Whether a region exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.regions.contains_key(name)
+    }
+
+    /// Names of all regions, sorted.
+    pub fn region_names(&self) -> Vec<&str> {
+        self.regions.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Number of regions.
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Total bytes across all regions — the upper-half footprint that a checkpoint of
+    /// this rank will have to write.
+    pub fn total_bytes(&self) -> usize {
+        self.regions.values().map(|d| d.len()).sum()
+    }
+
+    /// Iterate over `(name, data)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[u8])> {
+        self.regions.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+
+    /// Store a serde-serializable value into a region as JSON bytes. Convenience used
+    /// by the proxy applications for their structured state.
+    pub fn store_json<T: Serialize>(&mut self, name: impl Into<String>, value: &T) -> MpiResult<()> {
+        let bytes = serde_json::to_vec(value)
+            .map_err(|e| MpiError::Checkpoint(format!("serializing region: {e}")))?;
+        self.map_region(name, bytes);
+        Ok(())
+    }
+
+    /// Load a serde-deserializable value previously stored with [`store_json`].
+    ///
+    /// [`store_json`]: UpperHalfSpace::store_json
+    pub fn load_json<T: for<'de> Deserialize<'de>>(&self, name: &str) -> MpiResult<T> {
+        let bytes = self.region(name)?;
+        serde_json::from_slice(bytes)
+            .map_err(|e| MpiError::Checkpoint(format!("deserializing region {name:?}: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_read_write_unmap() {
+        let mut space = UpperHalfSpace::new();
+        space.map_region("heap", vec![1, 2, 3]);
+        assert!(space.contains("heap"));
+        assert_eq!(space.region("heap").unwrap(), &[1, 2, 3]);
+        space.region_mut("heap").unwrap().push(4);
+        assert_eq!(space.total_bytes(), 4);
+        assert_eq!(space.unmap_region("heap").unwrap(), vec![1, 2, 3, 4]);
+        assert!(space.region("heap").is_err());
+        assert!(space.unmap_region("heap").is_err());
+    }
+
+    #[test]
+    fn region_names_sorted() {
+        let mut space = UpperHalfSpace::new();
+        space.map_region("b", vec![]);
+        space.map_region("a", vec![0]);
+        assert_eq!(space.region_names(), vec!["a", "b"]);
+        assert_eq!(space.region_count(), 2);
+        assert_eq!(space.total_bytes(), 1);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        #[derive(Serialize, Deserialize, PartialEq, Debug)]
+        struct AppState {
+            iteration: u64,
+            values: Vec<f64>,
+        }
+        let mut space = UpperHalfSpace::new();
+        let state = AppState {
+            iteration: 17,
+            values: vec![1.5, 2.5],
+        };
+        space.store_json("app.state", &state).unwrap();
+        let loaded: AppState = space.load_json("app.state").unwrap();
+        assert_eq!(loaded, state);
+        assert!(space.load_json::<AppState>("missing").is_err());
+    }
+
+    #[test]
+    fn memory_region_basics() {
+        let r = MemoryRegion::new("x", vec![0; 8]);
+        assert_eq!(r.len(), 8);
+        assert!(!r.is_empty());
+        assert!(MemoryRegion::new("y", vec![]).is_empty());
+    }
+}

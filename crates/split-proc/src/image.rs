@@ -1,0 +1,224 @@
+//! The checkpoint image: a self-describing binary serialization of one rank's upper
+//! half plus a small metadata header.
+//!
+//! Layout:
+//!
+//! ```text
+//! magic (8 bytes, "MANACKPT")
+//! version (u32 LE)
+//! metadata length (u32 LE) | metadata JSON
+//! region count (u32 LE)
+//! per region: name length (u32 LE) | name UTF-8 | data length (u64 LE) | data
+//! ```
+//!
+//! The format mirrors the property the paper highlights in §4.2: the MANA-internal
+//! descriptor structures are *not* given a special section in the image — they are
+//! simply part of the upper-half memory (a region like any other), so the image format
+//! is independent of MANA's internal data-structure layout.
+
+use crate::address_space::UpperHalfSpace;
+use mpi_model::error::{MpiError, MpiResult};
+use mpi_model::types::Rank;
+use serde::{Deserialize, Serialize};
+
+const MAGIC: &[u8; 8] = b"MANACKPT";
+const VERSION: u32 = 2;
+
+/// Metadata stored in the image header.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ImageMetadata {
+    /// Rank this image belongs to.
+    pub rank: Rank,
+    /// World size of the job at checkpoint time.
+    pub world_size: usize,
+    /// Monotone checkpoint generation number within the job.
+    pub generation: u64,
+    /// Name of the MPI implementation that was loaded in the lower half when the
+    /// checkpoint was taken. Informational only: restart may use a different one
+    /// (the paper's §9 cross-implementation restart).
+    pub implementation: String,
+}
+
+/// A complete checkpoint image for one rank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointImage {
+    /// Header metadata.
+    pub metadata: ImageMetadata,
+    /// The saved upper half.
+    pub upper_half: UpperHalfSpace,
+}
+
+impl CheckpointImage {
+    /// Create an image from a rank's upper half.
+    pub fn new(metadata: ImageMetadata, upper_half: UpperHalfSpace) -> Self {
+        CheckpointImage {
+            metadata,
+            upper_half,
+        }
+    }
+
+    /// Serialized size in bytes (what the checkpoint filesystem will have to absorb).
+    pub fn encoded_len(&self) -> usize {
+        self.encode().len()
+    }
+
+    /// Encode to the binary image format.
+    pub fn encode(&self) -> Vec<u8> {
+        let metadata =
+            serde_json::to_vec(&self.metadata).expect("image metadata always serializes");
+        let mut out = Vec::with_capacity(
+            8 + 4 + 4 + metadata.len() + 4 + self.upper_half.total_bytes() + 64,
+        );
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(metadata.len() as u32).to_le_bytes());
+        out.extend_from_slice(&metadata);
+        out.extend_from_slice(&(self.upper_half.region_count() as u32).to_le_bytes());
+        for (name, data) in self.upper_half.iter() {
+            out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+            out.extend_from_slice(data);
+        }
+        out
+    }
+
+    /// Decode a binary image.
+    pub fn decode(bytes: &[u8]) -> MpiResult<Self> {
+        let mut cursor = Cursor { bytes, pos: 0 };
+        let magic = cursor.take(8)?;
+        if magic != MAGIC {
+            return Err(MpiError::Checkpoint("bad checkpoint image magic".into()));
+        }
+        let version = cursor.u32()?;
+        if version != VERSION {
+            return Err(MpiError::Checkpoint(format!(
+                "unsupported checkpoint image version {version} (expected {VERSION})"
+            )));
+        }
+        let metadata_len = cursor.u32()? as usize;
+        let metadata_bytes = cursor.take(metadata_len)?;
+        let metadata: ImageMetadata = serde_json::from_slice(metadata_bytes)
+            .map_err(|e| MpiError::Checkpoint(format!("bad image metadata: {e}")))?;
+        let region_count = cursor.u32()? as usize;
+        let mut upper_half = UpperHalfSpace::new();
+        for _ in 0..region_count {
+            let name_len = cursor.u32()? as usize;
+            let name = std::str::from_utf8(cursor.take(name_len)?)
+                .map_err(|e| MpiError::Checkpoint(format!("bad region name: {e}")))?
+                .to_string();
+            let data_len = cursor.u64()? as usize;
+            let data = cursor.take(data_len)?.to_vec();
+            upper_half.map_region(name, data);
+        }
+        if cursor.pos != bytes.len() {
+            return Err(MpiError::Checkpoint(format!(
+                "trailing garbage after checkpoint image: {} bytes",
+                bytes.len() - cursor.pos
+            )));
+        }
+        Ok(CheckpointImage {
+            metadata,
+            upper_half,
+        })
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> MpiResult<&'a [u8]> {
+        if self.pos + n > self.bytes.len() {
+            return Err(MpiError::Checkpoint(
+                "truncated checkpoint image".to_string(),
+            ));
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> MpiResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> MpiResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_image() -> CheckpointImage {
+        let mut upper = UpperHalfSpace::new();
+        upper.map_region("app.heap", vec![1, 2, 3, 4, 5]);
+        upper.map_region("mana.descriptors", vec![0xAA; 100]);
+        upper.map_region("empty", vec![]);
+        CheckpointImage::new(
+            ImageMetadata {
+                rank: 3,
+                world_size: 8,
+                generation: 2,
+                implementation: "openmpi".to_string(),
+            },
+            upper,
+        )
+    }
+
+    #[test]
+    fn roundtrip() {
+        let image = sample_image();
+        let encoded = image.encode();
+        assert_eq!(encoded.len(), image.encoded_len());
+        let decoded = CheckpointImage::decode(&encoded).unwrap();
+        assert_eq!(decoded, image);
+        assert_eq!(decoded.metadata.rank, 3);
+        assert_eq!(decoded.upper_half.region("app.heap").unwrap(), &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        let image = sample_image();
+        let mut encoded = image.encode();
+        assert!(CheckpointImage::decode(&encoded[..10]).is_err());
+        encoded[0] = b'X';
+        assert!(CheckpointImage::decode(&encoded).is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_wrong_version() {
+        let image = sample_image();
+        let mut encoded = image.encode();
+        encoded.push(0);
+        assert!(CheckpointImage::decode(&encoded).is_err());
+
+        let mut encoded = image.encode();
+        encoded[8] = 99; // version field
+        let err = CheckpointImage::decode(&encoded).unwrap_err();
+        assert!(matches!(err, MpiError::Checkpoint(_)));
+    }
+
+    #[test]
+    fn image_size_tracks_region_sizes() {
+        let small = sample_image().encoded_len();
+        let mut big_upper = UpperHalfSpace::new();
+        big_upper.map_region("app.heap", vec![0; 1 << 20]);
+        let big = CheckpointImage::new(
+            ImageMetadata {
+                rank: 0,
+                world_size: 1,
+                generation: 0,
+                implementation: "mpich".into(),
+            },
+            big_upper,
+        )
+        .encoded_len();
+        assert!(big > small);
+        assert!(big >= 1 << 20);
+    }
+}

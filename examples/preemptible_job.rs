@@ -1,0 +1,85 @@
+//! Preemptible / urgent-HPC scenario (paper §1, third motivation): a long-running
+//! simulation is told to vacate its nodes on short notice — an XFEL beamline or an
+//! urgent-computing reservation needs the machine — checkpoints *wherever it happens to
+//! be*, and is later resumed on a fresh allocation without losing work.
+//!
+//! The application here is the LULESH proxy; like VASP it has no application-level
+//! checkpointing of its own, which is exactly the case MANA's transparent
+//! checkpointing serves.
+//!
+//! ```text
+//! cargo run --example preemptible_job
+//! ```
+
+use mana_repro::mana::restart::restart_job;
+use mana_repro::mana::ManaConfig;
+use mana_repro::mana_apps::{run_app, AppId, RunConfig};
+use mana_repro::split_proc::store::{CheckpointStore, StoreConfig};
+use mana_repro::{launch_mana_job, run_ranks};
+use mpi_model::api::MpiImplementationFactory;
+
+const RANKS: usize = 4;
+const TOTAL_STEPS: u64 = 12;
+const PREEMPTION_NOTICE_AT: u64 = 5;
+
+fn main() {
+    let factory = mpich_sim::MpichFactory::cray();
+    let config = ManaConfig::new_design();
+    // A parallel filesystem: checkpoint-on-notice has to finish within the notice.
+    let store = CheckpointStore::new(StoreConfig::parallel_fs());
+
+    println!("== job starts; preemption notice will arrive at step {PREEMPTION_NOTICE_AT} ==");
+    let ranks = launch_mana_job(&factory, RANKS, config, 1).expect("launch");
+    let store_for_ranks = store.clone();
+    let reports = run_ranks(ranks, move |mut rank| {
+        run_app(
+            AppId::Lulesh,
+            &mut rank,
+            &RunConfig {
+                iterations: PREEMPTION_NOTICE_AT,
+                state_scale: 2e-4,
+                checkpoint_at: Some(PREEMPTION_NOTICE_AT),
+                store: Some(store_for_ranks.clone()),
+            },
+        )
+    })
+    .expect("pre-preemption run");
+    for report in &reports {
+        let ckpt = report.checkpoint.as_ref().expect("checkpoint taken");
+        println!(
+            "rank {}: vacated after step {} — image {} bytes, modelled write time {:.2}s",
+            report.rank, report.iterations_completed, ckpt.bytes, ckpt.write_time_s
+        );
+    }
+    println!("(nodes handed over to the urgent workload...)\n");
+
+    println!("== later: job resumes on a new allocation ==");
+    let images = (0..RANKS)
+        .map(|r| store.read(0, r as i32).expect("image"))
+        .collect();
+    let registry = std::sync::Arc::new(parking_lot::RwLock::new(
+        mana_repro::mpi_model::op::UserFunctionRegistry::new(),
+    ));
+    let new_lowers = factory.launch(RANKS, registry.clone(), 2).expect("relaunch");
+    let restarted = restart_job(new_lowers, images, config, registry).expect("restart");
+    let reports = run_ranks(restarted, |mut rank| {
+        run_app(
+            AppId::Lulesh,
+            &mut rank,
+            &RunConfig {
+                iterations: TOTAL_STEPS,
+                state_scale: 2e-4,
+                checkpoint_at: None,
+                store: None,
+            },
+        )
+    })
+    .expect("post-restart run");
+    for report in reports {
+        println!(
+            "rank {}: finished all {} steps (checksum {:.6})",
+            report.rank, report.iterations_completed, report.checksum
+        );
+    }
+    println!("\npreemptible job completed without losing the work done before eviction.");
+}

@@ -1,0 +1,112 @@
+//! # mana-repro
+//!
+//! Workspace root for the Rust reproduction of *"Implementation-Oblivious Transparent
+//! Checkpoint-Restart for MPI"* (SC 2023). This crate re-exports the workspace's
+//! public surface and provides the small amount of glue the examples and integration
+//! tests share: launching a MANA-wrapped job of rank threads on any of the simulated
+//! MPI implementations.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory and per-experiment
+//! index, and `EXPERIMENTS.md` for the paper-vs-reproduced numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use exampi_sim;
+pub use mana;
+pub use mana_apps;
+pub use mpi_model;
+pub use mpich_sim;
+pub use net_sim;
+pub use openmpi_sim;
+pub use split_proc;
+
+use mana::{ManaConfig, ManaRank};
+use mpi_model::api::MpiImplementationFactory;
+use mpi_model::error::{MpiError, MpiResult};
+use mpi_model::op::UserFunctionRegistry;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Launch a fresh MANA-wrapped job: one [`ManaRank`] per rank, all sharing a fabric of
+/// the chosen MPI implementation.
+///
+/// The returned ranks are intended to be moved onto one thread each (MPI ranks are
+/// processes; here they are threads), exactly as the examples do.
+pub fn launch_mana_job(
+    factory: &dyn MpiImplementationFactory,
+    world_size: usize,
+    config: ManaConfig,
+    session: u64,
+) -> MpiResult<Vec<ManaRank>> {
+    let registry = Arc::new(RwLock::new(UserFunctionRegistry::new()));
+    launch_mana_job_with_registry(factory, world_size, config, session, registry)
+}
+
+/// Like [`launch_mana_job`], but sharing an existing user-function registry (needed
+/// when the application registers user-defined reduction operations that must survive
+/// a restart).
+pub fn launch_mana_job_with_registry(
+    factory: &dyn MpiImplementationFactory,
+    world_size: usize,
+    config: ManaConfig,
+    session: u64,
+    registry: Arc<RwLock<UserFunctionRegistry>>,
+) -> MpiResult<Vec<ManaRank>> {
+    let lowers = factory.launch(world_size, Arc::clone(&registry), session)?;
+    lowers
+        .into_iter()
+        .map(|lower| ManaRank::new(lower, config, Arc::clone(&registry)))
+        .collect()
+}
+
+/// Run one closure per rank, each on its own thread, and collect the results in rank
+/// order. Panics in a rank are surfaced as an [`MpiError::Internal`].
+pub fn run_ranks<T, F>(ranks: Vec<ManaRank>, body: F) -> MpiResult<Vec<T>>
+where
+    T: Send + 'static,
+    F: Fn(ManaRank) -> MpiResult<T> + Send + Sync + 'static,
+{
+    let body = Arc::new(body);
+    let handles: Vec<_> = ranks
+        .into_iter()
+        .map(|rank| {
+            let body = Arc::clone(&body);
+            std::thread::spawn(move || body(rank))
+        })
+        .collect();
+    let mut results = Vec::with_capacity(handles.len());
+    for handle in handles {
+        results.push(
+            handle
+                .join()
+                .map_err(|_| MpiError::Internal("a rank thread panicked".into()))??,
+        );
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpi_model::constants::PredefinedObject;
+
+    #[test]
+    fn launch_and_run_ranks() {
+        let ranks = launch_mana_job(
+            &mpich_sim::MpichFactory::mpich(),
+            3,
+            ManaConfig::new_design(),
+            1,
+        )
+        .unwrap();
+        assert_eq!(ranks.len(), 3);
+        let results = run_ranks(ranks, |mut rank| {
+            let world = rank.constant(PredefinedObject::CommWorld)?;
+            rank.barrier(world)?;
+            Ok(rank.world_rank())
+        })
+        .unwrap();
+        assert_eq!(results, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,87 @@
+//! Integration tests for the implementation-oblivious property itself: the same
+//! application-visible handles, the same MANA code paths, over handle regimes as
+//! different as 32-bit table indices, 64-bit struct pointers, and lazily-materialized
+//! shared pointers.
+
+use mana_repro::mana::ManaConfig;
+use mana_repro::mpi_model::buffer::{bytes_to_i32, i32_to_bytes};
+use mana_repro::mpi_model::constants::{ConstantResolution, PredefinedObject};
+use mana_repro::mpi_model::datatype::PrimitiveType;
+use mana_repro::mpi_model::op::PredefinedOp;
+use mana_repro::{launch_mana_job, run_ranks};
+use mpi_model::api::MpiImplementationFactory;
+
+/// The application-side logic is identical for every implementation; only the factory
+/// changes. Returns (implementation name, world handle bits, sum result).
+fn same_app_everywhere(factory: &dyn MpiImplementationFactory) -> Vec<(String, u64, i32)> {
+    let ranks = launch_mana_job(factory, 3, ManaConfig::new_design(), 3).unwrap();
+    run_ranks(ranks, |mut rank| {
+        let name = rank.implementation_name().to_string();
+        let world = rank.world()?;
+        let int = rank.constant(PredefinedObject::Datatype(PrimitiveType::Int))?;
+        let sum = rank.constant(PredefinedObject::Op(PredefinedOp::Sum))?;
+        let sub = rank.comm_split(world, Some(rank.world_rank() % 2), 0)?;
+        let vec_type = rank.type_vector(4, 2, 3, int)?;
+        rank.type_commit(vec_type)?;
+        assert_eq!(rank.type_size(vec_type)?, 32);
+        let total = rank.allreduce(&i32_to_bytes(&[2]), int, sum, sub)?;
+        rank.type_free(vec_type)?;
+        Ok((name, world.0, bytes_to_i32(&total)[0]))
+    })
+    .unwrap()
+}
+
+#[test]
+fn identical_application_code_runs_on_all_three_implementations() {
+    let mpich = same_app_everywhere(&mpich_sim::MpichFactory::mpich());
+    let openmpi = same_app_everywhere(&openmpi_sim::OpenMpiFactory::new());
+    let exampi = same_app_everywhere(&exampi_sim::ExaMpiFactory::new());
+    for results in [&mpich, &openmpi, &exampi] {
+        // 3 ranks: even row has 2 members (sum 4), odd row has 1 (sum 2).
+        assert_eq!(results[0].2, 4);
+        assert_eq!(results[1].2, 2);
+        assert_eq!(results[2].2, 4);
+    }
+    assert_eq!(mpich[0].0, "mpich");
+    assert_eq!(openmpi[0].0, "openmpi");
+    assert_eq!(exampi[0].0, "exampi");
+    // The *virtual* world handle the application sees is identical across
+    // implementations — that is the oblivious property: the wildly different physical
+    // handle regimes below never leak upward.
+    assert_eq!(mpich[0].1, openmpi[0].1);
+    assert_eq!(mpich[0].1, exampi[0].1);
+}
+
+#[test]
+fn physical_constant_regimes_really_do_differ_underneath() {
+    // Sanity check that the obliviousness above is not vacuous: the lower halves do
+    // disagree about what MPI_COMM_WORLD is.
+    let probe = |factory: &dyn MpiImplementationFactory, session| {
+        let mut lowers = factory
+            .launch(
+                1,
+                std::sync::Arc::new(parking_lot::RwLock::new(
+                    mpi_model::op::UserFunctionRegistry::new(),
+                )),
+                session,
+            )
+            .unwrap();
+        (
+            lowers[0].constant_resolution(),
+            lowers[0]
+                .resolve_constant(PredefinedObject::CommWorld)
+                .unwrap(),
+        )
+    };
+    let (mpich_res, mpich_world) = probe(&mpich_sim::MpichFactory::mpich(), 1);
+    let (ompi_res, ompi_world_a) = probe(&openmpi_sim::OpenMpiFactory::new(), 1);
+    let (_, ompi_world_b) = probe(&openmpi_sim::OpenMpiFactory::new(), 2);
+    let (exampi_res, _) = probe(&exampi_sim::ExaMpiFactory::new(), 1);
+
+    assert_eq!(mpich_res, ConstantResolution::CompileTimeInteger);
+    assert_eq!(ompi_res, ConstantResolution::StartupResolvedPointer);
+    assert_eq!(exampi_res, ConstantResolution::LazySharedPointer);
+    assert!(mpich_world.bits() <= u32::MAX as u64);
+    assert!(ompi_world_a.bits() > u32::MAX as u64);
+    assert_ne!(ompi_world_a, ompi_world_b, "Open MPI constants move between sessions");
+}
