@@ -34,6 +34,9 @@ mod tests {
         let p = profile();
         assert_eq!(p.state_bytes_at_scale(1.0), 32_000_000);
         assert!(p.calls_per_iteration() > 0);
-        assert!(!p.uses_split_comm, "CoMD must stay inside the ExaMPI subset");
+        assert!(
+            !p.uses_split_comm,
+            "CoMD must stay inside the ExaMPI subset"
+        );
     }
 }

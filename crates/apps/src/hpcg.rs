@@ -29,6 +29,9 @@ mod tests {
     fn calibration_matches_table3() {
         let p = profile();
         assert_eq!(p.state_bytes_at_scale(1.0), 934_000_000);
-        assert_eq!(p.allreduces_per_iter, 2, "CG has two dot products per iteration");
+        assert_eq!(
+            p.allreduces_per_iter, 2,
+            "CG has two dot products per iteration"
+        );
     }
 }

@@ -32,7 +32,7 @@ pub mod sw4;
 pub mod workloads;
 
 pub use skeleton::{AppId, AppProfile, AppReport, RunConfig};
-pub use workloads::{WorkloadSpec, perlmutter_workloads, single_node_workloads};
+pub use workloads::{perlmutter_workloads, single_node_workloads, WorkloadSpec};
 
 /// Run the named proxy application on one (already initialized or restored) rank.
 ///

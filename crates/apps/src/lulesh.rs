@@ -34,6 +34,9 @@ mod tests {
     fn calibration_matches_table3() {
         let p = profile();
         assert_eq!(p.state_bytes_at_scale(1.0), 207_000_000);
-        assert!(!p.uses_split_comm, "LULESH must stay inside the ExaMPI subset");
+        assert!(
+            !p.uses_split_comm,
+            "LULESH must stay inside the ExaMPI subset"
+        );
     }
 }

@@ -7,6 +7,7 @@
 //! against a [`mana::ManaRank`], keeping *all* application state in the rank's
 //! upper-half address space so a checkpoint taken mid-run is transparently resumable.
 
+use ckpt_store::{CheckpointStorage, StoreReport};
 use mana::runtime::AppHandle;
 use mana::ManaRank;
 use mpi_model::buffer::{bytes_to_f64, f64_to_bytes};
@@ -104,8 +105,14 @@ pub struct RunConfig {
     pub state_scale: f64,
     /// Take a transparent checkpoint after completing this timestep.
     pub checkpoint_at: Option<u64>,
-    /// Where checkpoint images go (required if `checkpoint_at` is set).
+    /// Legacy flat checkpoint store (the paper's baseline write path). Used when
+    /// `checkpoint_at` is set and no `storage` engine is configured.
     pub store: Option<CheckpointStore>,
+    /// The `ckpt-store` storage engine. When set, checkpoints go through
+    /// [`ManaRank::checkpoint_into`] under the rank's configured
+    /// [`mana::StoragePolicy`], enabling incremental/compressed writes. Takes
+    /// precedence over `store`.
+    pub storage: Option<CheckpointStorage>,
 }
 
 impl Default for RunConfig {
@@ -115,6 +122,7 @@ impl Default for RunConfig {
             state_scale: 1e-4,
             checkpoint_at: None,
             store: None,
+            storage: None,
         }
     }
 }
@@ -128,10 +136,17 @@ impl RunConfig {
         }
     }
 
-    /// Add a checkpoint at the given timestep.
+    /// Add a checkpoint at the given timestep (legacy flat store).
     pub fn with_checkpoint(mut self, at: u64, store: CheckpointStore) -> Self {
         self.checkpoint_at = Some(at);
         self.store = Some(store);
+        self
+    }
+
+    /// Add a checkpoint at the given timestep through the storage engine.
+    pub fn with_engine_checkpoint(mut self, at: u64, storage: CheckpointStorage) -> Self {
+        self.checkpoint_at = Some(at);
+        self.storage = Some(storage);
         self
     }
 }
@@ -152,8 +167,12 @@ pub struct AppReport {
     pub checksum: f64,
     /// Per-rank state size in bytes.
     pub state_bytes: usize,
-    /// The write report of the checkpoint taken during this run, if any.
+    /// The write report of the checkpoint taken during this run, if any (for engine
+    /// checkpoints, `bytes` is the bytes physically written).
     pub checkpoint: Option<WriteReport>,
+    /// The storage engine's detailed report, when the checkpoint went through
+    /// `ckpt-store` (logical vs written bytes, chunk reuse, compression savings).
+    pub incremental: Option<StoreReport>,
 }
 
 /// The application state stored in the upper half; everything needed to resume.
@@ -226,6 +245,7 @@ pub fn run(profile: &AppProfile, rank: &mut ManaRank, config: &RunConfig) -> Mpi
 
     let halo = profile.halo_elements.min(state.lattice.len().max(1));
     let mut checkpoint_report = None;
+    let mut incremental_report = None;
 
     while state.iteration < config.iterations {
         let step = state.iteration;
@@ -247,8 +267,13 @@ pub fn run(profile: &AppProfile, rank: &mut ManaRank, config: &RunConfig) -> Mpi
                 // And the reverse direction.
                 let outgoing = f64_to_bytes(&state.lattice[state.lattice.len() - halo..]);
                 rank.send(&outgoing, state.double_type, left, 1000 + n, state.world)?;
-                let (incoming, _) =
-                    rank.recv(state.double_type, outgoing.len(), right, 1000 + n, state.world)?;
+                let (incoming, _) = rank.recv(
+                    state.double_type,
+                    outgoing.len(),
+                    right,
+                    1000 + n,
+                    state.world,
+                )?;
                 let incoming = bytes_to_f64(&incoming);
                 let tail = state.lattice.len() - halo;
                 for (cell, ghost) in state.lattice[tail..].iter_mut().zip(incoming.iter()) {
@@ -277,7 +302,10 @@ pub fn run(profile: &AppProfile, rank: &mut ManaRank, config: &RunConfig) -> Mpi
         }
 
         // Periodic neighbour-list rebuild.
-        if profile.alltoall_every > 0 && (step + 1) % profile.alltoall_every == 0 && size > 1 {
+        if profile.alltoall_every > 0
+            && (step + 1).is_multiple_of(profile.alltoall_every)
+            && size > 1
+        {
             let block: Vec<u8> = (0..size)
                 .flat_map(|peer| ((me * 1000 + peer) as u64).to_le_bytes())
                 .collect();
@@ -289,11 +317,17 @@ pub fn run(profile: &AppProfile, rank: &mut ManaRank, config: &RunConfig) -> Mpi
 
         // Transparent checkpoint, if requested at this timestep.
         if config.checkpoint_at == Some(state.iteration) {
-            let store = config.store.as_ref().ok_or_else(|| {
-                MpiError::Checkpoint("checkpoint requested without a checkpoint store".into())
-            })?;
             rank.upper_mut().store_json(&region, &state)?;
-            checkpoint_report = Some(rank.checkpoint(store)?);
+            if let Some(storage) = config.storage.as_ref() {
+                let report = rank.checkpoint_into(storage)?;
+                checkpoint_report = Some(report.to_write_report());
+                incremental_report = Some(report);
+            } else {
+                let store = config.store.as_ref().ok_or_else(|| {
+                    MpiError::Checkpoint("checkpoint requested without a checkpoint store".into())
+                })?;
+                checkpoint_report = Some(rank.checkpoint(store)?);
+            }
         }
     }
 
@@ -309,6 +343,7 @@ pub fn run(profile: &AppProfile, rank: &mut ManaRank, config: &RunConfig) -> Mpi
         checksum,
         state_bytes: state.lattice.len() * 8,
         checkpoint: checkpoint_report,
+        incremental: incremental_report,
     })
 }
 

@@ -230,8 +230,14 @@ mod tests {
         let apps: Vec<AppId> = specs.iter().map(|s| s.app).collect();
         assert_eq!(apps, AppId::ALL.to_vec());
         // Rank counts from Table 1.
-        assert_eq!(specs.iter().find(|s| s.app == AppId::CoMd).unwrap().ranks, 27);
-        assert_eq!(specs.iter().find(|s| s.app == AppId::Lammps).unwrap().ranks, 56);
+        assert_eq!(
+            specs.iter().find(|s| s.app == AppId::CoMd).unwrap().ranks,
+            27
+        );
+        assert_eq!(
+            specs.iter().find(|s| s.app == AppId::Lammps).unwrap().ranks,
+            56
+        );
     }
 
     #[test]

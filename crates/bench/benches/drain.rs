@@ -42,7 +42,11 @@ fn checkpoint_with_inflight(inflight: usize) -> usize {
             })
         })
         .collect();
-    handles.into_iter().map(|h| h.join().unwrap()).max().unwrap()
+    handles
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .max()
+        .unwrap()
 }
 
 fn bench_drain(c: &mut Criterion) {

@@ -26,42 +26,54 @@ fn bench_fig2(c: &mut Criterion) {
     let mut group = c.benchmark_group("figure2_scaled");
     group.sample_size(10);
     for app in AppId::ALL {
-        group.bench_with_input(BenchmarkId::new("mana_legacy_mpich", app.name()), &app, |b, &app| {
-            b.iter(|| {
-                black_box(
-                    run_small_scale(
-                        app,
-                        &mpich_sim::MpichFactory::mpich(),
-                        &config(ManaConfig::legacy_design()),
+        group.bench_with_input(
+            BenchmarkId::new("mana_legacy_mpich", app.name()),
+            &app,
+            |b, &app| {
+                b.iter(|| {
+                    black_box(
+                        run_small_scale(
+                            app,
+                            &mpich_sim::MpichFactory::mpich(),
+                            &config(ManaConfig::legacy_design()),
+                        )
+                        .unwrap(),
                     )
-                    .unwrap(),
-                )
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("mana_virtid_mpich", app.name()), &app, |b, &app| {
-            b.iter(|| {
-                black_box(
-                    run_small_scale(
-                        app,
-                        &mpich_sim::MpichFactory::mpich(),
-                        &config(ManaConfig::new_design()),
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mana_virtid_mpich", app.name()),
+            &app,
+            |b, &app| {
+                b.iter(|| {
+                    black_box(
+                        run_small_scale(
+                            app,
+                            &mpich_sim::MpichFactory::mpich(),
+                            &config(ManaConfig::new_design()),
+                        )
+                        .unwrap(),
                     )
-                    .unwrap(),
-                )
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("mana_virtid_openmpi", app.name()), &app, |b, &app| {
-            b.iter(|| {
-                black_box(
-                    run_small_scale(
-                        app,
-                        &openmpi_sim::OpenMpiFactory::new(),
-                        &config(ManaConfig::new_design()),
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mana_virtid_openmpi", app.name()),
+            &app,
+            |b, &app| {
+                b.iter(|| {
+                    black_box(
+                        run_small_scale(
+                            app,
+                            &openmpi_sim::OpenMpiFactory::new(),
+                            &config(ManaConfig::new_design()),
+                        )
+                        .unwrap(),
                     )
-                    .unwrap(),
-                )
-            })
-        });
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -21,20 +21,28 @@ fn bench_fig3(c: &mut Criterion) {
     let mut group = c.benchmark_group("figure3_scaled");
     group.sample_size(10);
     for app in [AppId::Lulesh, AppId::CoMd] {
-        group.bench_with_input(BenchmarkId::new("mana_virtid_mpich", app.name()), &app, |b, &app| {
-            b.iter(|| {
-                black_box(
-                    run_small_scale(app, &mpich_sim::MpichFactory::mpich(), &config()).unwrap(),
-                )
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("mana_virtid_exampi", app.name()), &app, |b, &app| {
-            b.iter(|| {
-                black_box(
-                    run_small_scale(app, &exampi_sim::ExaMpiFactory::new(), &config()).unwrap(),
-                )
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("mana_virtid_mpich", app.name()),
+            &app,
+            |b, &app| {
+                b.iter(|| {
+                    black_box(
+                        run_small_scale(app, &mpich_sim::MpichFactory::mpich(), &config()).unwrap(),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mana_virtid_exampi", app.name()),
+            &app,
+            |b, &app| {
+                b.iter(|| {
+                    black_box(
+                        run_small_scale(app, &exampi_sim::ExaMpiFactory::new(), &config()).unwrap(),
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }

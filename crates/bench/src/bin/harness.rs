@@ -3,17 +3,17 @@
 //! Usage:
 //!
 //! ```text
-//! harness [--json] [table1|table2|table3|figure2|figure3|figure4|cs-rate|validate|all]
+//! harness [--json] [table1|table2|table3|ckpt-store|figure2|figure3|figure4|cs-rate|validate|all]
 //! ```
 //!
 //! With no argument (or `all`) every section is produced. `--json` emits the
 //! machine-readable report used to populate EXPERIMENTS.md.
 
+use mana_apps::workloads::{perlmutter_workloads, single_node_workloads};
+use mana_apps::AppId;
 use mana_bench::model::{figure2_rows, figure3_rows, figure4_rows, table3_rows, CostModel};
 use mana_bench::report::Report;
 use mana_bench::runner::{run_small_scale, SmallScaleConfig};
-use mana_apps::workloads::{perlmutter_workloads, single_node_workloads};
-use mana_apps::AppId;
 
 fn table1_note() -> String {
     let mut note = String::from("== Table 1: single-node inputs (Discovery) ==\n");
@@ -77,6 +77,8 @@ fn validation_runs() -> Vec<mana_bench::SmallScaleResult> {
         ranks: 4,
         iterations: 6,
         checkpoint_and_restart: true,
+        // Exercise the new storage engine end to end in every validation run.
+        mana: mana::ManaConfig::new_design().with_storage(mana::StoragePolicy::Incremental),
         ..Default::default()
     };
     for app in AppId::ALL {
@@ -156,6 +158,9 @@ fn main() {
     }
     if want("table3") {
         report.checkpoint_rows = table3_rows(&single_node);
+    }
+    if want("ckpt-store") {
+        report.notes.push(mana_bench::storage_comparison_note());
     }
     if want("validate") {
         report.validation_runs = validation_runs();

@@ -23,10 +23,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ckpt;
 pub mod model;
 pub mod report;
 pub mod runner;
 
+pub use ckpt::{storage_comparison_note, StorageRow};
 pub use model::{CostModel, OverheadRow};
 pub use report::Report;
 pub use runner::{run_small_scale, SmallScaleConfig, SmallScaleResult};

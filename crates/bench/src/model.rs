@@ -191,7 +191,11 @@ pub fn figure3_rows(spec: &WorkloadSpec, cost: &CostModel) -> Vec<OverheadRow> {
 }
 
 /// Reproduce the Figure 4 rows (Cray MPI on Perlmutter, FSGSBASE available).
-pub fn figure4_rows(spec: &PerlmutterSpec, single_node: &[WorkloadSpec], cost: &CostModel) -> Vec<OverheadRow> {
+pub fn figure4_rows(
+    spec: &PerlmutterSpec,
+    single_node: &[WorkloadSpec],
+    cost: &CostModel,
+) -> Vec<OverheadRow> {
     // Call rates scale with the per-rank rate measured on the local cluster.
     let calls = single_node
         .iter()
@@ -348,7 +352,10 @@ mod tests {
     fn figure3_exampi_improvement_for_comd() {
         let cost = CostModel::default();
         let specs = single_node_workloads();
-        let comd = specs.iter().find(|s| s.app == mana_apps::AppId::CoMd).unwrap();
+        let comd = specs
+            .iter()
+            .find(|s| s.app == mana_apps::AppId::CoMd)
+            .unwrap();
         let rows = figure3_rows(comd, &cost);
         let native = rows
             .iter()
@@ -365,7 +372,10 @@ mod tests {
             "the paper observed MANA+virtId/ExaMPI *improving* CoMD runtime (§6.2)"
         );
         // LAMMPS has no ExaMPI rows.
-        let lammps = specs.iter().find(|s| s.app == mana_apps::AppId::Lammps).unwrap();
+        let lammps = specs
+            .iter()
+            .find(|s| s.app == mana_apps::AppId::Lammps)
+            .unwrap();
         assert!(figure3_rows(lammps, &cost)
             .iter()
             .all(|r| !r.configuration.contains("ExaMPI")));

@@ -1,7 +1,8 @@
 //! Scaled-down end-to-end runs of the proxy applications through the full MANA stack,
 //! used by the harness as validation columns and by the Criterion benches.
 
-use mana::restart::restart_job;
+use ckpt_store::CheckpointStorage;
+use mana::restart::restart_job_from_storage;
 use mana::{ManaConfig, ManaRank};
 use mana_apps::{run_app, AppId, RunConfig};
 use mpi_model::api::MpiImplementationFactory;
@@ -9,7 +10,6 @@ use mpi_model::error::{MpiError, MpiResult};
 use mpi_model::op::UserFunctionRegistry;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
-use split_proc::store::CheckpointStore;
 use std::sync::Arc;
 
 /// Parameters of one scaled-down run.
@@ -54,8 +54,11 @@ pub struct SmallScaleResult {
     pub crossings_per_rank: f64,
     /// Mean crossings per rank per timestep (the measured call mix).
     pub crossings_per_rank_per_iteration: f64,
-    /// Checkpoint image size per rank in bytes (0 if no checkpoint was taken).
+    /// Checkpoint bytes physically written per rank (0 if no checkpoint was taken).
+    /// Under the incremental storage policies this is what actually reached storage.
     pub ckpt_bytes_per_rank: u64,
+    /// Logical (flat-image-equivalent) checkpoint payload per rank in bytes.
+    pub ckpt_logical_bytes_per_rank: u64,
     /// Whether the post-restart run produced checksums identical to an uninterrupted
     /// run (only meaningful when `checkpoint_and_restart` was requested).
     pub restart_equivalent: bool,
@@ -106,94 +109,102 @@ pub fn run_small_scale(
     let registry = Arc::new(RwLock::new(UserFunctionRegistry::new()));
     let start = std::time::Instant::now();
 
-    let (reports, ckpt_bytes, restart_equivalent) = if config.checkpoint_and_restart {
-        // Reference run: no interruption.
-        let reference = run_job(
-            factory,
-            config,
-            app,
-            RunConfig {
+    let (reports, ckpt_bytes, ckpt_logical_bytes, restart_equivalent) =
+        if config.checkpoint_and_restart {
+            // Reference run: no interruption.
+            let reference = run_job(
+                factory,
+                config,
+                app,
+                RunConfig {
+                    iterations: config.iterations,
+                    state_scale: config.state_scale,
+                    checkpoint_at: None,
+                    store: None,
+                    storage: None,
+                },
+                11,
+                registry.clone(),
+            )?;
+
+            // Interrupted run: checkpoint halfway through the storage engine (under the
+            // configured storage policy), restart on a fresh lower half, finish.
+            let storage = CheckpointStorage::unmetered();
+            let halfway = (config.iterations / 2).max(1);
+            let first_half = run_job(
+                factory,
+                config,
+                app,
+                RunConfig {
+                    iterations: halfway,
+                    state_scale: config.state_scale,
+                    checkpoint_at: Some(halfway),
+                    store: None,
+                    storage: Some(storage.clone()),
+                },
+                12,
+                registry.clone(),
+            )?;
+            let ckpt_bytes = first_half
+                .iter()
+                .filter_map(|r| r.checkpoint.as_ref().map(|c| c.bytes as u64))
+                .max()
+                .unwrap_or(0);
+            let ckpt_logical_bytes = first_half
+                .iter()
+                .filter_map(|r| r.incremental.as_ref().map(|c| c.logical_bytes as u64))
+                .max()
+                .unwrap_or(ckpt_bytes);
+
+            let new_lowers = factory.launch(config.ranks, registry.clone(), 13)?;
+            let (restarted, _generation) =
+                restart_job_from_storage(new_lowers, &storage, config.mana, registry.clone())?;
+            let finish_config = RunConfig {
                 iterations: config.iterations,
                 state_scale: config.state_scale,
                 checkpoint_at: None,
                 store: None,
-            },
-            11,
-            registry.clone(),
-        )?;
-
-        // Interrupted run: checkpoint halfway, restart on a fresh lower half, finish.
-        let store = CheckpointStore::unmetered();
-        let halfway = (config.iterations / 2).max(1);
-        let first_half = run_job(
-            factory,
-            config,
-            app,
-            RunConfig {
-                iterations: halfway,
-                state_scale: config.state_scale,
-                checkpoint_at: Some(halfway),
-                store: Some(store.clone()),
-            },
-            12,
-            registry.clone(),
-        )?;
-        let ckpt_bytes = first_half
-            .iter()
-            .filter_map(|r| r.checkpoint.as_ref().map(|c| c.bytes as u64))
-            .max()
-            .unwrap_or(0);
-
-        let images: Vec<_> = (0..config.ranks)
-            .map(|r| store.read(0, r as i32))
-            .collect::<MpiResult<_>>()?;
-        let new_lowers = factory.launch(config.ranks, registry.clone(), 13)?;
-        let restarted = restart_job(new_lowers, images, config.mana, registry.clone())?;
-        let finish_config = RunConfig {
-            iterations: config.iterations,
-            state_scale: config.state_scale,
-            checkpoint_at: None,
-            store: None,
-        };
-        let handles: Vec<_> = restarted
-            .into_iter()
-            .map(|mut rank| {
-                let finish_config = finish_config.clone();
-                std::thread::spawn(move || -> MpiResult<mana_apps::AppReport> {
-                    run_app(app, &mut rank, &finish_config)
+                storage: None,
+            };
+            let handles: Vec<_> = restarted
+                .into_iter()
+                .map(|mut rank| {
+                    let finish_config = finish_config.clone();
+                    std::thread::spawn(move || -> MpiResult<mana_apps::AppReport> {
+                        run_app(app, &mut rank, &finish_config)
+                    })
                 })
-            })
-            .collect();
-        let mut resumed = Vec::with_capacity(config.ranks);
-        for handle in handles {
-            resumed.push(
-                handle
-                    .join()
-                    .map_err(|_| MpiError::Internal("restarted rank panicked".into()))??,
-            );
-        }
-        resumed.sort_by_key(|r| r.rank);
-        let equivalent = reference
-            .iter()
-            .zip(resumed.iter())
-            .all(|(a, b)| a.checksum == b.checksum && b.iterations_completed == config.iterations);
-        (resumed, ckpt_bytes, equivalent)
-    } else {
-        let reports = run_job(
-            factory,
-            config,
-            app,
-            RunConfig {
-                iterations: config.iterations,
-                state_scale: config.state_scale,
-                checkpoint_at: None,
-                store: None,
-            },
-            21,
-            registry.clone(),
-        )?;
-        (reports, 0, true)
-    };
+                .collect();
+            let mut resumed = Vec::with_capacity(config.ranks);
+            for handle in handles {
+                resumed.push(
+                    handle
+                        .join()
+                        .map_err(|_| MpiError::Internal("restarted rank panicked".into()))??,
+                );
+            }
+            resumed.sort_by_key(|r| r.rank);
+            let equivalent = reference.iter().zip(resumed.iter()).all(|(a, b)| {
+                a.checksum == b.checksum && b.iterations_completed == config.iterations
+            });
+            (resumed, ckpt_bytes, ckpt_logical_bytes, equivalent)
+        } else {
+            let reports = run_job(
+                factory,
+                config,
+                app,
+                RunConfig {
+                    iterations: config.iterations,
+                    state_scale: config.state_scale,
+                    checkpoint_at: None,
+                    store: None,
+                    storage: None,
+                },
+                21,
+                registry.clone(),
+            )?;
+            (reports, 0, 0, true)
+        };
 
     let crossings_per_rank =
         reports.iter().map(|r| r.crossings as f64).sum::<f64>() / reports.len() as f64;
@@ -205,6 +216,7 @@ pub fn run_small_scale(
         crossings_per_rank,
         crossings_per_rank_per_iteration: crossings_per_rank / config.iterations as f64,
         ckpt_bytes_per_rank: ckpt_bytes,
+        ckpt_logical_bytes_per_rank: ckpt_logical_bytes,
         restart_equivalent,
         wall_seconds: start.elapsed().as_secs_f64(),
     })
@@ -245,7 +257,32 @@ mod tests {
             },
         )
         .unwrap();
-        assert!(result.restart_equivalent, "restart must not change the results");
+        assert!(
+            result.restart_equivalent,
+            "restart must not change the results"
+        );
         assert!(result.ckpt_bytes_per_rank > 0);
+    }
+
+    #[test]
+    fn incremental_policy_round_trip_is_equivalent() {
+        let result = run_small_scale(
+            AppId::CoMd,
+            &mpich_sim::MpichFactory::mpich(),
+            &SmallScaleConfig {
+                ranks: 2,
+                iterations: 6,
+                checkpoint_and_restart: true,
+                mana: ManaConfig::new_design().with_storage(mana::StoragePolicy::Incremental),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            result.restart_equivalent,
+            "incremental restart must be transparent"
+        );
+        assert!(result.ckpt_bytes_per_rank > 0);
+        assert!(result.ckpt_logical_bytes_per_rank >= result.ckpt_bytes_per_rank / 2);
     }
 }

@@ -1,0 +1,78 @@
+//! # ckpt-store
+//!
+//! An incremental, content-addressed checkpoint storage engine for the MANA
+//! reproduction — the subsystem behind the paper's Table 3 observation that checkpoint
+//! cost is dominated by how many bytes reach the filesystem.
+//!
+//! The flat [`split_proc::store::CheckpointStore`] writes every rank's complete image
+//! every generation. This engine instead decomposes an image into fixed-size chunks
+//! addressed by content digest and shares them across generations and ranks:
+//!
+//! * **Chunk store** ([`chunk`]) — fixed-size chunking, FNV-1a/64 content digests,
+//!   reference-counted chunk entries, optional per-chunk RLE compression. A chunk
+//!   whose digest is already stored costs zero new bytes, whoever wrote it first.
+//! * **Dirty-region tracking** — [`split_proc::address_space::UpperHalfSpace`] records
+//!   which regions were touched since the previous checkpoint epoch; clean regions are
+//!   re-referenced from the previous generation's manifest without even re-hashing
+//!   their data.
+//! * **Manifests** ([`manifest`]) — per `(generation, rank)` a CRC-32-validated
+//!   description of how to reassemble the image from chunks. Corruption or truncation
+//!   of a manifest *or any chunk* is detected at read time, so restart can fall back
+//!   to the newest generation that still validates end-to-end.
+//! * **Generation GC** — pruning a generation decrements chunk refcounts and frees
+//!   chunks no surviving generation references.
+//!
+//! The engine is selected through [`StoragePolicy`] (a `ManaConfig` knob in the MANA
+//! layer): `FullImage` preserves the legacy flat-image baseline — mirroring the
+//! paper's legacy-vs-new-design methodology — while `Incremental` and
+//! `IncrementalCompressed` exercise the new path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chunk;
+pub mod manifest;
+pub mod store;
+
+pub use chunk::{ChunkRef, DEFAULT_CHUNK_SIZE};
+pub use manifest::{Manifest, RegionManifest};
+pub use store::{CheckpointStorage, StorageStats, StoreReport};
+
+use serde::{Deserialize, Serialize};
+
+/// How a rank's checkpoint image is written to storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StoragePolicy {
+    /// The legacy baseline: one flat, CRC-validated image per `(generation, rank)`,
+    /// with no sharing across generations. Mirrors what the flat
+    /// `split_proc::store::CheckpointStore` wrote.
+    FullImage,
+    /// Content-addressed chunking with dirty-region reuse: only regions touched since
+    /// the previous generation are re-chunked, and only chunks whose digest is new
+    /// reach storage.
+    Incremental,
+    /// [`StoragePolicy::Incremental`] plus per-chunk RLE compression (kept only when
+    /// it actually shrinks the chunk).
+    IncrementalCompressed,
+}
+
+impl StoragePolicy {
+    /// Short label used by benches and the harness.
+    pub fn label(self) -> &'static str {
+        match self {
+            StoragePolicy::FullImage => "full",
+            StoragePolicy::Incremental => "incremental",
+            StoragePolicy::IncrementalCompressed => "incremental+rle",
+        }
+    }
+
+    /// Whether this policy uses the chunked incremental path.
+    pub fn is_incremental(self) -> bool {
+        !matches!(self, StoragePolicy::FullImage)
+    }
+
+    /// Whether chunks are candidates for compression.
+    pub fn compresses(self) -> bool {
+        matches!(self, StoragePolicy::IncrementalCompressed)
+    }
+}

@@ -1,0 +1,276 @@
+//! The CRC-validated checkpoint manifest: how to reassemble one rank's image for one
+//! generation from content-addressed chunks.
+//!
+//! Binary layout (version 1):
+//!
+//! ```text
+//! magic (8 bytes, "CKPTMANI")
+//! version (u32 LE)
+//! metadata length (u32 LE) | metadata JSON (split_proc ImageMetadata)
+//! upper epoch (u64 LE) | policy tag (u8) | chunk size (u32 LE)
+//! region count (u32 LE)
+//! per region:
+//!   name length (u32 LE) | name UTF-8 | region length (u64 LE) | reused flag (u8)
+//!   chunk count (u32 LE)
+//!   per chunk: digest (u64 LE) | raw length (u32 LE) | stored length (u32 LE) | flags (u8)
+//! crc32 of everything above (u32 LE)
+//! ```
+
+use crate::chunk::ChunkRef;
+use crate::StoragePolicy;
+use mpi_model::error::{MpiError, MpiResult};
+use split_proc::image::ImageMetadata;
+use split_proc::integrity::{crc32, Cursor};
+
+const MAGIC: &[u8; 8] = b"CKPTMANI";
+const VERSION: u32 = 1;
+
+/// One region's reassembly recipe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionManifest {
+    /// Region name within the upper half.
+    pub name: String,
+    /// Uncompressed region length in bytes.
+    pub len: u64,
+    /// Chunks, in order; empty for an empty region.
+    pub chunks: Vec<ChunkRef>,
+    /// Whether this region's chunk list was reused verbatim from the previous
+    /// generation (the dirty-region fast path). Informational.
+    pub reused: bool,
+}
+
+/// A complete per-`(generation, rank)` manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// The image metadata (rank, world size, generation, implementation).
+    pub metadata: ImageMetadata,
+    /// Checkpoint epoch of the upper half when the image was built.
+    pub upper_epoch: u64,
+    /// Policy this manifest was written under.
+    pub policy: StoragePolicy,
+    /// Chunk size used when the image was split.
+    pub chunk_size: u32,
+    /// Regions in name order.
+    pub regions: Vec<RegionManifest>,
+}
+
+impl Manifest {
+    /// The epoch the upper half entered after this checkpoint completed. An
+    /// incremental write may only reuse this manifest's clean regions when the live
+    /// upper half is still in exactly this epoch.
+    pub fn base_epoch(&self) -> u64 {
+        self.upper_epoch + 1
+    }
+
+    /// Look up a region's recipe by name.
+    pub fn region(&self, name: &str) -> Option<&RegionManifest> {
+        self.regions.iter().find(|r| r.name == name)
+    }
+
+    /// Sum of uncompressed region lengths.
+    pub fn logical_bytes(&self) -> u64 {
+        self.regions.iter().map(|r| r.len).sum()
+    }
+
+    /// Every chunk reference in the manifest, in region order.
+    pub fn chunk_refs(&self) -> impl Iterator<Item = &ChunkRef> {
+        self.regions.iter().flat_map(|r| r.chunks.iter())
+    }
+
+    /// Encode to the CRC-trailed binary form.
+    pub fn encode(&self) -> Vec<u8> {
+        let metadata =
+            serde_json::to_vec(&self.metadata).expect("image metadata always serializes");
+        let mut out = Vec::with_capacity(64 + metadata.len() + self.regions.len() * 48);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(metadata.len() as u32).to_le_bytes());
+        out.extend_from_slice(&metadata);
+        out.extend_from_slice(&self.upper_epoch.to_le_bytes());
+        out.push(policy_tag(self.policy));
+        out.extend_from_slice(&self.chunk_size.to_le_bytes());
+        out.extend_from_slice(&(self.regions.len() as u32).to_le_bytes());
+        for region in &self.regions {
+            out.extend_from_slice(&(region.name.len() as u32).to_le_bytes());
+            out.extend_from_slice(region.name.as_bytes());
+            out.extend_from_slice(&region.len.to_le_bytes());
+            out.push(region.reused as u8);
+            out.extend_from_slice(&(region.chunks.len() as u32).to_le_bytes());
+            for chunk in &region.chunks {
+                out.extend_from_slice(&chunk.digest.to_le_bytes());
+                out.extend_from_slice(&chunk.raw_len.to_le_bytes());
+                out.extend_from_slice(&chunk.stored_len.to_le_bytes());
+                out.push(chunk.compressed as u8);
+            }
+        }
+        let checksum = crc32(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// Decode a binary manifest, verifying the trailing CRC-32 before interpreting
+    /// any content.
+    pub fn decode(bytes: &[u8]) -> MpiResult<Self> {
+        let mut cursor = Cursor::new(bytes, "checkpoint manifest");
+        if cursor.take(8)? != MAGIC {
+            return Err(MpiError::Checkpoint("bad checkpoint manifest magic".into()));
+        }
+        let version = cursor.u32()?;
+        if version != VERSION {
+            return Err(MpiError::Checkpoint(format!(
+                "unsupported checkpoint manifest version {version} (expected {VERSION})"
+            )));
+        }
+        if bytes.len() < 16 {
+            return Err(MpiError::Checkpoint("truncated checkpoint manifest".into()));
+        }
+        let payload_end = bytes.len() - 4;
+        let stored_crc = u32::from_le_bytes(bytes[payload_end..].try_into().expect("4 bytes"));
+        let computed_crc = crc32(&bytes[..payload_end]);
+        if stored_crc != computed_crc {
+            return Err(MpiError::Checkpoint(format!(
+                "checkpoint manifest failed CRC validation \
+                 (stored {stored_crc:#010x}, computed {computed_crc:#010x})"
+            )));
+        }
+        let metadata_len = cursor.u32()? as usize;
+        let metadata: ImageMetadata = serde_json::from_slice(cursor.take(metadata_len)?)
+            .map_err(|e| MpiError::Checkpoint(format!("bad manifest metadata: {e}")))?;
+        let upper_epoch = cursor.u64()?;
+        let policy = policy_from_tag(cursor.u8()?)?;
+        let chunk_size = cursor.u32()?;
+        let region_count = cursor.u32()? as usize;
+        let mut regions = Vec::with_capacity(region_count.min(1 << 16));
+        for _ in 0..region_count {
+            let name_len = cursor.u32()? as usize;
+            let name = std::str::from_utf8(cursor.take(name_len)?)
+                .map_err(|e| MpiError::Checkpoint(format!("bad region name: {e}")))?
+                .to_string();
+            let len = cursor.u64()?;
+            let reused = cursor.u8()? != 0;
+            let chunk_count = cursor.u32()? as usize;
+            let mut chunks = Vec::with_capacity(chunk_count.min(1 << 16));
+            for _ in 0..chunk_count {
+                chunks.push(ChunkRef {
+                    digest: cursor.u64()?,
+                    raw_len: cursor.u32()?,
+                    stored_len: cursor.u32()?,
+                    compressed: cursor.u8()? != 0,
+                });
+            }
+            regions.push(RegionManifest {
+                name,
+                len,
+                chunks,
+                reused,
+            });
+        }
+        if cursor.pos() != payload_end {
+            return Err(MpiError::Checkpoint(format!(
+                "checkpoint manifest length mismatch: {} bytes",
+                payload_end.abs_diff(cursor.pos())
+            )));
+        }
+        Ok(Manifest {
+            metadata,
+            upper_epoch,
+            policy,
+            chunk_size,
+            regions,
+        })
+    }
+}
+
+fn policy_tag(policy: StoragePolicy) -> u8 {
+    match policy {
+        StoragePolicy::FullImage => 0,
+        StoragePolicy::Incremental => 1,
+        StoragePolicy::IncrementalCompressed => 2,
+    }
+}
+
+fn policy_from_tag(tag: u8) -> MpiResult<StoragePolicy> {
+    match tag {
+        0 => Ok(StoragePolicy::FullImage),
+        1 => Ok(StoragePolicy::Incremental),
+        2 => Ok(StoragePolicy::IncrementalCompressed),
+        other => Err(MpiError::Checkpoint(format!(
+            "unknown storage policy tag {other}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_manifest() -> Manifest {
+        Manifest {
+            metadata: ImageMetadata {
+                rank: 2,
+                world_size: 8,
+                generation: 5,
+                implementation: "openmpi".into(),
+            },
+            upper_epoch: 5,
+            policy: StoragePolicy::IncrementalCompressed,
+            chunk_size: 65536,
+            regions: vec![
+                RegionManifest {
+                    name: "app.lattice".into(),
+                    len: 130_000,
+                    chunks: vec![
+                        ChunkRef {
+                            digest: 0xDEAD_BEEF_0123_4567,
+                            raw_len: 65536,
+                            stored_len: 120,
+                            compressed: true,
+                        },
+                        ChunkRef {
+                            digest: 0x0102_0304_0506_0708,
+                            raw_len: 64464,
+                            stored_len: 64464,
+                            compressed: false,
+                        },
+                    ],
+                    reused: false,
+                },
+                RegionManifest {
+                    name: "empty".into(),
+                    len: 0,
+                    chunks: vec![],
+                    reused: true,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let manifest = sample_manifest();
+        let encoded = manifest.encode();
+        let decoded = Manifest::decode(&encoded).unwrap();
+        assert_eq!(decoded, manifest);
+        assert_eq!(decoded.base_epoch(), 6);
+        assert_eq!(decoded.logical_bytes(), 130_000);
+        assert_eq!(decoded.chunk_refs().count(), 2);
+        assert!(decoded.region("empty").unwrap().reused);
+        assert!(decoded.region("missing").is_none());
+    }
+
+    #[test]
+    fn rejects_corruption_and_truncation_everywhere() {
+        let encoded = sample_manifest().encode();
+        for cut in 0..encoded.len() {
+            assert!(Manifest::decode(&encoded[..cut]).is_err(), "cut at {cut}");
+        }
+        for position in 0..encoded.len() {
+            let mut corrupted = encoded.clone();
+            corrupted[position] ^= 0x10;
+            assert!(
+                Manifest::decode(&corrupted).is_err(),
+                "flip at {position} accepted"
+            );
+        }
+    }
+}

@@ -1,0 +1,559 @@
+//! The checkpoint storage engine: ref-counted chunk store + manifests + full-image
+//! blobs, shared by all ranks of a job (clone-shared, like the flat store).
+
+use crate::chunk::{for_each_chunk, rle_compress, rle_decompress, ChunkRef, DEFAULT_CHUNK_SIZE};
+use crate::manifest::{Manifest, RegionManifest};
+use crate::StoragePolicy;
+use mpi_model::error::{MpiError, MpiResult};
+use mpi_model::types::Rank;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use split_proc::image::CheckpointImage;
+use split_proc::integrity::fnv1a64;
+use split_proc::store::StoreConfig;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// What one checkpoint write cost, physically and logically.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StoreReport {
+    /// Checkpoint generation written.
+    pub generation: u64,
+    /// Rank whose image was written.
+    pub rank: Rank,
+    /// Policy in force for this write.
+    pub policy: StoragePolicy,
+    /// Uncompressed upper-half payload bytes (the size a flat image's regions occupy
+    /// regardless of policy) — the "logical" checkpoint size of Table 3.
+    pub logical_bytes: usize,
+    /// Bytes that actually reached storage: new chunk payloads (post-compression)
+    /// plus the manifest, or the whole flat image under `FullImage`.
+    pub written_bytes: usize,
+    /// Bytes of the manifest itself (0 for `FullImage`).
+    pub manifest_bytes: usize,
+    /// Chunks newly stored by this write.
+    pub chunks_new: usize,
+    /// Chunks re-referenced from content already in the store.
+    pub chunks_reused: usize,
+    /// Regions whose chunk lists were reused wholesale via dirty-region tracking.
+    pub regions_reused: usize,
+    /// Bytes saved by compression on the chunks this write stored.
+    pub compression_saved_bytes: usize,
+    /// Modelled write time for `written_bytes` (0 when unmetered).
+    pub write_time_s: f64,
+}
+
+impl StoreReport {
+    /// `logical / written`: how many times smaller this write was than a flat image
+    /// of the same upper half (1.0 ≈ no savings).
+    pub fn reduction_factor(&self) -> f64 {
+        if self.written_bytes == 0 {
+            f64::INFINITY
+        } else {
+            self.logical_bytes as f64 / self.written_bytes as f64
+        }
+    }
+
+    /// Effective bandwidth in MB/s measured against the bytes actually written.
+    pub fn effective_bandwidth_mb_s(&self) -> f64 {
+        if self.write_time_s > 0.0 {
+            self.written_bytes as f64 / 1.0e6 / self.write_time_s
+        } else {
+            0.0
+        }
+    }
+
+    /// View as the flat store's report type (image size = bytes written), for callers
+    /// that predate the engine.
+    pub fn to_write_report(&self) -> split_proc::store::WriteReport {
+        split_proc::store::WriteReport {
+            bytes: self.written_bytes,
+            write_time_s: self.write_time_s,
+            effective_bandwidth_mb_s: self.effective_bandwidth_mb_s(),
+        }
+    }
+}
+
+/// Aggregate occupancy of the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StorageStats {
+    /// Distinct chunks held.
+    pub chunk_count: usize,
+    /// Bytes held by chunk payloads (stored form).
+    pub chunk_bytes: usize,
+    /// Manifests held.
+    pub manifest_count: usize,
+    /// Bytes held by encoded manifests.
+    pub manifest_bytes: usize,
+    /// Flat images held (FullImage policy writes).
+    pub full_image_count: usize,
+    /// Bytes held by flat images.
+    pub full_image_bytes: usize,
+}
+
+impl StorageStats {
+    /// Total bytes resident in the store.
+    pub fn total_bytes(&self) -> usize {
+        self.chunk_bytes + self.manifest_bytes + self.full_image_bytes
+    }
+}
+
+struct ChunkEntry {
+    refs: u64,
+    stored: Vec<u8>,
+    compressed: bool,
+}
+
+/// Remove whatever `(generation, rank)` currently holds, decrementing the chunk
+/// references a removed manifest owned. Zero-ref chunks stay resident until the next
+/// `prune_before` sweep (or are immediately re-referenced by a rewrite).
+///
+/// Best effort on an undecodable manifest: it cannot tell us which chunks to
+/// release, so its chunks leak until the store is dropped.
+fn release_slot(inner: &mut Inner, generation: u64, rank: Rank) {
+    inner.full_images.remove(&(generation, rank));
+    if let Some(bytes) = inner.manifests.remove(&(generation, rank)) {
+        if let Ok(manifest) = Manifest::decode(&bytes) {
+            for chunk in manifest.chunk_refs() {
+                if let Some(entry) = inner.chunks.get_mut(&chunk.key()) {
+                    entry.refs = entry.refs.saturating_sub(1);
+                }
+            }
+        }
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    /// Content-addressed chunks, keyed by `(digest, raw_len)`.
+    chunks: HashMap<(u64, u32), ChunkEntry>,
+    /// Encoded manifests per `(generation, rank)` — kept encoded so every read
+    /// re-validates the CRC, exactly like a file on a checkpoint filesystem.
+    manifests: BTreeMap<(u64, Rank), Vec<u8>>,
+    /// Flat images per `(generation, rank)` (FullImage policy).
+    full_images: BTreeMap<(u64, Rank), Vec<u8>>,
+}
+
+/// The storage engine. Cloning shares the underlying store (all ranks of a job write
+/// into one engine, which is what makes cross-rank chunk dedup possible).
+#[derive(Clone, Default)]
+pub struct CheckpointStorage {
+    inner: Arc<Mutex<Inner>>,
+    model: Option<StoreConfig>,
+    chunk_size: usize,
+}
+
+impl std::fmt::Debug for CheckpointStorage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("CheckpointStorage")
+            .field("chunks", &stats.chunk_count)
+            .field("manifests", &stats.manifest_count)
+            .field("full_images", &stats.full_image_count)
+            .field("total_bytes", &stats.total_bytes())
+            .finish()
+    }
+}
+
+impl CheckpointStorage {
+    /// An unmetered engine (write time reported as zero) with the default chunk size.
+    pub fn unmetered() -> Self {
+        CheckpointStorage {
+            inner: Arc::new(Mutex::new(Inner::default())),
+            model: None,
+            chunk_size: DEFAULT_CHUNK_SIZE,
+        }
+    }
+
+    /// An engine whose write times follow the given filesystem model, applied to the
+    /// bytes each write physically stores (incremental checkpoints therefore finish
+    /// proportionally faster, which is the whole point).
+    pub fn with_model(model: StoreConfig) -> Self {
+        CheckpointStorage {
+            model: Some(model),
+            ..CheckpointStorage::unmetered()
+        }
+    }
+
+    /// Override the chunk size (mainly for tests and benches).
+    pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
+        self.chunk_size = chunk_size.max(1);
+        self
+    }
+
+    // ------------------------------------------------------------------
+    // Write path
+    // ------------------------------------------------------------------
+
+    /// Write one rank's image for the generation recorded in its metadata, under the
+    /// given policy.
+    pub fn write_image(&self, policy: StoragePolicy, image: &CheckpointImage) -> StoreReport {
+        let generation = image.metadata.generation;
+        let rank = image.metadata.rank;
+        let logical_bytes = image.upper_half.total_bytes();
+
+        let mut report = StoreReport {
+            generation,
+            rank,
+            policy,
+            logical_bytes,
+            written_bytes: 0,
+            manifest_bytes: 0,
+            chunks_new: 0,
+            chunks_reused: 0,
+            regions_reused: 0,
+            compression_saved_bytes: 0,
+            write_time_s: 0.0,
+        };
+
+        let mut inner = self.inner.lock();
+        // Rewriting an existing (generation, rank) — e.g. re-checkpointing after a
+        // restart replaced a torn generation — must release whatever the slot held,
+        // or the replaced manifest's chunk references leak forever.
+        release_slot(&mut inner, generation, rank);
+        if policy.is_incremental() {
+            self.write_chunked(&mut inner, policy, image, &mut report);
+        } else {
+            let encoded = image.encode();
+            report.written_bytes = encoded.len();
+            inner.full_images.insert((generation, rank), encoded);
+        }
+        drop(inner);
+
+        if let Some(model) = self.model {
+            report.write_time_s = model.write_time_s(report.written_bytes as f64 / 1.0e6);
+        }
+        report
+    }
+
+    fn write_chunked(
+        &self,
+        inner: &mut Inner,
+        policy: StoragePolicy,
+        image: &CheckpointImage,
+        report: &mut StoreReport,
+    ) {
+        let rank = image.metadata.rank;
+        let generation = image.metadata.generation;
+        let upper = &image.upper_half;
+
+        // The previous generation's manifest for this rank, if its epoch chain links
+        // directly to this image's epoch — otherwise dirty flags describe changes
+        // relative to some *other* checkpoint and clean-region reuse would be unsound.
+        let previous = inner
+            .manifests
+            .range(..(generation, rank))
+            .rev()
+            .find(|((_, r), _)| *r == rank)
+            .and_then(|(_, bytes)| Manifest::decode(bytes).ok())
+            .filter(|m| m.base_epoch() == upper.epoch());
+
+        let mut regions = Vec::with_capacity(upper.region_count());
+        for (name, data) in upper.iter() {
+            let reusable = previous.as_ref().and_then(|m| {
+                if upper.is_dirty(name) {
+                    return None;
+                }
+                m.region(name).filter(|r| r.len == data.len() as u64)
+            });
+            if let Some(prev_region) = reusable {
+                // Clean region: re-reference the previous generation's chunks without
+                // re-reading the data.
+                for chunk in &prev_region.chunks {
+                    if let Some(entry) = inner.chunks.get_mut(&chunk.key()) {
+                        entry.refs += 1;
+                    }
+                }
+                report.chunks_reused += prev_region.chunks.len();
+                report.regions_reused += 1;
+                regions.push(RegionManifest {
+                    reused: true,
+                    ..prev_region.clone()
+                });
+                continue;
+            }
+
+            // Dirty (or un-reusable) region: chunk it; content addressing still
+            // dedups any chunk the store has seen before, from any rank or
+            // generation.
+            let mut chunks = Vec::with_capacity(data.len() / self.chunk_size + 1);
+            for_each_chunk(data, self.chunk_size, |digest, piece| {
+                let key = (digest, piece.len() as u32);
+                if let Some(entry) = inner.chunks.get_mut(&key) {
+                    entry.refs += 1;
+                    report.chunks_reused += 1;
+                    chunks.push(ChunkRef {
+                        digest,
+                        raw_len: piece.len() as u32,
+                        stored_len: entry.stored.len() as u32,
+                        compressed: entry.compressed,
+                    });
+                    return;
+                }
+                let (stored, compressed) = if policy.compresses() {
+                    match rle_compress(piece) {
+                        Some(compressed) => {
+                            report.compression_saved_bytes += piece.len() - compressed.len();
+                            (compressed, true)
+                        }
+                        None => (piece.to_vec(), false),
+                    }
+                } else {
+                    (piece.to_vec(), false)
+                };
+                report.chunks_new += 1;
+                report.written_bytes += stored.len();
+                chunks.push(ChunkRef {
+                    digest,
+                    raw_len: piece.len() as u32,
+                    stored_len: stored.len() as u32,
+                    compressed,
+                });
+                inner.chunks.insert(
+                    key,
+                    ChunkEntry {
+                        refs: 1,
+                        stored,
+                        compressed,
+                    },
+                );
+            });
+            regions.push(RegionManifest {
+                name: name.to_string(),
+                len: data.len() as u64,
+                chunks,
+                reused: false,
+            });
+        }
+
+        let manifest = Manifest {
+            metadata: image.metadata.clone(),
+            upper_epoch: upper.epoch(),
+            policy,
+            chunk_size: self.chunk_size as u32,
+            regions,
+        };
+        let encoded = manifest.encode();
+        report.manifest_bytes = encoded.len();
+        report.written_bytes += encoded.len();
+        inner.manifests.insert((generation, rank), encoded);
+    }
+
+    // ------------------------------------------------------------------
+    // Read path
+    // ------------------------------------------------------------------
+
+    /// Read one rank's image back, whichever policy wrote it, verifying the manifest
+    /// CRC and every chunk digest (or the flat image's CRC) end to end.
+    pub fn read(&self, generation: u64, rank: Rank) -> MpiResult<CheckpointImage> {
+        let inner = self.inner.lock();
+        if let Some(bytes) = inner.full_images.get(&(generation, rank)) {
+            return CheckpointImage::decode(bytes);
+        }
+        let manifest_bytes = inner.manifests.get(&(generation, rank)).ok_or_else(|| {
+            MpiError::Checkpoint(format!(
+                "no checkpoint for generation {generation}, rank {rank}"
+            ))
+        })?;
+        let manifest = Manifest::decode(manifest_bytes)?;
+
+        let mut upper = split_proc::address_space::UpperHalfSpace::new();
+        for region in &manifest.regions {
+            let mut data = Vec::with_capacity(region.len as usize);
+            for chunk in &region.chunks {
+                let entry = inner.chunks.get(&chunk.key()).ok_or_else(|| {
+                    MpiError::Checkpoint(format!(
+                        "chunk {:#018x} (len {}) referenced by generation {generation}, \
+                         rank {rank} is missing from the store",
+                        chunk.digest, chunk.raw_len
+                    ))
+                })?;
+                let raw = if entry.compressed {
+                    rle_decompress(&entry.stored, chunk.raw_len as usize)?
+                } else {
+                    entry.stored.clone()
+                };
+                if raw.len() != chunk.raw_len as usize || fnv1a64(&raw) != chunk.digest {
+                    return Err(MpiError::Checkpoint(format!(
+                        "chunk {:#018x} of region {:?} failed digest validation \
+                         (generation {generation}, rank {rank})",
+                        chunk.digest, region.name
+                    )));
+                }
+                data.extend_from_slice(&raw);
+            }
+            if data.len() != region.len as usize {
+                return Err(MpiError::Checkpoint(format!(
+                    "region {:?} reassembled to {} bytes, manifest says {}",
+                    region.name,
+                    data.len(),
+                    region.len
+                )));
+            }
+            upper.map_region(region.name.clone(), data);
+        }
+        upper.set_epoch(manifest.upper_epoch);
+        upper.mark_clean();
+        Ok(CheckpointImage::new(manifest.metadata.clone(), upper))
+    }
+
+    /// Whether a checkpoint exists (valid or not) for `(generation, rank)`.
+    pub fn contains(&self, generation: u64, rank: Rank) -> bool {
+        let inner = self.inner.lock();
+        inner.manifests.contains_key(&(generation, rank))
+            || inner.full_images.contains_key(&(generation, rank))
+    }
+
+    /// All generations with at least one checkpoint, ascending.
+    pub fn generations(&self) -> Vec<u64> {
+        let inner = self.inner.lock();
+        let mut generations: BTreeSet<u64> = inner.manifests.keys().map(|(g, _)| *g).collect();
+        generations.extend(inner.full_images.keys().map(|(g, _)| *g));
+        generations.into_iter().collect()
+    }
+
+    /// The newest generation for which **every** rank of a `world_size` job reads back
+    /// and validates end to end, together with the validated images in rank order.
+    /// Generations with corrupt or missing pieces are skipped — this is the job-level
+    /// fallback restart relies on. Returning the images means the validation decode is
+    /// also the restart decode: nothing is reassembled twice.
+    pub fn latest_valid_images(&self, world_size: usize) -> MpiResult<(u64, Vec<CheckpointImage>)> {
+        for generation in self.generations().into_iter().rev() {
+            let images: MpiResult<Vec<CheckpointImage>> = (0..world_size)
+                .map(|rank| self.read(generation, rank as Rank))
+                .collect();
+            if let Ok(images) = images {
+                return Ok((generation, images));
+            }
+        }
+        Err(MpiError::Checkpoint(format!(
+            "no complete, valid checkpoint generation for a {world_size}-rank job"
+        )))
+    }
+
+    /// The newest generation for which **every** rank of a `world_size` job validates
+    /// end to end (see [`latest_valid_images`](CheckpointStorage::latest_valid_images)).
+    pub fn latest_valid_generation(&self, world_size: usize) -> MpiResult<u64> {
+        self.latest_valid_images(world_size)
+            .map(|(generation, _)| generation)
+    }
+
+    /// Read the full job's images for one generation, in rank order.
+    pub fn read_job(&self, generation: u64, world_size: usize) -> MpiResult<Vec<CheckpointImage>> {
+        (0..world_size)
+            .map(|rank| self.read(generation, rank as Rank))
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // GC and occupancy
+    // ------------------------------------------------------------------
+
+    /// Drop all checkpoints from generations older than `keep_from`, releasing chunk
+    /// references and freeing chunks nothing references any more. Returns the number
+    /// of chunk payload bytes freed.
+    pub fn prune_before(&self, keep_from: u64) -> usize {
+        let mut inner = self.inner.lock();
+        let doomed: Vec<(u64, Rank)> = inner
+            .manifests
+            .keys()
+            .filter(|(generation, _)| *generation < keep_from)
+            .copied()
+            .collect();
+        for (generation, rank) in doomed {
+            release_slot(&mut inner, generation, rank);
+        }
+        inner
+            .full_images
+            .retain(|(generation, _), _| *generation >= keep_from);
+
+        let mut freed = 0usize;
+        inner.chunks.retain(|_, entry| {
+            if entry.refs == 0 {
+                freed += entry.stored.len();
+                false
+            } else {
+                true
+            }
+        });
+        freed
+    }
+
+    /// Aggregate occupancy.
+    pub fn stats(&self) -> StorageStats {
+        let inner = self.inner.lock();
+        StorageStats {
+            chunk_count: inner.chunks.len(),
+            chunk_bytes: inner.chunks.values().map(|e| e.stored.len()).sum(),
+            manifest_count: inner.manifests.len(),
+            manifest_bytes: inner.manifests.values().map(|m| m.len()).sum(),
+            full_image_count: inner.full_images.len(),
+            full_image_bytes: inner.full_images.values().map(|i| i.len()).sum(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection (integrity testing)
+    // ------------------------------------------------------------------
+
+    /// Flip one byte of a stored chunk that is referenced by `(generation, rank)` and
+    /// by **no other generation** — corrupting exactly one generation's data, the way
+    /// a torn write during that checkpoint would. Returns an error if the generation
+    /// has no such private chunk.
+    pub fn corrupt_fresh_chunk(&self, generation: u64, rank: Rank) -> MpiResult<()> {
+        let mut inner = self.inner.lock();
+        let target = inner
+            .manifests
+            .get(&(generation, rank))
+            .ok_or_else(|| {
+                MpiError::Checkpoint(format!(
+                    "no chunked checkpoint for generation {generation}, rank {rank}"
+                ))
+            })
+            .and_then(|bytes| Manifest::decode(bytes))?;
+        let shared: BTreeSet<(u64, u32)> = inner
+            .manifests
+            .iter()
+            .filter(|(key, _)| **key != (generation, rank))
+            .filter_map(|(_, bytes)| Manifest::decode(bytes).ok())
+            .flat_map(|manifest| manifest.chunk_refs().map(|c| c.key()).collect::<Vec<_>>())
+            .collect();
+        let private = target
+            .chunk_refs()
+            .map(|c| c.key())
+            .find(|key| !shared.contains(key))
+            .ok_or_else(|| {
+                MpiError::Checkpoint(format!(
+                    "generation {generation}, rank {rank} shares every chunk with other \
+                     generations; nothing private to corrupt"
+                ))
+            })?;
+        let entry = inner
+            .chunks
+            .get_mut(&private)
+            .ok_or_else(|| MpiError::Checkpoint("private chunk vanished".into()))?;
+        let position = entry.stored.len() / 2;
+        entry.stored[position] ^= 0x01;
+        Ok(())
+    }
+
+    /// Flip one byte of the stored manifest (or flat image) for `(generation, rank)`.
+    pub fn corrupt_manifest(&self, generation: u64, rank: Rank) -> MpiResult<()> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let bytes = match inner.manifests.get_mut(&(generation, rank)) {
+            Some(bytes) => bytes,
+            None => inner
+                .full_images
+                .get_mut(&(generation, rank))
+                .ok_or_else(|| {
+                    MpiError::Checkpoint(format!(
+                        "no checkpoint for generation {generation}, rank {rank}"
+                    ))
+                })?,
+        };
+        let position = bytes.len() / 2;
+        bytes[position] ^= 0x01;
+        Ok(())
+    }
+}

@@ -1,0 +1,332 @@
+//! Engine-level tests for the incremental, content-addressed checkpoint store:
+//! round-trips, dedup, dirty-region reuse, compression, integrity fallback, and GC.
+
+use ckpt_store::{CheckpointStorage, StoragePolicy};
+use split_proc::address_space::UpperHalfSpace;
+use split_proc::image::{CheckpointImage, ImageMetadata};
+use split_proc::store::StoreConfig;
+
+fn metadata(rank: i32, generation: u64) -> ImageMetadata {
+    ImageMetadata {
+        rank,
+        world_size: 2,
+        generation,
+        implementation: "mpich".into(),
+    }
+}
+
+/// An upper half of `regions` regions × `region_bytes` bytes of incompressible
+/// (position-dependent) content, unique per rank.
+fn synthetic_upper(rank: i32, regions: usize, region_bytes: usize) -> UpperHalfSpace {
+    let mut upper = UpperHalfSpace::new();
+    for r in 0..regions {
+        let data: Vec<u8> = (0..region_bytes)
+            .map(|i| {
+                let x = (i as u64)
+                    .wrapping_mul(2654435761)
+                    .wrapping_add(r as u64 * 97)
+                    .wrapping_add(rank as u64 * 131);
+                (x >> 3) as u8
+            })
+            .collect();
+        upper.map_region(format!("app.region{r:03}"), data);
+    }
+    upper
+}
+
+fn image_of(rank: i32, generation: u64, upper: &UpperHalfSpace) -> CheckpointImage {
+    CheckpointImage::new(metadata(rank, generation), upper.clone())
+}
+
+#[test]
+fn full_image_policy_roundtrips() {
+    let storage = CheckpointStorage::unmetered();
+    let upper = synthetic_upper(0, 4, 10_000);
+    let report = storage.write_image(StoragePolicy::FullImage, &image_of(0, 0, &upper));
+    assert_eq!(report.policy, StoragePolicy::FullImage);
+    assert!(report.written_bytes >= report.logical_bytes);
+    assert_eq!(report.chunks_new, 0);
+
+    let back = storage.read(0, 0).unwrap();
+    assert_eq!(back.upper_half, upper);
+    assert!(storage.contains(0, 0));
+    assert!(!storage.contains(1, 0));
+    assert!(storage.read(0, 1).is_err());
+}
+
+#[test]
+fn incremental_roundtrips_and_dedups_across_ranks() {
+    let storage = CheckpointStorage::unmetered();
+    // Both ranks share most content (rank folded in weakly): force identical regions.
+    let upper = synthetic_upper(0, 8, 64 * 1024);
+    let report0 = storage.write_image(StoragePolicy::Incremental, &image_of(0, 0, &upper));
+    let report1 = storage.write_image(StoragePolicy::Incremental, &image_of(1, 0, &upper));
+
+    assert!(report0.chunks_new > 0);
+    // Rank 1's image is byte-identical: every chunk dedups against rank 0's.
+    assert_eq!(report1.chunks_new, 0);
+    assert_eq!(report1.chunks_reused, report0.chunks_new);
+    assert!(report1.written_bytes < report0.written_bytes / 10);
+
+    for rank in 0..2 {
+        let back = storage.read(0, rank).unwrap();
+        assert_eq!(back.upper_half, upper);
+        assert_eq!(back.metadata.rank, rank);
+    }
+}
+
+/// Acceptance criterion: an incremental checkpoint of a ≥4 MiB upper half with ≤1%
+/// dirty regions encodes ≥10× fewer bytes than the full-image baseline.
+#[test]
+fn one_percent_dirty_writes_ten_times_fewer_bytes() {
+    let storage = CheckpointStorage::unmetered();
+    // 128 × 64 KiB = 8 MiB; one dirty region = 0.78% of the regions and bytes.
+    let mut upper = synthetic_upper(0, 128, 64 * 1024);
+    assert!(upper.total_bytes() >= 4 << 20);
+
+    let baseline = storage.write_image(StoragePolicy::FullImage, &image_of(0, 0, &upper));
+
+    let gen0 = storage.write_image(StoragePolicy::Incremental, &image_of(0, 1, &upper));
+    upper.mark_clean();
+    upper.advance_epoch();
+
+    // Touch exactly one region.
+    upper.region_mut("app.region064").unwrap()[12345] ^= 0xFF;
+    assert_eq!(upper.dirty_count(), 1);
+
+    let image2 = image_of(0, 2, &upper);
+    let gen1 = storage.write_image(StoragePolicy::Incremental, &image2);
+    upper.mark_clean();
+    upper.advance_epoch();
+
+    assert_eq!(
+        gen1.regions_reused, 127,
+        "clean regions reuse their chunk lists"
+    );
+    assert!(
+        gen1.written_bytes * 10 <= baseline.written_bytes,
+        "incremental wrote {} bytes, full baseline {} — less than 10× reduction",
+        gen1.written_bytes,
+        baseline.written_bytes
+    );
+    assert!(
+        gen1.written_bytes * 10 <= gen0.written_bytes,
+        "second generation must also be ≥10× below the first full encode"
+    );
+    assert!(gen1.reduction_factor() >= 10.0);
+
+    // And the reassembled image is exactly what was checkpointed.
+    let back = storage.read(2, 0).unwrap();
+    assert_eq!(back.upper_half, image2.upper_half);
+}
+
+#[test]
+fn compression_shrinks_compressible_chunks_and_roundtrips() {
+    let storage = CheckpointStorage::unmetered();
+    let mut upper = UpperHalfSpace::new();
+    upper.map_region("app.zeros", vec![0u8; 1 << 20]);
+    upper.map_region("app.mixed", {
+        let mut data = vec![7u8; 600_000];
+        for (i, byte) in data.iter_mut().enumerate().skip(300_000) {
+            *byte = (i.wrapping_mul(31) % 251) as u8;
+        }
+        data
+    });
+
+    let compressed = storage.write_image(
+        StoragePolicy::IncrementalCompressed,
+        &image_of(0, 0, &upper),
+    );
+    // The 16 identical zero chunks dedup down to a single stored chunk, which RLE
+    // then collapses; only the incompressible half of "app.mixed" is stored raw.
+    assert!(compressed.compression_saved_bytes > 60_000);
+    assert!(
+        compressed.chunks_reused >= 15,
+        "identical zero chunks must dedup"
+    );
+    assert!(
+        compressed.written_bytes < compressed.logical_bytes / 4,
+        "zero-dominated state should RLE-compress well \
+         (wrote {} of {} logical bytes)",
+        compressed.written_bytes,
+        compressed.logical_bytes
+    );
+    assert_eq!(storage.read(0, 0).unwrap().upper_half, upper);
+}
+
+#[test]
+fn corrupt_chunk_is_detected_and_older_generation_survives() {
+    let storage = CheckpointStorage::unmetered();
+    let mut upper = synthetic_upper(0, 16, 32 * 1024);
+
+    storage.write_image(StoragePolicy::Incremental, &image_of(0, 0, &upper));
+    upper.mark_clean();
+    upper.advance_epoch();
+
+    upper.region_mut("app.region007").unwrap()[100] = 0xAB;
+    storage.write_image(StoragePolicy::Incremental, &image_of(0, 1, &upper));
+
+    // Corrupt a chunk private to generation 1.
+    storage.corrupt_fresh_chunk(1, 0).unwrap();
+
+    let err = storage.read(1, 0).unwrap_err();
+    assert!(
+        format!("{err:?}").contains("digest"),
+        "unexpected error {err:?}"
+    );
+    assert!(
+        storage.read(0, 0).is_ok(),
+        "generation 0 must still validate"
+    );
+    assert_eq!(storage.latest_valid_generation(1).unwrap(), 0);
+}
+
+#[test]
+fn corrupt_manifest_is_detected_for_both_policies() {
+    let storage = CheckpointStorage::unmetered();
+    let upper = synthetic_upper(3, 4, 8192);
+    storage.write_image(StoragePolicy::Incremental, &image_of(3, 0, &upper));
+    storage.corrupt_manifest(0, 3).unwrap();
+    assert!(storage.read(0, 3).is_err());
+
+    let storage = CheckpointStorage::unmetered();
+    storage.write_image(StoragePolicy::FullImage, &image_of(3, 0, &upper));
+    storage.corrupt_manifest(0, 3).unwrap();
+    assert!(storage.read(0, 3).is_err());
+}
+
+#[test]
+fn latest_valid_generation_requires_every_rank() {
+    let storage = CheckpointStorage::unmetered();
+    for generation in 0..2u64 {
+        for rank in 0..2 {
+            let upper = synthetic_upper(rank, 4, 4096);
+            storage.write_image(
+                StoragePolicy::Incremental,
+                &CheckpointImage::new(
+                    ImageMetadata {
+                        rank,
+                        world_size: 2,
+                        generation,
+                        implementation: "mpich".into(),
+                    },
+                    upper,
+                ),
+            );
+        }
+    }
+    assert_eq!(storage.latest_valid_generation(2).unwrap(), 1);
+    // One rank of generation 1 corrupt → the whole job falls back to generation 0.
+    storage.corrupt_manifest(1, 1).unwrap();
+    assert_eq!(storage.latest_valid_generation(2).unwrap(), 0);
+    // Both generations of rank 1 corrupt → no valid generation at all.
+    storage.corrupt_manifest(0, 1).unwrap();
+    assert!(storage.latest_valid_generation(2).is_err());
+    // A single-rank job that only needs rank 0 still has generation 1.
+    assert_eq!(storage.latest_valid_generation(1).unwrap(), 1);
+}
+
+#[test]
+fn pruning_releases_unshared_chunks_only() {
+    let storage = CheckpointStorage::unmetered();
+    let mut upper = synthetic_upper(0, 8, 16 * 1024);
+
+    storage.write_image(StoragePolicy::Incremental, &image_of(0, 0, &upper));
+    upper.mark_clean();
+    upper.advance_epoch();
+
+    upper.region_mut("app.region001").unwrap()[0] ^= 1;
+    storage.write_image(StoragePolicy::Incremental, &image_of(0, 1, &upper));
+
+    let before = storage.stats();
+    let freed = storage.prune_before(1);
+    let after = storage.stats();
+
+    // Only generation 0's private chunk (the old region001 content) is freed; the
+    // seven shared regions' chunks survive because generation 1 references them.
+    assert!(freed > 0);
+    assert!(after.chunk_bytes < before.chunk_bytes);
+    assert_eq!(after.manifest_count, 1);
+    assert!(
+        storage.read(1, 0).is_ok(),
+        "surviving generation stays readable"
+    );
+    assert!(storage.read(0, 0).is_err());
+}
+
+#[test]
+fn rewriting_a_generation_releases_the_replaced_manifests_chunks() {
+    let storage = CheckpointStorage::unmetered();
+    let upper_a = synthetic_upper(0, 4, 32 * 1024);
+    let upper_b = synthetic_upper(7, 4, 32 * 1024); // disjoint content
+
+    storage.write_image(StoragePolicy::Incremental, &image_of(0, 0, &upper_a));
+    // Rewrite the same (generation, rank) slot — the re-checkpoint-after-fallback
+    // case. The replaced manifest must give its chunk references back.
+    storage.write_image(StoragePolicy::Incremental, &image_of(0, 0, &upper_b));
+    assert_eq!(storage.read(0, 0).unwrap().upper_half, upper_b);
+
+    storage.prune_before(u64::MAX);
+    let stats = storage.stats();
+    assert_eq!(stats.manifest_count, 0);
+    assert_eq!(
+        stats.chunk_count, 0,
+        "chunks of a replaced manifest must not leak past a full prune"
+    );
+
+    // Rewriting a chunked slot with a flat image also releases the manifest.
+    let storage = CheckpointStorage::unmetered();
+    storage.write_image(StoragePolicy::Incremental, &image_of(0, 0, &upper_a));
+    storage.write_image(StoragePolicy::FullImage, &image_of(0, 0, &upper_b));
+    assert_eq!(storage.read(0, 0).unwrap().upper_half, upper_b);
+    storage.prune_before(u64::MAX);
+    assert_eq!(storage.stats().total_bytes(), 0);
+}
+
+#[test]
+fn epoch_mismatch_disables_region_reuse_but_not_dedup() {
+    let storage = CheckpointStorage::unmetered();
+    let mut upper = synthetic_upper(0, 8, 16 * 1024);
+
+    let gen0 = storage.write_image(StoragePolicy::Incremental, &image_of(0, 0, &upper));
+    upper.mark_clean();
+    upper.advance_epoch();
+
+    // Simulate a checkpoint into a *different* store in between: the clean set now
+    // describes changes relative to that other checkpoint, not ours.
+    upper.mark_clean();
+    upper.advance_epoch();
+
+    let gen1 = storage.write_image(StoragePolicy::Incremental, &image_of(0, 1, &upper));
+    assert_eq!(
+        gen1.regions_reused, 0,
+        "clean-region reuse must be refused on an epoch mismatch"
+    );
+    // Content addressing still recognizes every chunk.
+    assert_eq!(gen1.chunks_new, 0);
+    assert_eq!(gen1.chunks_reused, gen0.chunks_new);
+    assert!(storage.read(1, 0).is_ok());
+}
+
+#[test]
+fn metered_incremental_writes_model_less_time_than_full() {
+    let storage = CheckpointStorage::with_model(StoreConfig::nfs_discovery());
+    let mut upper = synthetic_upper(0, 64, 64 * 1024); // 4 MiB
+
+    let full = storage.write_image(StoragePolicy::FullImage, &image_of(0, 0, &upper));
+    let gen0 = storage.write_image(StoragePolicy::Incremental, &image_of(0, 1, &upper));
+    upper.mark_clean();
+    upper.advance_epoch();
+    upper.region_mut("app.region000").unwrap()[0] ^= 1;
+    let gen1 = storage.write_image(StoragePolicy::Incremental, &image_of(0, 2, &upper));
+
+    assert!(full.write_time_s > 0.0 && gen0.write_time_s > 0.0);
+    assert!(
+        gen1.write_time_s < full.write_time_s / 2.0,
+        "incremental write ({:.3}s) should be far below the full image ({:.3}s)",
+        gen1.write_time_s,
+        full.write_time_s
+    );
+    assert!(gen1.effective_bandwidth_mb_s() >= 0.0);
+    assert_eq!(gen1.to_write_report().bytes, gen1.written_bytes);
+}

@@ -151,7 +151,10 @@ mod tests {
         let mut b = ExaMpiCodec::new();
         let ha = a.encode(HandleKind::Comm, 1, 1, Some(PredefinedObject::CommWorld));
         let hb = b.encode(HandleKind::Comm, 1, 2, Some(PredefinedObject::CommWorld));
-        assert_ne!(ha, hb, "non-datatype constants are lazily materialized pointers");
+        assert_ne!(
+            ha, hb,
+            "non-datatype constants are lazily materialized pointers"
+        );
         // Derived datatypes (no predefined marker) are pointers too.
         let d1 = a.encode(HandleKind::Datatype, 20, 1, None);
         assert!(d1.bits() & ENUM_TAG != ENUM_TAG);

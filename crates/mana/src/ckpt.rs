@@ -21,6 +21,7 @@
 //! addresses) is saved: that is the whole point of the split-process design.
 
 use crate::runtime::{BufferedMessage, ManaRank};
+use ckpt_store::{CheckpointStorage, StoreReport};
 use mpi_model::buffer::{bytes_to_u64, u64_to_bytes};
 use mpi_model::constants::PredefinedObject;
 use mpi_model::error::{MpiError, MpiResult};
@@ -41,11 +42,44 @@ pub mod regions {
 }
 
 impl ManaRank {
-    /// Take a transparent checkpoint and continue running.
+    /// Take a transparent checkpoint into the legacy flat-image store and continue
+    /// running. This is the paper-baseline write path: every generation writes the
+    /// complete image.
     ///
     /// Collective: every rank of the job must call this at the same logical point.
     /// Returns the write report (image size and modelled write time) for this rank.
     pub fn checkpoint(&mut self, store: &CheckpointStore) -> MpiResult<WriteReport> {
+        self.quiesce_and_drain()?;
+        let image = self.build_image()?;
+        let report = store.write(self.generation, &image);
+        self.generation += 1;
+        Ok(report)
+    }
+
+    /// Take a transparent checkpoint into the `ckpt-store` storage engine, using the
+    /// storage policy from this rank's [`ManaConfig`](crate::config::ManaConfig)
+    /// (full image, incremental, or incremental+compressed).
+    ///
+    /// On the incremental policies only the upper-half regions dirtied since the
+    /// previous generation are re-encoded, and only content-new chunks reach storage;
+    /// after a successful write the upper half is marked clean and its checkpoint
+    /// epoch advances, so the *next* checkpoint diffs against this one.
+    ///
+    /// Collective: every rank of the job must call this at the same logical point.
+    pub fn checkpoint_into(&mut self, storage: &CheckpointStorage) -> MpiResult<StoreReport> {
+        self.quiesce_and_drain()?;
+        let image = self.build_image()?;
+        let report = storage.write_image(self.config.storage, &image);
+        self.upper.mark_clean();
+        self.upper.advance_epoch();
+        self.generation += 1;
+        Ok(report)
+    }
+
+    /// Phases 1-4 of the checkpoint protocol: quiesce the job, exchange send counts,
+    /// drain in-flight traffic into the upper half, and refresh deferred ggids. After
+    /// this returns the rank is safe to snapshot.
+    fn quiesce_and_drain(&mut self) -> MpiResult<()> {
         let world = self.world()?;
         let world_phys = self.phys(world, HandleKind::Comm)?;
 
@@ -85,11 +119,7 @@ impl ManaRank {
         for vid in comm_and_group_vids {
             self.translator.get_mut(vid)?.ggid_or_compute();
         }
-
-        let image = self.build_image()?;
-        let report = store.write(self.generation, &image);
-        self.generation += 1;
-        Ok(report)
+        Ok(())
     }
 
     /// Build the checkpoint image for this rank without writing it anywhere (used by
@@ -120,13 +150,7 @@ impl ManaRank {
             .iter_in_creation_order()
             .iter()
             .filter(|d| d.kind == HandleKind::Comm && !d.phys.is_null())
-            .map(|d| {
-                (
-                    d.vid,
-                    d.phys,
-                    d.members_world.clone().unwrap_or_default(),
-                )
-            })
+            .map(|d| (d.vid, d.phys, d.members_world.clone().unwrap_or_default()))
             .collect();
 
         let mut idle_rounds = 0u64;
@@ -158,15 +182,14 @@ impl ManaRank {
                         status.tag,
                         *phys,
                     )?;
-                    let source_world =
-                        members
-                            .get(status.source.max(0) as usize)
-                            .copied()
-                            .ok_or_else(|| {
-                                MpiError::Checkpoint(
-                                    "drained message from a rank outside the communicator".into(),
-                                )
-                            })?;
+                    let source_world = members
+                        .get(status.source.max(0) as usize)
+                        .copied()
+                        .ok_or_else(|| {
+                            MpiError::Checkpoint(
+                                "drained message from a rank outside the communicator".into(),
+                            )
+                        })?;
                     self.counters.received_from[source_world as usize] += 1;
                     self.buffered.push(BufferedMessage {
                         comm: *vid,

@@ -1,8 +1,10 @@
-//! MANA configuration: which virtual-id design to use, how to compute ggids, and how
-//! upper↔lower crossings are costed.
+//! MANA configuration: which virtual-id design to use, how to compute ggids, how
+//! upper↔lower crossings are costed, and how checkpoint images reach storage.
 
 use serde::{Deserialize, Serialize};
 use split_proc::crossing::CrossingMode;
+
+pub use ckpt_store::StoragePolicy;
 
 /// Which virtual-id data structure the wrapper layer uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -67,6 +69,12 @@ pub struct ManaConfig {
     /// The `fs`-register switching mechanism available on the host (used only for
     /// overhead accounting; the simulation's correctness does not depend on it).
     pub crossing_mode: CrossingMode,
+    /// How [`ManaRank::checkpoint_into`] writes this rank's images to a
+    /// [`ckpt_store::CheckpointStorage`]: the legacy flat image (the paper's baseline)
+    /// or the incremental content-addressed engine, optionally compressed.
+    ///
+    /// [`ManaRank::checkpoint_into`]: crate::runtime::ManaRank::checkpoint_into
+    pub storage: StoragePolicy,
 }
 
 impl Default for ManaConfig {
@@ -75,6 +83,7 @@ impl Default for ManaConfig {
             virtid_mode: VirtIdMode::UnifiedTable,
             ggid_policy: GgidPolicy::Eager,
             crossing_mode: CrossingMode::Fsgsbase,
+            storage: StoragePolicy::FullImage,
         }
     }
 }
@@ -104,6 +113,12 @@ impl ManaConfig {
         self.ggid_policy = policy;
         self
     }
+
+    /// Same configuration but with the given checkpoint storage policy.
+    pub fn with_storage(mut self, policy: StoragePolicy) -> Self {
+        self.storage = policy;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -129,10 +144,13 @@ mod tests {
     fn builders() {
         let config = ManaConfig::legacy_design()
             .with_crossing(CrossingMode::Prctl)
-            .with_ggid(GgidPolicy::Lazy);
+            .with_ggid(GgidPolicy::Lazy)
+            .with_storage(StoragePolicy::IncrementalCompressed);
         assert_eq!(config.virtid_mode, VirtIdMode::LegacyMaps);
         assert_eq!(config.crossing_mode, CrossingMode::Prctl);
         assert_eq!(config.ggid_policy, GgidPolicy::Lazy);
+        assert_eq!(config.storage, StoragePolicy::IncrementalCompressed);
         assert_eq!(ManaConfig::default().virtid_mode, VirtIdMode::UnifiedTable);
+        assert_eq!(ManaConfig::default().storage, StoragePolicy::FullImage);
     }
 }

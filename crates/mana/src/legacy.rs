@@ -116,10 +116,12 @@ impl LegacyTables {
         let key = map_key(vid.kind(), vid.index());
         self.translation.remove(&key);
         self.members.remove(&key);
-        self.descriptors.remove(&key).ok_or(MpiError::InvalidHandle {
-            kind: vid.kind(),
-            handle: PhysHandle(vid.bits() as u64),
-        })
+        self.descriptors
+            .remove(&key)
+            .ok_or(MpiError::InvalidHandle {
+                kind: vid.kind(),
+                handle: PhysHandle(vid.bits() as u64),
+            })
     }
 
     /// virtual→physical translation: string key construction, then a map lookup in the
@@ -198,9 +200,11 @@ mod tests {
     use crate::virtid::blank_descriptor;
 
     fn insert_comm(tables: &mut LegacyTables, phys: u64, members: Vec<Rank>) -> VirtualId {
-        tables.insert_with(HandleKind::Comm, None, GgidPolicy::Eager, |_vid, _seq| Descriptor {
-            members_world: Some(members.clone()),
-            ..blank_descriptor(HandleKind::Comm, PhysHandle(phys))
+        tables.insert_with(HandleKind::Comm, None, GgidPolicy::Eager, |_vid, _seq| {
+            Descriptor {
+                members_world: Some(members.clone()),
+                ..blank_descriptor(HandleKind::Comm, PhysHandle(phys))
+            }
         })
     }
 
@@ -221,7 +225,10 @@ mod tests {
         for i in 0..100u64 {
             vids.push(insert_comm(&mut tables, 0x1000 + i, vec![0]));
         }
-        assert_eq!(tables.physical_to_virtual(PhysHandle(0x1000 + 57)), Some(vids[57]));
+        assert_eq!(
+            tables.physical_to_virtual(PhysHandle(0x1000 + 57)),
+            Some(vids[57])
+        );
         assert_eq!(tables.physical_to_virtual(PhysHandle(0xdead)), None);
     }
 
@@ -252,8 +259,15 @@ mod tests {
             },
         );
         let other = insert_comm(&mut tables, 2, vec![0]);
-        let order: Vec<VirtualId> = tables.iter_in_creation_order().iter().map(|d| d.vid).collect();
+        let order: Vec<VirtualId> = tables
+            .iter_in_creation_order()
+            .iter()
+            .map(|d| d.vid)
+            .collect();
         assert_eq!(order, vec![world, other]);
-        assert_eq!(tables.find_predefined(PredefinedObject::CommWorld), Some(world));
+        assert_eq!(
+            tables.find_predefined(PredefinedObject::CommWorld),
+            Some(world)
+        );
     }
 }

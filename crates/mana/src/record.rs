@@ -168,7 +168,10 @@ impl ReplayLog {
 
     /// Number of events that will need collective replay at restart.
     pub fn collective_events(&self) -> usize {
-        self.events.iter().filter(|e| e.recipe.is_collective()).count()
+        self.events
+            .iter()
+            .filter(|e| e.recipe.is_collective())
+            .count()
     }
 }
 

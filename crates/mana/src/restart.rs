@@ -88,6 +88,12 @@ pub fn restart_rank(
     // No physical handle recorded before the checkpoint has any meaning now.
     translator.clear_physical_bindings();
 
+    // The restored upper half *is* the checkpoint: mark it clean and advance its
+    // epoch past the image's, so the next incremental checkpoint diffs against the
+    // generation we are restoring from.
+    upper.mark_clean();
+    upper.advance_epoch();
+
     let world_rank = lower.world_rank();
     let world_size = lower.world_size();
     let mut rank = ManaRank {
@@ -261,8 +267,7 @@ fn build_datatype(rank: &mut ManaRank, descriptor: &TypeDescriptor) -> MpiResult
     match descriptor {
         TypeDescriptor::Primitive(p) => {
             rank.cross();
-            rank.lower
-                .resolve_constant(PredefinedObject::Datatype(*p))
+            rank.lower.resolve_constant(PredefinedObject::Datatype(*p))
         }
         TypeDescriptor::Dup(inner) => {
             let inner_phys = build_datatype(rank, inner)?;
@@ -338,10 +343,33 @@ pub fn restart_job(
         .collect();
     let mut ranks = Vec::with_capacity(handles.len());
     for handle in handles {
-        ranks.push(handle.join().map_err(|_| {
-            MpiError::Checkpoint("a rank panicked during restart".into())
-        })??);
+        ranks.push(
+            handle
+                .join()
+                .map_err(|_| MpiError::Checkpoint("a rank panicked during restart".into()))??,
+        );
     }
     ranks.sort_by_key(|r| r.world_rank());
     Ok(ranks)
+}
+
+/// Restart a whole job from a [`ckpt_store::CheckpointStorage`], using the newest
+/// generation that validates end to end for **every** rank.
+///
+/// Each candidate generation's manifests and chunks (or flat images) are CRC- and
+/// digest-verified before any rank is rebuilt; a generation with a corrupt or
+/// truncated piece — the torn-write case a preempted job can leave behind — is skipped
+/// for the job as a whole, so all ranks restart from the same older generation rather
+/// than a torn mix. Returns the restarted ranks in rank order plus the generation that
+/// was actually used.
+pub fn restart_job_from_storage(
+    lowers: Vec<Box<dyn MpiApi>>,
+    storage: &ckpt_store::CheckpointStorage,
+    config: ManaConfig,
+    registry: Arc<RwLock<UserFunctionRegistry>>,
+) -> MpiResult<(Vec<ManaRank>, u64)> {
+    let world_size = lowers.len();
+    let (generation, images) = storage.latest_valid_images(world_size)?;
+    let ranks = restart_job(lowers, images, config, registry)?;
+    Ok((ranks, generation))
 }

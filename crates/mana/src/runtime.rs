@@ -400,16 +400,18 @@ impl ManaRank {
             _ => None,
         };
         let kind = object.kind();
-        let vid = self.translator.insert_with(kind, Some(object), ggid_policy, |vid, seq| {
-            let mut d = crate::virtid::blank_descriptor(kind, phys);
-            d.vid = vid;
-            d.creation_seq = seq;
-            d.predefined = Some(object);
-            d.members_world = members.clone();
-            d.datatype = datatype.clone();
-            d.op = op;
-            d
-        });
+        let vid = self
+            .translator
+            .insert_with(kind, Some(object), ggid_policy, |vid, seq| {
+                let mut d = crate::virtid::blank_descriptor(kind, phys);
+                d.vid = vid;
+                d.creation_seq = seq;
+                d.predefined = Some(object);
+                d.members_world = members.clone();
+                d.datatype = datatype.clone();
+                d.op = op;
+                d
+            });
         Ok(AppHandle::from_virtual(vid))
     }
 
@@ -454,8 +456,8 @@ impl ManaRank {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mpich_sim::MpichFactory;
     use mpi_model::api::MpiImplementationFactory;
+    use mpich_sim::MpichFactory;
     use openmpi_sim::OpenMpiFactory;
 
     fn registry() -> Arc<RwLock<UserFunctionRegistry>> {
@@ -477,8 +479,7 @@ mod tests {
         let reg = registry();
         let mut openmpi = OpenMpiFactory::new().launch(1, reg.clone(), 1).unwrap();
         let err = ManaRank::new(openmpi.remove(0), ManaConfig::legacy_design(), reg.clone())
-            .err()
-            .expect("legacy ids cannot serve Open MPI");
+            .expect_err("legacy ids cannot serve Open MPI");
         assert!(matches!(err, MpiError::Unsupported { .. }));
 
         let mut mpich = MpichFactory::mpich().launch(1, reg.clone(), 1).unwrap();
@@ -492,7 +493,10 @@ mod tests {
         let mut mana = ManaRank::new(ranks.remove(0), ManaConfig::new_design(), reg).unwrap();
         let a = mana.world().unwrap();
         let b = mana.world().unwrap();
-        assert_eq!(a, b, "constant resolution is cached in the descriptor table");
+        assert_eq!(
+            a, b,
+            "constant resolution is cached in the descriptor table"
+        );
         assert_eq!(mana.descriptor_count(), 1);
         // Passing a communicator where a datatype is expected fails with WrongKind.
         let err = mana.phys(a, HandleKind::Datatype).unwrap_err();

@@ -52,7 +52,11 @@ impl VirtualId {
     /// Build a virtual id from its fields.
     pub fn new(kind: HandleKind, predefined: bool, index: u32) -> Self {
         debug_assert!(index <= INDEX_MASK, "virtual-id index overflow");
-        VirtualId((kind.tag() << KIND_SHIFT) | (u32::from(predefined) << PREDEF_SHIFT) | (index & INDEX_MASK))
+        VirtualId(
+            (kind.tag() << KIND_SHIFT)
+                | (u32::from(predefined) << PREDEF_SHIFT)
+                | (index & INDEX_MASK),
+        )
     }
 
     /// The raw 32-bit value.
@@ -341,7 +345,6 @@ pub fn blank_descriptor(kind: HandleKind, phys: PhysHandle) -> Descriptor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn virtual_id_bit_layout() {
@@ -363,15 +366,21 @@ mod tests {
     #[test]
     fn insert_get_translate_remove() {
         let mut table = VirtualIdTable::new();
-        let vid = table.insert_with(HandleKind::Comm, None, GgidPolicy::Eager, |vid, seq| Descriptor {
-            members_world: Some(vec![0, 1, 2]),
-            phys: PhysHandle(0xabc),
-            ..blank_descriptor(HandleKind::Comm, PhysHandle(0xabc))
-        }.with_vid_seq(vid, seq));
+        let vid = table.insert_with(HandleKind::Comm, None, GgidPolicy::Eager, |vid, seq| {
+            Descriptor {
+                members_world: Some(vec![0, 1, 2]),
+                phys: PhysHandle(0xabc),
+                ..blank_descriptor(HandleKind::Comm, PhysHandle(0xabc))
+            }
+            .with_vid_seq(vid, seq)
+        });
         assert_eq!(table.len(), 1);
         assert_eq!(table.virtual_to_physical(vid).unwrap(), PhysHandle(0xabc));
         assert_eq!(table.physical_to_virtual(PhysHandle(0xabc)), Some(vid));
-        assert!(table.get(vid).unwrap().ggid.is_some(), "eager policy computes ggid");
+        assert!(
+            table.get(vid).unwrap().ggid.is_some(),
+            "eager policy computes ggid"
+        );
         table.remove(vid).unwrap();
         assert!(table.get(vid).is_err());
         assert_eq!(table.physical_to_virtual(PhysHandle(0xabc)), None);
@@ -380,10 +389,13 @@ mod tests {
     #[test]
     fn lazy_ggid_policy_defers() {
         let mut table = VirtualIdTable::new();
-        let vid = table.insert_with(HandleKind::Comm, None, GgidPolicy::Lazy, |vid, seq| Descriptor {
-            members_world: Some(vec![0, 1]),
-            ..blank_descriptor(HandleKind::Comm, PhysHandle(1))
-        }.with_vid_seq(vid, seq));
+        let vid = table.insert_with(HandleKind::Comm, None, GgidPolicy::Lazy, |vid, seq| {
+            Descriptor {
+                members_world: Some(vec![0, 1]),
+                ..blank_descriptor(HandleKind::Comm, PhysHandle(1))
+            }
+            .with_vid_seq(vid, seq)
+        });
         assert!(table.get(vid).unwrap().ggid.is_none());
         let computed = table.get_mut(vid).unwrap().ggid_or_compute();
         assert!(computed.is_some());
@@ -426,20 +438,29 @@ mod tests {
             HandleKind::Comm,
             Some(PredefinedObject::CommWorld),
             GgidPolicy::Eager,
-            |vid, seq| Descriptor {
-                predefined: Some(PredefinedObject::CommWorld),
-                members_world: Some(vec![0, 1]),
-                ..blank_descriptor(HandleKind::Comm, PhysHandle(1))
-            }
-            .with_vid_seq(vid, seq),
+            |vid, seq| {
+                Descriptor {
+                    predefined: Some(PredefinedObject::CommWorld),
+                    members_world: Some(vec![0, 1]),
+                    ..blank_descriptor(HandleKind::Comm, PhysHandle(1))
+                }
+                .with_vid_seq(vid, seq)
+            },
         );
         let dt = table.insert_with(HandleKind::Datatype, None, GgidPolicy::Eager, |vid, seq| {
             blank_descriptor(HandleKind::Datatype, PhysHandle(2)).with_vid_seq(vid, seq)
         });
-        let order: Vec<VirtualId> = table.iter_in_creation_order().iter().map(|d| d.vid).collect();
+        let order: Vec<VirtualId> = table
+            .iter_in_creation_order()
+            .iter()
+            .map(|d| d.vid)
+            .collect();
         assert_eq!(order, vec![world, dt]);
         assert_eq!(table.iter_kind(HandleKind::Comm).len(), 1);
-        assert_eq!(table.find_predefined(PredefinedObject::CommWorld), Some(world));
+        assert_eq!(
+            table.find_predefined(PredefinedObject::CommWorld),
+            Some(world)
+        );
         assert_eq!(table.find_predefined(PredefinedObject::CommSelf), None);
         assert!(world.is_predefined());
         assert!(!dt.is_predefined());
@@ -448,13 +469,19 @@ mod tests {
     #[test]
     fn serde_roundtrip_preserves_descriptors_but_not_reverse_index() {
         let mut table = VirtualIdTable::new();
-        let vid = table.insert_with(HandleKind::Comm, None, GgidPolicy::Eager, |vid, seq| Descriptor {
-            members_world: Some(vec![0, 1, 2, 3]),
-            ..blank_descriptor(HandleKind::Comm, PhysHandle(0x1234))
-        }.with_vid_seq(vid, seq));
+        let vid = table.insert_with(HandleKind::Comm, None, GgidPolicy::Eager, |vid, seq| {
+            Descriptor {
+                members_world: Some(vec![0, 1, 2, 3]),
+                ..blank_descriptor(HandleKind::Comm, PhysHandle(0x1234))
+            }
+            .with_vid_seq(vid, seq)
+        });
         let json = serde_json::to_string(&table).unwrap();
         let mut restored: VirtualIdTable = serde_json::from_str(&json).unwrap();
-        assert_eq!(restored.get(vid).unwrap().members_world, Some(vec![0, 1, 2, 3]));
+        assert_eq!(
+            restored.get(vid).unwrap().members_world,
+            Some(vec![0, 1, 2, 3])
+        );
         // The reverse index is rebuilt explicitly, mirroring the restart path.
         assert_eq!(restored.physical_to_virtual(PhysHandle(0x1234)), None);
         restored.rebuild_reverse_index();
@@ -469,23 +496,49 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn prop_virtual_id_roundtrip(kind_tag in 0u32..5, predefined: bool, index in 0u32..=INDEX_MASK) {
-            let kind = HandleKind::from_tag(kind_tag).unwrap();
-            let vid = VirtualId::new(kind, predefined, index);
-            prop_assert_eq!(vid.kind(), kind);
-            prop_assert_eq!(vid.is_predefined(), predefined);
-            prop_assert_eq!(vid.index(), index);
-            prop_assert_eq!(VirtualId::from_bits(vid.bits()), Some(vid));
+    /// Deterministic walk over the index space: edge values plus a pseudo-random
+    /// sample (xorshift), standing in for the original proptest strategies now that
+    /// the build environment cannot fetch proptest.
+    fn sampled_indices() -> Vec<u32> {
+        let mut indices = vec![0, 1, 2, INDEX_MASK - 1, INDEX_MASK];
+        let mut state = 0x9E37_79B9u32;
+        for _ in 0..256 {
+            state ^= state << 13;
+            state ^= state >> 17;
+            state ^= state << 5;
+            indices.push(state & INDEX_MASK);
         }
+        indices
+    }
 
-        #[test]
-        fn prop_distinct_fields_give_distinct_ids(a in 0u32..=INDEX_MASK, b in 0u32..=INDEX_MASK) {
-            prop_assume!(a != b);
-            let x = VirtualId::new(HandleKind::Comm, false, a);
-            let y = VirtualId::new(HandleKind::Comm, false, b);
-            prop_assert_ne!(x.bits(), y.bits());
+    #[test]
+    fn prop_virtual_id_roundtrip() {
+        for kind_tag in 0u32..5 {
+            let kind = HandleKind::from_tag(kind_tag).unwrap();
+            for predefined in [false, true] {
+                for &index in &sampled_indices() {
+                    let vid = VirtualId::new(kind, predefined, index);
+                    assert_eq!(vid.kind(), kind);
+                    assert_eq!(vid.is_predefined(), predefined);
+                    assert_eq!(vid.index(), index);
+                    assert_eq!(VirtualId::from_bits(vid.bits()), Some(vid));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prop_distinct_fields_give_distinct_ids() {
+        let indices = sampled_indices();
+        for &a in &indices {
+            for &b in &indices {
+                if a == b {
+                    continue;
+                }
+                let x = VirtualId::new(HandleKind::Comm, false, a);
+                let y = VirtualId::new(HandleKind::Comm, false, b);
+                assert_ne!(x.bits(), y.bits());
+            }
         }
     }
 }

@@ -236,15 +236,15 @@ impl ManaRank {
         descriptor: mpi_model::datatype::TypeDescriptor,
     ) -> AppHandle {
         let ggid_policy = self.config.ggid_policy;
-        let vid = self
-            .translator
-            .insert_with(HandleKind::Datatype, None, ggid_policy, |vid, seq| {
-                let mut d = blank_descriptor(HandleKind::Datatype, phys);
-                d.vid = vid;
-                d.creation_seq = seq;
-                d.datatype = Some(descriptor.clone());
-                d
-            });
+        let vid =
+            self.translator
+                .insert_with(HandleKind::Datatype, None, ggid_policy, |vid, seq| {
+                    let mut d = blank_descriptor(HandleKind::Datatype, phys);
+                    d.vid = vid;
+                    d.creation_seq = seq;
+                    d.datatype = Some(descriptor.clone());
+                    d
+                });
         self.replay_log.push(ReplayEvent::new(
             CreationRecipe::DerivedDatatype {
                 descriptor,
@@ -489,15 +489,15 @@ impl ManaRank {
             buf.len(),
         );
         record.complete(Status::new(dest, tag, buf.len()));
-        let vid = self
-            .translator
-            .insert_with(HandleKind::Request, None, ggid_policy, |vid, seq| {
-                let mut d = blank_descriptor(HandleKind::Request, PhysHandle::NULL);
-                d.vid = vid;
-                d.creation_seq = seq;
-                d.request = Some(record.clone());
-                d
-            });
+        let vid =
+            self.translator
+                .insert_with(HandleKind::Request, None, ggid_policy, |vid, seq| {
+                    let mut d = blank_descriptor(HandleKind::Request, PhysHandle::NULL);
+                    d.vid = vid;
+                    d.creation_seq = seq;
+                    d.request = Some(record.clone());
+                    d
+                });
         Ok(AppHandle::from_virtual(vid))
     }
 
@@ -522,15 +522,15 @@ impl ManaRank {
             PhysHandle(comm_vid.bits() as u64),
             max_bytes,
         );
-        let vid = self
-            .translator
-            .insert_with(HandleKind::Request, None, ggid_policy, |vid, seq| {
-                let mut d = blank_descriptor(HandleKind::Request, PhysHandle::NULL);
-                d.vid = vid;
-                d.creation_seq = seq;
-                d.request = Some(record.clone());
-                d
-            });
+        let vid =
+            self.translator
+                .insert_with(HandleKind::Request, None, ggid_policy, |vid, seq| {
+                    let mut d = blank_descriptor(HandleKind::Request, PhysHandle::NULL);
+                    d.vid = vid;
+                    d.creation_seq = seq;
+                    d.request = Some(record.clone());
+                    d
+                });
         Ok(AppHandle::from_virtual(vid))
     }
 
@@ -559,9 +559,10 @@ impl ManaRank {
                     (status, Some(message.payload))
                 } else {
                     let comm_phys = self.translator.virtual_to_physical(comm_vid)?;
-                    let byte_type = self.constant(mpi_model::constants::PredefinedObject::Datatype(
-                        mpi_model::datatype::PrimitiveType::Byte,
-                    ))?;
+                    let byte_type =
+                        self.constant(mpi_model::constants::PredefinedObject::Datatype(
+                            mpi_model::datatype::PrimitiveType::Byte,
+                        ))?;
                     let type_phys = self.phys(byte_type, HandleKind::Datatype)?;
                     self.cross();
                     let (payload, status) = self.lower.recv(
@@ -607,11 +608,10 @@ impl ManaRank {
                 match self.lower.iprobe(record.peer, record.tag, comm_phys)? {
                     None => Ok(None),
                     Some(_) => {
-                        let byte_type = self.constant(
-                            mpi_model::constants::PredefinedObject::Datatype(
+                        let byte_type =
+                            self.constant(mpi_model::constants::PredefinedObject::Datatype(
                                 mpi_model::datatype::PrimitiveType::Byte,
-                            ),
-                        )?;
+                            ))?;
                         let type_phys = self.phys(byte_type, HandleKind::Datatype)?;
                         self.cross();
                         let (payload, status) = self.lower.recv(
@@ -640,7 +640,11 @@ impl ManaRank {
                 && (source == mpi_model::types::ANY_SOURCE || m.source == source)
                 && (tag == mpi_model::types::ANY_TAG || m.tag == tag)
         }) {
-            return Ok(Some(Status::new(found.source, found.tag, found.payload.len())));
+            return Ok(Some(Status::new(
+                found.source,
+                found.tag,
+                found.payload.len(),
+            )));
         }
         let comm_phys = self.phys(comm, HandleKind::Comm)?;
         self.cross();
@@ -678,7 +682,8 @@ impl ManaRank {
         let type_phys = self.phys(datatype, HandleKind::Datatype)?;
         let op_phys = self.phys(op, HandleKind::Op)?;
         self.cross();
-        self.lower.reduce(sendbuf, type_phys, op_phys, root, comm_phys)
+        self.lower
+            .reduce(sendbuf, type_phys, op_phys, root, comm_phys)
     }
 
     /// `MPI_Allreduce`.

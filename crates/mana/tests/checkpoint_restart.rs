@@ -76,11 +76,15 @@ fn phase_before(mut rank: ManaRank, store: &CheckpointStore) -> (u64, usize) {
     // A normal send/recv ring on the world communicator.
     let next = (me + 1) % n;
     let prev = (me + n - 1) % n;
-    rank.send(&f64_to_bytes(&[me as f64]), double_type, next, TAG_NORMAL, world)
-        .unwrap();
-    let (data, status) = rank
-        .recv(double_type, 64, prev, TAG_NORMAL, world)
-        .unwrap();
+    rank.send(
+        &f64_to_bytes(&[me as f64]),
+        double_type,
+        next,
+        TAG_NORMAL,
+        world,
+    )
+    .unwrap();
+    let (data, status) = rank.recv(double_type, 64, prev, TAG_NORMAL, world).unwrap();
     assert_eq!(status.source, prev);
     assert_eq!(bytes_to_f64(&data)[0] as i32, prev);
 
@@ -177,14 +181,19 @@ fn run_scenario(
         .collect();
     for handle in handles {
         let (crossings, _buffered) = handle.join().unwrap();
-        assert!(crossings > 0, "wrapped calls must cross into the lower half");
+        assert!(
+            crossings > 0,
+            "wrapped calls must cross into the lower half"
+        );
     }
 
     // --- Restart under the second implementation (a brand-new session). ---
     let images: Vec<_> = (0..world_size)
         .map(|r| store.read(0, r as i32).unwrap())
         .collect();
-    assert!(images.iter().all(|i| i.metadata.implementation == first.name()));
+    assert!(images
+        .iter()
+        .all(|i| i.metadata.implementation == first.name()));
     let new_lowers = second.launch(world_size, reg.clone(), 2).unwrap();
     let second_name = second.name();
     let restarted = restart_job(new_lowers, images, config, reg).unwrap();
@@ -353,8 +362,7 @@ fn drain_buffers_many_inflight_messages() {
                     assert_eq!(rank.buffered_messages(), 20);
                     // And they are delivered, in FIFO order, by ordinary receives.
                     for i in 0..20u8 {
-                        let (payload, status) =
-                            rank.recv(byte_type, 16, 0, 5, world).unwrap();
+                        let (payload, status) = rank.recv(byte_type, 16, 0, 5, world).unwrap();
                         assert_eq!(payload, vec![i]);
                         assert_eq!(status.source, 0);
                     }

@@ -179,15 +179,17 @@ impl<C: HandleCodec> Engine<C> {
         }
         let handle = match object {
             PredefinedObject::CommWorld => {
-                let idx = self
-                    .comms
-                    .insert(CommObject::new(CommDescriptor::world(self.world_size), true));
+                let idx = self.comms.insert(CommObject::new(
+                    CommDescriptor::world(self.world_size),
+                    true,
+                ));
                 self.encode(HandleKind::Comm, idx, Some(object))
             }
             PredefinedObject::CommSelf => {
-                let idx = self
-                    .comms
-                    .insert(CommObject::new(CommDescriptor::self_comm(self.world_rank), true));
+                let idx = self.comms.insert(CommObject::new(
+                    CommDescriptor::self_comm(self.world_rank),
+                    true,
+                ));
                 self.encode(HandleKind::Comm, idx, Some(object))
             }
             PredefinedObject::CommNull => self.codec.null(HandleKind::Comm),
@@ -231,13 +233,13 @@ impl<C: HandleCodec> Engine<C> {
     fn exchange(&mut self, comm_index: u32, contribution: Vec<u8>) -> MpiResult<Vec<Vec<u8>>> {
         let (context, seq, my_index, size) = {
             let comm = self.comms.get_mut(comm_index)?;
-            let my_index = comm
-                .descriptor
-                .rank_of(self.world_rank)
-                .ok_or(MpiError::InvalidRank {
-                    rank: self.world_rank,
-                    size: comm.descriptor.size(),
-                })? as usize;
+            let my_index =
+                comm.descriptor
+                    .rank_of(self.world_rank)
+                    .ok_or(MpiError::InvalidRank {
+                        rank: self.world_rank,
+                        size: comm.descriptor.size(),
+                    })? as usize;
             (
                 comm.descriptor.context,
                 comm.next_collective(),
@@ -524,8 +526,15 @@ impl<C: HandleCodec> MpiApi for Engine<C> {
         ranks: &[Rank],
         other: PhysHandle,
     ) -> MpiResult<Vec<Rank>> {
-        self.require(SubsetFeature::GroupTranslateRanks, "MPI_Group_translate_ranks")?;
-        let a = self.groups.get(self.group_index(group)?)?.descriptor.clone();
+        self.require(
+            SubsetFeature::GroupTranslateRanks,
+            "MPI_Group_translate_ranks",
+        )?;
+        let a = self
+            .groups
+            .get(self.group_index(group)?)?
+            .descriptor
+            .clone();
         let b = &self.groups.get(self.group_index(other)?)?.descriptor;
         a.translate_ranks(ranks, b)
     }
@@ -674,7 +683,9 @@ impl<C: HandleCodec> MpiApi for Engine<C> {
     fn type_free(&mut self, ty: PhysHandle) -> MpiResult<()> {
         let idx = self.type_index(ty)?;
         if self.types.get(idx)?.predefined {
-            return Err(MpiError::Internal("cannot free a predefined datatype".into()));
+            return Err(MpiError::Internal(
+                "cannot free a predefined datatype".into(),
+            ));
         }
         self.types.remove(idx)?;
         Ok(())
@@ -766,7 +777,11 @@ impl<C: HandleCodec> MpiApi for Engine<C> {
                 buffer_bytes: max_bytes,
             });
         }
-        let status = Status::new(envelope.source_comm_rank, envelope.tag, envelope.payload.len());
+        let status = Status::new(
+            envelope.source_comm_rank,
+            envelope.tag,
+            envelope.payload.len(),
+        );
         Ok((envelope.payload, status))
     }
 
@@ -783,8 +798,7 @@ impl<C: HandleCodec> MpiApi for Engine<C> {
         // Eager protocol: the payload is buffered at the destination immediately, so
         // the send request is complete as soon as it is posted.
         self.send(buf, datatype, dest, tag, comm)?;
-        let mut record =
-            RequestRecord::pending(RequestKind::Send, dest, tag, comm, buf.len());
+        let mut record = RequestRecord::pending(RequestKind::Send, dest, tag, comm, buf.len());
         record.complete(Status::new(dest, tag, buf.len()));
         let idx = self.requests.insert(RequestObject {
             record,
@@ -1029,7 +1043,9 @@ impl<C: HandleCodec> MpiApi for Engine<C> {
                     "MPI_Alltoall contributions have inconsistent sizes".into(),
                 ));
             }
-            result.extend_from_slice(&contribution[my_rank * block_bytes..(my_rank + 1) * block_bytes]);
+            result.extend_from_slice(
+                &contribution[my_rank * block_bytes..(my_rank + 1) * block_bytes],
+            );
         }
         Ok(result)
     }

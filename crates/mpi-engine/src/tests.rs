@@ -205,7 +205,10 @@ fn comm_split_undefined_color_gets_null() {
         (sub, null)
     });
     assert_ne!(results[0].0, results[0].1);
-    assert_eq!(results[1].0, results[1].1, "undefined colour yields MPI_COMM_NULL");
+    assert_eq!(
+        results[1].0, results[1].1,
+        "undefined colour yields MPI_COMM_NULL"
+    );
 }
 
 #[test]

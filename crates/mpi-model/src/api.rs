@@ -84,8 +84,12 @@ pub trait MpiApi: Send {
 
     /// `MPI_Comm_split` (collective). `color == None` models `MPI_UNDEFINED` and yields
     /// the null communicator handle for this rank.
-    fn comm_split(&mut self, comm: PhysHandle, color: Option<i32>, key: i32)
-        -> MpiResult<PhysHandle>;
+    fn comm_split(
+        &mut self,
+        comm: PhysHandle,
+        color: Option<i32>,
+        key: i32,
+    ) -> MpiResult<PhysHandle>;
 
     /// `MPI_Comm_create` (collective): create a communicator from a subgroup. Ranks not
     /// in the group receive the null handle.

@@ -174,7 +174,11 @@ mod tests {
         assert_eq!(w.compare(&shuffled), CommComparison::Similar);
         let other = CommDescriptor::world(3);
         assert_eq!(
-            CommDescriptor { group: other.group.clone(), context: 97 }.compare(&w),
+            CommDescriptor {
+                group: other.group.clone(),
+                context: 97
+            }
+            .compare(&w),
             CommComparison::Unequal
         );
     }
@@ -196,11 +200,36 @@ mod tests {
     #[test]
     fn split_orders_by_key_then_rank() {
         let contributions = vec![
-            SplitContribution { parent_rank: 0, world_rank: 10, color: Some(0), key: 5 },
-            SplitContribution { parent_rank: 1, world_rank: 11, color: Some(0), key: 1 },
-            SplitContribution { parent_rank: 2, world_rank: 12, color: Some(1), key: 0 },
-            SplitContribution { parent_rank: 3, world_rank: 13, color: Some(0), key: 1 },
-            SplitContribution { parent_rank: 4, world_rank: 14, color: None, key: 0 },
+            SplitContribution {
+                parent_rank: 0,
+                world_rank: 10,
+                color: Some(0),
+                key: 5,
+            },
+            SplitContribution {
+                parent_rank: 1,
+                world_rank: 11,
+                color: Some(0),
+                key: 1,
+            },
+            SplitContribution {
+                parent_rank: 2,
+                world_rank: 12,
+                color: Some(1),
+                key: 0,
+            },
+            SplitContribution {
+                parent_rank: 3,
+                world_rank: 13,
+                color: Some(0),
+                key: 1,
+            },
+            SplitContribution {
+                parent_rank: 4,
+                world_rank: 14,
+                color: None,
+                key: 0,
+            },
         ];
         let groups = split_groups(&contributions);
         assert_eq!(groups.len(), 2);
@@ -212,8 +241,18 @@ mod tests {
     #[test]
     fn split_with_all_undefined_is_empty() {
         let contributions = vec![
-            SplitContribution { parent_rank: 0, world_rank: 0, color: None, key: 0 },
-            SplitContribution { parent_rank: 1, world_rank: 1, color: None, key: 0 },
+            SplitContribution {
+                parent_rank: 0,
+                world_rank: 0,
+                color: None,
+                key: 0,
+            },
+            SplitContribution {
+                parent_rank: 1,
+                world_rank: 1,
+                color: None,
+                key: 0,
+            },
         ];
         assert!(split_groups(&contributions).is_empty());
     }

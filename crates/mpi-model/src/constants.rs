@@ -68,7 +68,11 @@ impl PredefinedObject {
             PredefinedObject::OpNull,
             PredefinedObject::DatatypeNull,
         ];
-        v.extend(PrimitiveType::ALL.iter().map(|&p| PredefinedObject::Datatype(p)));
+        v.extend(
+            PrimitiveType::ALL
+                .iter()
+                .map(|&p| PredefinedObject::Datatype(p)),
+        );
         v.extend(PredefinedOp::ALL.iter().map(|&o| PredefinedObject::Op(o)));
         v
     }
@@ -163,7 +167,10 @@ mod tests {
         }
         assert_eq!(PredefinedObject::from_slot(all.len()), None);
         // 8 special handles + primitives + ops
-        assert_eq!(all.len(), 8 + PrimitiveType::ALL.len() + PredefinedOp::ALL.len());
+        assert_eq!(
+            all.len(),
+            8 + PrimitiveType::ALL.len() + PredefinedOp::ALL.len()
+        );
     }
 
     #[test]
@@ -174,7 +181,10 @@ mod tests {
             PredefinedObject::Datatype(PrimitiveType::Int).kind(),
             HandleKind::Datatype
         );
-        assert_eq!(PredefinedObject::Op(PredefinedOp::Sum).kind(), HandleKind::Op);
+        assert_eq!(
+            PredefinedObject::Op(PredefinedOp::Sum).kind(),
+            HandleKind::Op
+        );
     }
 
     #[test]
@@ -199,6 +209,9 @@ mod tests {
             PredefinedObject::Datatype(PrimitiveType::Double).mpi_name(),
             "MPI_DOUBLE"
         );
-        assert_eq!(PredefinedObject::Op(PredefinedOp::Sum).mpi_name(), "MPI_SUM");
+        assert_eq!(
+            PredefinedObject::Op(PredefinedOp::Sum).mpi_name(),
+            "MPI_SUM"
+        );
     }
 }

@@ -61,11 +61,12 @@ impl PrimitiveType {
     /// Size in bytes of one element of this primitive type.
     pub fn size(self) -> usize {
         match self {
-            PrimitiveType::Char | PrimitiveType::Int8 | PrimitiveType::Byte | PrimitiveType::Bool => 1,
+            PrimitiveType::Char
+            | PrimitiveType::Int8
+            | PrimitiveType::Byte
+            | PrimitiveType::Bool => 1,
             PrimitiveType::Int | PrimitiveType::Unsigned | PrimitiveType::Float => 4,
-            PrimitiveType::Long
-            | PrimitiveType::UnsignedLong
-            | PrimitiveType::Double => 8,
+            PrimitiveType::Long | PrimitiveType::UnsignedLong | PrimitiveType::Double => 8,
             PrimitiveType::DoubleInt => 12,
         }
     }
@@ -282,7 +283,9 @@ impl TypeDescriptor {
                 .iter()
                 .zip(byte_displacements.iter())
                 .zip(types.iter())
-                .map(|((len, disp), ty)| (disp + (*len as i64) * ty.extent() as i64).max(0) as usize)
+                .map(|((len, disp), ty)| {
+                    (disp + (*len as i64) * ty.extent() as i64).max(0) as usize
+                })
                 .max()
                 .unwrap_or(0),
         }
@@ -442,11 +445,10 @@ impl TypeDescriptor {
                 .ok_or_else(|| MpiError::Internal("named combiner requires a primitive".into())),
             TypeCombiner::Dup => {
                 let c = contents.ok_or_else(|| MpiError::Internal("dup needs contents".into()))?;
-                let inner = c
-                    .datatypes
-                    .first()
-                    .cloned()
-                    .ok_or_else(|| MpiError::Internal("dup contents missing datatype".into()))?;
+                let inner =
+                    c.datatypes.first().cloned().ok_or_else(|| {
+                        MpiError::Internal("dup contents missing datatype".into())
+                    })?;
                 Ok(TypeDescriptor::Dup(Box::new(inner)))
             }
             TypeCombiner::Contiguous => {
@@ -470,7 +472,8 @@ impl TypeDescriptor {
                 })
             }
             TypeCombiner::Vector => {
-                let c = contents.ok_or_else(|| MpiError::Internal("vector needs contents".into()))?;
+                let c =
+                    contents.ok_or_else(|| MpiError::Internal("vector needs contents".into()))?;
                 if c.integers.len() < 3 {
                     return Err(MpiError::Internal("vector contents too short".into()));
                 }
@@ -494,8 +497,8 @@ impl TypeDescriptor {
                 })
             }
             TypeCombiner::Indexed => {
-                let c = contents
-                    .ok_or_else(|| MpiError::Internal("indexed needs contents".into()))?;
+                let c =
+                    contents.ok_or_else(|| MpiError::Internal("indexed needs contents".into()))?;
                 let n = *c
                     .integers
                     .first()
@@ -518,7 +521,8 @@ impl TypeDescriptor {
                 })
             }
             TypeCombiner::Struct => {
-                let c = contents.ok_or_else(|| MpiError::Internal("struct needs contents".into()))?;
+                let c =
+                    contents.ok_or_else(|| MpiError::Internal("struct needs contents".into()))?;
                 let n = *c
                     .integers
                     .first()
@@ -605,7 +609,9 @@ mod tests {
     #[test]
     fn envelope_matches_combiner() {
         assert_eq!(
-            TypeDescriptor::Primitive(PrimitiveType::Int).envelope().combiner,
+            TypeDescriptor::Primitive(PrimitiveType::Int)
+                .envelope()
+                .combiner,
             TypeCombiner::Named
         );
         assert_eq!(vec_of_doubles().envelope().combiner, TypeCombiner::Vector);
@@ -614,7 +620,9 @@ mod tests {
 
     #[test]
     fn contents_of_named_is_error() {
-        assert!(TypeDescriptor::Primitive(PrimitiveType::Int).contents().is_err());
+        assert!(TypeDescriptor::Primitive(PrimitiveType::Int)
+            .contents()
+            .is_err());
     }
 
     #[test]

@@ -139,7 +139,10 @@ impl std::fmt::Display for MpiError {
                 found.mpi_type_name()
             ),
             MpiError::InvalidRank { rank, size } => {
-                write!(f, "rank {rank} out of range for communicator of size {size}")
+                write!(
+                    f,
+                    "rank {rank} out of range for communicator of size {size}"
+                )
             }
             MpiError::InvalidTag(tag) => write!(f, "invalid tag {tag}"),
             MpiError::InvalidCount(count) => write!(f, "invalid count {count}"),
@@ -152,7 +155,10 @@ impl std::fmt::Display for MpiError {
             ),
             MpiError::PeerUnreachable(rank) => write!(f, "peer rank {rank} unreachable"),
             MpiError::Unsupported { feature } => {
-                write!(f, "operation not supported by this MPI implementation: {feature}")
+                write!(
+                    f,
+                    "operation not supported by this MPI implementation: {feature}"
+                )
             }
             MpiError::NotInitialized => write!(f, "MPI not initialized (or already finalized)"),
             MpiError::TypeNotCommitted(h) => write!(f, "datatype {h} used before MPI_Type_commit"),
@@ -182,7 +188,14 @@ mod tests {
             handle: PhysHandle(7),
         };
         assert_eq!(e.error_class(), "MPI_ERR_TYPE");
-        assert_eq!(MpiError::Truncate { message_bytes: 8, buffer_bytes: 4 }.error_class(), "MPI_ERR_TRUNCATE");
+        assert_eq!(
+            MpiError::Truncate {
+                message_bytes: 8,
+                buffer_bytes: 4
+            }
+            .error_class(),
+            "MPI_ERR_TRUNCATE"
+        );
     }
 
     #[test]
@@ -190,7 +203,9 @@ mod tests {
         let e = MpiError::InvalidRank { rank: 9, size: 4 };
         let s = e.to_string();
         assert!(s.contains('9') && s.contains('4'));
-        let e = MpiError::Unsupported { feature: "MPI_Comm_spawn" };
+        let e = MpiError::Unsupported {
+            feature: "MPI_Comm_spawn",
+        };
         assert!(e.to_string().contains("MPI_Comm_spawn"));
     }
 

@@ -174,14 +174,29 @@ impl OpDescriptor {
 macro_rules! reduce_numeric {
     ($ty:ty, $inout:expr, $incoming:expr, $op:expr) => {{
         let width = std::mem::size_of::<$ty>();
-        for (dst, src) in $inout.chunks_exact_mut(width).zip($incoming.chunks_exact(width)) {
+        for (dst, src) in $inout
+            .chunks_exact_mut(width)
+            .zip($incoming.chunks_exact(width))
+        {
             let a = <$ty>::from_le_bytes(dst.try_into().unwrap());
             let b = <$ty>::from_le_bytes(src.try_into().unwrap());
             let r: $ty = match $op {
                 PredefinedOp::Sum => a.wrapping_add_model(b),
                 PredefinedOp::Prod => a.wrapping_mul_model(b),
-                PredefinedOp::Max => if a >= b { a } else { b },
-                PredefinedOp::Min => if a <= b { a } else { b },
+                PredefinedOp::Max => {
+                    if a >= b {
+                        a
+                    } else {
+                        b
+                    }
+                }
+                PredefinedOp::Min => {
+                    if a <= b {
+                        a
+                    } else {
+                        b
+                    }
+                }
                 PredefinedOp::LogicalAnd => {
                     if a != <$ty>::zero_model() && b != <$ty>::zero_model() {
                         <$ty>::one_model()
@@ -274,7 +289,7 @@ pub fn apply_predefined(
             incoming.len()
         )));
     }
-    if inout.len() % element_type.size() != 0 {
+    if !inout.len().is_multiple_of(element_type.size()) {
         return Err(MpiError::Internal(format!(
             "reduction buffer length {} is not a multiple of element size {}",
             inout.len(),
@@ -314,7 +329,10 @@ fn apply_loc(op: PredefinedOp, inout: &mut [u8], incoming: &[u8]) -> MpiResult<(
         )));
     }
     const PAIR: usize = 12;
-    for (dst, src) in inout.chunks_exact_mut(PAIR).zip(incoming.chunks_exact(PAIR)) {
+    for (dst, src) in inout
+        .chunks_exact_mut(PAIR)
+        .zip(incoming.chunks_exact(PAIR))
+    {
         let a_val = f64::from_le_bytes(dst[..8].try_into().unwrap());
         let a_idx = i32::from_le_bytes(dst[8..12].try_into().unwrap());
         let b_val = f64::from_le_bytes(src[..8].try_into().unwrap());
@@ -404,7 +422,9 @@ mod tests {
     fn bitwise_on_float_is_error() {
         let mut a = f64_bytes(&[1.0]);
         let b = f64_bytes(&[2.0]);
-        assert!(apply_predefined(PredefinedOp::BitwiseAnd, PrimitiveType::Double, &mut a, &b).is_err());
+        assert!(
+            apply_predefined(PredefinedOp::BitwiseAnd, PrimitiveType::Double, &mut a, &b).is_err()
+        );
     }
 
     #[test]
@@ -492,7 +512,11 @@ mod tests {
     #[test]
     fn op_descriptor_commutativity() {
         assert!(OpDescriptor::Predefined(PredefinedOp::Sum).is_commutative());
-        assert!(!OpDescriptor::User { func_id: 1, commutative: false }.is_commutative());
+        assert!(!OpDescriptor::User {
+            func_id: 1,
+            commutative: false
+        }
+        .is_commutative());
     }
 
     #[test]

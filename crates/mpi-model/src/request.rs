@@ -61,7 +61,13 @@ pub struct RequestRecord {
 
 impl RequestRecord {
     /// Create a pending request record.
-    pub fn pending(kind: RequestKind, peer: Rank, tag: Tag, comm: PhysHandle, bytes: usize) -> Self {
+    pub fn pending(
+        kind: RequestKind,
+        peer: Rank,
+        tag: Tag,
+        comm: PhysHandle,
+        bytes: usize,
+    ) -> Self {
         RequestRecord {
             kind,
             peer,

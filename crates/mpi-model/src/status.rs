@@ -39,7 +39,7 @@ impl Status {
         if element_size == 0 {
             return None;
         }
-        if self.count_bytes % element_size == 0 {
+        if self.count_bytes.is_multiple_of(element_size) {
             Some(self.count_bytes / element_size)
         } else {
             None

@@ -168,6 +168,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn wildcards_are_negative() {
         assert!(ANY_SOURCE < 0);
         assert!(ANY_TAG < 0);

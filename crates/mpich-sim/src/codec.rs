@@ -67,7 +67,10 @@ impl HandleCodec for MpichCodec {
         predefined: Option<PredefinedObject>,
     ) -> PhysHandle {
         let (l1, l2) = Self::split_index(index);
-        debug_assert!(l1 <= L1_MASK, "object index exceeds two-level table capacity");
+        debug_assert!(
+            l1 <= L1_MASK,
+            "object index exceeds two-level table capacity"
+        );
         let builtin = u32::from(predefined.is_some());
         let word = (VALID_TAG << VALID_SHIFT)
             | (builtin << BUILTIN_SHIFT)
@@ -126,12 +129,7 @@ mod tests {
     fn predefined_bit_does_not_change_index() {
         let mut codec = MpichCodec::new();
         let plain = codec.encode(HandleKind::Comm, 1, 0, None);
-        let builtin = codec.encode(
-            HandleKind::Comm,
-            1,
-            0,
-            Some(PredefinedObject::CommWorld),
-        );
+        let builtin = codec.encode(HandleKind::Comm, 1, 0, Some(PredefinedObject::CommWorld));
         assert_ne!(plain, builtin, "builtin bit is visible in the handle");
         assert_eq!(codec.decode(plain), codec.decode(builtin));
     }
@@ -147,7 +145,10 @@ mod tests {
     #[test]
     fn null_handles_are_distinct_and_undecodable() {
         let codec = MpichCodec::new();
-        let mut nulls: Vec<u64> = HandleKind::ALL.iter().map(|&k| codec.null(k).bits()).collect();
+        let mut nulls: Vec<u64> = HandleKind::ALL
+            .iter()
+            .map(|&k| codec.null(k).bits())
+            .collect();
         nulls.sort_unstable();
         nulls.dedup();
         assert_eq!(nulls.len(), HandleKind::ALL.len());
@@ -161,7 +162,11 @@ mod tests {
         let codec = MpichCodec::new();
         assert_eq!(codec.decode(PhysHandle(0)), None);
         assert_eq!(codec.decode(PhysHandle(u64::MAX)), None);
-        assert_eq!(codec.decode(PhysHandle(0x1234)), None, "missing validity tag");
+        assert_eq!(
+            codec.decode(PhysHandle(0x1234)),
+            None,
+            "missing validity tag"
+        );
     }
 
     #[test]

@@ -91,7 +91,10 @@ impl MpiImplementationFactory for MpichFactory {
         registry: Arc<RwLock<UserFunctionRegistry>>,
         session: u64,
     ) -> MpiResult<Vec<Box<dyn MpiApi>>> {
-        let fabric = Fabric::new(FabricConfig::new(world_size, session.wrapping_mul(0x9e37_79b9)));
+        let fabric = Fabric::new(FabricConfig::new(
+            world_size,
+            session.wrapping_mul(0x9e37_79b9),
+        ));
         let mut ranks: Vec<Box<dyn MpiApi>> = Vec::with_capacity(world_size);
         for rank in 0..world_size {
             let engine = Engine::new(

@@ -149,14 +149,14 @@ impl Fabric {
 
     /// Number of in-flight messages addressed to one rank.
     pub fn pending_for_rank(&self, world_rank: Rank) -> MpiResult<usize> {
-        let slot = self
-            .inner
-            .slots
-            .get(world_rank.max(0) as usize)
-            .ok_or(MpiError::InvalidRank {
-                rank: world_rank,
-                size: self.inner.world_size,
-            })?;
+        let slot =
+            self.inner
+                .slots
+                .get(world_rank.max(0) as usize)
+                .ok_or(MpiError::InvalidRank {
+                    rank: world_rank,
+                    size: self.inner.world_size,
+                })?;
         Ok(slot.mailbox.lock().pending())
     }
 

@@ -54,7 +54,10 @@ impl Mailbox {
 
     /// Number of undelivered envelopes queued for a particular context.
     pub fn pending_for_context(&self, context: u64) -> usize {
-        self.envelopes.iter().filter(|e| e.context == context).count()
+        self.envelopes
+            .iter()
+            .filter(|e| e.context == context)
+            .count()
     }
 
     /// Number of undelivered envelopes from a particular world rank.

@@ -57,7 +57,11 @@ impl MatchSpec {
     pub fn from_mpi_args(context: ContextId, source: Rank, tag: Tag) -> Self {
         MatchSpec {
             context,
-            source_comm_rank: if source == ANY_SOURCE { None } else { Some(source) },
+            source_comm_rank: if source == ANY_SOURCE {
+                None
+            } else {
+                Some(source)
+            },
             tag: if tag == ANY_TAG { None } else { Some(tag) },
         }
     }
@@ -111,7 +115,10 @@ mod tests {
         let spec = MatchSpec::from_mpi_args(5, ANY_SOURCE, ANY_TAG);
         assert!(spec.matches(&env(0, 5, 0)));
         assert!(spec.matches(&env(7, 5, 123)));
-        assert!(!spec.matches(&env(7, 4, 123)), "context is never a wildcard");
+        assert!(
+            !spec.matches(&env(7, 4, 123)),
+            "context is never a wildcard"
+        );
         let spec = MatchSpec::from_mpi_args(5, ANY_SOURCE, 7);
         assert!(spec.matches(&env(1, 5, 7)));
         assert!(!spec.matches(&env(1, 5, 8)));

@@ -42,7 +42,8 @@ impl FabricStats {
     /// Record one rank's contribution to a collective.
     pub fn record_collective(&self, bytes: usize) {
         self.collective_rounds.fetch_add(1, Ordering::Relaxed);
-        self.collective_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.collective_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     /// Snapshot of the counters as plain numbers.

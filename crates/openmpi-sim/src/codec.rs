@@ -76,7 +76,7 @@ impl HandleCodec for OpenMpiCodec {
     fn null(&self, kind: HandleKind) -> PhysHandle {
         // Open MPI's null handles are addresses of dedicated static objects; model them
         // as fixed addresses in a "data segment" well away from the arenas.
-        PhysHandle(0x5555_5555_0000 | kind.tag() as u64 * 0x40)
+        PhysHandle(0x5555_5555_0000 | ((kind.tag() as u64) * 0x40))
     }
 
     fn handle_bits(&self) -> u32 {

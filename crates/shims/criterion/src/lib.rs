@@ -1,0 +1,288 @@
+//! In-tree stand-in for the `criterion` crate, exposing the subset of its API the
+//! workspace's benches use: `Criterion`, `BenchmarkGroup`, `BenchmarkId`, `Throughput`,
+//! `Bencher::iter`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Methodology is intentionally simple (criterion's statistics are out of scope for a
+//! registry-less build): each benchmark is warmed up, then timed over `sample_size`
+//! samples of an adaptively chosen batch size, and the per-iteration median is printed
+//! together with throughput when configured.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a benchmarked value.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timing samples collected per benchmark.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.sample_size = samples.max(2);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut body: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        run_benchmark("", &id.into().label(), sample_size, None, |b| body(b));
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timing samples for benchmarks in this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(2);
+        self
+    }
+
+    /// Declare the amount of work one iteration performs, enabling throughput output.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(
+            &self.name,
+            &id.into().label(),
+            self.sample_size,
+            self.throughput,
+            |b| body(b),
+        );
+        self
+    }
+
+    /// Run one benchmark in this group with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut body: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(
+            &self.name,
+            &id.into().label(),
+            self.sample_size,
+            self.throughput,
+            |b| body(b, input),
+        );
+        self
+    }
+
+    /// Finish the group (printing is incremental, so this is a no-op marker).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id: function name plus a parameter rendering.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is only a parameter rendering.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Work performed by one iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing context handed to each benchmark body.
+pub struct Bencher {
+    /// Measured nanoseconds per iteration for each collected sample.
+    samples_ns: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `body`, collecting the configured number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // Warm up and choose a batch size targeting ~2 ms per sample so that
+        // fast bodies are not dominated by timer resolution.
+        let warmup_start = Instant::now();
+        std_black_box(body());
+        let once = warmup_start.elapsed().max(Duration::from_nanos(1));
+        let batch =
+            (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std_black_box(body());
+            }
+            let elapsed = start.elapsed();
+            self.samples_ns
+                .push(elapsed.as_nanos() as f64 / batch as f64);
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    group: &str,
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut body: F,
+) {
+    let mut bencher = Bencher {
+        samples_ns: Vec::with_capacity(sample_size),
+        sample_size,
+    };
+    body(&mut bencher);
+    let full_name = if group.is_empty() {
+        label.to_string()
+    } else {
+        format!("{group}/{label}")
+    };
+    if bencher.samples_ns.is_empty() {
+        println!("bench {full_name:<56} (no iterations)");
+        return;
+    }
+    let mut samples = bencher.samples_ns;
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = samples[samples.len() / 2];
+    let rate = match throughput {
+        Some(Throughput::Bytes(bytes)) if median > 0.0 => {
+            format!(
+                "  {:>10.1} MiB/s",
+                bytes as f64 / median * 1e9 / (1 << 20) as f64
+            )
+        }
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            format!("  {:>10.1} Melem/s", n as f64 / median * 1e9 / 1e6)
+        }
+        _ => String::new(),
+    };
+    println!("bench {full_name:<56} {median:>14.1} ns/iter{rate}");
+}
+
+/// Declare a group of benchmark functions, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut criterion = Criterion::default().sample_size(3);
+        let mut group = criterion.benchmark_group("shim");
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function(BenchmarkId::new("sum", 16), |b| {
+            b.iter(|| (0..16u64).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(8), &8u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn bench_function_with_str_id() {
+        let mut criterion = Criterion::default().sample_size(2);
+        criterion.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

@@ -1,0 +1,108 @@
+//! In-tree stand-in for the `serde` crate.
+//!
+//! The build environment has no access to a crate registry, so the real `serde` cannot
+//! be vendored. This shim keeps the workspace's source-level API — `Serialize` /
+//! `Deserialize` derives, the `Serializer` / `Deserializer` traits used by
+//! `#[serde(with = "...")]` modules, and a `serde_json` companion crate — but routes
+//! everything through one self-describing [`Value`] data model instead of serde's
+//! visitor machinery.
+//!
+//! Supported surface (what this workspace uses):
+//!
+//! * `#[derive(Serialize, Deserialize)]` on non-generic structs (named, tuple, unit)
+//!   and enums (unit, newtype, tuple, struct variants), externally tagged like serde;
+//! * field attributes `#[serde(skip)]` and `#[serde(with = "module")]`;
+//! * impls for the std types that appear in serialized state: integers, floats, bool,
+//!   `char`, `String`, `&str`, `Option`, `Box`, `Vec`, slices, tuples, `BTreeMap` /
+//!   `HashMap` / `BTreeSet` / `HashSet` with string or integer keys.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod __private;
+mod impls;
+mod value;
+
+pub use value::{Number, Value};
+
+use std::fmt;
+
+/// Error produced when a [`Value`] cannot be converted into the requested type (or by
+/// the `serde_json` text layer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Create an error with the given message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can render itself into the [`Value`] data model.
+///
+/// The derive macro implements [`Serialize::to_value`]; the generic
+/// [`Serialize::serialize`] entry point exists for `#[serde(with = "...")]`-style
+/// modules that are written against a generic `S: Serializer`.
+pub trait Serialize {
+    /// Convert to the shim's self-describing value model.
+    fn to_value(&self) -> Value;
+
+    /// Serialize through an arbitrary [`Serializer`] (always via [`Value`]).
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.to_value())
+    }
+}
+
+/// A type that can be rebuilt from the [`Value`] data model.
+///
+/// The lifetime parameter mirrors serde's API so that generic bounds like
+/// `for<'de> Deserialize<'de>` and `D: Deserializer<'de>` written against real serde
+/// keep compiling; this shim never borrows from the input.
+pub trait Deserialize<'de>: Sized {
+    /// Rebuild from the shim's self-describing value model.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+
+    /// Deserialize through an arbitrary [`Deserializer`] (always via [`Value`]).
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.take_value()?;
+        Self::from_value(&value).map_err(D::convert_error)
+    }
+}
+
+/// Sink for [`Serialize::serialize`]: anything that can absorb a [`Value`].
+pub trait Serializer: Sized {
+    /// Value produced on success.
+    type Ok;
+    /// Error type of this sink.
+    type Error;
+
+    /// Absorb a fully built value.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Source for [`Deserialize::deserialize`]: anything that can yield a [`Value`].
+pub trait Deserializer<'de>: Sized {
+    /// Error type of this source.
+    type Error;
+
+    /// Yield the complete value to deserialize from.
+    fn take_value(self) -> Result<Value, Self::Error>;
+
+    /// Lift a data-model conversion error into this source's error type.
+    fn convert_error(error: Error) -> Self::Error;
+}

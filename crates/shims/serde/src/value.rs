@@ -1,0 +1,98 @@
+//! The self-describing value model everything in the shim round-trips through.
+
+use std::collections::BTreeMap;
+
+/// A JSON-shaped value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number (integer or floating point).
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object. Keys are sorted, which makes output deterministic.
+    Object(BTreeMap<String, Value>),
+}
+
+/// A JSON number, kept in its widest lossless representation.
+///
+/// Unsigned and signed 64-bit integers are stored exactly — `u64` bit patterns (e.g.
+/// the bit-exact `f64` encoding the proxy applications use) must survive a round trip,
+/// which an `f64`-only representation could not guarantee.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// An unsigned integer.
+    U64(u64),
+    /// A negative integer (non-negative integers normalize to [`Number::U64`]).
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+}
+
+impl Value {
+    /// Human-readable name of this value's kind, for error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Build an object value from `(key, value)` pairs.
+    pub fn object(fields: Vec<(String, Value)>) -> Value {
+        Value::Object(fields.into_iter().collect())
+    }
+}
+
+impl Number {
+    /// The number as `u64`, if exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::U64(n) => Some(n),
+            Number::I64(n) => u64::try_from(n).ok(),
+            Number::F64(f) => {
+                if f.is_finite() && f.fract() == 0.0 && (0.0..=u64::MAX as f64).contains(&f) {
+                    Some(f as u64)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// The number as `i64`, if exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::U64(n) => i64::try_from(n).ok(),
+            Number::I64(n) => Some(n),
+            Number::F64(f) => {
+                if f.is_finite()
+                    && f.fract() == 0.0
+                    && (i64::MIN as f64..=i64::MAX as f64).contains(&f)
+                {
+                    Some(f as i64)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// The number as `f64` (integers may round, exactly as in `serde_json`).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::U64(n) => n as f64,
+            Number::I64(n) => n as f64,
+            Number::F64(f) => f,
+        }
+    }
+}

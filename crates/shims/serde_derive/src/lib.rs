@@ -1,0 +1,534 @@
+//! Derive macros for the in-tree serde shim.
+//!
+//! The build environment has no crate registry, so `syn`/`quote` are unavailable; the
+//! input item is parsed with a small hand-rolled walker over `proc_macro` token trees
+//! and the generated impl is assembled as source text. The supported grammar is exactly
+//! what this workspace uses: non-generic structs (named / tuple / unit) and enums
+//! (unit / newtype / tuple / struct variants), with the field attributes
+//! `#[serde(skip)]` and `#[serde(with = "module")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (value-model based; externally tagged enums).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize` (value-model based; externally tagged enums).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ----------------------------------------------------------------------------------
+// Parsed shape
+// ----------------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+    with: Option<String>,
+}
+
+struct Variant {
+    name: String,
+    data: VariantData,
+}
+
+enum VariantData {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+// ----------------------------------------------------------------------------------
+// Parsing
+// ----------------------------------------------------------------------------------
+
+struct SerdeAttrs {
+    skip: bool,
+    with: Option<String>,
+}
+
+/// Inspect one `#[...]` attribute group; returns serde options if it is `#[serde(...)]`.
+fn parse_attr(group: &proc_macro::Group) -> Option<SerdeAttrs> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(ident)) if ident.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let args = match tokens.get(1) {
+        Some(TokenTree::Group(args)) if args.delimiter() == Delimiter::Parenthesis => args,
+        _ => return None,
+    };
+    let mut attrs = SerdeAttrs {
+        skip: false,
+        with: None,
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut i = 0;
+    while i < args.len() {
+        match &args[i] {
+            TokenTree::Ident(ident) if ident.to_string() == "skip" => {
+                attrs.skip = true;
+                i += 1;
+            }
+            TokenTree::Ident(ident) if ident.to_string() == "with" => {
+                // with = "path"
+                i += 2;
+                if let Some(TokenTree::Literal(literal)) = args.get(i) {
+                    let text = literal.to_string();
+                    attrs.with = Some(text.trim_matches('"').to_string());
+                }
+                i += 1;
+            }
+            other => panic!(
+                "serde shim derive: unsupported #[serde(...)] option starting at {other}; \
+                 only `skip` and `with = \"module\"` are implemented"
+            ),
+        }
+        if matches!(args.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Some(attrs)
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (doc comments, other derives' helper attrs) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // '#' + bracketed group
+            }
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1; // pub(crate) etc.
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("serde shim derive: expected item name, found {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic types are not supported (type {name})");
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(group.stream()))
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(count_tuple_fields(group.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::UnitStruct,
+            other => panic!("serde shim derive: unsupported struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(group.stream()))
+            }
+            other => panic!("serde shim derive: expected enum body, found {other:?}"),
+        },
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    };
+
+    Item { name, kind }
+}
+
+/// Parse `name: Type, ...` field lists (struct bodies and struct-variant bodies).
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut skip = false;
+        let mut with = None;
+        // Attributes and visibility before the field name.
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(group)) = tokens.get(i + 1) {
+                        if let Some(attrs) = parse_attr(group) {
+                            skip |= attrs.skip;
+                            with = with.or(attrs.with);
+                        }
+                    }
+                    i += 2;
+                }
+                Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                    i += 1;
+                    if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        i += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            None => break, // trailing comma
+            other => panic!("serde shim derive: expected field name, found {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde shim derive: expected `:` after field {name}, found {other:?}"),
+        }
+        // Consume the type: everything until a comma outside angle brackets.
+        let mut angle_depth = 0i32;
+        while let Some(token) = tokens.get(i) {
+            match token {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, skip, with });
+    }
+    fields
+}
+
+/// Count the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut saw_content_since_comma = false;
+    for token in &tokens {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                saw_content_since_comma = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_content_since_comma = true;
+    }
+    if !saw_content_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Attributes before the variant name.
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            None => break, // trailing comma
+            other => panic!("serde shim derive: expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let data = match tokens.get(i) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                match count_tuple_fields(group.stream()) {
+                    1 => VariantData::Newtype,
+                    n => VariantData::Tuple(n),
+                }
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantData::Named(parse_named_fields(group.stream()))
+            }
+            _ => VariantData::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`).
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            while let Some(token) = tokens.get(i) {
+                if matches!(token, TokenTree::Punct(p) if p.as_char() == ',') {
+                    break;
+                }
+                i += 1;
+            }
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, data });
+    }
+    variants
+}
+
+// ----------------------------------------------------------------------------------
+// Code generation
+// ----------------------------------------------------------------------------------
+
+/// `("name", <serialized field expr>)` pushes for a named-field list; `accessor` turns
+/// a field name into the expression that borrows it (`&self.a` vs a match binding).
+fn named_field_pushes(fields: &[Field], accessor: impl Fn(&str) -> String) -> String {
+    let mut out = String::new();
+    for field in fields {
+        if field.skip {
+            continue;
+        }
+        let access = accessor(&field.name);
+        let value_expr = match &field.with {
+            Some(path) => {
+                format!("::serde::__private::with_to_value(|__s| {path}::serialize({access}, __s))")
+            }
+            None => format!("::serde::Serialize::to_value({access})"),
+        };
+        out.push_str(&format!(
+            "__fields.push((::std::string::String::from(\"{}\"), {value_expr}));\n",
+            field.name
+        ));
+    }
+    out
+}
+
+/// `name: <deserialized field expr>,` initializers for a named-field list; `obj` is the
+/// identifier of the `&BTreeMap<String, Value>` in scope.
+fn named_field_inits(fields: &[Field], ty_label: &str, obj: &str) -> String {
+    let mut out = String::new();
+    for field in fields {
+        let name = &field.name;
+        let expr = if field.skip {
+            "::std::default::Default::default()".to_string()
+        } else if let Some(path) = &field.with {
+            format!(
+                "{path}::deserialize(::serde::__private::ValueDeserializer::new(\
+                 ::serde::__private::raw_field({obj}, \"{name}\", \"{ty_label}\")?))?"
+            )
+        } else {
+            format!("::serde::__private::field({obj}, \"{name}\", \"{ty_label}\")?")
+        };
+        out.push_str(&format!("{name}: {expr},\n"));
+    }
+    out
+}
+
+fn generate_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let pushes = named_field_pushes(fields, |f| format!("&self.{f}"));
+            format!(
+                "#[allow(unused_mut)]\n\
+                 let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{pushes}\
+                 return ::serde::__private::object(__fields);"
+            )
+        }
+        ItemKind::TupleStruct(1) => {
+            // Newtype structs serialize transparently, as in serde.
+            "return ::serde::Serialize::to_value(&self.0);".to_string()
+        }
+        ItemKind::TupleStruct(arity) => {
+            let elements: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "return ::serde::Value::Array(::std::vec![{}]);",
+                elements.join(", ")
+            )
+        }
+        ItemKind::UnitStruct => "return ::serde::Value::Null;".to_string(),
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for variant in variants {
+                let v = &variant.name;
+                match &variant.data {
+                    VariantData::Unit => arms.push_str(&format!(
+                        "{name}::{v} => \
+                         ::serde::Value::String(::std::string::String::from(\"{v}\")),\n"
+                    )),
+                    VariantData::Newtype => arms.push_str(&format!(
+                        "{name}::{v}(__f0) => ::serde::__private::object(::std::vec![(\
+                         ::std::string::String::from(\"{v}\"), \
+                         ::serde::Serialize::to_value(__f0))]),\n"
+                    )),
+                    VariantData::Tuple(arity) => {
+                        let bindings: Vec<String> =
+                            (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let elements: Vec<String> = bindings
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({}) => ::serde::__private::object(::std::vec![(\
+                             ::std::string::String::from(\"{v}\"), \
+                             ::serde::Value::Array(::std::vec![{}]))]),\n",
+                            bindings.join(", "),
+                            elements.join(", ")
+                        ));
+                    }
+                    VariantData::Named(fields) => {
+                        let bindings: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| f.name.clone())
+                            .collect();
+                        let pattern = if bindings.is_empty() {
+                            "{ .. }".to_string()
+                        } else {
+                            format!("{{ {}, .. }}", bindings.join(", "))
+                        };
+                        let pushes = named_field_pushes(fields, |f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{v} {pattern} => {{\n\
+                             #[allow(unused_mut)]\n\
+                             let mut __fields: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::Value)> = ::std::vec::Vec::new();\n{pushes}\
+                             ::serde::__private::object(::std::vec![(\
+                             ::std::string::String::from(\"{v}\"), \
+                             ::serde::__private::object(__fields))])\n}},\n"
+                        ));
+                    }
+                }
+            }
+            format!("return match self {{\n{arms}\n}};")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let inits = named_field_inits(fields, name, "__obj");
+            format!(
+                "let __obj = ::serde::__private::as_object(__value, \"{name}\")?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        ItemKind::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(\
+             ::serde::__private::from_value_ref(__value, \"{name}\")?))"
+        ),
+        ItemKind::TupleStruct(arity) => {
+            let elements: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::__private::element(__items, {i}, \"{name}\")?"))
+                .collect();
+            format!(
+                "let __items = ::serde::__private::as_array(__value, \"{name}\", {arity})?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                elements.join(", ")
+            )
+        }
+        ItemKind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for variant in variants {
+                let v = &variant.name;
+                match &variant.data {
+                    VariantData::Unit => arms.push_str(&format!(
+                        "\"{v}\" => match __payload {{\n\
+                         ::std::option::Option::None => \
+                         ::std::result::Result::Ok({name}::{v}),\n\
+                         ::std::option::Option::Some(_) => ::std::result::Result::Err(\
+                         ::serde::__private::variant_payload_error(\"{name}\", \"{v}\", \"no\")),\n\
+                         }},\n"
+                    )),
+                    VariantData::Newtype => arms.push_str(&format!(
+                        "\"{v}\" => {{\n\
+                         let __p = __payload.ok_or_else(|| \
+                         ::serde::__private::variant_payload_error(\"{name}\", \"{v}\", \"a value\"))?;\n\
+                         ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::__private::from_value_ref(__p, \"{name}::{v}\")?))\n}},\n"
+                    )),
+                    VariantData::Tuple(arity) => {
+                        let elements: Vec<String> = (0..*arity)
+                            .map(|i| {
+                                format!(
+                                    "::serde::__private::element(__items, {i}, \"{name}::{v}\")?"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                             let __p = __payload.ok_or_else(|| \
+                             ::serde::__private::variant_payload_error(\"{name}\", \"{v}\", \"an array\"))?;\n\
+                             let __items = ::serde::__private::as_array(__p, \"{name}::{v}\", {arity})?;\n\
+                             ::std::result::Result::Ok({name}::{v}({}))\n}},\n",
+                            elements.join(", ")
+                        ));
+                    }
+                    VariantData::Named(fields) => {
+                        let label = format!("{name}::{v}");
+                        let inits = named_field_inits(fields, &label, "__obj");
+                        arms.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                             let __p = __payload.ok_or_else(|| \
+                             ::serde::__private::variant_payload_error(\"{name}\", \"{v}\", \"an object\"))?;\n\
+                             let __obj = ::serde::__private::as_object(__p, \"{label}\")?;\n\
+                             ::std::result::Result::Ok({name}::{v} {{\n{inits}}})\n}},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "let (__tag, __payload) = ::serde::__private::variant(__value, \"{name}\")?;\n\
+                 match __tag {{\n{arms}\
+                 __other => ::std::result::Result::Err(\
+                 ::serde::__private::unknown_variant(\"{name}\", __other)),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn from_value(__value: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}

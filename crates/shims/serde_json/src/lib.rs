@@ -1,0 +1,490 @@
+//! JSON text layer for the in-tree serde shim: `to_vec` / `to_string` /
+//! `to_string_pretty` / `from_slice` / `from_str` over the shim's `serde::Value` model.
+//!
+//! Formatting notes:
+//!
+//! * `u64` / `i64` integers are printed exactly (the bit-exact `f64`-as-`u64` encoding
+//!   the proxy applications use depends on this);
+//! * floats use Rust's shortest round-trip `Display`; non-finite floats print as
+//!   `null`, matching `serde_json`;
+//! * object keys are emitted in sorted order, so output is deterministic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Number, Value};
+
+/// Error raised by JSON encoding or decoding.
+pub type Error = serde::Error;
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize `value` to a JSON string.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialize `value` to a pretty-printed JSON string (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Serialize `value` to JSON bytes.
+pub fn to_vec<T: serde::Serialize>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserialize a value of type `T` from a JSON string.
+pub fn from_str<'a, T: serde::Deserialize<'a>>(text: &'a str) -> Result<T> {
+    let value = parse(text)?;
+    T::from_value(&value)
+}
+
+/// Deserialize a value of type `T` from JSON bytes.
+pub fn from_slice<'a, T: serde::Deserialize<'a>>(bytes: &'a [u8]) -> Result<T> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|e| Error::custom(format!("invalid UTF-8 in JSON input: {e}")))?;
+    from_str(text)
+}
+
+// ----------------------------------------------------------------------------------
+// Writer
+// ----------------------------------------------------------------------------------
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(number) => write_number(out, number),
+        Value::String(text) => write_string(out, text),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            write_newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_newline_indent(out, indent, depth + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            write_newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn write_newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_number(out: &mut String, number: &Number) {
+    match *number {
+        Number::U64(n) => out.push_str(&n.to_string()),
+        Number::I64(n) => out.push_str(&n.to_string()),
+        Number::F64(f) if f.is_finite() => {
+            let text = f.to_string();
+            out.push_str(&text);
+            // Keep the value a float on re-parse.
+            if !text.contains(['.', 'e', 'E']) {
+                out.push_str(".0");
+            }
+        }
+        Number::F64(_) => out.push_str("null"),
+    }
+}
+
+fn write_string(out: &mut String, text: &str) {
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ----------------------------------------------------------------------------------
+// Parser
+// ----------------------------------------------------------------------------------
+
+const MAX_DEPTH: usize = 512;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse(text: &str) -> Result<Value> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.value(0)?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::custom(format!(
+            "trailing characters at byte {}",
+            parser.pos
+        )));
+    }
+    Ok(value)
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<()> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected {:?} at byte {}",
+                byte as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, keyword: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(keyword.as_bytes()) {
+            self.pos += keyword.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value> {
+        if depth > MAX_DEPTH {
+            return Err(Error::custom("JSON nesting too deep"));
+        }
+        self.skip_whitespace();
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_whitespace();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.value(depth + 1)?);
+                    self.skip_whitespace();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => {
+                            return Err(Error::custom(format!(
+                                "expected ',' or ']' at byte {}",
+                                self.pos
+                            )))
+                        }
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = std::collections::BTreeMap::new();
+                self.skip_whitespace();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                loop {
+                    self.skip_whitespace();
+                    let key = self.string()?;
+                    self.skip_whitespace();
+                    self.expect(b':')?;
+                    let value = self.value(depth + 1)?;
+                    entries.insert(key, value);
+                    self.skip_whitespace();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(entries));
+                        }
+                        _ => {
+                            return Err(Error::custom(format!(
+                                "expected ',' or '}}' at byte {}",
+                                self.pos
+                            )))
+                        }
+                    }
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(Error::custom(format!(
+                "unexpected input {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::U64(n)));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::I64(n)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|f| Value::Number(Number::F64(f)))
+            .map_err(|_| Error::custom(format!("invalid number {text:?}")))
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy unescaped runs wholesale.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| Error::custom(format!("invalid UTF-8 in string: {e}")))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0C}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let high = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&high) {
+                                // Surrogate pair: the second escape must be a low
+                                // surrogate, or the input is malformed.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let low = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(Error::custom(format!(
+                                        "expected low surrogate after \\u{high:04x}, \
+                                         found \\u{low:04x}"
+                                    )));
+                                }
+                                let combined = 0x10000 + ((high - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(high)
+                            };
+                            out.push(
+                                c.ok_or_else(|| Error::custom("invalid \\u escape in string"))?,
+                            );
+                            continue;
+                        }
+                        other => {
+                            return Err(Error::custom(format!(
+                                "invalid escape {:?} at byte {}",
+                                other.map(|b| b as char),
+                                self.pos
+                            )))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                other => {
+                    return Err(Error::custom(format!(
+                        "unterminated or control character in string: {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Read four hex digits at the cursor, leaving the cursor after them.
+    fn hex4(&mut self) -> Result<u32> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(Error::custom("truncated \\u escape"));
+        }
+        let digits = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| Error::custom("invalid \\u escape"))?;
+        let n = u32::from_str_radix(digits, 16)
+            .map_err(|_| Error::custom(format!("invalid \\u escape {digits:?}")))?;
+        self.pos += 4;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let encoded = to_string(&u64::MAX).unwrap();
+        assert_eq!(encoded, "18446744073709551615");
+        let back: u64 = from_str(&encoded).unwrap();
+        assert_eq!(back, u64::MAX);
+
+        let bits = 0.5f64.to_bits();
+        let back: u64 = from_str(&to_string(&bits).unwrap()).unwrap();
+        assert_eq!(f64::from_bits(back), 0.5);
+
+        let back: i32 = from_str("-42").unwrap();
+        assert_eq!(back, -42);
+        let back: f64 = from_str("2.5e3").unwrap();
+        assert_eq!(back, 2500.0);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let original = "line\nquote\"backslash\\tab\tunicode\u{1F600}".to_string();
+        let encoded = to_string(&original).unwrap();
+        let back: String = from_str(&encoded).unwrap();
+        assert_eq!(back, original);
+        // Escaped-source parsing, including a surrogate pair.
+        let parsed: String = from_str("\"a\\u0041\\ud83d\\ude00\"").unwrap();
+        assert_eq!(parsed, "aA\u{1F600}");
+    }
+
+    #[test]
+    fn rejects_malformed_surrogates() {
+        // High surrogate followed by a non-surrogate must not silently combine.
+        assert!(from_str::<String>("\"\\ud800\\u0041\"").is_err());
+        // Lone surrogates are not characters.
+        assert!(from_str::<String>("\"\\ud800\"").is_err());
+        assert!(from_str::<String>("\"\\udc00\"").is_err());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let original: Vec<Option<Vec<u8>>> = vec![Some(vec![1, 2, 3]), None, Some(vec![])];
+        let back: Vec<Option<Vec<u8>>> = from_str(&to_string(&original).unwrap()).unwrap();
+        assert_eq!(back, original);
+
+        let mut map = std::collections::BTreeMap::new();
+        map.insert("b".to_string(), vec![1u8, 2]);
+        map.insert("a".to_string(), vec![]);
+        let encoded = to_string(&map).unwrap();
+        assert_eq!(encoded, "{\"a\":[],\"b\":[1,2]}");
+        let back: std::collections::BTreeMap<String, Vec<u8>> = from_str(&encoded).unwrap();
+        assert_eq!(back, map);
+    }
+
+    #[test]
+    fn pretty_printing_is_reparseable() {
+        let mut map = std::collections::BTreeMap::new();
+        map.insert("xs".to_string(), vec![1u32, 2, 3]);
+        let pretty = to_string_pretty(&map).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: std::collections::BTreeMap<String, Vec<u32>> = from_str(&pretty).unwrap();
+        assert_eq!(back, map);
+    }
+
+    #[test]
+    fn errors_on_malformed_input() {
+        assert!(from_str::<u64>("").is_err());
+        assert!(from_str::<u64>("12 34").is_err());
+        assert!(from_str::<Vec<u8>>("[1, 2").is_err());
+        assert!(from_str::<String>("\"unterminated").is_err());
+        assert!(from_str::<bool>("truex").is_err());
+    }
+}

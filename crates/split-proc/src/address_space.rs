@@ -9,7 +9,7 @@
 
 use mpi_model::error::{MpiError, MpiResult};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One named region of upper-half memory.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -42,10 +42,36 @@ impl MemoryRegion {
 
 /// The upper half of one rank's split process: everything that will be saved at
 /// checkpoint time and restored at restart time.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Besides the regions themselves, the space tracks **dirty regions** — the set of
+/// region names touched (mapped, mutably borrowed, or unmapped) since the last
+/// checkpoint epoch. The `ckpt-store` engine uses this to encode only the regions that
+/// changed since the previous generation; tracking is conservative (a mutable borrow
+/// marks a region dirty even if nothing was written), so reuse of a clean region is
+/// always sound. The **epoch** counter ties dirty information to a specific previous
+/// checkpoint: it is advanced once per successful checkpoint, and an incremental store
+/// only trusts the clean set when the epochs line up.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct UpperHalfSpace {
     regions: BTreeMap<String, Vec<u8>>,
+    /// Regions touched since the last [`mark_clean`](UpperHalfSpace::mark_clean). Not
+    /// serialized: a decoded image starts clean relative to its own checkpoint.
+    #[serde(skip)]
+    dirty: BTreeSet<String>,
+    /// Checkpoint epoch (number of completed checkpoint cycles this address space has
+    /// been through). Serialized so dirty tracking stays coherent across restarts.
+    epoch: u64,
 }
+
+/// Equality ignores the dirty set (a decoded image compares equal to the space it was
+/// encoded from even though the decode is clean).
+impl PartialEq for UpperHalfSpace {
+    fn eq(&self, other: &Self) -> bool {
+        self.regions == other.regions && self.epoch == other.epoch
+    }
+}
+
+impl Eq for UpperHalfSpace {}
 
 impl UpperHalfSpace {
     /// An empty upper half.
@@ -55,11 +81,14 @@ impl UpperHalfSpace {
 
     /// Create or overwrite a region.
     pub fn map_region(&mut self, name: impl Into<String>, data: Vec<u8>) {
-        self.regions.insert(name.into(), data);
+        let name = name.into();
+        self.dirty.insert(name.clone());
+        self.regions.insert(name, data);
     }
 
     /// Remove a region (e.g. when the application frees a large buffer).
     pub fn unmap_region(&mut self, name: &str) -> MpiResult<Vec<u8>> {
+        self.dirty.remove(name);
         self.regions
             .remove(name)
             .ok_or_else(|| MpiError::Checkpoint(format!("no region named {name:?} to unmap")))
@@ -73,11 +102,15 @@ impl UpperHalfSpace {
             .ok_or_else(|| MpiError::Checkpoint(format!("no region named {name:?}")))
     }
 
-    /// Mutable view of a region.
+    /// Mutable view of a region. Conservatively marks the region dirty.
     pub fn region_mut(&mut self, name: &str) -> MpiResult<&mut Vec<u8>> {
-        self.regions
-            .get_mut(name)
-            .ok_or_else(|| MpiError::Checkpoint(format!("no region named {name:?}")))
+        match self.regions.get_mut(name) {
+            Some(data) => {
+                self.dirty.insert(name.to_string());
+                Ok(data)
+            }
+            None => Err(MpiError::Checkpoint(format!("no region named {name:?}"))),
+        }
     }
 
     /// Whether a region exists.
@@ -106,9 +139,72 @@ impl UpperHalfSpace {
         self.regions.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
     }
 
+    // ------------------------------------------------------------------
+    // Dirty-region tracking (consumed by the ckpt-store engine)
+    // ------------------------------------------------------------------
+
+    /// Whether `name` has been touched since the last [`mark_clean`].
+    ///
+    /// [`mark_clean`]: UpperHalfSpace::mark_clean
+    pub fn is_dirty(&self, name: &str) -> bool {
+        self.dirty.contains(name)
+    }
+
+    /// Names of the regions touched since the last clean point, sorted.
+    pub fn dirty_regions(&self) -> Vec<&str> {
+        self.dirty.iter().map(|s| s.as_str()).collect()
+    }
+
+    /// Number of dirty regions.
+    pub fn dirty_count(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Bytes held by dirty regions (an upper bound on what an incremental checkpoint
+    /// has to re-examine).
+    pub fn dirty_bytes(&self) -> usize {
+        self.dirty
+            .iter()
+            .filter_map(|name| self.regions.get(name))
+            .map(|data| data.len())
+            .sum()
+    }
+
+    /// Forget all dirty marks (called after a checkpoint has captured the space, or
+    /// after a restore re-created it from a checkpoint).
+    pub fn mark_clean(&mut self) {
+        self.dirty.clear();
+    }
+
+    /// Mark every region dirty (forces the next incremental checkpoint to re-encode
+    /// everything; chunk-level dedup still applies).
+    pub fn mark_all_dirty(&mut self) {
+        self.dirty = self.regions.keys().cloned().collect();
+    }
+
+    /// The checkpoint epoch this space is in.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Advance the epoch by one: the caller has just completed a checkpoint of this
+    /// space (or restored it from one).
+    pub fn advance_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Restore a recorded epoch (image decode / storage-engine read path).
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
     /// Store a serde-serializable value into a region as JSON bytes. Convenience used
     /// by the proxy applications for their structured state.
-    pub fn store_json<T: Serialize>(&mut self, name: impl Into<String>, value: &T) -> MpiResult<()> {
+    pub fn store_json<T: Serialize>(
+        &mut self,
+        name: impl Into<String>,
+        value: &T,
+    ) -> MpiResult<()> {
         let bytes = serde_json::to_vec(value)
             .map_err(|e| MpiError::Checkpoint(format!("serializing region: {e}")))?;
         self.map_region(name, bytes);
@@ -168,6 +264,55 @@ mod tests {
         let loaded: AppState = space.load_json("app.state").unwrap();
         assert_eq!(loaded, state);
         assert!(space.load_json::<AppState>("missing").is_err());
+    }
+
+    #[test]
+    fn dirty_tracking_follows_mutation() {
+        let mut space = UpperHalfSpace::new();
+        space.map_region("a", vec![1]);
+        space.map_region("b", vec![2]);
+        assert!(space.is_dirty("a") && space.is_dirty("b"));
+        assert_eq!(space.dirty_count(), 2);
+        assert_eq!(space.dirty_bytes(), 2);
+
+        space.mark_clean();
+        assert_eq!(space.dirty_count(), 0);
+
+        // Read-only access stays clean; mutable access marks dirty.
+        let _ = space.region("a").unwrap();
+        assert!(!space.is_dirty("a"));
+        space.region_mut("b").unwrap().push(9);
+        assert!(space.is_dirty("b"));
+        assert_eq!(space.dirty_regions(), vec!["b"]);
+
+        // Unmapping drops the region from the dirty set too.
+        space.unmap_region("b").unwrap();
+        assert_eq!(space.dirty_count(), 0);
+
+        space.mark_all_dirty();
+        assert!(space.is_dirty("a"));
+    }
+
+    #[test]
+    fn epoch_advances_and_roundtrips() {
+        let mut space = UpperHalfSpace::new();
+        assert_eq!(space.epoch(), 0);
+        space.advance_epoch();
+        space.advance_epoch();
+        assert_eq!(space.epoch(), 2);
+        space.set_epoch(7);
+        assert_eq!(space.epoch(), 7);
+    }
+
+    #[test]
+    fn equality_ignores_dirty_marks() {
+        let mut a = UpperHalfSpace::new();
+        a.map_region("x", vec![1, 2]);
+        let mut b = a.clone();
+        b.mark_clean();
+        assert_eq!(a, b, "dirty marks must not affect equality");
+        b.advance_epoch();
+        assert_ne!(a, b, "epoch participates in equality");
     }
 
     #[test]

@@ -180,6 +180,9 @@ mod tests {
 
     #[test]
     fn zero_native_time_is_safe() {
-        assert_eq!(CrossingProfile::fsgsbase(0.0).relative_overhead(100, 0.0), 0.0);
+        assert_eq!(
+            CrossingProfile::fsgsbase(0.0).relative_overhead(100, 0.0),
+            0.0
+        );
     }
 }

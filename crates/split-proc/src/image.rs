@@ -1,15 +1,21 @@
 //! The checkpoint image: a self-describing binary serialization of one rank's upper
 //! half plus a small metadata header.
 //!
-//! Layout:
+//! Layout (version 3):
 //!
 //! ```text
 //! magic (8 bytes, "MANACKPT")
 //! version (u32 LE)
 //! metadata length (u32 LE) | metadata JSON
+//! checkpoint epoch (u64 LE)
 //! region count (u32 LE)
 //! per region: name length (u32 LE) | name UTF-8 | data length (u64 LE) | data
+//! crc32 of everything above (u32 LE)
 //! ```
+//!
+//! The trailing CRC-32 makes any single-byte corruption (and any truncation) of a
+//! stored image detectable at decode time, which is what lets restart fall back to an
+//! older generation instead of resurrecting silently wrong state.
 //!
 //! The format mirrors the property the paper highlights in §4.2: the MANA-internal
 //! descriptor structures are *not* given a special section in the image — they are
@@ -17,12 +23,13 @@
 //! is independent of MANA's internal data-structure layout.
 
 use crate::address_space::UpperHalfSpace;
+use crate::integrity::{crc32, Cursor};
 use mpi_model::error::{MpiError, MpiResult};
 use mpi_model::types::Rank;
 use serde::{Deserialize, Serialize};
 
 const MAGIC: &[u8; 8] = b"MANACKPT";
-const VERSION: u32 = 2;
+const VERSION: u32 = 3;
 
 /// Metadata stored in the image header.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -67,12 +74,13 @@ impl CheckpointImage {
         let metadata =
             serde_json::to_vec(&self.metadata).expect("image metadata always serializes");
         let mut out = Vec::with_capacity(
-            8 + 4 + 4 + metadata.len() + 4 + self.upper_half.total_bytes() + 64,
+            8 + 4 + 4 + metadata.len() + 8 + 4 + self.upper_half.total_bytes() + 64,
         );
         out.extend_from_slice(MAGIC);
         out.extend_from_slice(&VERSION.to_le_bytes());
         out.extend_from_slice(&(metadata.len() as u32).to_le_bytes());
         out.extend_from_slice(&metadata);
+        out.extend_from_slice(&self.upper_half.epoch().to_le_bytes());
         out.extend_from_slice(&(self.upper_half.region_count() as u32).to_le_bytes());
         for (name, data) in self.upper_half.iter() {
             out.extend_from_slice(&(name.len() as u32).to_le_bytes());
@@ -80,12 +88,15 @@ impl CheckpointImage {
             out.extend_from_slice(&(data.len() as u64).to_le_bytes());
             out.extend_from_slice(data);
         }
+        let checksum = crc32(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
         out
     }
 
-    /// Decode a binary image.
+    /// Decode a binary image, verifying the trailing CRC-32 first: truncated and
+    /// corrupted images are rejected before any of their content is interpreted.
     pub fn decode(bytes: &[u8]) -> MpiResult<Self> {
-        let mut cursor = Cursor { bytes, pos: 0 };
+        let mut cursor = Cursor::new(bytes, "checkpoint image");
         let magic = cursor.take(8)?;
         if magic != MAGIC {
             return Err(MpiError::Checkpoint("bad checkpoint image magic".into()));
@@ -96,10 +107,25 @@ impl CheckpointImage {
                 "unsupported checkpoint image version {version} (expected {VERSION})"
             )));
         }
+        if bytes.len() < 20 {
+            return Err(MpiError::Checkpoint(
+                "truncated checkpoint image".to_string(),
+            ));
+        }
+        let payload_end = bytes.len() - 4;
+        let stored_crc = u32::from_le_bytes(bytes[payload_end..].try_into().expect("4 bytes"));
+        let computed_crc = crc32(&bytes[..payload_end]);
+        if stored_crc != computed_crc {
+            return Err(MpiError::Checkpoint(format!(
+                "checkpoint image failed CRC validation \
+                 (stored {stored_crc:#010x}, computed {computed_crc:#010x})"
+            )));
+        }
         let metadata_len = cursor.u32()? as usize;
         let metadata_bytes = cursor.take(metadata_len)?;
         let metadata: ImageMetadata = serde_json::from_slice(metadata_bytes)
             .map_err(|e| MpiError::Checkpoint(format!("bad image metadata: {e}")))?;
+        let epoch = cursor.u64()?;
         let region_count = cursor.u32()? as usize;
         let mut upper_half = UpperHalfSpace::new();
         for _ in 0..region_count {
@@ -111,42 +137,19 @@ impl CheckpointImage {
             let data = cursor.take(data_len)?.to_vec();
             upper_half.map_region(name, data);
         }
-        if cursor.pos != bytes.len() {
+        if cursor.pos() != payload_end {
             return Err(MpiError::Checkpoint(format!(
-                "trailing garbage after checkpoint image: {} bytes",
-                bytes.len() - cursor.pos
+                "checkpoint image length mismatch: {} bytes",
+                payload_end.abs_diff(cursor.pos())
             )));
         }
+        // A decoded image is clean relative to the checkpoint it came from.
+        upper_half.set_epoch(epoch);
+        upper_half.mark_clean();
         Ok(CheckpointImage {
             metadata,
             upper_half,
         })
-    }
-}
-
-struct Cursor<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Cursor<'a> {
-    fn take(&mut self, n: usize) -> MpiResult<&'a [u8]> {
-        if self.pos + n > self.bytes.len() {
-            return Err(MpiError::Checkpoint(
-                "truncated checkpoint image".to_string(),
-            ));
-        }
-        let slice = &self.bytes[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(slice)
-    }
-
-    fn u32(&mut self) -> MpiResult<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
-    }
-
-    fn u64(&mut self) -> MpiResult<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 }
 
@@ -178,7 +181,10 @@ mod tests {
         let decoded = CheckpointImage::decode(&encoded).unwrap();
         assert_eq!(decoded, image);
         assert_eq!(decoded.metadata.rank, 3);
-        assert_eq!(decoded.upper_half.region("app.heap").unwrap(), &[1, 2, 3, 4, 5]);
+        assert_eq!(
+            decoded.upper_half.region("app.heap").unwrap(),
+            &[1, 2, 3, 4, 5]
+        );
     }
 
     #[test]
@@ -201,6 +207,48 @@ mod tests {
         encoded[8] = 99; // version field
         let err = CheckpointImage::decode(&encoded).unwrap_err();
         assert!(matches!(err, MpiError::Checkpoint(_)));
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_boundary() {
+        let encoded = sample_image().encode();
+        // Every proper prefix must fail to decode — whether the cut lands in the
+        // header, the metadata JSON, a region payload, or the CRC itself.
+        for cut in 0..encoded.len() {
+            assert!(
+                CheckpointImage::decode(&encoded[..cut]).is_err(),
+                "truncation to {cut}/{} bytes was accepted",
+                encoded.len()
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_every_single_byte_corruption() {
+        let encoded = sample_image().encode();
+        // Flip one bit of every byte in turn: each corrupted image must be rejected.
+        // (Without the CRC trailer, flips inside region payloads decoded "cleanly".)
+        for position in 0..encoded.len() {
+            let mut corrupted = encoded.clone();
+            corrupted[position] ^= 0x40;
+            assert!(
+                CheckpointImage::decode(&corrupted).is_err(),
+                "single-byte corruption at offset {position} was accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn epoch_survives_the_image_roundtrip() {
+        let mut image = sample_image();
+        image.upper_half.set_epoch(5);
+        image.upper_half.region_mut("app.heap").unwrap().push(9);
+        assert!(image.upper_half.is_dirty("app.heap"));
+        let decoded = CheckpointImage::decode(&image.encode()).unwrap();
+        assert_eq!(decoded.upper_half.epoch(), 5);
+        // The decoded copy is clean: it *is* the checkpoint.
+        assert_eq!(decoded.upper_half.dirty_count(), 0);
+        assert_eq!(decoded, image);
     }
 
     #[test]

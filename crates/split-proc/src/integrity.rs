@@ -1,0 +1,141 @@
+//! Integrity primitives shared by the checkpoint image format and the `ckpt-store`
+//! storage engine: CRC-32 (IEEE) for end-to-end corruption detection and FNV-1a/64 for
+//! content addressing of chunks.
+//!
+//! Both are implemented in-tree (no registry access) and are deliberately simple: the
+//! threat model is bit rot and truncation on a checkpoint filesystem, not an
+//! adversary. FNV-1a/64 collisions between distinct chunks of the same length are
+//! astronomically unlikely at the store sizes this simulation handles, and the chunk
+//! store keys on `(digest, length)` to shrink the window further.
+
+use mpi_model::error::{MpiError, MpiResult};
+
+/// CRC-32 lookup table for the IEEE polynomial (0xEDB88320, reflected).
+const CRC32_TABLE: [u32; 256] = build_crc32_table();
+
+const fn build_crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 (IEEE 802.3) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ byte as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// FNV-1a 64-bit digest of `bytes` (the chunk content address).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &byte in bytes {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Bounds-checked little-endian byte cursor shared by the binary checkpoint formats
+/// (the flat image and `ckpt-store`'s manifest). `what` names the format in
+/// truncation errors ("checkpoint image", "checkpoint manifest").
+pub struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    what: &'static str,
+}
+
+impl<'a> Cursor<'a> {
+    /// Start reading `bytes` from the beginning.
+    pub fn new(bytes: &'a [u8], what: &'static str) -> Self {
+        Cursor {
+            bytes,
+            pos: 0,
+            what,
+        }
+    }
+
+    /// Current read position.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Read `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> MpiResult<&'a [u8]> {
+        if self.pos + n > self.bytes.len() {
+            return Err(MpiError::Checkpoint(format!("truncated {}", self.what)));
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> MpiResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> MpiResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> MpiResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Classic check value for the ASCII digits "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let data = vec![0x5Au8; 4096];
+        let baseline = crc32(&data);
+        for position in [0usize, 1, 100, 4095] {
+            let mut corrupted = data.clone();
+            corrupted[position] ^= 0x01;
+            assert_ne!(crc32(&corrupted), baseline, "flip at {position} undetected");
+        }
+    }
+
+    #[test]
+    fn fnv_known_vectors() {
+        assert_eq!(fnv1a64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171F73967E8);
+    }
+
+    #[test]
+    fn fnv_distinguishes_neighbouring_chunks() {
+        let a = vec![0u8; 65536];
+        let mut b = a.clone();
+        b[40000] = 1;
+        assert_ne!(fnv1a64(&a), fnv1a64(&b));
+    }
+}

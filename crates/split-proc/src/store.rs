@@ -78,11 +78,14 @@ pub struct WriteReport {
     pub effective_bandwidth_mb_s: f64,
 }
 
+/// Encoded images keyed by `(generation, rank)`.
+type ImageTable = HashMap<(u64, Rank), Vec<u8>>;
+
 /// An in-memory checkpoint store shared by all ranks of a job, keyed by
 /// `(generation, rank)`.
 #[derive(Debug, Clone, Default)]
 pub struct CheckpointStore {
-    inner: Arc<Mutex<HashMap<(u64, Rank), Vec<u8>>>>,
+    inner: Arc<Mutex<ImageTable>>,
     config: Option<StoreConfig>,
 }
 
@@ -109,10 +112,7 @@ impl CheckpointStore {
             .lock()
             .insert((generation, image.metadata.rank), encoded);
         let size_mb = bytes as f64 / 1.0e6;
-        let write_time_s = self
-            .config
-            .map(|c| c.write_time_s(size_mb))
-            .unwrap_or(0.0);
+        let write_time_s = self.config.map(|c| c.write_time_s(size_mb)).unwrap_or(0.0);
         WriteReport {
             bytes,
             write_time_s,

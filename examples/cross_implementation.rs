@@ -51,6 +51,7 @@ fn main() {
                 state_scale: 1e-4,
                 checkpoint_at: Some(CHECKPOINT_AT),
                 store: Some(store_for_ranks.clone()),
+                storage: None,
             },
         )?;
         println!(
@@ -71,7 +72,9 @@ fn main() {
     let registry = std::sync::Arc::new(parking_lot::RwLock::new(
         mana_repro::mpi_model::op::UserFunctionRegistry::new(),
     ));
-    let new_lowers = openmpi.launch(RANKS, registry.clone(), 2).expect("relaunch");
+    let new_lowers = openmpi
+        .launch(RANKS, registry.clone(), 2)
+        .expect("relaunch");
     let restarted = restart_job(new_lowers, images, config, registry).expect("restart");
     let reports = run_ranks(restarted, |mut rank| {
         let implementation = rank.implementation_name();
@@ -83,6 +86,7 @@ fn main() {
                 state_scale: 1e-4,
                 checkpoint_at: None,
                 store: None,
+                storage: None,
             },
         )?;
         Ok((implementation, report))
@@ -94,5 +98,7 @@ fn main() {
             report.rank, implementation, report.iterations_completed, report.checksum
         );
     }
-    println!("\ncheckpointed under MPICH, restarted under Open MPI — same application, same handles.");
+    println!(
+        "\ncheckpointed under MPICH, restarted under Open MPI — same application, same handles."
+    );
 }

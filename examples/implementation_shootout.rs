@@ -29,8 +29,8 @@ fn main() {
     for factory in factories {
         // CoMD and LULESH stay within ExaMPI's subset; run both everywhere.
         for app in [AppId::CoMd, AppId::Lulesh] {
-            let ranks = launch_mana_job(factory, RANKS, ManaConfig::new_design(), 7)
-                .expect("launch");
+            let ranks =
+                launch_mana_job(factory, RANKS, ManaConfig::new_design(), 7).expect("launch");
             let reports = run_ranks(ranks, move |mut rank| {
                 run_app(
                     app,
@@ -40,12 +40,12 @@ fn main() {
                         state_scale: 1e-4,
                         checkpoint_at: None,
                         store: None,
+                        storage: None,
                     },
                 )
             })
             .expect("run");
-            let crossings =
-                reports.iter().map(|r| r.crossings).sum::<u64>() / reports.len() as u64;
+            let crossings = reports.iter().map(|r| r.crossings).sum::<u64>() / reports.len() as u64;
             println!(
                 "{:<10} {:<8} {:>12} {:>16} {:>14.6}",
                 factory.name(),

@@ -56,7 +56,9 @@ fn main() {
     let registry = std::sync::Arc::new(parking_lot::RwLock::new(
         mana_repro::mpi_model::op::UserFunctionRegistry::new(),
     ));
-    let new_lowers = factory.launch(RANKS, registry.clone(), 2).expect("relaunch");
+    let new_lowers = factory
+        .launch(RANKS, registry.clone(), 2)
+        .expect("relaunch");
     let restarted = restart_job(new_lowers, images, config, registry).expect("restart");
 
     let results = run_ranks(restarted, |mut rank| {
@@ -76,7 +78,9 @@ fn main() {
     .expect("phase 2");
 
     for (me, before, after) in results {
-        println!("rank {me}: sum before checkpoint = {before}, new global sum after restart = {after}");
+        println!(
+            "rank {me}: sum before checkpoint = {before}, new global sum after restart = {after}"
+        );
     }
     println!("\nquickstart finished: the same virtual handles survived the restart.");
 }

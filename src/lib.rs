@@ -12,6 +12,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use ckpt_store;
 pub use exampi_sim;
 pub use mana;
 pub use mana_apps;
@@ -61,7 +62,8 @@ pub fn launch_mana_job_with_registry(
 }
 
 /// Run one closure per rank, each on its own thread, and collect the results in rank
-/// order. Panics in a rank are surfaced as an [`MpiError::Internal`].
+/// order. A panic in a rank is surfaced as an [`MpiError::Internal`] naming the
+/// world rank that panicked (and the panic message, when it carries one).
 pub fn run_ranks<T, F>(ranks: Vec<ManaRank>, body: F) -> MpiResult<Vec<T>>
 where
     T: Send + 'static,
@@ -71,17 +73,21 @@ where
     let handles: Vec<_> = ranks
         .into_iter()
         .map(|rank| {
+            let world_rank = rank.world_rank();
             let body = Arc::clone(&body);
-            std::thread::spawn(move || body(rank))
+            (world_rank, std::thread::spawn(move || body(rank)))
         })
         .collect();
     let mut results = Vec::with_capacity(handles.len());
-    for handle in handles {
-        results.push(
-            handle
-                .join()
-                .map_err(|_| MpiError::Internal("a rank thread panicked".into()))??,
-        );
+    for (world_rank, handle) in handles {
+        results.push(handle.join().map_err(|payload| {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            MpiError::Internal(format!("rank {world_rank} thread panicked: {message}"))
+        })??);
     }
     Ok(results)
 }
@@ -108,5 +114,32 @@ mod tests {
         })
         .unwrap();
         assert_eq!(results, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn run_ranks_reports_which_rank_panicked() {
+        let ranks = launch_mana_job(
+            &mpich_sim::MpichFactory::mpich(),
+            3,
+            ManaConfig::new_design(),
+            2,
+        )
+        .unwrap();
+        let err = run_ranks(ranks, |rank| {
+            if rank.world_rank() == 1 {
+                panic!("deliberate test panic");
+            }
+            Ok(rank.world_rank())
+        })
+        .unwrap_err();
+        let message = format!("{err:?}");
+        assert!(
+            message.contains("rank 1"),
+            "panicking rank not named: {message}"
+        );
+        assert!(
+            message.contains("deliberate test panic"),
+            "panic payload not surfaced: {message}"
+        );
     }
 }

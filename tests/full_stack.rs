@@ -45,7 +45,11 @@ fn every_app_restarts_equivalently_on_openmpi() {
             &config(ManaConfig::new_design(), true),
         )
         .unwrap();
-        assert!(result.restart_equivalent, "{} failed on Open MPI", app.name());
+        assert!(
+            result.restart_equivalent,
+            "{} failed on Open MPI",
+            app.name()
+        );
     }
 }
 
@@ -97,12 +101,14 @@ fn subset_audit_matches_the_paper() {
     // All three implementations satisfy §5's required subset; only ExaMPI drops
     // optional features.
     for (factory, full_featured) in [
-        (&mpich_sim::MpichFactory::mpich() as &dyn MpiImplementationFactory, true),
+        (
+            &mpich_sim::MpichFactory::mpich() as &dyn MpiImplementationFactory,
+            true,
+        ),
         (&openmpi_sim::OpenMpiFactory::new(), true),
         (&exampi_sim::ExaMpiFactory::new(), false),
     ] {
-        let ranks =
-            mana_repro::launch_mana_job(factory, 1, ManaConfig::new_design(), 5).unwrap();
+        let ranks = mana_repro::launch_mana_job(factory, 1, ManaConfig::new_design(), 5).unwrap();
         let audit = ranks[0].audit_lower_half();
         assert!(audit.compatible(), "{} must host MANA", factory.name());
         let has_comm_dup = audit

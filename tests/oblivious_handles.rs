@@ -83,5 +83,8 @@ fn physical_constant_regimes_really_do_differ_underneath() {
     assert_eq!(exampi_res, ConstantResolution::LazySharedPointer);
     assert!(mpich_world.bits() <= u32::MAX as u64);
     assert!(ompi_world_a.bits() > u32::MAX as u64);
-    assert_ne!(ompi_world_a, ompi_world_b, "Open MPI constants move between sessions");
+    assert_ne!(
+        ompi_world_a, ompi_world_b,
+        "Open MPI constants move between sessions"
+    );
 }
