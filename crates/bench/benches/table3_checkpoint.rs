@@ -145,6 +145,29 @@ fn bench_ckpt_store(c: &mut Criterion) {
         }
     }
     group.finish();
+
+    // The coordinated-checkpoint concurrency comparison: 8 ranks writing one
+    // generation in parallel through the sharded store vs the serialized
+    // whole-write-lock baseline of the pre-shard engine.
+    let mut group = c.benchmark_group("ckpt_store_parallel_generation_write");
+    group.sample_size(10);
+    group.bench_function("serialized_baseline", |b| {
+        b.iter(|| {
+            black_box(mana_bench::measure_parallel_checkpoint(
+                ckpt_store::DEFAULT_SHARD_COUNT,
+                true,
+            ))
+        })
+    });
+    group.bench_function("sharded_parallel", |b| {
+        b.iter(|| {
+            black_box(mana_bench::measure_parallel_checkpoint(
+                ckpt_store::DEFAULT_SHARD_COUNT,
+                false,
+            ))
+        })
+    });
+    group.finish();
 }
 
 criterion_group! {

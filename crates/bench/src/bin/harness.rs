@@ -3,17 +3,54 @@
 //! Usage:
 //!
 //! ```text
-//! harness [--json] [table1|table2|table3|ckpt-store|figure2|figure3|figure4|cs-rate|validate|all]
+//! harness [--json] [table1|table2|table3|ckpt-store|parallel|figure2|figure3|figure4|cs-rate|validate|all]
+//! harness ci
 //! ```
 //!
 //! With no argument (or `all`) every section is produced. `--json` emits the
 //! machine-readable report used to populate EXPERIMENTS.md.
+//!
+//! `ci` runs the quick smoke mode: it measures the `ckpt-store` byte-reduction rows
+//! and the parallel sharded-vs-serialized write comparison, writes `BENCH_ci.json`
+//! for the CI artifact upload, and **exits nonzero** if the incremental-vs-full byte
+//! reduction at 1% dirty regresses below the gate (50x).
 
 use mana_apps::workloads::{perlmutter_workloads, single_node_workloads};
 use mana_apps::AppId;
 use mana_bench::model::{figure2_rows, figure3_rows, figure4_rows, table3_rows, CostModel};
-use mana_bench::report::Report;
+use mana_bench::report::{CiReport, Report};
 use mana_bench::runner::{run_small_scale, SmallScaleConfig};
+
+/// Minimum acceptable incremental-vs-full byte reduction at 1% dirty.
+const CI_REDUCTION_GATE: f64 = 50.0;
+
+/// The `harness ci` smoke mode: measure, write `BENCH_ci.json`, gate.
+fn run_ci() -> std::process::ExitCode {
+    let report = CiReport::measure(CI_REDUCTION_GATE);
+    std::fs::write("BENCH_ci.json", report.render_json()).expect("write BENCH_ci.json");
+
+    println!("{}", mana_bench::storage_comparison_note());
+    println!(
+        "{}",
+        mana_bench::parallel_checkpoint_note_from(report.parallel_rows.clone())
+    );
+    println!(
+        "incremental reduction at 1% dirty: {:.1}x (gate: {:.0}x) — {}",
+        report.incremental_reduction_1pct,
+        report.reduction_gate,
+        if report.pass { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "parallel sharded write speedup over serialized baseline: {:.1}x",
+        report.parallel_speedup
+    );
+    println!("wrote BENCH_ci.json");
+    if report.pass {
+        std::process::ExitCode::SUCCESS
+    } else {
+        std::process::ExitCode::FAILURE
+    }
+}
 
 fn table1_note() -> String {
     let mut note = String::from("== Table 1: single-node inputs (Discovery) ==\n");
@@ -101,7 +138,7 @@ fn validation_runs() -> Vec<mana_bench::SmallScaleResult> {
     runs
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
     let selections: Vec<&str> = args
@@ -109,6 +146,9 @@ fn main() {
         .filter(|a| !a.starts_with("--"))
         .map(|a| a.as_str())
         .collect();
+    if selections.contains(&"ci") {
+        return run_ci();
+    }
     let want = |section: &str| {
         selections.is_empty() || selections.contains(&"all") || selections.contains(&section)
     };
@@ -162,6 +202,9 @@ fn main() {
     if want("ckpt-store") {
         report.notes.push(mana_bench::storage_comparison_note());
     }
+    if want("parallel") {
+        report.notes.push(mana_bench::parallel_checkpoint_note());
+    }
     if want("validate") {
         report.validation_runs = validation_runs();
     }
@@ -171,4 +214,5 @@ fn main() {
     } else {
         println!("{}", report.render_text());
     }
+    std::process::ExitCode::SUCCESS
 }

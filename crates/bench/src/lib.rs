@@ -28,7 +28,10 @@ pub mod model;
 pub mod report;
 pub mod runner;
 
-pub use ckpt::{storage_comparison_note, StorageRow};
+pub use ckpt::{
+    measure_parallel_checkpoint, parallel_checkpoint_note, parallel_checkpoint_note_from,
+    parallel_checkpoint_rows, storage_comparison_note, ParallelCkptRow, StorageRow,
+};
 pub use model::{CostModel, OverheadRow};
-pub use report::Report;
+pub use report::{CiReport, Report};
 pub use runner::{run_small_scale, SmallScaleConfig, SmallScaleResult};

@@ -1,5 +1,6 @@
 //! Plain-text and JSON rendering of the harness output.
 
+use crate::ckpt::{ParallelCkptRow, StorageRow};
 use crate::model::{CheckpointRow, OverheadRow};
 use crate::runner::SmallScaleResult;
 use serde::{Deserialize, Serialize};
@@ -102,6 +103,72 @@ impl Report {
     /// Render as pretty-printed JSON (machine-readable form for EXPERIMENTS.md).
     pub fn render_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+/// The machine-readable CI smoke report (`BENCH_ci.json`): the quick `ckpt-store`
+/// and parallel-checkpoint measurements plus the regression gates CI enforces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CiReport {
+    /// Full vs incremental vs incremental+compressed rows at 1/10/100% dirty.
+    pub storage_rows: Vec<StorageRow>,
+    /// Parallel sharded vs serialized baseline write rows.
+    pub parallel_rows: Vec<ParallelCkptRow>,
+    /// `logical / written` for the `Incremental` policy at 1% dirty — the headline
+    /// byte-reduction number the CI gate protects.
+    pub incremental_reduction_1pct: f64,
+    /// Wall-time speedup of the sharded parallel write over the serialized baseline.
+    pub parallel_speedup: f64,
+    /// Minimum acceptable `incremental_reduction_1pct`.
+    pub reduction_gate: f64,
+    /// Whether every gate passed.
+    pub pass: bool,
+}
+
+impl CiReport {
+    /// Measure everything the CI smoke job checks. `reduction_gate` is the minimum
+    /// acceptable incremental-vs-full byte reduction at 1% dirty.
+    pub fn measure(reduction_gate: f64) -> Self {
+        let storage_rows = crate::ckpt::storage_rows();
+        let parallel_rows = crate::ckpt::parallel_checkpoint_rows();
+        let incremental_reduction_1pct = storage_rows
+            .iter()
+            .find(|row| {
+                row.policy == ckpt_store::StoragePolicy::Incremental
+                    && (row.dirty_fraction - 0.01).abs() < 1e-9
+            })
+            .map(|row| row.reduction)
+            .unwrap_or(0.0);
+        let baseline = parallel_rows
+            .iter()
+            .find(|r| r.serialized)
+            .map(|r| r.wall_seconds)
+            .unwrap_or(0.0);
+        let parallel_speedup = parallel_rows
+            .iter()
+            .find(|r| !r.serialized && r.shards == ckpt_store::DEFAULT_SHARD_COUNT)
+            .map(|r| {
+                if r.wall_seconds > 0.0 {
+                    baseline / r.wall_seconds
+                } else {
+                    f64::INFINITY
+                }
+            })
+            .unwrap_or(0.0);
+        let pass = incremental_reduction_1pct >= reduction_gate;
+        CiReport {
+            storage_rows,
+            parallel_rows,
+            incremental_reduction_1pct,
+            parallel_speedup,
+            reduction_gate,
+            pass,
+        }
+    }
+
+    /// Pretty JSON for the artifact upload.
+    pub fn render_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("ci report serializes")
     }
 }
 

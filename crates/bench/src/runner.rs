@@ -6,7 +6,7 @@ use mana::restart::restart_job_from_storage;
 use mana::{ManaConfig, ManaRank};
 use mana_apps::{run_app, AppId, RunConfig};
 use mpi_model::api::MpiImplementationFactory;
-use mpi_model::error::{MpiError, MpiResult};
+use mpi_model::error::MpiResult;
 use mpi_model::op::UserFunctionRegistry;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
@@ -76,25 +76,13 @@ fn run_job(
 ) -> MpiResult<Vec<mana_apps::AppReport>> {
     let lowers = factory.launch(config.ranks, registry.clone(), session)?;
     let mana_config = config.mana;
-    let handles: Vec<_> = lowers
+    let ranks: Vec<ManaRank> = lowers
         .into_iter()
-        .map(|lower| {
-            let registry = registry.clone();
-            let run_config = run_config.clone();
-            std::thread::spawn(move || -> MpiResult<mana_apps::AppReport> {
-                let mut rank = ManaRank::new(lower, mana_config, registry)?;
-                run_app(app, &mut rank, &run_config)
-            })
-        })
-        .collect();
-    let mut reports = Vec::with_capacity(config.ranks);
-    for handle in handles {
-        reports.push(
-            handle
-                .join()
-                .map_err(|_| MpiError::Internal("application rank panicked".into()))??,
-        );
-    }
+        .map(|lower| ManaRank::new(lower, mana_config, registry.clone()))
+        .collect::<MpiResult<_>>()?;
+    let mut reports = job_runtime::run_world(ranks, move |_, mut rank| {
+        run_app(app, &mut rank, &run_config)
+    })?;
     reports.sort_by_key(|r| r.rank);
     Ok(reports)
 }
@@ -166,23 +154,9 @@ pub fn run_small_scale(
                 store: None,
                 storage: None,
             };
-            let handles: Vec<_> = restarted
-                .into_iter()
-                .map(|mut rank| {
-                    let finish_config = finish_config.clone();
-                    std::thread::spawn(move || -> MpiResult<mana_apps::AppReport> {
-                        run_app(app, &mut rank, &finish_config)
-                    })
-                })
-                .collect();
-            let mut resumed = Vec::with_capacity(config.ranks);
-            for handle in handles {
-                resumed.push(
-                    handle
-                        .join()
-                        .map_err(|_| MpiError::Internal("restarted rank panicked".into()))??,
-                );
-            }
+            let mut resumed = job_runtime::run_world(restarted, move |_, mut rank| {
+                run_app(app, &mut rank, &finish_config)
+            })?;
             resumed.sort_by_key(|r| r.rank);
             let equivalent = reference.iter().zip(resumed.iter()).all(|(a, b)| {
                 a.checksum == b.checksum && b.iterations_completed == config.iterations

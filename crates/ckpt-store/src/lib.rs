@@ -36,7 +36,7 @@ pub mod store;
 
 pub use chunk::{ChunkRef, DEFAULT_CHUNK_SIZE};
 pub use manifest::{Manifest, RegionManifest};
-pub use store::{CheckpointStorage, StorageStats, StoreReport};
+pub use store::{CheckpointStorage, StorageStats, StoreReport, DEFAULT_SHARD_COUNT};
 
 use serde::{Deserialize, Serialize};
 

@@ -104,29 +104,24 @@ struct ChunkEntry {
     compressed: bool,
 }
 
-/// Remove whatever `(generation, rank)` currently holds, decrementing the chunk
-/// references a removed manifest owned. Zero-ref chunks stay resident until the next
-/// `prune_before` sweep (or are immediately re-referenced by a rewrite).
-///
-/// Best effort on an undecodable manifest: it cannot tell us which chunks to
-/// release, so its chunks leak until the store is dropped.
-fn release_slot(inner: &mut Inner, generation: u64, rank: Rank) {
-    inner.full_images.remove(&(generation, rank));
-    if let Some(bytes) = inner.manifests.remove(&(generation, rank)) {
-        if let Ok(manifest) = Manifest::decode(&bytes) {
-            for chunk in manifest.chunk_refs() {
-                if let Some(entry) = inner.chunks.get_mut(&chunk.key()) {
-                    entry.refs = entry.refs.saturating_sub(1);
-                }
-            }
-        }
-    }
-}
+/// Number of digest-keyed chunk shards a store carves its content-addressed space
+/// into. Concurrent rank writes land on different shards with high probability, so an
+/// 8-rank coordinated checkpoint no longer serializes on one global lock.
+pub const DEFAULT_SHARD_COUNT: usize = 16;
 
+/// One digest-keyed slice of the content-addressed chunk space, behind its own lock.
 #[derive(Default)]
-struct Inner {
+struct ChunkShard {
     /// Content-addressed chunks, keyed by `(digest, raw_len)`.
     chunks: HashMap<(u64, u32), ChunkEntry>,
+}
+
+/// The per-job checkpoint catalog: which `(generation, rank)` slots exist and the
+/// encoded bytes of their manifests or flat images. Held separately from the chunk
+/// shards (and its lock is never held while a shard lock is taken), so catalog
+/// lookups and chunk traffic never contend with each other.
+#[derive(Default)]
+struct Catalog {
     /// Encoded manifests per `(generation, rank)` — kept encoded so every read
     /// re-validates the CRC, exactly like a file on a checkpoint filesystem.
     manifests: BTreeMap<(u64, Rank), Vec<u8>>,
@@ -136,11 +131,22 @@ struct Inner {
 
 /// The storage engine. Cloning shares the underlying store (all ranks of a job write
 /// into one engine, which is what makes cross-rank chunk dedup possible).
-#[derive(Clone, Default)]
+///
+/// Internally the chunk space is split into [`DEFAULT_SHARD_COUNT`] digest-keyed
+/// shards, each behind its own lock, so the parallel per-rank writes of a coordinated
+/// checkpoint proceed concurrently instead of queueing on one global mutex.
+#[derive(Clone)]
 pub struct CheckpointStorage {
-    inner: Arc<Mutex<Inner>>,
+    shards: Arc<Vec<Mutex<ChunkShard>>>,
+    catalog: Arc<Mutex<Catalog>>,
     model: Option<StoreConfig>,
     chunk_size: usize,
+}
+
+impl Default for CheckpointStorage {
+    fn default() -> Self {
+        CheckpointStorage::unmetered()
+    }
 }
 
 impl std::fmt::Debug for CheckpointStorage {
@@ -156,10 +162,12 @@ impl std::fmt::Debug for CheckpointStorage {
 }
 
 impl CheckpointStorage {
-    /// An unmetered engine (write time reported as zero) with the default chunk size.
+    /// An unmetered engine (write time reported as zero) with the default chunk size
+    /// and shard count.
     pub fn unmetered() -> Self {
         CheckpointStorage {
-            inner: Arc::new(Mutex::new(Inner::default())),
+            shards: Arc::new((0..DEFAULT_SHARD_COUNT).map(|_| Mutex::default()).collect()),
+            catalog: Arc::new(Mutex::new(Catalog::default())),
             model: None,
             chunk_size: DEFAULT_CHUNK_SIZE,
         }
@@ -179,6 +187,81 @@ impl CheckpointStorage {
     pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
         self.chunk_size = chunk_size.max(1);
         self
+    }
+
+    /// Override the number of digest-keyed chunk shards. `1` reproduces the old
+    /// single-lock engine (the serialized baseline the Table 3 bench compares
+    /// against); the default is [`DEFAULT_SHARD_COUNT`].
+    ///
+    /// Must be called before the store is shared (cloned): it rebuilds the shard set.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = Arc::new((0..shards.max(1)).map(|_| Mutex::default()).collect());
+        self
+    }
+
+    /// Number of digest-keyed chunk shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a chunk digest routes to.
+    fn shard(&self, digest: u64) -> &Mutex<ChunkShard> {
+        &self.shards[(digest % self.shards.len() as u64) as usize]
+    }
+
+    /// Increment the reference count of `key` if the chunk is resident, returning its
+    /// stored form `(stored_len, compressed)` when it was.
+    fn bump_chunk_ref(&self, key: (u64, u32)) -> Option<(u32, bool)> {
+        let mut shard = self.shard(key.0).lock();
+        shard.chunks.get_mut(&key).map(|entry| {
+            entry.refs += 1;
+            (entry.stored.len() as u32, entry.compressed)
+        })
+    }
+
+    /// Decrement the reference count of `key` (undo of a bump that must not stand).
+    fn release_chunk_ref(&self, key: (u64, u32)) {
+        let mut shard = self.shard(key.0).lock();
+        if let Some(entry) = shard.chunks.get_mut(&key) {
+            entry.refs = entry.refs.saturating_sub(1);
+        }
+    }
+
+    /// Re-reference every chunk of a previous generation's region, all or nothing:
+    /// returns `false` (with any partial bumps released) if a chunk is no longer
+    /// resident — a concurrent prune freed it after the manifest was snapshotted.
+    fn bump_region_refs(&self, region: &RegionManifest) -> bool {
+        for (position, chunk) in region.chunks.iter().enumerate() {
+            if self.bump_chunk_ref(chunk.key()).is_none() {
+                for taken in &region.chunks[..position] {
+                    self.release_chunk_ref(taken.key());
+                }
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Remove whatever `(generation, rank)` currently holds, decrementing the chunk
+    /// references a removed manifest owned. Zero-ref chunks stay resident until the
+    /// next `prune_before` sweep (or are immediately re-referenced by a rewrite).
+    ///
+    /// Best effort on an undecodable manifest: it cannot tell us which chunks to
+    /// release, so its chunks leak until the store is dropped.
+    fn release_slot(&self, generation: u64, rank: Rank) {
+        let removed = {
+            let mut catalog = self.catalog.lock();
+            catalog.full_images.remove(&(generation, rank));
+            catalog.manifests.remove(&(generation, rank))
+        };
+        if let Some(manifest) = removed.and_then(|bytes| Manifest::decode(&bytes).ok()) {
+            for chunk in manifest.chunk_refs() {
+                let mut shard = self.shard(chunk.digest).lock();
+                if let Some(entry) = shard.chunks.get_mut(&chunk.key()) {
+                    entry.refs = entry.refs.saturating_sub(1);
+                }
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -206,19 +289,20 @@ impl CheckpointStorage {
             write_time_s: 0.0,
         };
 
-        let mut inner = self.inner.lock();
         // Rewriting an existing (generation, rank) — e.g. re-checkpointing after a
         // restart replaced a torn generation — must release whatever the slot held,
         // or the replaced manifest's chunk references leak forever.
-        release_slot(&mut inner, generation, rank);
+        self.release_slot(generation, rank);
         if policy.is_incremental() {
-            self.write_chunked(&mut inner, policy, image, &mut report);
+            self.write_chunked(policy, image, &mut report);
         } else {
             let encoded = image.encode();
             report.written_bytes = encoded.len();
-            inner.full_images.insert((generation, rank), encoded);
+            self.catalog
+                .lock()
+                .full_images
+                .insert((generation, rank), encoded);
         }
-        drop(inner);
 
         if let Some(model) = self.model {
             report.write_time_s = model.write_time_s(report.written_bytes as f64 / 1.0e6);
@@ -228,7 +312,6 @@ impl CheckpointStorage {
 
     fn write_chunked(
         &self,
-        inner: &mut Inner,
         policy: StoragePolicy,
         image: &CheckpointImage,
         report: &mut StoreReport,
@@ -240,13 +323,18 @@ impl CheckpointStorage {
         // The previous generation's manifest for this rank, if its epoch chain links
         // directly to this image's epoch — otherwise dirty flags describe changes
         // relative to some *other* checkpoint and clean-region reuse would be unsound.
-        let previous = inner
-            .manifests
-            .range(..(generation, rank))
-            .rev()
-            .find(|((_, r), _)| *r == rank)
-            .and_then(|(_, bytes)| Manifest::decode(bytes).ok())
-            .filter(|m| m.base_epoch() == upper.epoch());
+        // Copied out under the catalog lock, decoded outside it.
+        let previous = {
+            let catalog = self.catalog.lock();
+            catalog
+                .manifests
+                .range(..(generation, rank))
+                .rev()
+                .find(|((_, r), _)| *r == rank)
+                .map(|(_, bytes)| bytes.clone())
+        }
+        .and_then(|bytes| Manifest::decode(&bytes).ok())
+        .filter(|m| m.base_epoch() == upper.epoch());
 
         let mut regions = Vec::with_capacity(upper.region_count());
         for (name, data) in upper.iter() {
@@ -258,28 +346,51 @@ impl CheckpointStorage {
             });
             if let Some(prev_region) = reusable {
                 // Clean region: re-reference the previous generation's chunks without
-                // re-reading the data.
-                for chunk in &prev_region.chunks {
-                    if let Some(entry) = inner.chunks.get_mut(&chunk.key()) {
-                        entry.refs += 1;
-                    }
+                // re-reading the data. A concurrent `prune_before` may have freed some
+                // of them between our catalog snapshot and now — if any bump misses,
+                // release the ones taken and re-chunk the region from its data
+                // instead of committing a manifest with dangling references.
+                if self.bump_region_refs(prev_region) {
+                    report.chunks_reused += prev_region.chunks.len();
+                    report.regions_reused += 1;
+                    regions.push(RegionManifest {
+                        reused: true,
+                        ..prev_region.clone()
+                    });
+                    continue;
                 }
-                report.chunks_reused += prev_region.chunks.len();
-                report.regions_reused += 1;
-                regions.push(RegionManifest {
-                    reused: true,
-                    ..prev_region.clone()
-                });
-                continue;
             }
 
             // Dirty (or un-reusable) region: chunk it; content addressing still
             // dedups any chunk the store has seen before, from any rank or
-            // generation.
+            // generation. Only the per-digest shard is locked, and never while
+            // compressing, so concurrent rank writes proceed in parallel.
             let mut chunks = Vec::with_capacity(data.len() / self.chunk_size + 1);
             for_each_chunk(data, self.chunk_size, |digest, piece| {
                 let key = (digest, piece.len() as u32);
-                if let Some(entry) = inner.chunks.get_mut(&key) {
+                if let Some((stored_len, compressed)) = self.bump_chunk_ref(key) {
+                    report.chunks_reused += 1;
+                    chunks.push(ChunkRef {
+                        digest,
+                        raw_len: piece.len() as u32,
+                        stored_len,
+                        compressed,
+                    });
+                    return;
+                }
+                let (stored, compressed) = if policy.compresses() {
+                    match rle_compress(piece) {
+                        Some(compressed) => (compressed, true),
+                        None => (piece.to_vec(), false),
+                    }
+                } else {
+                    (piece.to_vec(), false)
+                };
+                // Re-check under the shard lock: another rank may have stored the
+                // same content while we were compressing. Whoever loses the race
+                // re-references the winner's copy instead of inserting a duplicate.
+                let mut shard = self.shard(digest).lock();
+                if let Some(entry) = shard.chunks.get_mut(&key) {
                     entry.refs += 1;
                     report.chunks_reused += 1;
                     chunks.push(ChunkRef {
@@ -290,17 +401,9 @@ impl CheckpointStorage {
                     });
                     return;
                 }
-                let (stored, compressed) = if policy.compresses() {
-                    match rle_compress(piece) {
-                        Some(compressed) => {
-                            report.compression_saved_bytes += piece.len() - compressed.len();
-                            (compressed, true)
-                        }
-                        None => (piece.to_vec(), false),
-                    }
-                } else {
-                    (piece.to_vec(), false)
-                };
+                if compressed {
+                    report.compression_saved_bytes += piece.len() - stored.len();
+                }
                 report.chunks_new += 1;
                 report.written_bytes += stored.len();
                 chunks.push(ChunkRef {
@@ -309,7 +412,7 @@ impl CheckpointStorage {
                     stored_len: stored.len() as u32,
                     compressed,
                 });
-                inner.chunks.insert(
+                shard.chunks.insert(
                     key,
                     ChunkEntry {
                         refs: 1,
@@ -336,7 +439,10 @@ impl CheckpointStorage {
         let encoded = manifest.encode();
         report.manifest_bytes = encoded.len();
         report.written_bytes += encoded.len();
-        inner.manifests.insert((generation, rank), encoded);
+        self.catalog
+            .lock()
+            .manifests
+            .insert((generation, rank), encoded);
     }
 
     // ------------------------------------------------------------------
@@ -346,32 +452,42 @@ impl CheckpointStorage {
     /// Read one rank's image back, whichever policy wrote it, verifying the manifest
     /// CRC and every chunk digest (or the flat image's CRC) end to end.
     pub fn read(&self, generation: u64, rank: Rank) -> MpiResult<CheckpointImage> {
-        let inner = self.inner.lock();
-        if let Some(bytes) = inner.full_images.get(&(generation, rank)) {
-            return CheckpointImage::decode(bytes);
-        }
-        let manifest_bytes = inner.manifests.get(&(generation, rank)).ok_or_else(|| {
-            MpiError::Checkpoint(format!(
-                "no checkpoint for generation {generation}, rank {rank}"
-            ))
-        })?;
-        let manifest = Manifest::decode(manifest_bytes)?;
+        let manifest_bytes = {
+            let catalog = self.catalog.lock();
+            if let Some(bytes) = catalog.full_images.get(&(generation, rank)) {
+                return CheckpointImage::decode(bytes);
+            }
+            catalog
+                .manifests
+                .get(&(generation, rank))
+                .cloned()
+                .ok_or_else(|| {
+                    MpiError::Checkpoint(format!(
+                        "no checkpoint for generation {generation}, rank {rank}"
+                    ))
+                })?
+        };
+        let manifest = Manifest::decode(&manifest_bytes)?;
 
         let mut upper = split_proc::address_space::UpperHalfSpace::new();
         for region in &manifest.regions {
             let mut data = Vec::with_capacity(region.len as usize);
             for chunk in &region.chunks {
-                let entry = inner.chunks.get(&chunk.key()).ok_or_else(|| {
-                    MpiError::Checkpoint(format!(
-                        "chunk {:#018x} (len {}) referenced by generation {generation}, \
-                         rank {rank} is missing from the store",
-                        chunk.digest, chunk.raw_len
-                    ))
-                })?;
-                let raw = if entry.compressed {
-                    rle_decompress(&entry.stored, chunk.raw_len as usize)?
+                let (stored, compressed) = {
+                    let shard = self.shard(chunk.digest).lock();
+                    let entry = shard.chunks.get(&chunk.key()).ok_or_else(|| {
+                        MpiError::Checkpoint(format!(
+                            "chunk {:#018x} (len {}) referenced by generation {generation}, \
+                             rank {rank} is missing from the store",
+                            chunk.digest, chunk.raw_len
+                        ))
+                    })?;
+                    (entry.stored.clone(), entry.compressed)
+                };
+                let raw = if compressed {
+                    rle_decompress(&stored, chunk.raw_len as usize)?
                 } else {
-                    entry.stored.clone()
+                    stored
                 };
                 if raw.len() != chunk.raw_len as usize || fnv1a64(&raw) != chunk.digest {
                     return Err(MpiError::Checkpoint(format!(
@@ -399,17 +515,37 @@ impl CheckpointStorage {
 
     /// Whether a checkpoint exists (valid or not) for `(generation, rank)`.
     pub fn contains(&self, generation: u64, rank: Rank) -> bool {
-        let inner = self.inner.lock();
-        inner.manifests.contains_key(&(generation, rank))
-            || inner.full_images.contains_key(&(generation, rank))
+        let catalog = self.catalog.lock();
+        catalog.manifests.contains_key(&(generation, rank))
+            || catalog.full_images.contains_key(&(generation, rank))
     }
 
     /// All generations with at least one checkpoint, ascending.
     pub fn generations(&self) -> Vec<u64> {
-        let inner = self.inner.lock();
-        let mut generations: BTreeSet<u64> = inner.manifests.keys().map(|(g, _)| *g).collect();
-        generations.extend(inner.full_images.keys().map(|(g, _)| *g));
+        let catalog = self.catalog.lock();
+        let mut generations: BTreeSet<u64> = catalog.manifests.keys().map(|(g, _)| *g).collect();
+        generations.extend(catalog.full_images.keys().map(|(g, _)| *g));
         generations.into_iter().collect()
+    }
+
+    /// The ranks holding a checkpoint in `generation`, ascending (used by tests that
+    /// assert a committed generation is complete for the whole world).
+    pub fn ranks_in_generation(&self, generation: u64) -> Vec<Rank> {
+        let catalog = self.catalog.lock();
+        let mut ranks: BTreeSet<Rank> = catalog
+            .manifests
+            .keys()
+            .filter(|(g, _)| *g == generation)
+            .map(|(_, r)| *r)
+            .collect();
+        ranks.extend(
+            catalog
+                .full_images
+                .keys()
+                .filter(|(g, _)| *g == generation)
+                .map(|(_, r)| *r),
+        );
+        ranks.into_iter().collect()
     }
 
     /// The newest generation for which **every** rank of a `world_size` job reads back
@@ -453,43 +589,57 @@ impl CheckpointStorage {
     /// references and freeing chunks nothing references any more. Returns the number
     /// of chunk payload bytes freed.
     pub fn prune_before(&self, keep_from: u64) -> usize {
-        let mut inner = self.inner.lock();
-        let doomed: Vec<(u64, Rank)> = inner
-            .manifests
-            .keys()
-            .filter(|(generation, _)| *generation < keep_from)
-            .copied()
-            .collect();
+        let doomed: Vec<(u64, Rank)> = {
+            let mut catalog = self.catalog.lock();
+            catalog
+                .full_images
+                .retain(|(generation, _), _| *generation >= keep_from);
+            catalog
+                .manifests
+                .keys()
+                .filter(|(generation, _)| *generation < keep_from)
+                .copied()
+                .collect()
+        };
         for (generation, rank) in doomed {
-            release_slot(&mut inner, generation, rank);
+            self.release_slot(generation, rank);
         }
-        inner
-            .full_images
-            .retain(|(generation, _), _| *generation >= keep_from);
 
         let mut freed = 0usize;
-        inner.chunks.retain(|_, entry| {
-            if entry.refs == 0 {
-                freed += entry.stored.len();
-                false
-            } else {
-                true
-            }
-        });
+        for shard in self.shards.iter() {
+            shard.lock().chunks.retain(|_, entry| {
+                if entry.refs == 0 {
+                    freed += entry.stored.len();
+                    false
+                } else {
+                    true
+                }
+            });
+        }
         freed
     }
 
     /// Aggregate occupancy.
     pub fn stats(&self) -> StorageStats {
-        let inner = self.inner.lock();
-        StorageStats {
-            chunk_count: inner.chunks.len(),
-            chunk_bytes: inner.chunks.values().map(|e| e.stored.len()).sum(),
-            manifest_count: inner.manifests.len(),
-            manifest_bytes: inner.manifests.values().map(|m| m.len()).sum(),
-            full_image_count: inner.full_images.len(),
-            full_image_bytes: inner.full_images.values().map(|i| i.len()).sum(),
+        let mut stats = StorageStats {
+            chunk_count: 0,
+            chunk_bytes: 0,
+            manifest_count: 0,
+            manifest_bytes: 0,
+            full_image_count: 0,
+            full_image_bytes: 0,
+        };
+        for shard in self.shards.iter() {
+            let shard = shard.lock();
+            stats.chunk_count += shard.chunks.len();
+            stats.chunk_bytes += shard.chunks.values().map(|e| e.stored.len()).sum::<usize>();
         }
+        let catalog = self.catalog.lock();
+        stats.manifest_count = catalog.manifests.len();
+        stats.manifest_bytes = catalog.manifests.values().map(|m| m.len()).sum();
+        stats.full_image_count = catalog.full_images.len();
+        stats.full_image_bytes = catalog.full_images.values().map(|i| i.len()).sum();
+        stats
     }
 
     // ------------------------------------------------------------------
@@ -501,21 +651,29 @@ impl CheckpointStorage {
     /// a torn write during that checkpoint would. Returns an error if the generation
     /// has no such private chunk.
     pub fn corrupt_fresh_chunk(&self, generation: u64, rank: Rank) -> MpiResult<()> {
-        let mut inner = self.inner.lock();
-        let target = inner
-            .manifests
-            .get(&(generation, rank))
-            .ok_or_else(|| {
-                MpiError::Checkpoint(format!(
-                    "no chunked checkpoint for generation {generation}, rank {rank}"
-                ))
-            })
-            .and_then(|bytes| Manifest::decode(bytes))?;
-        let shared: BTreeSet<(u64, u32)> = inner
-            .manifests
+        let (target_bytes, other_bytes) = {
+            let catalog = self.catalog.lock();
+            let target = catalog
+                .manifests
+                .get(&(generation, rank))
+                .cloned()
+                .ok_or_else(|| {
+                    MpiError::Checkpoint(format!(
+                        "no chunked checkpoint for generation {generation}, rank {rank}"
+                    ))
+                })?;
+            let others: Vec<Vec<u8>> = catalog
+                .manifests
+                .iter()
+                .filter(|(key, _)| **key != (generation, rank))
+                .map(|(_, bytes)| bytes.clone())
+                .collect();
+            (target, others)
+        };
+        let target = Manifest::decode(&target_bytes)?;
+        let shared: BTreeSet<(u64, u32)> = other_bytes
             .iter()
-            .filter(|(key, _)| **key != (generation, rank))
-            .filter_map(|(_, bytes)| Manifest::decode(bytes).ok())
+            .filter_map(|bytes| Manifest::decode(bytes).ok())
             .flat_map(|manifest| manifest.chunk_refs().map(|c| c.key()).collect::<Vec<_>>())
             .collect();
         let private = target
@@ -528,7 +686,8 @@ impl CheckpointStorage {
                      generations; nothing private to corrupt"
                 ))
             })?;
-        let entry = inner
+        let mut shard = self.shard(private.0).lock();
+        let entry = shard
             .chunks
             .get_mut(&private)
             .ok_or_else(|| MpiError::Checkpoint("private chunk vanished".into()))?;
@@ -539,11 +698,11 @@ impl CheckpointStorage {
 
     /// Flip one byte of the stored manifest (or flat image) for `(generation, rank)`.
     pub fn corrupt_manifest(&self, generation: u64, rank: Rank) -> MpiResult<()> {
-        let mut inner = self.inner.lock();
-        let inner = &mut *inner;
-        let bytes = match inner.manifests.get_mut(&(generation, rank)) {
+        let mut catalog = self.catalog.lock();
+        let catalog = &mut *catalog;
+        let bytes = match catalog.manifests.get_mut(&(generation, rank)) {
             Some(bytes) => bytes,
-            None => inner
+            None => catalog
                 .full_images
                 .get_mut(&(generation, rank))
                 .ok_or_else(|| {

@@ -1,0 +1,311 @@
+//! The checkpoint coordinator: the job-level half of the paper's two-phase protocol.
+//!
+//! A [`Coordinator`] is shared by every rank thread of one launched world. It
+//!
+//! 1. **broadcasts checkpoint intent** — rank threads ask
+//!    [`Coordinator::checkpoint_due`] at each step boundary, so a periodic interval or
+//!    an injected request reaches all ranks at the same logical point;
+//! 2. **observes the drain globally** — it implements [`mana::DrainObserver`], so a
+//!    rank stays patient while *any* rank in the job is still draining, and the stall
+//!    diagnostic fires only on true job-wide quiescence failure;
+//! 3. **runs the commit barrier** — after the parallel per-rank writes, every rank
+//!    arrives with the generation it wrote; once all have arrived (and agree), the
+//!    generation is *atomically published*. A generation is never visible
+//!    half-written: either every rank's image committed, or the generation is not
+//!    published (and a restart falls back to the newest fully-valid one).
+
+use ckpt_store::{CheckpointStorage, StoreReport};
+use mana::{DrainObserver, ManaRank};
+use mpi_model::error::{MpiError, MpiResult};
+use mpi_model::types::Rank;
+use parking_lot::{Condvar, Mutex};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Sentinel for "no generation published yet".
+const NO_GENERATION: u64 = u64::MAX;
+
+/// The job-level checkpoint ledger shared across world launches of one
+/// [`crate::JobRuntime`]: the atomically published latest generation and the
+/// generation → steps-completed map a restart uses to resume the step counter.
+#[derive(Debug, Default)]
+pub struct CommitLedger {
+    published: AtomicU64,
+    commits: Mutex<BTreeMap<u64, Option<u64>>>,
+}
+
+impl CommitLedger {
+    /// A fresh ledger with nothing published.
+    pub fn new() -> Self {
+        CommitLedger {
+            published: AtomicU64::new(NO_GENERATION),
+            commits: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The newest fully-committed generation, if any. This only moves once the commit
+    /// barrier has seen every rank of a world finish its write.
+    pub fn published_generation(&self) -> Option<u64> {
+        match self.published.load(Ordering::SeqCst) {
+            NO_GENERATION => None,
+            generation => Some(generation),
+        }
+    }
+
+    /// Steps completed at the time `generation` was committed (`None` when the
+    /// checkpoint was taken outside a step-driven run, or unknown).
+    pub fn steps_at(&self, generation: u64) -> Option<u64> {
+        self.commits.lock().get(&generation).copied().flatten()
+    }
+
+    /// Number of committed generations recorded.
+    pub fn committed_count(&self) -> usize {
+        self.commits.lock().len()
+    }
+
+    fn record(&self, generation: u64, steps: Option<u64>) {
+        self.commits.lock().insert(generation, steps);
+        self.published.store(generation, Ordering::SeqCst);
+    }
+}
+
+struct BarrierState {
+    round: u64,
+    arrived: usize,
+    generation: Option<u64>,
+    poisoned: Option<String>,
+}
+
+/// Drives one launched world through coordinated checkpoints. Create one per world
+/// (the barrier is sized to the world), share it via `Arc` with every rank thread.
+pub struct Coordinator {
+    world_size: usize,
+    stall_budget: Duration,
+    /// Total messages drained job-wide, ever — the global progress stamp.
+    drained_total: AtomicU64,
+    /// Periodic checkpoint interval in steps (0 = never).
+    checkpoint_every: u64,
+    /// Step boundaries with an explicitly requested (broadcast) checkpoint.
+    requested: Mutex<std::collections::BTreeSet<u64>>,
+    barrier: Mutex<BarrierState>,
+    barrier_cv: Condvar,
+    /// How long a rank waits at the commit barrier before declaring the job wedged
+    /// (a peer died mid-checkpoint).
+    barrier_timeout: Duration,
+    ledger: Arc<CommitLedger>,
+}
+
+impl Coordinator {
+    /// A coordinator for a world of `world_size` ranks, committing into `ledger`.
+    pub fn new(
+        world_size: usize,
+        checkpoint_every: Option<u64>,
+        ledger: Arc<CommitLedger>,
+    ) -> Self {
+        Coordinator {
+            world_size,
+            stall_budget: Duration::from_secs(5),
+            drained_total: AtomicU64::new(0),
+            checkpoint_every: checkpoint_every.unwrap_or(0),
+            requested: Mutex::new(std::collections::BTreeSet::new()),
+            barrier: Mutex::new(BarrierState {
+                round: 0,
+                arrived: 0,
+                generation: None,
+                poisoned: None,
+            }),
+            barrier_cv: Condvar::new(),
+            barrier_timeout: Duration::from_secs(30),
+            ledger,
+        }
+    }
+
+    /// Override the drain stall budget (tests use a short one).
+    pub fn with_stall_budget(mut self, budget: Duration) -> Self {
+        self.stall_budget = budget;
+        self
+    }
+
+    /// Ranks in the world this coordinator drives.
+    pub fn world_size(&self) -> usize {
+        self.world_size
+    }
+
+    /// The shared commit ledger.
+    pub fn ledger(&self) -> &Arc<CommitLedger> {
+        &self.ledger
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 1: intent broadcast
+    // ------------------------------------------------------------------
+
+    /// Request a coordinated checkpoint at the given future step boundary (the
+    /// broadcast form of checkpoint intent: every rank will observe it at the same
+    /// logical point, because every rank asks at every boundary).
+    pub fn request_checkpoint_at(&self, boundary: u64) {
+        self.requested.lock().insert(boundary);
+    }
+
+    /// Whether the job checkpoints at this step boundary (`boundary` = number of
+    /// completed steps): either the periodic interval divides it or an explicit
+    /// request targeted it.
+    pub fn checkpoint_due(&self, boundary: u64) -> bool {
+        let periodic = self.checkpoint_every > 0
+            && boundary > 0
+            && boundary.is_multiple_of(self.checkpoint_every);
+        periodic || self.requested.lock().contains(&boundary)
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 2b: commit barrier
+    // ------------------------------------------------------------------
+
+    /// Arrive at the commit barrier having durably written `generation` for this
+    /// rank. Blocks until every rank of the world has arrived, then (exactly once,
+    /// by the last arriver) atomically publishes the generation in the ledger.
+    ///
+    /// Ranks arriving with *different* generations poison the barrier for everyone —
+    /// interleaved generations would mean the two-phase protocol was violated.
+    pub fn commit(&self, rank: Rank, generation: u64, steps: Option<u64>) -> MpiResult<()> {
+        let mut state = self.barrier.lock();
+        if let Some(reason) = &state.poisoned {
+            return Err(MpiError::Checkpoint(format!(
+                "commit barrier poisoned before rank {rank} arrived: {reason}"
+            )));
+        }
+        match state.generation {
+            None => state.generation = Some(generation),
+            Some(expected) if expected != generation => {
+                let reason = format!(
+                    "rank {rank} committed generation {generation} while the round \
+                     was committing generation {expected} — generations interleaved"
+                );
+                state.poisoned = Some(reason.clone());
+                self.barrier_cv.notify_all();
+                return Err(MpiError::Checkpoint(reason));
+            }
+            Some(_) => {}
+        }
+        state.arrived += 1;
+        if state.arrived == self.world_size {
+            // Last rank in: the generation is complete for the whole world. Publish
+            // it atomically, then release the round.
+            self.ledger.record(generation, steps);
+            state.arrived = 0;
+            state.generation = None;
+            state.round += 1;
+            self.barrier_cv.notify_all();
+            return Ok(());
+        }
+        let round = state.round;
+        while state.round == round && state.poisoned.is_none() {
+            let result = self.barrier_cv.wait_for(&mut state, self.barrier_timeout);
+            if result.timed_out() && state.round == round && state.poisoned.is_none() {
+                let reason = format!(
+                    "commit barrier timed out after {:?} with {}/{} ranks arrived \
+                     (a peer likely died mid-checkpoint)",
+                    self.barrier_timeout, state.arrived, self.world_size
+                );
+                state.poisoned = Some(reason.clone());
+                self.barrier_cv.notify_all();
+                return Err(MpiError::Checkpoint(reason));
+            }
+        }
+        if let Some(reason) = &state.poisoned {
+            return Err(MpiError::Checkpoint(format!(
+                "commit barrier poisoned while rank {rank} waited: {reason}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl DrainObserver for Coordinator {
+    fn record_progress(&self, _rank: Rank, messages: u64) {
+        self.drained_total.fetch_add(messages, Ordering::Relaxed);
+    }
+
+    fn progress_stamp(&self) -> u64 {
+        self.drained_total.load(Ordering::Relaxed)
+    }
+
+    fn stall_budget(&self) -> Duration {
+        self.stall_budget
+    }
+}
+
+/// Run one rank through a full coordinated checkpoint: the two MPI-level quiesce
+/// phases, the job-wide observed drain, the **parallel** write into the sharded
+/// store, and the commit barrier that publishes the generation.
+///
+/// `steps` is the number of completed steps this checkpoint corresponds to (recorded
+/// in the ledger so a restart can resume the step counter), or `None` outside
+/// step-driven runs.
+pub fn coordinated_checkpoint(
+    rank: &mut ManaRank,
+    coordinator: &Coordinator,
+    storage: &CheckpointStorage,
+    steps: Option<u64>,
+) -> MpiResult<StoreReport> {
+    // Phase 1: quiesce + drain to job-observed global quiescence.
+    let plan = rank.begin_checkpoint()?;
+    rank.drain_quiescent(&plan, coordinator)?;
+    rank.complete_drain()?;
+    // Phase 2: parallel per-rank write (the sharded store admits all ranks at once),
+    // then the commit barrier publishes the generation atomically.
+    let report = rank.write_checkpoint_into(storage)?;
+    coordinator.commit(rank.world_rank(), report.generation, steps)?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_barrier_publishes_once_per_complete_round() {
+        let ledger = Arc::new(CommitLedger::new());
+        let coordinator = Arc::new(Coordinator::new(2, Some(1), Arc::clone(&ledger)));
+        assert!(ledger.published_generation().is_none());
+        let peer = Arc::clone(&coordinator);
+        let handle = std::thread::spawn(move || peer.commit(1, 7, Some(3)));
+        coordinator.commit(0, 7, Some(3)).unwrap();
+        handle.join().unwrap().unwrap();
+        assert_eq!(ledger.published_generation(), Some(7));
+        assert_eq!(ledger.steps_at(7), Some(3));
+    }
+
+    #[test]
+    fn mismatched_generations_poison_the_commit_barrier() {
+        let ledger = Arc::new(CommitLedger::new());
+        let coordinator = Arc::new(Coordinator::new(2, None, Arc::clone(&ledger)));
+        let peer = Arc::clone(&coordinator);
+        let handle = std::thread::spawn(move || {
+            // Give the main thread time to arrive first with generation 4.
+            std::thread::sleep(Duration::from_millis(20));
+            peer.commit(1, 5, None)
+        });
+        let mine = coordinator.commit(0, 4, None);
+        let theirs = handle.join().unwrap();
+        assert!(
+            mine.is_err() && theirs.is_err(),
+            "an interleaved generation must fail both ranks"
+        );
+        assert!(ledger.published_generation().is_none());
+    }
+
+    #[test]
+    fn checkpoint_due_covers_interval_and_requests() {
+        let coordinator = Coordinator::new(1, Some(3), Arc::new(CommitLedger::new()));
+        assert!(!coordinator.checkpoint_due(0));
+        assert!(!coordinator.checkpoint_due(2));
+        assert!(coordinator.checkpoint_due(3));
+        assert!(coordinator.checkpoint_due(6));
+        coordinator.request_checkpoint_at(4);
+        assert!(coordinator.checkpoint_due(4));
+        assert!(!coordinator.checkpoint_due(5));
+    }
+}

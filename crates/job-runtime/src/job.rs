@@ -1,0 +1,468 @@
+//! The job runtime: launch a MANA-wrapped world, drive it through steps, coordinate
+//! checkpoints, inject preemptions, and restart from storage — one API for every
+//! scenario the examples and tests used to hand-roll with `thread::spawn` loops.
+
+use crate::backend::Backend;
+use crate::coordinator::{coordinated_checkpoint, CommitLedger, Coordinator};
+use ckpt_store::{CheckpointStorage, StoreReport};
+use mana::restart::restart_job_from_storage;
+use mana::{ManaConfig, ManaRank, StoragePolicy};
+use mpi_model::error::{MpiError, MpiResult};
+use mpi_model::op::UserFunctionRegistry;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Run one closure per worker, each on its own thread, and collect the results in
+/// launch order. A panic in a worker is surfaced as an [`MpiError::Internal`] naming
+/// the rank that panicked (and the panic message, when it carries one).
+///
+/// This is the one thread-spawn scaffold in the workspace: `JobRuntime` builds on it
+/// for MANA worlds, and lower layers (the engine tests) reuse it for raw
+/// `MpiApi` worlds.
+pub fn run_world<W, T, F>(workers: Vec<W>, body: F) -> MpiResult<Vec<T>>
+where
+    W: Send + 'static,
+    T: Send + 'static,
+    F: Fn(usize, W) -> MpiResult<T> + Send + Sync + 'static,
+{
+    let body = Arc::new(body);
+    let handles: Vec<_> = workers
+        .into_iter()
+        .enumerate()
+        .map(|(rank, worker)| {
+            let body = Arc::clone(&body);
+            (rank, std::thread::spawn(move || body(rank, worker)))
+        })
+        .collect();
+    let mut results = Vec::with_capacity(handles.len());
+    for (rank, handle) in handles {
+        results.push(handle.join().map_err(|payload| {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            MpiError::Internal(format!("rank {rank} thread panicked: {message}"))
+        })??);
+    }
+    Ok(results)
+}
+
+/// Everything the orchestrator needs to know about a job.
+#[derive(Debug, Clone, Copy)]
+pub struct JobConfig {
+    /// Ranks in the world.
+    pub world_size: usize,
+    /// Which simulated MPI implementation hosts the lower halves.
+    pub backend: Backend,
+    /// Per-rank MANA configuration (virtual-id design, ggid policy, storage policy).
+    pub mana: ManaConfig,
+    /// Take a coordinated checkpoint every this many completed steps (`None` = only
+    /// explicitly requested checkpoints).
+    pub checkpoint_every: Option<u64>,
+    /// Inject a preemption: the job vacates after completing this many steps (after
+    /// any checkpoint due at that boundary). Consumed by the first run it fires in.
+    pub kill_at_step: Option<u64>,
+    /// How long the drain may observe zero job-wide progress before declaring a
+    /// stall.
+    pub stall_budget: Duration,
+}
+
+impl Default for JobConfig {
+    fn default() -> Self {
+        JobConfig {
+            world_size: 4,
+            backend: Backend::Mpich,
+            mana: ManaConfig::new_design().with_storage(StoragePolicy::Incremental),
+            checkpoint_every: None,
+            kill_at_step: None,
+            stall_budget: Duration::from_secs(5),
+        }
+    }
+}
+
+impl JobConfig {
+    /// A job of `world_size` ranks on `backend` with the defaults above.
+    pub fn new(world_size: usize, backend: Backend) -> Self {
+        JobConfig {
+            world_size,
+            backend,
+            ..JobConfig::default()
+        }
+    }
+
+    /// Set the MANA configuration.
+    pub fn with_mana(mut self, mana: ManaConfig) -> Self {
+        self.mana = mana;
+        self
+    }
+
+    /// Checkpoint every `steps` completed steps.
+    pub fn with_checkpoint_every(mut self, steps: u64) -> Self {
+        self.checkpoint_every = Some(steps);
+        self
+    }
+
+    /// Inject a preemption after `steps` completed steps.
+    pub fn with_kill_at_step(mut self, steps: u64) -> Self {
+        self.kill_at_step = Some(steps);
+        self
+    }
+}
+
+/// Per-rank handle into the coordinator, passed to [`JobRuntime::run`] bodies so
+/// arbitrary workloads can take coordinated checkpoints at their own logical points.
+#[derive(Clone)]
+pub struct JobCtx {
+    coordinator: Arc<Coordinator>,
+    storage: CheckpointStorage,
+}
+
+impl JobCtx {
+    /// Take a full coordinated checkpoint of the job (collective: every rank's body
+    /// must call this at the same logical point).
+    pub fn checkpoint(&self, rank: &mut ManaRank) -> MpiResult<StoreReport> {
+        coordinated_checkpoint(rank, &self.coordinator, &self.storage, None)
+    }
+
+    /// The storage engine checkpoints go into.
+    pub fn storage(&self) -> &CheckpointStorage {
+        &self.storage
+    }
+
+    /// The coordinator driving this world.
+    pub fn coordinator(&self) -> &Arc<Coordinator> {
+        &self.coordinator
+    }
+}
+
+/// How a step-driven run ended.
+#[derive(Debug)]
+pub enum JobRun<T> {
+    /// Every rank completed all requested steps.
+    Completed {
+        /// Per-rank value of the final executed step, in rank order.
+        results: Vec<T>,
+        /// Newest published checkpoint generation, if any.
+        generation: Option<u64>,
+    },
+    /// The injected preemption fired: the job vacated its world.
+    Preempted {
+        /// Steps every rank had completed when the job vacated.
+        at_step: u64,
+        /// Newest published checkpoint generation, if any.
+        generation: Option<u64>,
+    },
+}
+
+impl<T> JobRun<T> {
+    /// Whether the run ended in the injected preemption.
+    pub fn was_preempted(&self) -> bool {
+        matches!(self, JobRun::Preempted { .. })
+    }
+
+    /// Newest published generation when the run ended.
+    pub fn generation(&self) -> Option<u64> {
+        match self {
+            JobRun::Completed { generation, .. } | JobRun::Preempted { generation, .. } => {
+                *generation
+            }
+        }
+    }
+
+    /// The per-rank results of a completed run; an error if the job was preempted.
+    pub fn results(self) -> MpiResult<Vec<T>> {
+        match self {
+            JobRun::Completed { results, .. } => Ok(results),
+            JobRun::Preempted { at_step, .. } => Err(MpiError::Checkpoint(format!(
+                "job was preempted after {at_step} steps; resume it before collecting results"
+            ))),
+        }
+    }
+}
+
+enum RankOutcome<T> {
+    Completed(T),
+    Preempted,
+}
+
+/// The coordinated job orchestrator.
+///
+/// One `JobRuntime` owns a job across its whole life: the initial launch, every
+/// coordinated checkpoint (through one shared sharded [`CheckpointStorage`]), an
+/// injected preemption, and the restart onto a fresh world — possibly on a different
+/// [`Backend`]. All scenarios the examples cover (quickstart, cross-implementation
+/// restart, preemptible job, implementation shootout) are method calls on this type.
+pub struct JobRuntime {
+    config: JobConfig,
+    storage: CheckpointStorage,
+    registry: Arc<RwLock<UserFunctionRegistry>>,
+    ledger: Arc<CommitLedger>,
+    session: AtomicU64,
+    kill_armed: AtomicBool,
+}
+
+impl JobRuntime {
+    /// A runtime writing checkpoints into an unmetered sharded store.
+    pub fn new(config: JobConfig) -> Self {
+        JobRuntime::with_storage(config, CheckpointStorage::unmetered())
+    }
+
+    /// A runtime writing checkpoints into the given store (metered models, custom
+    /// shard counts, or a store shared with an inspector).
+    pub fn with_storage(config: JobConfig, storage: CheckpointStorage) -> Self {
+        JobRuntime {
+            kill_armed: AtomicBool::new(config.kill_at_step.is_some()),
+            config,
+            storage,
+            registry: Arc::new(RwLock::new(UserFunctionRegistry::new())),
+            ledger: Arc::new(CommitLedger::new()),
+            session: AtomicU64::new(1),
+        }
+    }
+
+    /// The job configuration.
+    pub fn config(&self) -> &JobConfig {
+        &self.config
+    }
+
+    /// The checkpoint store every generation of this job lands in.
+    pub fn storage(&self) -> &CheckpointStorage {
+        &self.storage
+    }
+
+    /// The shared user-function registry (survives restarts, as user-defined
+    /// reduction functions must).
+    pub fn registry(&self) -> Arc<RwLock<UserFunctionRegistry>> {
+        Arc::clone(&self.registry)
+    }
+
+    /// The newest atomically published checkpoint generation.
+    pub fn published_generation(&self) -> Option<u64> {
+        self.ledger.published_generation()
+    }
+
+    /// Number of committed checkpoint generations.
+    pub fn checkpoints_committed(&self) -> usize {
+        self.ledger.committed_count()
+    }
+
+    /// Launch a fresh world of MANA-wrapped ranks on the configured backend.
+    pub fn launch(&self) -> MpiResult<Vec<ManaRank>> {
+        let session = self.session.fetch_add(1, Ordering::SeqCst);
+        let lowers = self.config.backend.factory().launch(
+            self.config.world_size,
+            self.registry(),
+            session,
+        )?;
+        lowers
+            .into_iter()
+            .map(|lower| ManaRank::new(lower, self.config.mana, self.registry()))
+            .collect()
+    }
+
+    fn coordinator(&self) -> Arc<Coordinator> {
+        Arc::new(
+            Coordinator::new(
+                self.config.world_size,
+                self.config.checkpoint_every,
+                Arc::clone(&self.ledger),
+            )
+            .with_stall_budget(self.config.stall_budget),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Free-form bodies
+    // ------------------------------------------------------------------
+
+    /// Launch a fresh world and run one closure per rank, each on its own thread.
+    /// The [`JobCtx`] lets the body take coordinated checkpoints at its own logical
+    /// points. Results come back in rank order.
+    pub fn run<T, F>(&self, body: F) -> MpiResult<Vec<T>>
+    where
+        T: Send + 'static,
+        F: Fn(ManaRank, JobCtx) -> MpiResult<T> + Send + Sync + 'static,
+    {
+        let ranks = self.launch()?;
+        self.run_ranks(ranks, body)
+    }
+
+    /// Restart the job from the newest fully-valid generation on the configured
+    /// backend and run one closure per restored rank. Returns the results and the
+    /// generation actually restored.
+    pub fn resume<T, F>(&self, body: F) -> MpiResult<(Vec<T>, u64)>
+    where
+        T: Send + 'static,
+        F: Fn(ManaRank, JobCtx) -> MpiResult<T> + Send + Sync + 'static,
+    {
+        self.resume_on(self.config.backend, body)
+    }
+
+    /// Like [`JobRuntime::resume`], but restarting onto a different backend — the
+    /// paper §9 cross-implementation restart as a one-argument switch.
+    pub fn resume_on<T, F>(&self, backend: Backend, body: F) -> MpiResult<(Vec<T>, u64)>
+    where
+        T: Send + 'static,
+        F: Fn(ManaRank, JobCtx) -> MpiResult<T> + Send + Sync + 'static,
+    {
+        let (ranks, generation) = self.restart(backend)?;
+        Ok((self.run_ranks(ranks, body)?, generation))
+    }
+
+    /// Relaunch lower halves on `backend` and restore every rank from the newest
+    /// generation that validates end to end for the whole job.
+    pub fn restart(&self, backend: Backend) -> MpiResult<(Vec<ManaRank>, u64)> {
+        let session = self.session.fetch_add(1, Ordering::SeqCst);
+        let lowers = backend
+            .factory()
+            .launch(self.config.world_size, self.registry(), session)?;
+        restart_job_from_storage(lowers, &self.storage, self.config.mana, self.registry())
+    }
+
+    fn run_ranks<T, F>(&self, ranks: Vec<ManaRank>, body: F) -> MpiResult<Vec<T>>
+    where
+        T: Send + 'static,
+        F: Fn(ManaRank, JobCtx) -> MpiResult<T> + Send + Sync + 'static,
+    {
+        let coordinator = self.coordinator();
+        let storage = self.storage.clone();
+        run_world(ranks, move |_, rank| {
+            let ctx = JobCtx {
+                coordinator: Arc::clone(&coordinator),
+                storage: storage.clone(),
+            };
+            body(rank, ctx)
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Step-driven runs
+    // ------------------------------------------------------------------
+
+    /// Launch a fresh world and drive every rank through steps `0..total_steps`,
+    /// taking a coordinated checkpoint at every interval boundary and honouring an
+    /// injected preemption. `step_fn(rank, step)` executes one step on one rank.
+    pub fn run_steps<T, F>(&self, total_steps: u64, step_fn: F) -> MpiResult<JobRun<T>>
+    where
+        T: Send + 'static,
+        F: Fn(&mut ManaRank, u64) -> MpiResult<T> + Send + Sync + 'static,
+    {
+        let ranks = self.launch()?;
+        self.drive(ranks, 0, total_steps, Arc::new(step_fn))
+    }
+
+    /// Restart from the newest fully-valid generation and continue stepping to
+    /// `total_steps`. The step counter resumes from the ledger's record of the
+    /// restored generation (work since the last commit is repeated, exactly as a
+    /// real preempted job repeats it).
+    pub fn resume_steps<T, F>(&self, total_steps: u64, step_fn: F) -> MpiResult<JobRun<T>>
+    where
+        T: Send + 'static,
+        F: Fn(&mut ManaRank, u64) -> MpiResult<T> + Send + Sync + 'static,
+    {
+        let (ranks, generation) = self.restart(self.config.backend)?;
+        let start_step = self.ledger.steps_at(generation).ok_or_else(|| {
+            MpiError::Checkpoint(format!(
+                "restored generation {generation} has no step record in the ledger; \
+                 was it written outside a step-driven run?"
+            ))
+        })?;
+        self.drive(ranks, start_step, total_steps, Arc::new(step_fn))
+    }
+
+    /// Run to completion, resuming through any injected preemption: `run_steps`
+    /// followed by as many `resume_steps` as it takes.
+    pub fn run_to_completion<T, F>(&self, total_steps: u64, step_fn: F) -> MpiResult<JobRun<T>>
+    where
+        T: Send + 'static,
+        F: Fn(&mut ManaRank, u64) -> MpiResult<T> + Send + Sync + 'static,
+    {
+        let step_fn = Arc::new(step_fn);
+        let ranks = self.launch()?;
+        let mut run = self.drive(ranks, 0, total_steps, Arc::clone(&step_fn))?;
+        while run.was_preempted() {
+            let (ranks, generation) = self.restart(self.config.backend)?;
+            let start_step = self.ledger.steps_at(generation).ok_or_else(|| {
+                MpiError::Checkpoint(format!(
+                    "restored generation {generation} has no step record in the ledger"
+                ))
+            })?;
+            run = self.drive(ranks, start_step, total_steps, Arc::clone(&step_fn))?;
+        }
+        Ok(run)
+    }
+
+    fn drive<T, F>(
+        &self,
+        ranks: Vec<ManaRank>,
+        start_step: u64,
+        total_steps: u64,
+        step_fn: Arc<F>,
+    ) -> MpiResult<JobRun<T>>
+    where
+        T: Send + 'static,
+        F: Fn(&mut ManaRank, u64) -> MpiResult<T> + Send + Sync + 'static,
+    {
+        if start_step >= total_steps {
+            return Err(MpiError::Checkpoint(format!(
+                "nothing to run: starting at step {start_step} of {total_steps}"
+            )));
+        }
+        let coordinator = self.coordinator();
+        let storage = self.storage.clone();
+        let kill_at = if self.kill_armed.load(Ordering::SeqCst) {
+            self.config.kill_at_step
+        } else {
+            None
+        };
+        let outcomes = run_world(ranks, move |_, mut rank| {
+            let mut last = None;
+            for step in start_step..total_steps {
+                last = Some(step_fn(&mut rank, step)?);
+                let boundary = step + 1;
+                if coordinator.checkpoint_due(boundary) {
+                    coordinated_checkpoint(&mut rank, &coordinator, &storage, Some(boundary))?;
+                }
+                if kill_at == Some(boundary) && boundary < total_steps {
+                    // The allocation is revoked: the rank vacates without any
+                    // further checkpoint. Work since the last commit is lost.
+                    return Ok(RankOutcome::Preempted);
+                }
+            }
+            Ok(RankOutcome::Completed(last.expect("at least one step ran")))
+        })?;
+
+        let preempted = outcomes
+            .iter()
+            .filter(|o| matches!(o, RankOutcome::Preempted))
+            .count();
+        if preempted == outcomes.len() {
+            self.kill_armed.store(false, Ordering::SeqCst);
+            return Ok(JobRun::Preempted {
+                at_step: kill_at.expect("preemption implies a kill step"),
+                generation: self.published_generation(),
+            });
+        }
+        if preempted > 0 {
+            return Err(MpiError::Internal(
+                "some ranks vacated while others completed — the preemption was not \
+                 coordinated"
+                    .into(),
+            ));
+        }
+        let results = outcomes
+            .into_iter()
+            .map(|o| match o {
+                RankOutcome::Completed(value) => value,
+                RankOutcome::Preempted => unreachable!("counted above"),
+            })
+            .collect();
+        Ok(JobRun::Completed {
+            results,
+            generation: self.published_generation(),
+        })
+    }
+}

@@ -1,0 +1,35 @@
+//! # job-runtime
+//!
+//! The coordinated job orchestrator for the MANA reproduction: one API that launches
+//! a world of [`mana::ManaRank`]s on worker threads over one simulated fabric, drives
+//! the paper's **two-phase checkpoint protocol** from a central [`Coordinator`], and
+//! handles the whole preemption/restart lifecycle.
+//!
+//! The protocol, per coordinated checkpoint:
+//!
+//! 1. **Intent broadcast** — every rank observes the checkpoint decision at the same
+//!    step boundary (periodic interval or explicit request).
+//! 2. **Quiesce + drain** — the MPI-level barrier/alltoall phases of
+//!    [`mana::ManaRank::begin_checkpoint`], then a drain to quiescence observed
+//!    *job-wide*: a rank only declares a stall when no rank anywhere is making
+//!    progress, replacing the old per-rank idle-round counter.
+//! 3. **Parallel writes** — every rank writes its image concurrently; the sharded
+//!    [`ckpt_store::CheckpointStorage`] admits them in parallel.
+//! 4. **Commit barrier** — once every rank's write is durable, the generation is
+//!    atomically published. A generation is never visible half-written.
+//!
+//! The [`JobRuntime`] on top adds periodic checkpoint intervals, injected preemption
+//! (kill-at-step), restart from the newest fully-valid generation (optionally on a
+//! *different* MPI implementation), and a [`Backend`] selector spanning `mpich-sim`,
+//! `openmpi-sim` and `exampi-sim`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod backend;
+mod coordinator;
+mod job;
+
+pub use backend::Backend;
+pub use coordinator::{coordinated_checkpoint, CommitLedger, Coordinator};
+pub use job::{run_world, JobConfig, JobCtx, JobRun, JobRuntime};

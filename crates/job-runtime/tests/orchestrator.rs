@@ -1,0 +1,220 @@
+//! End-to-end scenarios for the coordinated job orchestrator: the quickstart,
+//! cross-implementation-restart and preemptible-job stories, each expressed through
+//! the single `JobRuntime` API and exercised across the simulated MPI backends.
+
+use job_runtime::{Backend, JobConfig, JobRuntime};
+use mana::runtime::AppHandle;
+use mana::{ManaConfig, StoragePolicy};
+use mpi_model::buffer::{bytes_to_i32, i32_to_bytes};
+use mpi_model::constants::PredefinedObject;
+use mpi_model::datatype::PrimitiveType;
+use mpi_model::op::PredefinedOp;
+
+const STATE: &str = "app.state";
+
+/// The quickstart story on every distinct backend: compute, take a coordinated
+/// checkpoint, vacate, resume on a fresh session, and keep computing with the same
+/// virtual handles.
+#[test]
+fn quickstart_scenario_runs_on_all_backends() {
+    for backend in Backend::DISTINCT {
+        let runtime = JobRuntime::new(JobConfig::new(4, backend));
+        runtime
+            .run(|mut rank, ctx| {
+                let me = rank.world_rank();
+                let world = rank.world()?;
+                let int = rank.constant(PredefinedObject::Datatype(PrimitiveType::Int))?;
+                let sum = rank.constant(PredefinedObject::Op(PredefinedOp::Sum))?;
+                let total = rank.allreduce(&i32_to_bytes(&[me + 1]), int, sum, world)?;
+                rank.upper_mut()
+                    .store_json(STATE, &(me, bytes_to_i32(&total)[0], world, int, sum))?;
+                let report = ctx.checkpoint(&mut rank)?;
+                assert!(report.written_bytes > 0);
+                Ok(())
+            })
+            .unwrap_or_else(|e| panic!("{} phase 1: {e:?}", backend.name()));
+
+        assert_eq!(runtime.published_generation(), Some(0));
+
+        let (results, generation) = runtime
+            .resume(|mut rank, _ctx| {
+                let me = rank.world_rank();
+                let (saved_me, saved_sum, world, int, sum): (
+                    i32,
+                    i32,
+                    AppHandle,
+                    AppHandle,
+                    AppHandle,
+                ) = rank.upper().load_json(STATE)?;
+                assert_eq!(saved_me, me);
+                // The saved virtual handles still work on the brand-new lower half.
+                let total = rank.allreduce(&i32_to_bytes(&[saved_sum]), int, sum, world)?;
+                Ok(bytes_to_i32(&total)[0])
+            })
+            .unwrap_or_else(|e| panic!("{} phase 2: {e:?}", backend.name()));
+        assert_eq!(generation, 0);
+        let expected: i32 = (1..=4).sum::<i32>() * 4;
+        assert!(results.iter().all(|&total| total == expected));
+    }
+}
+
+/// Checkpoint under MPICH, resume the same job under Open MPI (and back) — the §9
+/// cross-implementation restart as a one-argument switch on the orchestrator.
+#[test]
+fn cross_implementation_restart_via_resume_on() {
+    for (first, second) in [
+        (Backend::Mpich, Backend::OpenMpi),
+        (Backend::OpenMpi, Backend::Mpich),
+    ] {
+        let runtime = JobRuntime::new(JobConfig::new(3, first));
+        runtime
+            .run(|mut rank, ctx| {
+                let me = rank.world_rank();
+                let world = rank.world()?;
+                rank.upper_mut().store_json(STATE, &(me, world))?;
+                ctx.checkpoint(&mut rank)?;
+                Ok(rank.implementation_name())
+            })
+            .unwrap();
+
+        let (names, _generation) = runtime
+            .resume_on(second, |mut rank, _ctx| {
+                let (me, world): (i32, AppHandle) = rank.upper().load_json(STATE)?;
+                assert_eq!(me, rank.world_rank());
+                rank.barrier(world)?;
+                Ok(rank.implementation_name())
+            })
+            .unwrap();
+        assert!(names.iter().all(|&n| n == second.name()));
+    }
+}
+
+/// The drain phase under the coordinator: traffic deliberately left in flight at the
+/// checkpoint is buffered, survives the restart, and is delivered afterwards.
+#[test]
+fn inflight_messages_survive_a_coordinated_checkpoint() {
+    let runtime = JobRuntime::new(JobConfig::new(2, Backend::Mpich));
+    runtime
+        .run(|mut rank, ctx| {
+            let me = rank.world_rank();
+            let world = rank.world()?;
+            let byte = rank.constant(PredefinedObject::Datatype(PrimitiveType::Byte))?;
+            rank.upper_mut().store_json(STATE, &(world, byte))?;
+            if me == 0 {
+                for i in 0..10u8 {
+                    rank.send(&[i], byte, 1, 5, world)?;
+                }
+            }
+            ctx.checkpoint(&mut rank)?;
+            Ok(rank.buffered_messages())
+        })
+        .unwrap();
+
+    let (buffered, _) = runtime
+        .resume(|mut rank, _ctx| {
+            let me = rank.world_rank();
+            let buffered = rank.buffered_messages();
+            let (world, byte): (AppHandle, AppHandle) = rank.upper().load_json(STATE)?;
+            if me == 1 {
+                for i in 0..10u8 {
+                    let (payload, status) = rank.recv(byte, 16, 0, 5, world)?;
+                    assert_eq!(payload, vec![i]);
+                    assert_eq!(status.source, 0);
+                }
+            }
+            Ok(buffered)
+        })
+        .unwrap();
+    assert_eq!(buffered, vec![0, 10]);
+}
+
+/// The preemptible-job story on every distinct backend: periodic coordinated
+/// checkpoints, an injected preemption, and a resume that repeats only the steps
+/// since the last committed generation.
+#[test]
+fn preemptible_job_scenario_runs_on_all_backends() {
+    for backend in Backend::DISTINCT {
+        let runtime = JobRuntime::new(
+            JobConfig::new(3, backend)
+                .with_checkpoint_every(2)
+                .with_kill_at_step(5),
+        );
+        let step_fn = |rank: &mut mana::ManaRank, step: u64| {
+            let world = rank.world()?;
+            let int = rank.constant(PredefinedObject::Datatype(PrimitiveType::Int))?;
+            let sum = rank.constant(PredefinedObject::Op(PredefinedOp::Sum))?;
+            let total = rank.allreduce(&i32_to_bytes(&[1]), int, sum, world)?;
+            assert_eq!(bytes_to_i32(&total)[0], 3);
+            Ok(step)
+        };
+
+        let run = runtime.run_steps(8, step_fn).unwrap();
+        assert!(run.was_preempted(), "{}: kill at step 5", backend.name());
+        // Checkpoints committed after steps 2 and 4; step 5's work is lost.
+        assert_eq!(run.generation(), Some(1));
+
+        let resumed = runtime.resume_steps(8, step_fn).unwrap();
+        let results = resumed.results().unwrap();
+        // Every rank ran its final step (step index 7).
+        assert_eq!(results, vec![7, 7, 7]);
+        // The resume re-ran steps 4..8 and committed the boundary-6 and -8 intervals.
+        assert_eq!(runtime.published_generation(), Some(3));
+    }
+}
+
+/// `run_to_completion` drives through the preemption without caller involvement.
+#[test]
+fn run_to_completion_resumes_through_preemption() {
+    let runtime = JobRuntime::new(
+        JobConfig::new(2, Backend::Mpich)
+            .with_checkpoint_every(3)
+            .with_kill_at_step(4),
+    );
+    let run = runtime
+        .run_to_completion(9, |rank, step| {
+            let world = rank.world()?;
+            rank.barrier(world)?;
+            Ok(step)
+        })
+        .unwrap();
+    assert!(!run.was_preempted());
+    assert_eq!(run.results().unwrap(), vec![8, 8]);
+    // Boundaries 3, 6 and 9 committed (3 was committed once before the kill at 4 and
+    // once after the resume repeated step 3; same generation, rewritten slot).
+    assert_eq!(runtime.published_generation(), Some(2));
+}
+
+/// The storage policy flows from `ManaConfig` through the orchestrator: a job under
+/// `IncrementalCompressed` writes less than its logical image from generation 1 on.
+#[test]
+fn incremental_policy_applies_through_the_orchestrator() {
+    let runtime = JobRuntime::new(
+        JobConfig::new(2, Backend::Mpich)
+            .with_mana(ManaConfig::new_design().with_storage(StoragePolicy::IncrementalCompressed))
+            .with_checkpoint_every(1),
+    );
+    let run = runtime
+        .run_steps(3, |rank, step| {
+            if step == 0 {
+                // A large region that stays clean after step 0.
+                let bulk: Vec<u8> = (0..256 * 1024)
+                    .map(|i| {
+                        ((i as u64 + rank.world_rank() as u64 * 7919)
+                            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                            >> 24) as u8
+                    })
+                    .collect();
+                rank.upper_mut().map_region("app.bulk", bulk);
+            }
+            let world = rank.world()?;
+            rank.barrier(world)?;
+            Ok(())
+        })
+        .unwrap();
+    assert!(!run.was_preempted());
+    let stats = runtime.storage().stats();
+    assert!(stats.manifest_count == 6, "3 generations x 2 ranks");
+    // Generation 1 and 2 reuse the bulk chunks: the store holds far less than
+    // 3 generations x 256 KiB per rank.
+    assert!(stats.total_bytes() < 2 * 2 * 256 * 1024);
+}

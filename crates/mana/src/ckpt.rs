@@ -25,9 +25,11 @@ use ckpt_store::{CheckpointStorage, StoreReport};
 use mpi_model::buffer::{bytes_to_u64, u64_to_bytes};
 use mpi_model::constants::PredefinedObject;
 use mpi_model::error::{MpiError, MpiResult};
-use mpi_model::types::{HandleKind, ANY_SOURCE, ANY_TAG};
+use mpi_model::types::{HandleKind, Rank, ANY_SOURCE, ANY_TAG};
 use split_proc::image::{CheckpointImage, ImageMetadata};
 use split_proc::store::{CheckpointStore, WriteReport};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 /// Upper-half region names used for MANA's own state inside a checkpoint image.
 pub mod regions {
@@ -41,6 +43,98 @@ pub mod regions {
     pub const COUNTERS: &str = "mana.counters";
 }
 
+/// Smallest sleep of the drain backoff ladder.
+const BACKOFF_FLOOR: Duration = Duration::from_micros(4);
+/// Cap of the drain backoff ladder: an idle rank never sleeps longer than this
+/// between probe sweeps, so late traffic is still picked up promptly.
+const BACKOFF_CAP: Duration = Duration::from_millis(1);
+
+/// The drain's expected traffic, produced by [`ManaRank::begin_checkpoint`]: how many
+/// point-to-point messages each world rank has sent this rank since job start.
+#[derive(Debug, Clone)]
+pub struct DrainPlan {
+    expected_from: Vec<u64>,
+}
+
+impl DrainPlan {
+    /// Expected cumulative message count from each world rank.
+    pub fn expected_from(&self) -> &[u64] {
+        &self.expected_from
+    }
+}
+
+/// One peer this rank is still waiting on during a drain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainShortfall {
+    /// The peer world rank that still owes messages.
+    pub peer: Rank,
+    /// Messages that peer has sent this rank since job start.
+    pub expected: u64,
+    /// Messages this rank has received from that peer so far.
+    pub received: u64,
+}
+
+impl DrainShortfall {
+    /// Messages still missing from this peer.
+    pub fn missing(&self) -> u64 {
+        self.expected.saturating_sub(self.received)
+    }
+}
+
+fn describe_shortfalls(shortfalls: &[DrainShortfall]) -> String {
+    shortfalls
+        .iter()
+        .map(|s| {
+            format!(
+                "rank {} is short {} (expected {}, received {})",
+                s.peer,
+                s.missing(),
+                s.expected,
+                s.received
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("; ")
+}
+
+/// Observes drain progress across whatever scope the caller has: a single rank (the
+/// default, [`LocalDrainObserver`]) or the whole job (a coordinator).
+///
+/// The drain loop declares a stall only when the observer's *progress stamp* has been
+/// frozen for the whole stall budget. A job-wide observer therefore keeps a rank
+/// patient while any other rank is still making progress — the coordinator-observed
+/// replacement for the old per-rank idle-round counter, which could misfire on a slow
+/// machine even though the job as a whole was healthy.
+pub trait DrainObserver: Send + Sync {
+    /// Record that `rank` drained `messages` more in-flight messages.
+    fn record_progress(&self, rank: Rank, messages: u64);
+
+    /// A stamp that increases whenever any observed rank makes progress.
+    fn progress_stamp(&self) -> u64;
+
+    /// How long a rank may watch a frozen stamp before declaring the drain stalled.
+    fn stall_budget(&self) -> Duration {
+        Duration::from_secs(5)
+    }
+}
+
+/// The fallback observer used by the standalone [`ManaRank::checkpoint`] /
+/// [`ManaRank::checkpoint_into`] paths: only this rank's own progress is visible.
+#[derive(Debug, Default)]
+pub struct LocalDrainObserver {
+    drained: AtomicU64,
+}
+
+impl DrainObserver for LocalDrainObserver {
+    fn record_progress(&self, _rank: Rank, messages: u64) {
+        self.drained.fetch_add(messages, Ordering::Relaxed);
+    }
+
+    fn progress_stamp(&self) -> u64 {
+        self.drained.load(Ordering::Relaxed)
+    }
+}
+
 impl ManaRank {
     /// Take a transparent checkpoint into the legacy flat-image store and continue
     /// running. This is the paper-baseline write path: every generation writes the
@@ -49,11 +143,8 @@ impl ManaRank {
     /// Collective: every rank of the job must call this at the same logical point.
     /// Returns the write report (image size and modelled write time) for this rank.
     pub fn checkpoint(&mut self, store: &CheckpointStore) -> MpiResult<WriteReport> {
-        self.quiesce_and_drain()?;
-        let image = self.build_image()?;
-        let report = store.write(self.generation, &image);
-        self.generation += 1;
-        Ok(report)
+        self.quiesce_and_drain(&LocalDrainObserver::default())?;
+        self.write_checkpoint(store)
     }
 
     /// Take a transparent checkpoint into the `ckpt-store` storage engine, using the
@@ -66,20 +157,17 @@ impl ManaRank {
     /// epoch advances, so the *next* checkpoint diffs against this one.
     ///
     /// Collective: every rank of the job must call this at the same logical point.
+    /// Jobs running under an orchestrator (`job-runtime`) go through the same phases
+    /// individually, with a job-wide [`DrainObserver`] in the middle.
     pub fn checkpoint_into(&mut self, storage: &CheckpointStorage) -> MpiResult<StoreReport> {
-        self.quiesce_and_drain()?;
-        let image = self.build_image()?;
-        let report = storage.write_image(self.config.storage, &image);
-        self.upper.mark_clean();
-        self.upper.advance_epoch();
-        self.generation += 1;
-        Ok(report)
+        self.quiesce_and_drain(&LocalDrainObserver::default())?;
+        self.write_checkpoint_into(storage)
     }
 
-    /// Phases 1-4 of the checkpoint protocol: quiesce the job, exchange send counts,
-    /// drain in-flight traffic into the upper half, and refresh deferred ggids. After
-    /// this returns the rank is safe to snapshot.
-    fn quiesce_and_drain(&mut self) -> MpiResult<()> {
+    /// Phases 1-2 of the checkpoint protocol: quiesce the job (world barrier) and
+    /// exchange per-destination send counts, producing the [`DrainPlan`] the drain
+    /// phase works off. Collective.
+    pub fn begin_checkpoint(&mut self) -> MpiResult<DrainPlan> {
         let world = self.world()?;
         let world_phys = self.phys(world, HandleKind::Comm)?;
 
@@ -98,17 +186,19 @@ impl ManaRank {
                 "send-count exchange returned the wrong number of peers".into(),
             ));
         }
+        Ok(DrainPlan { expected_from })
+    }
 
-        // Phase 3: drain until everything that was in flight has been buffered
-        // (required subset, category 1: Iprobe + Recv).
-        self.drain(&expected_from)?;
-
-        // Phase 4: everyone has drained; it is now safe to snapshot.
+    /// Phase 4 of the checkpoint protocol: a world barrier confirming every rank has
+    /// drained, then a refresh of ggids a lazy policy deferred (paper §4.2: "At the
+    /// time of checkpoint, the structures may be further updated"). After this returns
+    /// the rank is safe to snapshot. Collective.
+    pub fn complete_drain(&mut self) -> MpiResult<()> {
+        let world = self.world()?;
+        let world_phys = self.phys(world, HandleKind::Comm)?;
         self.cross();
         self.lower.barrier(world_phys)?;
 
-        // Refresh ggids that a lazy policy deferred (paper §4.2: "At the time of
-        // checkpoint, the structures may be further updated").
         let comm_and_group_vids: Vec<_> = self
             .translator
             .iter_in_creation_order()
@@ -120,6 +210,38 @@ impl ManaRank {
             self.translator.get_mut(vid)?.ggid_or_compute();
         }
         Ok(())
+    }
+
+    /// Snapshot this rank's upper half into the legacy flat store and advance the
+    /// generation. The caller must have completed the drain phases first.
+    pub fn write_checkpoint(&mut self, store: &CheckpointStore) -> MpiResult<WriteReport> {
+        let image = self.build_image()?;
+        let report = store.write(self.generation, &image);
+        self.generation += 1;
+        Ok(report)
+    }
+
+    /// Snapshot this rank's upper half into the `ckpt-store` engine under the
+    /// configured storage policy and advance the generation + dirty-tracking epoch.
+    /// The caller must have completed the drain phases first.
+    ///
+    /// Writes from different ranks may run concurrently: the sharded store admits
+    /// them in parallel, which is what the orchestrator's parallel write phase
+    /// exploits.
+    pub fn write_checkpoint_into(&mut self, storage: &CheckpointStorage) -> MpiResult<StoreReport> {
+        let image = self.build_image()?;
+        let report = storage.write_image(self.config.storage, &image);
+        self.upper.mark_clean();
+        self.upper.advance_epoch();
+        self.generation += 1;
+        Ok(report)
+    }
+
+    /// Phases 1-4 of the checkpoint protocol in one call, for the standalone paths.
+    fn quiesce_and_drain(&mut self, observer: &dyn DrainObserver) -> MpiResult<()> {
+        let plan = self.begin_checkpoint()?;
+        self.drain_quiescent(&plan, observer)?;
+        self.complete_drain()
     }
 
     /// Build the checkpoint image for this rank without writing it anywhere (used by
@@ -141,8 +263,20 @@ impl ManaRank {
         ))
     }
 
-    /// Drain pending point-to-point traffic until `expected_from` is satisfied.
-    fn drain(&mut self, expected_from: &[u64]) -> MpiResult<()> {
+    /// Phase 3 of the checkpoint protocol: drain pending point-to-point traffic into
+    /// the upper-half buffer until every count in `plan` is satisfied.
+    ///
+    /// Idle rounds back off exponentially (capped at 1 ms) instead of
+    /// spinning, and a stall is declared only after the observer's progress stamp has
+    /// been frozen for its whole stall budget — under a job-wide observer, only when
+    /// *no rank anywhere* is draining anything. The stall diagnostic names each peer
+    /// this rank is still waiting on and by how many messages.
+    pub fn drain_quiescent(
+        &mut self,
+        plan: &DrainPlan,
+        observer: &dyn DrainObserver,
+    ) -> MpiResult<()> {
+        let expected_from = &plan.expected_from;
         // Snapshot the live communicators (vid, physical handle, membership) so we can
         // iterate without holding a borrow on the translator.
         let comms: Vec<_> = self
@@ -153,8 +287,9 @@ impl ManaRank {
             .map(|d| (d.vid, d.phys, d.members_world.clone().unwrap_or_default()))
             .collect();
 
-        let mut idle_rounds = 0u64;
-        const MAX_IDLE_ROUNDS: u64 = 1_000_000;
+        let mut backoff = BACKOFF_FLOOR;
+        let mut last_stamp = observer.progress_stamp();
+        let mut frozen_since = Instant::now();
         loop {
             let satisfied = self
                 .counters
@@ -165,53 +300,98 @@ impl ManaRank {
             if satisfied {
                 return Ok(());
             }
-            let mut progressed = false;
-            for (vid, phys, members) in &comms {
-                self.cross();
-                if let Some(status) = self.lower.iprobe(ANY_SOURCE, ANY_TAG, *phys)? {
-                    // Receive exactly the probed message and buffer it in the upper half.
-                    let byte_type = self.constant(PredefinedObject::Datatype(
-                        mpi_model::datatype::PrimitiveType::Byte,
-                    ))?;
-                    let byte_phys = self.phys(byte_type, HandleKind::Datatype)?;
-                    self.cross();
-                    let (payload, status) = self.lower.recv(
-                        byte_phys,
-                        status.count_bytes,
-                        status.source,
-                        status.tag,
-                        *phys,
-                    )?;
-                    let source_world = members
-                        .get(status.source.max(0) as usize)
-                        .copied()
-                        .ok_or_else(|| {
-                            MpiError::Checkpoint(
-                                "drained message from a rank outside the communicator".into(),
-                            )
-                        })?;
-                    self.counters.received_from[source_world as usize] += 1;
-                    self.buffered.push(BufferedMessage {
-                        comm: *vid,
-                        source: status.source,
-                        tag: status.tag,
-                        payload,
-                    });
-                    progressed = true;
-                }
+            let drained = self.drain_sweep(&comms)?;
+            if drained > 0 {
+                observer.record_progress(self.world_rank, drained);
+                backoff = BACKOFF_FLOOR;
+                frozen_since = Instant::now();
+                continue;
             }
-            if !progressed {
-                idle_rounds += 1;
-                if idle_rounds > MAX_IDLE_ROUNDS {
-                    return Err(MpiError::Checkpoint(format!(
-                        "drain stalled on rank {}: expected {:?}, received {:?}",
-                        self.world_rank, expected_from, self.counters.received_from
-                    )));
-                }
-                std::thread::yield_now();
-            } else {
-                idle_rounds = 0;
+            // Nothing here — but if any observed rank progressed, the job is healthy;
+            // reset the stall clock and stay patient.
+            let stamp = observer.progress_stamp();
+            if stamp != last_stamp {
+                last_stamp = stamp;
+                backoff = BACKOFF_FLOOR;
+                frozen_since = Instant::now();
+            } else if frozen_since.elapsed() >= observer.stall_budget() {
+                let shortfalls = self.drain_shortfall(expected_from);
+                return Err(MpiError::Checkpoint(format!(
+                    "drain stalled on rank {} after {:.1}s without progress \
+                     anywhere in the job; still missing {} messages: {}",
+                    self.world_rank,
+                    observer.stall_budget().as_secs_f64(),
+                    shortfalls.iter().map(DrainShortfall::missing).sum::<u64>(),
+                    describe_shortfalls(&shortfalls)
+                )));
+            }
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(BACKOFF_CAP);
+        }
+    }
+
+    /// One probe-and-receive sweep over every live communicator; returns how many
+    /// in-flight messages were drained into the upper-half buffer.
+    fn drain_sweep(
+        &mut self,
+        comms: &[(
+            crate::virtid::VirtualId,
+            mpi_model::types::PhysHandle,
+            Vec<Rank>,
+        )],
+    ) -> MpiResult<u64> {
+        let mut drained = 0u64;
+        for (vid, phys, members) in comms {
+            self.cross();
+            if let Some(status) = self.lower.iprobe(ANY_SOURCE, ANY_TAG, *phys)? {
+                // Receive exactly the probed message and buffer it in the upper half.
+                let byte_type = self.constant(PredefinedObject::Datatype(
+                    mpi_model::datatype::PrimitiveType::Byte,
+                ))?;
+                let byte_phys = self.phys(byte_type, HandleKind::Datatype)?;
+                self.cross();
+                let (payload, status) = self.lower.recv(
+                    byte_phys,
+                    status.count_bytes,
+                    status.source,
+                    status.tag,
+                    *phys,
+                )?;
+                let source_world = members
+                    .get(status.source.max(0) as usize)
+                    .copied()
+                    .ok_or_else(|| {
+                        MpiError::Checkpoint(
+                            "drained message from a rank outside the communicator".into(),
+                        )
+                    })?;
+                self.counters.received_from[source_world as usize] += 1;
+                self.buffered.push(BufferedMessage {
+                    comm: *vid,
+                    source: status.source,
+                    tag: status.tag,
+                    payload,
+                });
+                drained += 1;
             }
         }
+        Ok(drained)
+    }
+
+    /// The peers this rank is still waiting on, with expected/received counts — the
+    /// payload of the stall diagnostic.
+    pub fn drain_shortfall(&self, expected_from: &[u64]) -> Vec<DrainShortfall> {
+        self.counters
+            .received_from
+            .iter()
+            .zip(expected_from.iter())
+            .enumerate()
+            .filter(|(_, (got, want))| got < want)
+            .map(|(peer, (got, want))| DrainShortfall {
+                peer: peer as Rank,
+                expected: *want,
+                received: *got,
+            })
+            .collect()
     }
 }

@@ -46,6 +46,7 @@ pub mod subset_check;
 pub mod virtid;
 pub mod wrappers;
 
+pub use ckpt::{DrainObserver, DrainPlan, DrainShortfall, LocalDrainObserver};
 pub use config::{GgidPolicy, ManaConfig, StoragePolicy, VirtIdMode};
 pub use restart::{restart_job_from_storage, restart_rank};
 pub use runtime::{AppHandle, ManaRank};

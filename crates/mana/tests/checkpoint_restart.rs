@@ -12,23 +12,17 @@
 //!   (the §9 "future work" scenario, possible here because nothing lower-half-specific
 //!   is stored in the image).
 
+use job_runtime::{run_world, Backend, JobConfig, JobRuntime};
 use mana::restart::restart_job;
 use mana::runtime::AppHandle;
 use mana::{ManaConfig, ManaRank};
-use mpi_model::api::MpiImplementationFactory;
 use mpi_model::buffer::{bytes_to_f64, bytes_to_i32, f64_to_bytes, i32_to_bytes};
 use mpi_model::constants::PredefinedObject;
 use mpi_model::datatype::PrimitiveType;
-use mpi_model::op::{PredefinedOp, UserFunctionRegistry};
+use mpi_model::op::PredefinedOp;
 use mpi_model::types::ANY_SOURCE;
-use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use split_proc::store::CheckpointStore;
-use std::sync::Arc;
-
-fn registry() -> Arc<RwLock<UserFunctionRegistry>> {
-    Arc::new(RwLock::new(UserFunctionRegistry::new()))
-}
 
 /// Application state the "app" stores in its upper half: the virtual handles it holds
 /// and a little progress marker. Surviving serialization of *handles* is the point.
@@ -157,30 +151,16 @@ fn phase_after(mut rank: ManaRank) {
     rank.barrier(state.world).unwrap();
 }
 
-fn run_scenario(
-    first: &dyn MpiImplementationFactory,
-    second: &dyn MpiImplementationFactory,
-    config: ManaConfig,
-    world_size: usize,
-) {
-    let reg = registry();
+fn run_scenario(first: Backend, second: Backend, config: ManaConfig, world_size: usize) {
+    let runtime = JobRuntime::new(JobConfig::new(world_size, first).with_mana(config));
     let store = CheckpointStore::unmetered();
 
     // --- Run until the checkpoint under the first implementation. ---
-    let lowers = first.launch(world_size, reg.clone(), 1).unwrap();
-    let handles: Vec<_> = lowers
-        .into_iter()
-        .map(|lower| {
-            let reg = reg.clone();
-            let store = store.clone();
-            std::thread::spawn(move || {
-                let rank = ManaRank::new(lower, config, reg).unwrap();
-                phase_before(rank, &store)
-            })
-        })
-        .collect();
-    for handle in handles {
-        let (crossings, _buffered) = handle.join().unwrap();
+    let store_for_ranks = store.clone();
+    let results = runtime
+        .run(move |rank, _ctx| Ok(phase_before(rank, &store_for_ranks)))
+        .unwrap();
+    for (crossings, _buffered) in results {
         assert!(
             crossings > 0,
             "wrapped calls must cross into the lower half"
@@ -194,38 +174,30 @@ fn run_scenario(
     assert!(images
         .iter()
         .all(|i| i.metadata.implementation == first.name()));
-    let new_lowers = second.launch(world_size, reg.clone(), 2).unwrap();
+    let new_lowers = second
+        .factory()
+        .launch(world_size, runtime.registry(), 2)
+        .unwrap();
     let second_name = second.name();
-    let restarted = restart_job(new_lowers, images, config, reg).unwrap();
-    let handles: Vec<_> = restarted
-        .into_iter()
-        .map(|rank| {
-            std::thread::spawn(move || {
-                assert_eq!(rank.implementation_name(), second_name);
-                phase_after(rank)
-            })
-        })
-        .collect();
-    for handle in handles {
-        handle.join().unwrap();
-    }
+    let restarted = restart_job(new_lowers, images, config, runtime.registry()).unwrap();
+    run_world(restarted, move |_, rank| {
+        assert_eq!(rank.implementation_name(), second_name);
+        phase_after(rank);
+        Ok(())
+    })
+    .unwrap();
 }
 
 #[test]
 fn checkpoint_restart_on_mpich_new_virtid() {
-    run_scenario(
-        &mpich_sim::MpichFactory::mpich(),
-        &mpich_sim::MpichFactory::mpich(),
-        ManaConfig::new_design(),
-        4,
-    );
+    run_scenario(Backend::Mpich, Backend::Mpich, ManaConfig::new_design(), 4);
 }
 
 #[test]
 fn checkpoint_restart_on_mpich_legacy_design() {
     run_scenario(
-        &mpich_sim::MpichFactory::mpich(),
-        &mpich_sim::MpichFactory::mpich(),
+        Backend::Mpich,
+        Backend::Mpich,
         ManaConfig::legacy_design(),
         4,
     );
@@ -234,8 +206,8 @@ fn checkpoint_restart_on_mpich_legacy_design() {
 #[test]
 fn checkpoint_restart_on_openmpi() {
     run_scenario(
-        &openmpi_sim::OpenMpiFactory::new(),
-        &openmpi_sim::OpenMpiFactory::new(),
+        Backend::OpenMpi,
+        Backend::OpenMpi,
         ManaConfig::new_design(),
         4,
     );
@@ -244,8 +216,8 @@ fn checkpoint_restart_on_openmpi() {
 #[test]
 fn checkpoint_restart_on_craympi() {
     run_scenario(
-        &mpich_sim::MpichFactory::cray(),
-        &mpich_sim::MpichFactory::cray(),
+        Backend::CrayMpi,
+        Backend::CrayMpi,
         ManaConfig::new_design(),
         3,
     );
@@ -256,8 +228,8 @@ fn cross_implementation_restart_mpich_to_openmpi() {
     // Checkpoint under MPICH, restart under Open MPI: nothing implementation-specific
     // survives in the image, so this works for applications inside the common subset.
     run_scenario(
-        &mpich_sim::MpichFactory::mpich(),
-        &openmpi_sim::OpenMpiFactory::new(),
+        Backend::Mpich,
+        Backend::OpenMpi,
         ManaConfig::new_design(),
         4,
     );
@@ -266,8 +238,8 @@ fn cross_implementation_restart_mpich_to_openmpi() {
 #[test]
 fn cross_implementation_restart_openmpi_to_mpich() {
     run_scenario(
-        &openmpi_sim::OpenMpiFactory::new(),
-        &mpich_sim::MpichFactory::mpich(),
+        Backend::OpenMpi,
+        Backend::Mpich,
         ManaConfig::new_design(),
         2,
     );
@@ -279,8 +251,8 @@ fn exampi_checkpoint_restart_within_subset() {
     // reductions and point-to-point are enough for the CoMD/LULESH-style workload this
     // scenario models.
     run_scenario(
-        &exampi_sim::ExaMpiFactory::new(),
-        &exampi_sim::ExaMpiFactory::new(),
+        Backend::ExaMpi,
+        Backend::ExaMpi,
         ManaConfig::new_design(),
         4,
     );
@@ -288,132 +260,101 @@ fn exampi_checkpoint_restart_within_subset() {
 
 #[test]
 fn multiple_checkpoint_generations() {
-    let reg = registry();
+    let runtime = JobRuntime::new(JobConfig::new(2, Backend::Mpich));
     let store = CheckpointStore::unmetered();
-    let factory = mpich_sim::MpichFactory::mpich();
-    let lowers = factory.launch(2, reg.clone(), 1).unwrap();
-    let handles: Vec<_> = lowers
-        .into_iter()
-        .map(|lower| {
-            let reg = reg.clone();
-            let store = store.clone();
-            std::thread::spawn(move || {
-                let mut rank = ManaRank::new(lower, ManaConfig::new_design(), reg).unwrap();
-                let world = rank.world().unwrap();
-                let int_type = rank
-                    .constant(PredefinedObject::Datatype(PrimitiveType::Int))
-                    .unwrap();
-                let sum = rank
-                    .constant(PredefinedObject::Op(PredefinedOp::Sum))
-                    .unwrap();
-                for generation in 0..3u64 {
-                    let total = rank
-                        .allreduce(&i32_to_bytes(&[1]), int_type, sum, world)
-                        .unwrap();
-                    assert_eq!(bytes_to_i32(&total)[0], 2);
-                    let report = rank.checkpoint(&store).unwrap();
-                    assert!(report.bytes > 0);
-                    assert_eq!(rank.generation(), generation + 1);
-                }
-                rank.world_rank()
-            })
+    let store_for_ranks = store.clone();
+    runtime
+        .run(move |mut rank, _ctx| {
+            let world = rank.world()?;
+            let int_type = rank.constant(PredefinedObject::Datatype(PrimitiveType::Int))?;
+            let sum = rank.constant(PredefinedObject::Op(PredefinedOp::Sum))?;
+            for generation in 0..3u64 {
+                let total = rank.allreduce(&i32_to_bytes(&[1]), int_type, sum, world)?;
+                assert_eq!(bytes_to_i32(&total)[0], 2);
+                let report = rank.checkpoint(&store_for_ranks)?;
+                assert!(report.bytes > 0);
+                assert_eq!(rank.generation(), generation + 1);
+            }
+            Ok(rank.world_rank())
         })
-        .collect();
-    for handle in handles {
-        handle.join().unwrap();
-    }
+        .unwrap();
     // Three generations of two ranks each.
     assert_eq!(store.image_count(), 6);
     // The restart path works from the latest generation.
     let images: Vec<_> = (0..2).map(|r| store.read(2, r).unwrap()).collect();
-    let new_lowers = factory.launch(2, reg.clone(), 9).unwrap();
-    let restarted = restart_job(new_lowers, images, ManaConfig::new_design(), reg).unwrap();
+    let new_lowers = Backend::Mpich
+        .factory()
+        .launch(2, runtime.registry(), 9)
+        .unwrap();
+    let restarted = restart_job(
+        new_lowers,
+        images,
+        ManaConfig::new_design(),
+        runtime.registry(),
+    )
+    .unwrap();
     assert_eq!(restarted.len(), 2);
     assert_eq!(restarted[0].generation(), 3);
 }
 
 #[test]
 fn drain_buffers_many_inflight_messages() {
-    let reg = registry();
-    let store = CheckpointStore::unmetered();
-    let factory = mpich_sim::MpichFactory::mpich();
-    let lowers = factory.launch(2, reg.clone(), 1).unwrap();
-    let handles: Vec<_> = lowers
-        .into_iter()
-        .map(|lower| {
-            let reg = reg.clone();
-            let store = store.clone();
-            std::thread::spawn(move || {
-                let mut rank = ManaRank::new(lower, ManaConfig::new_design(), reg).unwrap();
-                let me = rank.world_rank();
-                let world = rank.world().unwrap();
-                let byte_type = rank
-                    .constant(PredefinedObject::Datatype(PrimitiveType::Byte))
-                    .unwrap();
-                // Rank 0 fires 20 messages that rank 1 never receives before the
-                // checkpoint; the drain must buffer all of them, in order.
-                if me == 0 {
-                    for i in 0..20u8 {
-                        rank.send(&[i], byte_type, 1, 5, world).unwrap();
-                    }
+    let runtime = JobRuntime::new(JobConfig::new(2, Backend::Mpich));
+    // The coordinated checkpoint goes through the runtime's sharded engine store; the
+    // drain behaviour under test is identical either way.
+    runtime
+        .run(move |mut rank, ctx| {
+            let me = rank.world_rank();
+            let world = rank.world()?;
+            let byte_type = rank.constant(PredefinedObject::Datatype(PrimitiveType::Byte))?;
+            // Rank 0 fires 20 messages that rank 1 never receives before the
+            // checkpoint; the drain must buffer all of them, in order.
+            if me == 0 {
+                for i in 0..20u8 {
+                    rank.send(&[i], byte_type, 1, 5, world)?;
                 }
-                rank.checkpoint(&store).unwrap();
-                if me == 1 {
-                    assert_eq!(rank.buffered_messages(), 20);
-                    // And they are delivered, in FIFO order, by ordinary receives.
-                    for i in 0..20u8 {
-                        let (payload, status) = rank.recv(byte_type, 16, 0, 5, world).unwrap();
-                        assert_eq!(payload, vec![i]);
-                        assert_eq!(status.source, 0);
-                    }
-                    assert_eq!(rank.buffered_messages(), 0);
-                } else {
-                    assert_eq!(rank.buffered_messages(), 0);
+            }
+            ctx.checkpoint(&mut rank)?;
+            if me == 1 {
+                assert_eq!(rank.buffered_messages(), 20);
+                // And they are delivered, in FIFO order, by ordinary receives.
+                for i in 0..20u8 {
+                    let (payload, status) = rank.recv(byte_type, 16, 0, 5, world)?;
+                    assert_eq!(payload, vec![i]);
+                    assert_eq!(status.source, 0);
                 }
-            })
+                assert_eq!(rank.buffered_messages(), 0);
+            } else {
+                assert_eq!(rank.buffered_messages(), 0);
+            }
+            Ok(())
         })
-        .collect();
-    for handle in handles {
-        handle.join().unwrap();
-    }
+        .unwrap();
 }
 
 #[test]
 fn nonblocking_requests_survive_checkpoint() {
-    let reg = registry();
-    let store = CheckpointStore::unmetered();
-    let factory = openmpi_sim::OpenMpiFactory::new();
-    let lowers = factory.launch(2, reg.clone(), 1).unwrap();
-    let handles: Vec<_> = lowers
-        .into_iter()
-        .map(|lower| {
-            let reg = reg.clone();
-            let store = store.clone();
-            std::thread::spawn(move || {
-                let mut rank = ManaRank::new(lower, ManaConfig::new_design(), reg).unwrap();
-                let me = rank.world_rank();
-                let world = rank.world().unwrap();
-                let byte_type = rank
-                    .constant(PredefinedObject::Datatype(PrimitiveType::Byte))
-                    .unwrap();
-                if me == 0 {
-                    let req = rank.isend(&[42, 43], byte_type, 1, 11, world).unwrap();
-                    rank.checkpoint(&store).unwrap();
-                    let (status, payload) = rank.wait(req).unwrap();
-                    assert!(payload.is_none());
-                    assert_eq!(status.tag, 11);
-                } else {
-                    // Post the irecv *before* the checkpoint; satisfy it afterwards.
-                    let req = rank.irecv(byte_type, 16, 0, 11, world).unwrap();
-                    rank.checkpoint(&store).unwrap();
-                    let (status, payload) = rank.wait(req).unwrap();
-                    assert_eq!(status.count_bytes, 2);
-                    assert_eq!(payload.unwrap(), vec![42, 43]);
-                }
-            })
+    let runtime = JobRuntime::new(JobConfig::new(2, Backend::OpenMpi));
+    runtime
+        .run(move |mut rank, ctx| {
+            let me = rank.world_rank();
+            let world = rank.world()?;
+            let byte_type = rank.constant(PredefinedObject::Datatype(PrimitiveType::Byte))?;
+            if me == 0 {
+                let req = rank.isend(&[42, 43], byte_type, 1, 11, world)?;
+                ctx.checkpoint(&mut rank)?;
+                let (status, payload) = rank.wait(req)?;
+                assert!(payload.is_none());
+                assert_eq!(status.tag, 11);
+            } else {
+                // Post the irecv *before* the checkpoint; satisfy it afterwards.
+                let req = rank.irecv(byte_type, 16, 0, 11, world)?;
+                ctx.checkpoint(&mut rank)?;
+                let (status, payload) = rank.wait(req)?;
+                assert_eq!(status.count_bytes, 2);
+                assert_eq!(payload.unwrap(), vec![42, 43]);
+            }
+            Ok(())
         })
-        .collect();
-    for handle in handles {
-        handle.join().unwrap();
-    }
+        .unwrap();
 }

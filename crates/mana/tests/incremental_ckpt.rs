@@ -3,87 +3,67 @@
 //! older generation when a chunk of the newest one is corrupt.
 
 use ckpt_store::{CheckpointStorage, StoragePolicy};
-use mana::restart::restart_job_from_storage;
-use mana::{ManaConfig, ManaRank};
-use mpi_model::api::MpiImplementationFactory;
+use job_runtime::{Backend, JobConfig, JobRuntime};
+use mana::ManaConfig;
 use mpi_model::buffer::{bytes_to_i32, i32_to_bytes};
 use mpi_model::constants::PredefinedObject;
 use mpi_model::datatype::PrimitiveType;
-use mpi_model::op::{PredefinedOp, UserFunctionRegistry};
-use parking_lot::RwLock;
-use std::sync::Arc;
-
-fn registry() -> Arc<RwLock<UserFunctionRegistry>> {
-    Arc::new(RwLock::new(UserFunctionRegistry::new()))
-}
+use mpi_model::op::PredefinedOp;
 
 const BULK_REGION: &str = "app.bulk";
 const MARKER_REGION: &str = "app.marker";
 const BULK_BYTES: usize = 512 * 1024;
 
-/// Run a 2-rank job that takes `generations` engine checkpoints. Between
-/// checkpoints only the small marker region changes; the bulk region stays clean.
+/// Run a 2-rank job under the orchestrator that takes `generations` coordinated
+/// engine checkpoints. Between checkpoints only the small marker region changes; the
+/// bulk region stays clean. Returns the runtime (for restarts) and all reports.
 fn checkpoint_generations(
     storage: &CheckpointStorage,
     config: ManaConfig,
     generations: u64,
-) -> Vec<ckpt_store::StoreReport> {
-    let reg = registry();
-    let factory = mpich_sim::MpichFactory::mpich();
-    let lowers = factory.launch(2, reg.clone(), 1).unwrap();
-    let handles: Vec<_> = lowers
-        .into_iter()
-        .map(|lower| {
-            let reg = reg.clone();
-            let storage = storage.clone();
-            std::thread::spawn(move || {
-                let mut rank = ManaRank::new(lower, config, reg).unwrap();
-                let me = rank.world_rank();
-                let world = rank.world().unwrap();
-                let int_type = rank
-                    .constant(PredefinedObject::Datatype(PrimitiveType::Int))
-                    .unwrap();
-                let sum = rank
-                    .constant(PredefinedObject::Op(PredefinedOp::Sum))
-                    .unwrap();
+) -> (JobRuntime, Vec<ckpt_store::StoreReport>) {
+    let runtime = JobRuntime::with_storage(
+        JobConfig::new(2, Backend::Mpich).with_mana(config),
+        storage.clone(),
+    );
+    let per_rank = runtime
+        .run(move |mut rank, ctx| {
+            let me = rank.world_rank();
+            let world = rank.world()?;
+            let int_type = rank.constant(PredefinedObject::Datatype(PrimitiveType::Int))?;
+            let sum = rank.constant(PredefinedObject::Op(PredefinedOp::Sum))?;
 
-                // High multiplier bits: aperiodic over the whole region (low-bit
-                // patterns repeat every 2^(9+8) bytes and would self-dedup), offset
-                // per rank so ranks do not share chunks either.
-                let bulk: Vec<u8> = (0..BULK_BYTES)
-                    .map(|i| {
-                        ((i as u64 + me as u64 * 10_000_019).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                            >> 24) as u8
-                    })
-                    .collect();
-                rank.upper_mut().map_region(BULK_REGION, bulk);
+            // High multiplier bits: aperiodic over the whole region (low-bit
+            // patterns repeat every 2^(9+8) bytes and would self-dedup), offset
+            // per rank so ranks do not share chunks either.
+            let bulk: Vec<u8> = (0..BULK_BYTES)
+                .map(|i| {
+                    ((i as u64 + me as u64 * 10_000_019).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 24)
+                        as u8
+                })
+                .collect();
+            rank.upper_mut().map_region(BULK_REGION, bulk);
 
-                let mut reports = Vec::new();
-                for generation in 0..generations {
-                    let total = rank
-                        .allreduce(&i32_to_bytes(&[1]), int_type, sum, world)
-                        .unwrap();
-                    assert_eq!(bytes_to_i32(&total)[0], 2);
-                    rank.upper_mut()
-                        .map_region(MARKER_REGION, vec![me as u8, generation as u8]);
-                    reports.push(rank.checkpoint_into(&storage).unwrap());
-                }
-                reports
-            })
+            let mut reports = Vec::new();
+            for generation in 0..generations {
+                let total = rank.allreduce(&i32_to_bytes(&[1]), int_type, sum, world)?;
+                assert_eq!(bytes_to_i32(&total)[0], 2);
+                rank.upper_mut()
+                    .map_region(MARKER_REGION, vec![me as u8, generation as u8]);
+                reports.push(ctx.checkpoint(&mut rank)?);
+            }
+            Ok(reports)
         })
-        .collect();
-    let mut all = Vec::new();
-    for handle in handles {
-        all.extend(handle.join().unwrap());
-    }
-    all
+        .unwrap();
+    let reports = per_rank.into_iter().flatten().collect();
+    (runtime, reports)
 }
 
 #[test]
 fn incremental_generations_reuse_the_clean_bulk() {
     let storage = CheckpointStorage::unmetered();
     let config = ManaConfig::new_design().with_storage(StoragePolicy::Incremental);
-    let reports = checkpoint_generations(&storage, config, 3);
+    let (runtime, reports) = checkpoint_generations(&storage, config, 3);
 
     for report in &reports {
         assert_eq!(report.policy, StoragePolicy::Incremental);
@@ -107,11 +87,9 @@ fn incremental_generations_reuse_the_clean_bulk() {
     }
 
     // Restart lands on the newest generation with the matching marker.
-    let reg = registry();
-    let factory = mpich_sim::MpichFactory::mpich();
-    let new_lowers = factory.launch(2, reg.clone(), 9).unwrap();
-    let (ranks, generation) = restart_job_from_storage(new_lowers, &storage, config, reg).unwrap();
+    let (ranks, generation) = runtime.restart(Backend::Mpich).unwrap();
     assert_eq!(generation, 2);
+    assert_eq!(runtime.published_generation(), Some(2));
     for rank in &ranks {
         let marker = rank.upper().region(MARKER_REGION).unwrap();
         assert_eq!(marker, &[rank.world_rank() as u8, 2]);
@@ -125,7 +103,7 @@ fn incremental_generations_reuse_the_clean_bulk() {
 fn corrupt_newest_generation_falls_back_to_previous() {
     let storage = CheckpointStorage::unmetered();
     let config = ManaConfig::new_design().with_storage(StoragePolicy::Incremental);
-    checkpoint_generations(&storage, config, 2);
+    let (runtime, _reports) = checkpoint_generations(&storage, config, 2);
 
     // Corrupt a chunk that only generation 1 of rank 1 references (its marker).
     storage.corrupt_fresh_chunk(1, 1).unwrap();
@@ -135,63 +113,39 @@ fn corrupt_newest_generation_falls_back_to_previous() {
         "rank 0's generation 1 is intact"
     );
 
-    let reg = registry();
-    let factory = mpich_sim::MpichFactory::mpich();
-    let new_lowers = factory.launch(2, reg.clone(), 9).unwrap();
-    let (ranks, generation) =
-        restart_job_from_storage(new_lowers, &storage, config, reg.clone()).unwrap();
+    // The restored ranks carry generation 0's marker and still communicate.
+    let (_, generation) = runtime
+        .resume(|mut rank, _ctx| {
+            let marker = rank.upper().region(MARKER_REGION).unwrap().to_vec();
+            assert_eq!(marker, vec![rank.world_rank() as u8, 0]);
+            let world = rank.world()?;
+            let int_type = rank.constant(PredefinedObject::Datatype(PrimitiveType::Int))?;
+            let sum = rank.constant(PredefinedObject::Op(PredefinedOp::Sum))?;
+            let total = rank.allreduce(&i32_to_bytes(&[1]), int_type, sum, world)?;
+            assert_eq!(bytes_to_i32(&total)[0], 2);
+            Ok(())
+        })
+        .unwrap();
     assert_eq!(
         generation, 0,
         "the job as a whole must fall back to generation 0"
     );
 
-    // The restored ranks carry generation 0's marker and still communicate.
-    let handles: Vec<_> = ranks
-        .into_iter()
-        .map(|mut rank| {
-            std::thread::spawn(move || {
-                let marker = rank.upper().region(MARKER_REGION).unwrap().to_vec();
-                assert_eq!(marker, vec![rank.world_rank() as u8, 0]);
-                let world = rank.world().unwrap();
-                let int_type = rank
-                    .constant(PredefinedObject::Datatype(PrimitiveType::Int))
-                    .unwrap();
-                let sum = rank
-                    .constant(PredefinedObject::Op(PredefinedOp::Sum))
-                    .unwrap();
-                let total = rank
-                    .allreduce(&i32_to_bytes(&[1]), int_type, sum, world)
-                    .unwrap();
-                assert_eq!(bytes_to_i32(&total)[0], 2);
-            })
-        })
-        .collect();
-    for handle in handles {
-        handle.join().unwrap();
-    }
-
     // With every generation of rank 1 corrupt, restart has nothing left to offer.
     storage.corrupt_manifest(0, 1).unwrap();
-    let new_lowers = mpich_sim::MpichFactory::mpich()
-        .launch(2, reg.clone(), 11)
-        .unwrap();
-    assert!(restart_job_from_storage(new_lowers, &storage, config, reg).is_err());
+    assert!(runtime.restart(Backend::Mpich).is_err());
 }
 
 #[test]
 fn compressed_policy_round_trips_through_the_stack() {
     let storage = CheckpointStorage::unmetered();
     let config = ManaConfig::new_design().with_storage(StoragePolicy::IncrementalCompressed);
-    let reports = checkpoint_generations(&storage, config, 2);
+    let (runtime, reports) = checkpoint_generations(&storage, config, 2);
     assert!(reports
         .iter()
         .all(|r| r.policy == StoragePolicy::IncrementalCompressed));
 
-    let reg = registry();
-    let new_lowers = mpich_sim::MpichFactory::mpich()
-        .launch(2, reg.clone(), 9)
-        .unwrap();
-    let (ranks, generation) = restart_job_from_storage(new_lowers, &storage, config, reg).unwrap();
+    let (ranks, generation) = runtime.restart(Backend::Mpich).unwrap();
     assert_eq!(generation, 1);
     assert_eq!(ranks.len(), 2);
 }

@@ -60,22 +60,15 @@ fn launch_test_engines(world_size: usize) -> Vec<Engine<PlainCodec>> {
 }
 
 /// Run `body` on every rank in its own thread and return the per-rank results.
+/// The threading scaffold is the orchestrator's [`job_runtime::run_world`].
 fn run_ranks<T, F>(world_size: usize, body: F) -> Vec<T>
 where
     T: Send + 'static,
     F: Fn(usize, &mut Engine<PlainCodec>) -> T + Send + Sync + 'static,
 {
     let engines = launch_test_engines(world_size);
-    let body = Arc::new(body);
-    let handles: Vec<_> = engines
-        .into_iter()
-        .enumerate()
-        .map(|(rank, mut engine)| {
-            let body = Arc::clone(&body);
-            std::thread::spawn(move || body(rank, &mut engine))
-        })
-        .collect();
-    handles.into_iter().map(|h| h.join().unwrap()).collect()
+    job_runtime::run_world(engines, move |rank, mut engine| Ok(body(rank, &mut engine)))
+        .expect("engine world runs")
 }
 
 #[test]
@@ -436,27 +429,22 @@ fn user_defined_op() {
             )
         })
         .collect();
-    let handles: Vec<_> = engines
-        .into_iter()
-        .enumerate()
-        .map(|(rank, mut api)| {
-            std::thread::spawn(move || {
-                let world = api.resolve_constant(PredefinedObject::CommWorld).unwrap();
-                let int = api
-                    .resolve_constant(PredefinedObject::Datatype(PrimitiveType::Int))
-                    .unwrap();
-                let op = api.op_create(7, true).unwrap();
-                let mine = if rank == 0 { -50 } else { 3 };
-                let out = api
-                    .allreduce(&i32_to_bytes(&[mine]), int, op, world)
-                    .unwrap();
-                api.op_free(op).unwrap();
-                bytes_to_i32(&out)[0]
-            })
-        })
-        .collect();
-    for h in handles {
-        assert_eq!(h.join().unwrap(), -50);
+    let results = job_runtime::run_world(engines, |rank, mut api| {
+        let world = api.resolve_constant(PredefinedObject::CommWorld).unwrap();
+        let int = api
+            .resolve_constant(PredefinedObject::Datatype(PrimitiveType::Int))
+            .unwrap();
+        let op = api.op_create(7, true).unwrap();
+        let mine = if rank == 0 { -50 } else { 3 };
+        let out = api
+            .allreduce(&i32_to_bytes(&[mine]), int, op, world)
+            .unwrap();
+        api.op_free(op).unwrap();
+        Ok(bytes_to_i32(&out)[0])
+    })
+    .unwrap();
+    for value in results {
+        assert_eq!(value, -50);
     }
 }
 

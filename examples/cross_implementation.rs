@@ -1,7 +1,8 @@
 //! "Develop once, run everywhere" — and even *restart somewhere else*: run the CoMD
-//! proxy under MPICH, checkpoint it, and restart the same images under Open MPI
-//! (paper §9's cross-implementation restart, which this reproduction supports because
-//! nothing implementation-specific is stored in the image).
+//! proxy under MPICH, take a coordinated checkpoint, and resume the same job under
+//! Open MPI with one method call (paper §9's cross-implementation restart, which this
+//! reproduction supports because nothing implementation-specific is stored in the
+//! image).
 //!
 //! Also audits each implementation for the MANA-required MPI subset of paper §5.
 //!
@@ -9,89 +10,77 @@
 //! cargo run --example cross_implementation
 //! ```
 
-use mana_repro::mana::restart::restart_job;
-use mana_repro::mana::ManaConfig;
+use mana_repro::job_runtime::{Backend, JobConfig, JobRuntime};
+use mana_repro::mana::{ManaConfig, StoragePolicy};
 use mana_repro::mana_apps::{run_app, AppId, RunConfig};
-use mana_repro::split_proc::store::CheckpointStore;
-use mana_repro::{launch_mana_job, run_ranks};
-use mpi_model::api::MpiImplementationFactory;
 
 const RANKS: usize = 4;
 const TOTAL_STEPS: u64 = 10;
 const CHECKPOINT_AT: u64 = 4;
 
 fn main() {
-    let mpich = mpich_sim::MpichFactory::mpich();
-    let openmpi = openmpi_sim::OpenMpiFactory::new();
-    let exampi = exampi_sim::ExaMpiFactory::new();
-    let config = ManaConfig::new_design();
-    let store = CheckpointStore::unmetered();
-
     // Subset audit (paper §5): which implementations can host MANA at all?
-    for factory in [&mpich as &dyn MpiImplementationFactory, &openmpi, &exampi] {
-        let ranks = launch_mana_job(factory, 1, config, 99).expect("probe launch");
-        let audit = ranks[0].audit_lower_half();
+    for backend in Backend::DISTINCT {
+        let probe = JobRuntime::new(JobConfig::new(1, backend));
+        let audits = probe
+            .run(|rank, _ctx| Ok(rank.audit_lower_half()))
+            .expect("probe");
         println!(
             "{:<8} provides the MANA-required subset: {} ({} optional features beyond it)",
-            factory.name(),
-            audit.compatible(),
-            audit.optional_features.len()
+            backend.name(),
+            audits[0].compatible(),
+            audits[0].optional_features.len()
         );
     }
 
-    println!("\n== run CoMD under MPICH and checkpoint at step {CHECKPOINT_AT} ==");
-    let ranks = launch_mana_job(&mpich, RANKS, config, 1).expect("launch");
-    let store_for_ranks = store.clone();
-    run_ranks(ranks, move |mut rank| {
-        let report = run_app(
-            AppId::CoMd,
-            &mut rank,
-            &RunConfig {
-                iterations: CHECKPOINT_AT,
-                state_scale: 1e-4,
-                checkpoint_at: Some(CHECKPOINT_AT),
-                store: Some(store_for_ranks.clone()),
-                storage: None,
-            },
-        )?;
-        println!(
-            "rank {} under {}: {} crossings, image {} bytes",
-            report.rank,
-            rank.implementation_name(),
-            report.crossings,
-            report.checkpoint.as_ref().map(|c| c.bytes).unwrap_or(0)
-        );
-        Ok(())
-    })
-    .expect("mpich phase");
+    let config = ManaConfig::new_design().with_storage(StoragePolicy::Incremental);
+    let runtime = JobRuntime::new(JobConfig::new(RANKS, Backend::Mpich).with_mana(config));
 
-    println!("\n== restart those images under Open MPI and finish the run ==");
-    let images = (0..RANKS)
-        .map(|r| store.read(0, r as i32).expect("image"))
-        .collect();
-    let registry = std::sync::Arc::new(parking_lot::RwLock::new(
-        mana_repro::mpi_model::op::UserFunctionRegistry::new(),
-    ));
-    let new_lowers = openmpi
-        .launch(RANKS, registry.clone(), 2)
-        .expect("relaunch");
-    let restarted = restart_job(new_lowers, images, config, registry).expect("restart");
-    let reports = run_ranks(restarted, |mut rank| {
-        let implementation = rank.implementation_name();
-        let report = run_app(
-            AppId::CoMd,
-            &mut rank,
-            &RunConfig {
-                iterations: TOTAL_STEPS,
-                state_scale: 1e-4,
-                checkpoint_at: None,
-                store: None,
-                storage: None,
-            },
-        )?;
-        Ok((implementation, report))
-    })
-    .expect("openmpi phase");
+    println!("\n== run CoMD under MPICH and checkpoint at step {CHECKPOINT_AT} ==");
+    runtime
+        .run(|mut rank, ctx| {
+            let report = run_app(
+                AppId::CoMd,
+                &mut rank,
+                &RunConfig {
+                    iterations: CHECKPOINT_AT,
+                    state_scale: 1e-4,
+                    checkpoint_at: None,
+                    store: None,
+                    storage: None,
+                },
+            )?;
+            let ckpt = ctx.checkpoint(&mut rank)?;
+            println!(
+                "rank {} under {}: {} crossings, wrote {} bytes ({} logical)",
+                report.rank,
+                rank.implementation_name(),
+                report.crossings,
+                ckpt.written_bytes,
+                ckpt.logical_bytes
+            );
+            Ok(())
+        })
+        .expect("mpich phase");
+
+    println!("\n== restart that generation under Open MPI and finish the run ==");
+    let (reports, generation) = runtime
+        .resume_on(Backend::OpenMpi, |mut rank, _ctx| {
+            let implementation = rank.implementation_name();
+            let report = run_app(
+                AppId::CoMd,
+                &mut rank,
+                &RunConfig {
+                    iterations: TOTAL_STEPS,
+                    state_scale: 1e-4,
+                    checkpoint_at: None,
+                    store: None,
+                    storage: None,
+                },
+            )?;
+            Ok((implementation, report))
+        })
+        .expect("openmpi phase");
     for (implementation, report) in reports {
         println!(
             "rank {} now under {}: completed {} steps, checksum {:.6}",
@@ -99,6 +88,7 @@ fn main() {
         );
     }
     println!(
-        "\ncheckpointed under MPICH, restarted under Open MPI — same application, same handles."
+        "\ncheckpointed generation {generation} under MPICH, restarted under Open MPI — \
+         same application, same handles."
     );
 }

@@ -1,54 +1,46 @@
 //! The paper's "develop once, run everywhere" pitch from the application developer's
-//! point of view: compile (here: link) the same application against MPICH, Open MPI
-//! and ExaMPI, run it under MANA on each, and compare behaviour — without changing a
-//! line of application code.
+//! point of view: run the same application under MANA on every simulated MPI backend
+//! the orchestrator knows — without changing a line of application code. The backend
+//! is one field of the `JobConfig`.
 //!
 //! ```text
 //! cargo run --example implementation_shootout
 //! ```
 
-use mana_repro::mana::ManaConfig;
+use mana_repro::job_runtime::{Backend, JobConfig, JobRuntime};
 use mana_repro::mana_apps::{run_app, AppId, RunConfig};
-use mana_repro::{launch_mana_job, run_ranks};
-use mpi_model::api::MpiImplementationFactory;
 
 const RANKS: usize = 4;
 const STEPS: u64 = 6;
 
 fn main() {
-    let mpich = mpich_sim::MpichFactory::mpich();
-    let cray = mpich_sim::MpichFactory::cray();
-    let openmpi = openmpi_sim::OpenMpiFactory::new();
-    let exampi = exampi_sim::ExaMpiFactory::new();
-    let factories: Vec<&dyn MpiImplementationFactory> = vec![&mpich, &cray, &openmpi, &exampi];
-
     println!(
         "{:<10} {:<8} {:>12} {:>16} {:>14}",
         "impl", "app", "ranks", "crossings/rank", "checksum"
     );
-    for factory in factories {
+    for backend in Backend::ALL {
         // CoMD and LULESH stay within ExaMPI's subset; run both everywhere.
         for app in [AppId::CoMd, AppId::Lulesh] {
-            let ranks =
-                launch_mana_job(factory, RANKS, ManaConfig::new_design(), 7).expect("launch");
-            let reports = run_ranks(ranks, move |mut rank| {
-                run_app(
-                    app,
-                    &mut rank,
-                    &RunConfig {
-                        iterations: STEPS,
-                        state_scale: 1e-4,
-                        checkpoint_at: None,
-                        store: None,
-                        storage: None,
-                    },
-                )
-            })
-            .expect("run");
+            let runtime = JobRuntime::new(JobConfig::new(RANKS, backend));
+            let reports = runtime
+                .run(move |mut rank, _ctx| {
+                    run_app(
+                        app,
+                        &mut rank,
+                        &RunConfig {
+                            iterations: STEPS,
+                            state_scale: 1e-4,
+                            checkpoint_at: None,
+                            store: None,
+                            storage: None,
+                        },
+                    )
+                })
+                .expect("run");
             let crossings = reports.iter().map(|r| r.crossings).sum::<u64>() / reports.len() as u64;
             println!(
                 "{:<10} {:<8} {:>12} {:>16} {:>14.6}",
-                factory.name(),
+                backend.name(),
                 app.name(),
                 RANKS,
                 crossings,
@@ -58,6 +50,6 @@ fn main() {
     }
     println!(
         "\nThe same application binaries (and the same MANA codebase) ran under four MPI \
-         implementations; only the lower half changed."
+         implementations; only the `JobConfig` backend field changed."
     );
 }

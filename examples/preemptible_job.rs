@@ -3,81 +3,72 @@
 //! an XFEL beamline or an urgent-computing reservation needs the machine — and is
 //! later resumed on a fresh allocation without losing work.
 //!
-//! Frequent checkpointing is exactly where the `ckpt-store` engine earns its keep:
-//! after the first generation, each checkpoint writes only the regions the
-//! application touched (plus content-new chunks), so the modelled write time drops
-//! from "proportional to the image" to "proportional to the delta". The final
-//! checkpoint here is also deliberately corrupted — the torn write a preemption can
-//! leave behind — and the restart transparently falls back to the newest generation
-//! that validates end to end.
+//! The whole lifecycle is three orchestrator calls: `run_steps` drives the job with
+//! periodic coordinated checkpoints and the injected preemption, the eviction tears
+//! the final generation mid-write, and `resume_steps` restarts from the newest
+//! generation that validates end to end — repeating only the interval the torn
+//! checkpoint lost.
 //!
 //! ```text
 //! cargo run --example preemptible_job
 //! ```
 
-use mana_repro::ckpt_store::{CheckpointStorage, StoragePolicy};
-use mana_repro::mana::restart::restart_job_from_storage;
-use mana_repro::mana::ManaConfig;
+use mana_repro::ckpt_store::CheckpointStorage;
+use mana_repro::job_runtime::{Backend, JobConfig, JobRuntime};
+use mana_repro::mana::{ManaConfig, ManaRank, StoragePolicy};
 use mana_repro::mana_apps::{run_app, AppId, RunConfig};
+use mana_repro::mpi_model::error::MpiResult;
 use mana_repro::split_proc::store::StoreConfig;
-use mana_repro::{launch_mana_job, run_ranks};
-use mpi_model::api::MpiImplementationFactory;
 
 const RANKS: usize = 4;
 const TOTAL_STEPS: u64 = 12;
 const CHECKPOINT_EVERY: u64 = 3;
 const PREEMPTION_NOTICE_AT: u64 = 9;
 
-fn main() {
-    let factory = mpich_sim::MpichFactory::cray();
-    let config = ManaConfig::new_design().with_storage(StoragePolicy::IncrementalCompressed);
-    // A parallel filesystem: checkpoint-on-notice has to finish within the notice.
-    let storage = CheckpointStorage::with_model(StoreConfig::parallel_fs());
-
-    println!("== job starts; checkpointing every {CHECKPOINT_EVERY} steps ==");
-    let ranks = launch_mana_job(&factory, RANKS, config, 1).expect("launch");
-    let storage_for_ranks = storage.clone();
-    run_ranks(ranks, move |mut rank| {
-        // A read-only input mesh alongside the evolving lattice: after generation 0
-        // its region stays clean, so the incremental engine never rewrites it — the
-        // common shape of real HPC state (large static tables, small hot state).
+/// One LULESH timestep. A read-only input mesh mapped at step 0 stays clean forever,
+/// so the incremental engine never rewrites it — the common shape of real HPC state
+/// (large static tables, small hot state).
+fn lulesh_step(rank: &mut ManaRank, step: u64) -> MpiResult<mana_repro::mana_apps::AppReport> {
+    if step == 0 {
         let me = rank.world_rank() as u64;
         let mesh: Vec<u8> = (0..2 << 20)
             .map(|i| ((i as u64 + me * 7919).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 24) as u8)
             .collect();
         rank.upper_mut().map_region("app.input_mesh", mesh);
+    }
+    run_app(
+        AppId::Lulesh,
+        rank,
+        &RunConfig {
+            iterations: step + 1,
+            state_scale: 2e-4,
+            checkpoint_at: None,
+            store: None,
+            storage: None,
+        },
+    )
+}
 
-        let mut report = None;
-        for stop in (CHECKPOINT_EVERY..=PREEMPTION_NOTICE_AT).step_by(CHECKPOINT_EVERY as usize) {
-            report = Some(run_app(
-                AppId::Lulesh,
-                &mut rank,
-                &RunConfig {
-                    iterations: stop,
-                    state_scale: 2e-4,
-                    checkpoint_at: Some(stop),
-                    store: None,
-                    storage: Some(storage_for_ranks.clone()),
-                },
-            )?);
-        }
-        let report = report.expect("at least one checkpoint interval ran");
-        let engine = report.incremental.expect("engine checkpoint taken");
-        if report.rank == 0 {
-            println!(
-                "rank 0: vacated after step {} — generation {} wrote {} of {} logical \
-                 bytes ({:.0}x reduction, {:.3}s modelled)",
-                report.iterations_completed,
-                engine.generation,
-                engine.written_bytes,
-                engine.logical_bytes,
-                engine.reduction_factor(),
-                engine.write_time_s
-            );
-        }
-        Ok(report)
-    })
-    .expect("pre-preemption run");
+fn main() {
+    // A parallel filesystem: checkpoint-on-notice has to finish within the notice.
+    let storage = CheckpointStorage::with_model(StoreConfig::parallel_fs());
+    let runtime = JobRuntime::with_storage(
+        JobConfig::new(RANKS, Backend::CrayMpi)
+            .with_mana(ManaConfig::new_design().with_storage(StoragePolicy::IncrementalCompressed))
+            .with_checkpoint_every(CHECKPOINT_EVERY)
+            .with_kill_at_step(PREEMPTION_NOTICE_AT),
+        storage.clone(),
+    );
+
+    println!("== job starts; coordinated checkpoint every {CHECKPOINT_EVERY} steps ==");
+    let run = runtime.run_steps(TOTAL_STEPS, lulesh_step).expect("run");
+    assert!(run.was_preempted(), "the notice fires at step 9");
+    println!(
+        "job vacated after step {PREEMPTION_NOTICE_AT}; committed generations {:?} \
+         (published: {:?})",
+        storage.generations(),
+        runtime.published_generation()
+    );
 
     // The eviction tears the final checkpoint of rank 2 — flip one byte of a chunk
     // only the last generation references.
@@ -91,39 +82,15 @@ fn main() {
     );
 
     println!("== later: job resumes on a new allocation ==");
-    let registry = std::sync::Arc::new(parking_lot::RwLock::new(
-        mana_repro::mpi_model::op::UserFunctionRegistry::new(),
-    ));
-    let new_lowers = factory
-        .launch(RANKS, registry.clone(), 2)
-        .expect("relaunch");
-    let (restarted, used_generation) =
-        restart_job_from_storage(new_lowers, &storage, config, registry).expect("restart");
-    assert!(
-        used_generation < last_generation,
-        "the torn generation must be skipped"
-    );
+    let resumed = runtime
+        .resume_steps(TOTAL_STEPS, lulesh_step)
+        .expect("resume");
     println!(
         "restart validated generations {:?}; torn generation {last_generation} rejected, \
-         resuming from generation {used_generation}",
+         job resumed from an earlier one and repeated the lost interval",
         storage.generations()
     );
-
-    let reports = run_ranks(restarted, |mut rank| {
-        run_app(
-            AppId::Lulesh,
-            &mut rank,
-            &RunConfig {
-                iterations: TOTAL_STEPS,
-                state_scale: 2e-4,
-                checkpoint_at: None,
-                store: None,
-                storage: None,
-            },
-        )
-    })
-    .expect("post-restart run");
-    for report in reports {
+    for report in resumed.results().expect("completed") {
         println!(
             "rank {}: finished all {} steps (checksum {:.6})",
             report.rank, report.iterations_completed, report.checksum

@@ -1,81 +1,84 @@
-//! Quickstart: wrap an MPI job in MANA, compute, take a transparent checkpoint, kill
-//! the job, restart it on a *fresh* MPI library session, and keep computing with the
-//! exact same handles.
+//! Quickstart: wrap an MPI job in MANA via the `JobRuntime` orchestrator, compute,
+//! take a *coordinated* transparent checkpoint, kill the job, restart it on a fresh
+//! MPI library session, and keep computing with the exact same handles.
 //!
 //! ```text
-//! cargo run --example quickstart
+//! cargo run --example quickstart [mpich|craympi|openmpi|exampi]
 //! ```
+//!
+//! The optional argument picks the simulated MPI implementation — the same program
+//! runs unchanged on any of them.
 
-use mana_repro::mana::restart::restart_job;
-use mana_repro::mana::ManaConfig;
+use mana_repro::job_runtime::{Backend, JobConfig, JobRuntime};
+use mana_repro::mana::{ManaConfig, StoragePolicy};
 use mana_repro::mpi_model::buffer::{bytes_to_i32, i32_to_bytes};
 use mana_repro::mpi_model::constants::PredefinedObject;
 use mana_repro::mpi_model::datatype::PrimitiveType;
 use mana_repro::mpi_model::op::PredefinedOp;
-use mana_repro::split_proc::store::CheckpointStore;
-use mana_repro::{launch_mana_job, run_ranks};
-use mpi_model::api::MpiImplementationFactory;
 
 const RANKS: usize = 4;
 
 fn main() {
-    let factory = mpich_sim::MpichFactory::mpich();
-    let store = CheckpointStore::unmetered();
-    let config = ManaConfig::new_design();
+    let backend = std::env::args()
+        .nth(1)
+        .map(|name| Backend::from_name(&name).unwrap_or_else(|| panic!("unknown backend {name}")))
+        .unwrap_or(Backend::Mpich);
+    let runtime = JobRuntime::new(
+        JobConfig::new(RANKS, backend)
+            .with_mana(ManaConfig::new_design().with_storage(StoragePolicy::Incremental)),
+    );
 
-    println!("== phase 1: run under {} and checkpoint ==", factory.name());
-    let ranks = launch_mana_job(&factory, RANKS, config, 1).expect("launch");
-    let store_for_ranks = store.clone();
-    run_ranks(ranks, move |mut rank| {
-        let me = rank.world_rank();
-        let world = rank.world()?;
-        let int = rank.constant(PredefinedObject::Datatype(PrimitiveType::Int))?;
-        let sum = rank.constant(PredefinedObject::Op(PredefinedOp::Sum))?;
+    println!(
+        "== phase 1: run under {} and take a coordinated checkpoint ==",
+        backend.name()
+    );
+    runtime
+        .run(|mut rank, ctx| {
+            let me = rank.world_rank();
+            let world = rank.world()?;
+            let int = rank.constant(PredefinedObject::Datatype(PrimitiveType::Int))?;
+            let sum = rank.constant(PredefinedObject::Op(PredefinedOp::Sum))?;
 
-        // Some computation: a global sum everyone agrees on.
-        let total = rank.allreduce(&i32_to_bytes(&[me + 1]), int, sum, world)?;
-        // Stash application state (including the MPI handles!) in the upper half.
-        rank.upper_mut().store_json(
-            "app.progress",
-            &(me, bytes_to_i32(&total)[0], world, int, sum),
-        )?;
-        let report = rank.checkpoint(&store_for_ranks)?;
-        println!(
-            "rank {me}: checkpointed {} bytes (sum so far = {})",
-            report.bytes,
-            bytes_to_i32(&total)[0]
-        );
-        Ok(())
-    })
-    .expect("phase 1");
+            // Some computation: a global sum everyone agrees on.
+            let total = rank.allreduce(&i32_to_bytes(&[me + 1]), int, sum, world)?;
+            // Stash application state (including the MPI handles!) in the upper half.
+            rank.upper_mut().store_json(
+                "app.progress",
+                &(me, bytes_to_i32(&total)[0], world, int, sum),
+            )?;
+            // The coordinator drives all ranks through drain → parallel write →
+            // commit; the generation is published only once every rank's image is in.
+            let report = ctx.checkpoint(&mut rank)?;
+            println!(
+                "rank {me}: checkpointed {} bytes (sum so far = {})",
+                report.written_bytes,
+                bytes_to_i32(&total)[0]
+            );
+            Ok(())
+        })
+        .expect("phase 1");
 
-    println!("\n== phase 2: restart from the images on a brand-new MPI session ==");
-    let images = (0..RANKS)
-        .map(|r| store.read(0, r as i32).expect("image"))
-        .collect();
-    let registry = std::sync::Arc::new(parking_lot::RwLock::new(
-        mana_repro::mpi_model::op::UserFunctionRegistry::new(),
-    ));
-    let new_lowers = factory
-        .launch(RANKS, registry.clone(), 2)
-        .expect("relaunch");
-    let restarted = restart_job(new_lowers, images, config, registry).expect("restart");
-
-    let results = run_ranks(restarted, |mut rank| {
-        let me = rank.world_rank();
-        // Recover the saved handles and keep going — they are still valid.
-        let (saved_me, saved_sum, world, int, sum): (
-            i32,
-            i32,
-            mana_repro::mana::runtime::AppHandle,
-            mana_repro::mana::runtime::AppHandle,
-            mana_repro::mana::runtime::AppHandle,
-        ) = rank.upper().load_json("app.progress")?;
-        assert_eq!(saved_me, me);
-        let total = rank.allreduce(&i32_to_bytes(&[saved_sum]), int, sum, world)?;
-        Ok((me, saved_sum, bytes_to_i32(&total)[0]))
-    })
-    .expect("phase 2");
+    println!(
+        "\n== phase 2: restart generation {} on a brand-new MPI session ==",
+        runtime.published_generation().expect("one commit")
+    );
+    let (results, generation) = runtime
+        .resume(|mut rank, _ctx| {
+            let me = rank.world_rank();
+            // Recover the saved handles and keep going — they are still valid.
+            let (saved_me, saved_sum, world, int, sum): (
+                i32,
+                i32,
+                mana_repro::mana::runtime::AppHandle,
+                mana_repro::mana::runtime::AppHandle,
+                mana_repro::mana::runtime::AppHandle,
+            ) = rank.upper().load_json("app.progress")?;
+            assert_eq!(saved_me, me);
+            let total = rank.allreduce(&i32_to_bytes(&[saved_sum]), int, sum, world)?;
+            Ok((me, saved_sum, bytes_to_i32(&total)[0]))
+        })
+        .expect("phase 2");
+    assert_eq!(generation, 0);
 
     for (me, before, after) in results {
         println!(

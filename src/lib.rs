@@ -14,6 +14,7 @@
 
 pub use ckpt_store;
 pub use exampi_sim;
+pub use job_runtime;
 pub use mana;
 pub use mana_apps;
 pub use mpi_model;
@@ -24,7 +25,7 @@ pub use split_proc;
 
 use mana::{ManaConfig, ManaRank};
 use mpi_model::api::MpiImplementationFactory;
-use mpi_model::error::{MpiError, MpiResult};
+use mpi_model::error::MpiResult;
 use mpi_model::op::UserFunctionRegistry;
 use parking_lot::RwLock;
 use std::sync::Arc;
@@ -62,34 +63,18 @@ pub fn launch_mana_job_with_registry(
 }
 
 /// Run one closure per rank, each on its own thread, and collect the results in rank
-/// order. A panic in a rank is surfaced as an [`MpiError::Internal`] naming the
-/// world rank that panicked (and the panic message, when it carries one).
+/// order. A panic in a rank is surfaced as an [`mpi_model::error::MpiError::Internal`]
+/// naming the world rank that panicked (and the panic message, when it carries one).
+///
+/// This is a thin compatibility wrapper over [`job_runtime::run_world`]; new code
+/// should reach for [`job_runtime::JobRuntime`], which also coordinates checkpoints,
+/// preemption and restart.
 pub fn run_ranks<T, F>(ranks: Vec<ManaRank>, body: F) -> MpiResult<Vec<T>>
 where
     T: Send + 'static,
     F: Fn(ManaRank) -> MpiResult<T> + Send + Sync + 'static,
 {
-    let body = Arc::new(body);
-    let handles: Vec<_> = ranks
-        .into_iter()
-        .map(|rank| {
-            let world_rank = rank.world_rank();
-            let body = Arc::clone(&body);
-            (world_rank, std::thread::spawn(move || body(rank)))
-        })
-        .collect();
-    let mut results = Vec::with_capacity(handles.len());
-    for (world_rank, handle) in handles {
-        results.push(handle.join().map_err(|payload| {
-            let message = payload
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "non-string panic payload".to_string());
-            MpiError::Internal(format!("rank {world_rank} thread panicked: {message}"))
-        })??);
-    }
-    Ok(results)
+    job_runtime::run_world(ranks, move |_, rank| body(rank))
 }
 
 #[cfg(test)]
