@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! harness [--json] [table1|table2|table3|ckpt-store|parallel|figure2|figure3|figure4|cs-rate|validate|all]
+//! harness [--json] [table1|table2|table3|ckpt-store|parallel|collectives|figure2|figure3|figure4|cs-rate|validate|all]
 //! harness ci
 //! ```
 //!
@@ -204,6 +204,9 @@ fn main() -> std::process::ExitCode {
     }
     if want("parallel") {
         report.notes.push(mana_bench::parallel_checkpoint_note());
+    }
+    if want("collectives") {
+        report.notes.push(mana_bench::collective_checkpoint_note());
     }
     if want("validate") {
         report.validation_runs = validation_runs();

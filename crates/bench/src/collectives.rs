@@ -1,0 +1,187 @@
+//! Two-phase collective overhead: wall time of collective-heavy solver steps with no
+//! checkpoint, with a step-boundary checkpoint, and with a checkpoint intent
+//! *interleaved mid-step* (landing while ranks straddle an `allreduce`).
+//!
+//! This is the harness-facing cost picture of the two-phase collective protocol: the
+//! registration round each collective now pays, and what a checkpoint squeezed
+//! between two collectives of the same step costs on top.
+
+use job_runtime::{Backend, JobConfig, JobRuntime};
+use mana::ManaRank;
+use mpi_model::buffer::{bytes_to_u64, u64_to_bytes};
+use mpi_model::constants::PredefinedObject;
+use mpi_model::datatype::PrimitiveType;
+use mpi_model::error::MpiResult;
+use mpi_model::op::PredefinedOp;
+use serde::{Deserialize, Serialize};
+
+/// Ranks in the collective-overhead comparison.
+pub const COLLECTIVE_WORLD: usize = 8;
+/// Solver steps per measured run.
+pub const COLLECTIVE_STEPS: u64 = 12;
+/// Bytes of per-rank upper-half state (kept small: the point is collective latency,
+/// not write bandwidth).
+const STATE_BYTES: usize = 64 * 1024;
+
+/// One measured configuration of the collective-heavy run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CollectiveCkptRow {
+    /// Human-readable configuration label.
+    pub mode: String,
+    /// Wall-clock seconds for the whole run.
+    pub wall_seconds: f64,
+    /// Collectives completed per rank (allreduce + allgather per step).
+    pub collectives_per_rank: u64,
+    /// Checkpoint generations committed during the run.
+    pub generations: usize,
+}
+
+/// One collective-heavy step: pure compute, an `allreduce`, an `allgather`, then the
+/// state update — the safe shape for mid-step checkpoints.
+fn collective_step(rank: &mut ManaRank, step: u64) -> MpiResult<u64> {
+    let me = rank.world_rank() as u64;
+    let world = rank.world()?;
+    let uint = rank.constant(PredefinedObject::Datatype(PrimitiveType::UnsignedLong))?;
+    let sum = rank.constant(PredefinedObject::Op(PredefinedOp::Sum))?;
+
+    if step == 0 {
+        let state: Vec<u8> = (0..STATE_BYTES)
+            .map(|i| ((i as u64).wrapping_add(me * 7919).wrapping_mul(0x9E37_79B9) >> 13) as u8)
+            .collect();
+        rank.upper_mut().map_region("app.solver", state);
+    }
+    let local = rank
+        .upper()
+        .region("app.solver")?
+        .iter()
+        .fold(me + step, |acc, &b| {
+            acc.wrapping_mul(31).wrapping_add(b as u64)
+        });
+    let total = bytes_to_u64(&rank.allreduce(&u64_to_bytes(&[local]), uint, sum, world)?)[0];
+    let gathered = rank.allgather(&u64_to_bytes(&[local]), world)?;
+    let digest = bytes_to_u64(&gathered)
+        .iter()
+        .fold(total, |acc, &x| acc.rotate_left(7) ^ x);
+    rank.upper_mut().region_mut("app.solver")?[(step as usize) % STATE_BYTES] = digest as u8;
+    Ok(digest)
+}
+
+/// Which checkpoint the measured run interleaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectiveCkptMode {
+    /// No checkpoint at all: the raw cost of two-phase collectives.
+    NoCheckpoint,
+    /// One coordinated checkpoint at the midpoint step *boundary*.
+    BoundaryCheckpoint,
+    /// One checkpoint intent delivered *inside* the midpoint step, landing while
+    /// ranks straddle its `allreduce`.
+    MidStepCheckpoint,
+}
+
+impl CollectiveCkptMode {
+    fn label(self) -> &'static str {
+        match self {
+            CollectiveCkptMode::NoCheckpoint => "no checkpoint",
+            CollectiveCkptMode::BoundaryCheckpoint => "boundary checkpoint at midpoint",
+            CollectiveCkptMode::MidStepCheckpoint => "mid-step checkpoint (straddled allreduce)",
+        }
+    }
+}
+
+/// Run the collective-heavy workload once under `mode` and measure wall time.
+pub fn measure_collective_checkpoint(mode: CollectiveCkptMode) -> CollectiveCkptRow {
+    let midpoint = COLLECTIVE_STEPS / 2;
+    let mut config = JobConfig::new(COLLECTIVE_WORLD, Backend::Mpich);
+    match mode {
+        CollectiveCkptMode::NoCheckpoint => {}
+        CollectiveCkptMode::BoundaryCheckpoint => {
+            config.checkpoint_every = Some(midpoint);
+        }
+        CollectiveCkptMode::MidStepCheckpoint => {
+            config = config.with_mid_step_checkpoint_at(midpoint);
+        }
+    }
+    let runtime = JobRuntime::new(config);
+    let start = std::time::Instant::now();
+    let run = runtime
+        .run_steps(COLLECTIVE_STEPS, collective_step)
+        .expect("collective run");
+    let wall_seconds = start.elapsed().as_secs_f64();
+    assert!(!run.was_preempted());
+    CollectiveCkptRow {
+        mode: mode.label().to_string(),
+        wall_seconds,
+        // One allreduce + one allgather per step.
+        collectives_per_rank: COLLECTIVE_STEPS * 2,
+        generations: runtime.storage().generations().len(),
+    }
+}
+
+/// The three rows of the comparison. Each configuration is measured twice and the
+/// faster run kept, damping scheduler noise.
+pub fn collective_checkpoint_rows() -> Vec<CollectiveCkptRow> {
+    let best = |mode| {
+        let a = measure_collective_checkpoint(mode);
+        let b = measure_collective_checkpoint(mode);
+        if a.wall_seconds <= b.wall_seconds {
+            a
+        } else {
+            b
+        }
+    };
+    vec![
+        best(CollectiveCkptMode::NoCheckpoint),
+        best(CollectiveCkptMode::BoundaryCheckpoint),
+        best(CollectiveCkptMode::MidStepCheckpoint),
+    ]
+}
+
+/// Render the comparison as an aligned text note for the harness.
+pub fn collective_checkpoint_note() -> String {
+    collective_checkpoint_note_from(collective_checkpoint_rows())
+}
+
+/// Render already-measured rows as an aligned text note.
+pub fn collective_checkpoint_note_from(rows: Vec<CollectiveCkptRow>) -> String {
+    let baseline = rows.first().map(|r| r.wall_seconds).unwrap_or(0.0);
+    let mut note = format!(
+        "== Two-phase collectives: {COLLECTIVE_WORLD} ranks x {COLLECTIVE_STEPS} \
+         collective-heavy steps, checkpoint interleaving ==\n\
+         {:<44} {:>12} {:>12} {:>12} {:>10}\n",
+        "configuration", "colls/rank", "generations", "wall (ms)", "overhead"
+    );
+    for row in rows {
+        note.push_str(&format!(
+            "{:<44} {:>12} {:>12} {:>12.1} {:>9.1}%\n",
+            row.mode,
+            row.collectives_per_rank,
+            row.generations,
+            row.wall_seconds * 1e3,
+            if baseline > 0.0 {
+                (row.wall_seconds / baseline - 1.0) * 100.0
+            } else {
+                0.0
+            }
+        ));
+    }
+    note
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_three_modes_complete_and_render() {
+        let rows = collective_checkpoint_rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].generations, 0, "no-checkpoint run commits nothing");
+        // The midpoint interval fires at both boundaries it divides (6 and 12).
+        assert_eq!(rows[1].generations, 2, "two boundary generations");
+        assert_eq!(rows[2].generations, 1, "one mid-step generation");
+        let note = collective_checkpoint_note_from(rows);
+        assert!(note.contains("no checkpoint"));
+        assert!(note.contains("straddled allreduce"));
+        assert_eq!(note.lines().count(), 2 + 3);
+    }
+}

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod ckpt;
+pub mod collectives;
 pub mod model;
 pub mod report;
 pub mod runner;
@@ -31,6 +32,10 @@ pub mod runner;
 pub use ckpt::{
     measure_parallel_checkpoint, parallel_checkpoint_note, parallel_checkpoint_note_from,
     parallel_checkpoint_rows, storage_comparison_note, ParallelCkptRow, StorageRow,
+};
+pub use collectives::{
+    collective_checkpoint_note, collective_checkpoint_note_from, collective_checkpoint_rows,
+    measure_collective_checkpoint, CollectiveCkptMode, CollectiveCkptRow,
 };
 pub use model::{CostModel, OverheadRow};
 pub use report::{CiReport, Report};

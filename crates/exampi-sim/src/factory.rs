@@ -43,6 +43,7 @@ impl ExaMpiFactory {
             SubsetFeature::Gather,
             SubsetFeature::CommSplit,
             SubsetFeature::DerivedDatatypes,
+            SubsetFeature::CollectiveRegistration,
         ]
     }
 }

@@ -15,7 +15,7 @@
 //!    published (and a restart falls back to the newest fully-valid one).
 
 use ckpt_store::{CheckpointStorage, StoreReport};
-use mana::{DrainObserver, ManaRank};
+use mana::{CheckpointIntercept, DrainObserver, IntentOutcome, ManaRank};
 use mpi_model::error::{MpiError, MpiResult};
 use mpi_model::types::Rank;
 use parking_lot::{Condvar, Mutex};
@@ -75,7 +75,38 @@ struct BarrierState {
     round: u64,
     arrived: usize,
     generation: Option<u64>,
+    /// Fold of the `steps` every arriver reported this round (minimum wins: a resume
+    /// must re-run anything *any* rank has not completed).
+    steps: Option<u64>,
+    /// Fold of the intent snapshots the arrivers of this round are servicing (the
+    /// newest epoch wins). Published as `decided_intent` when the round completes,
+    /// so every rank of the round acts on one agreed `(epoch, vacates)` decision —
+    /// ranks whose own pre-checkpoint snapshot raced a fresh broadcast adopt the
+    /// round's decision instead of their stale read.
+    intent: Option<IntentSnapshot>,
+    /// The intent decision of the most recently completed round (valid until every
+    /// waiter of that round has left the barrier, which happens before any rank can
+    /// re-arrive).
+    decided_intent: Option<IntentSnapshot>,
     poisoned: Option<String>,
+}
+
+/// One atomically-read view of the broadcast checkpoint-intent state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntentSnapshot {
+    /// Number of intents broadcast up to this snapshot.
+    pub epoch: u64,
+    /// Whether the newest broadcast intent asks ranks to vacate after committing.
+    pub vacates: bool,
+}
+
+impl IntentSnapshot {
+    fn decode(encoded: u64) -> Self {
+        IntentSnapshot {
+            epoch: encoded >> 1,
+            vacates: encoded & 1 == 1,
+        }
+    }
 }
 
 /// Drives one launched world through coordinated checkpoints. Create one per world
@@ -89,6 +120,11 @@ pub struct Coordinator {
     checkpoint_every: u64,
     /// Step boundaries with an explicitly requested (broadcast) checkpoint.
     requested: Mutex<std::collections::BTreeSet<u64>>,
+    /// The mid-step checkpoint-intent state, encoded as `(epoch << 1) | vacates` so
+    /// a single atomic load yields a consistent [`IntentSnapshot`] — the epoch and
+    /// its vacate flag can never be read torn. Ranks (through their
+    /// [`MidStepIntercept`]) compare the epoch against the one they last serviced.
+    intent: AtomicU64,
     barrier: Mutex<BarrierState>,
     barrier_cv: Condvar,
     /// How long a rank waits at the commit barrier before declaring the job wedged
@@ -110,10 +146,14 @@ impl Coordinator {
             drained_total: AtomicU64::new(0),
             checkpoint_every: checkpoint_every.unwrap_or(0),
             requested: Mutex::new(std::collections::BTreeSet::new()),
+            intent: AtomicU64::new(0),
             barrier: Mutex::new(BarrierState {
                 round: 0,
                 arrived: 0,
                 generation: None,
+                steps: None,
+                intent: None,
+                decided_intent: None,
                 poisoned: None,
             }),
             barrier_cv: Condvar::new(),
@@ -160,6 +200,45 @@ impl Coordinator {
     }
 
     // ------------------------------------------------------------------
+    // Phase 1b: mid-step intent broadcast
+    // ------------------------------------------------------------------
+
+    /// Broadcast a checkpoint intent *now*, without waiting for a step boundary.
+    /// Ranks running in mid-step mode ([`crate::JobConfig::checkpoint_mid_step`])
+    /// service it at their next safe point — typically inside the registration phase
+    /// of whatever collective they are approaching or parked in.
+    pub fn request_checkpoint_now(&self) {
+        self.raise_intent(false);
+    }
+
+    /// Broadcast a *preempting* checkpoint intent: once the resulting generation
+    /// commits, every rank vacates its allocation (the injected "preemption notice
+    /// lands mid-collective" scenario).
+    pub fn request_preempting_checkpoint(&self) {
+        self.raise_intent(true);
+    }
+
+    fn raise_intent(&self, vacates: bool) {
+        // One atomic update advances the epoch and sets its vacate flag together,
+        // so no reader can pair a new epoch with an old flag (or vice versa).
+        let _ = self
+            .intent
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |encoded| {
+                Some((((encoded >> 1) + 1) << 1) | u64::from(vacates))
+            });
+    }
+
+    /// The current intent epoch (number of mid-step intents broadcast so far).
+    pub fn intent_epoch(&self) -> u64 {
+        self.intent.load(Ordering::SeqCst) >> 1
+    }
+
+    /// A consistent snapshot of the intent state (one atomic load).
+    pub fn intent_snapshot(&self) -> IntentSnapshot {
+        IntentSnapshot::decode(self.intent.load(Ordering::SeqCst))
+    }
+
+    // ------------------------------------------------------------------
     // Phase 2b: commit barrier
     // ------------------------------------------------------------------
 
@@ -170,6 +249,33 @@ impl Coordinator {
     /// Ranks arriving with *different* generations poison the barrier for everyone —
     /// interleaved generations would mean the two-phase protocol was violated.
     pub fn commit(&self, rank: Rank, generation: u64, steps: Option<u64>) -> MpiResult<()> {
+        self.commit_inner(rank, generation, steps, None)?;
+        Ok(())
+    }
+
+    /// [`Coordinator::commit`] for a rank servicing a mid-step intent: the rank's
+    /// pre-checkpoint [`IntentSnapshot`] is folded across the round (newest epoch
+    /// wins) and the *round's* decision is returned to every rank — so ranks whose
+    /// own snapshot raced a fresh broadcast still agree, unanimously, on which
+    /// intent they serviced and whether it vacates.
+    pub fn commit_with_intent(
+        &self,
+        rank: Rank,
+        generation: u64,
+        steps: Option<u64>,
+        snapshot: IntentSnapshot,
+    ) -> MpiResult<IntentSnapshot> {
+        let decided = self.commit_inner(rank, generation, steps, Some(snapshot))?;
+        Ok(decided.unwrap_or(snapshot))
+    }
+
+    fn commit_inner(
+        &self,
+        rank: Rank,
+        generation: u64,
+        steps: Option<u64>,
+        intent: Option<IntentSnapshot>,
+    ) -> MpiResult<Option<IntentSnapshot>> {
         let mut state = self.barrier.lock();
         if let Some(reason) = &state.poisoned {
             return Err(MpiError::Checkpoint(format!(
@@ -189,16 +295,31 @@ impl Coordinator {
             }
             Some(_) => {}
         }
+        // Fold the minimum step count over the round: if ranks serviced the intent at
+        // slightly different logical points, a resume must re-run from the earliest.
+        state.steps = match (state.steps, steps) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        // Fold the intent snapshots: the newest broadcast observed by any arriver is
+        // the round's decision.
+        state.intent = match (state.intent, intent) {
+            (Some(a), Some(b)) => Some(if b.epoch > a.epoch { b } else { a }),
+            (a, b) => a.or(b),
+        };
         state.arrived += 1;
         if state.arrived == self.world_size {
             // Last rank in: the generation is complete for the whole world. Publish
             // it atomically, then release the round.
-            self.ledger.record(generation, steps);
+            self.ledger.record(generation, state.steps);
+            let decided = state.intent.take();
+            state.decided_intent = decided;
             state.arrived = 0;
             state.generation = None;
+            state.steps = None;
             state.round += 1;
             self.barrier_cv.notify_all();
-            return Ok(());
+            return Ok(decided);
         }
         let round = state.round;
         while state.round == round && state.poisoned.is_none() {
@@ -219,7 +340,9 @@ impl Coordinator {
                 "commit barrier poisoned while rank {rank} waited: {reason}"
             )));
         }
-        Ok(())
+        // The decision the last arriver published for this round is still in place:
+        // no later round can complete before every waiter of this one has left.
+        Ok(state.decided_intent)
     }
 }
 
@@ -259,6 +382,82 @@ pub fn coordinated_checkpoint(
     let report = rank.write_checkpoint_into(storage)?;
     coordinator.commit(rank.world_rank(), report.generation, steps)?;
     Ok(report)
+}
+
+/// One rank's mid-step checkpoint hook: the [`CheckpointIntercept`] a step-driven run
+/// installs on its [`ManaRank`] when [`crate::JobConfig::checkpoint_mid_step`] is on.
+///
+/// The hook compares the coordinator's broadcast intent epoch against the epoch this
+/// rank last serviced; when behind, the rank's collective wrappers service the intent
+/// at their next safe point by running the full coordinated checkpoint (recording the
+/// step currently *in progress*, which a resume therefore re-runs) and, for a
+/// preempting intent, unwinding with [`MpiError::Preempted`].
+pub struct MidStepIntercept {
+    coordinator: Arc<Coordinator>,
+    storage: CheckpointStorage,
+    /// The step this rank is currently executing (maintained by the drive loop).
+    current_step: AtomicU64,
+    /// The intent epoch this rank has serviced up to.
+    serviced: AtomicU64,
+}
+
+impl MidStepIntercept {
+    /// A hook for one rank of the world driven by `coordinator`.
+    pub fn new(coordinator: Arc<Coordinator>, storage: CheckpointStorage) -> Self {
+        MidStepIntercept {
+            coordinator,
+            storage,
+            current_step: AtomicU64::new(0),
+            serviced: AtomicU64::new(0),
+        }
+    }
+
+    /// Record the step the owning rank is about to execute.
+    pub fn enter_step(&self, step: u64) {
+        self.current_step.store(step, Ordering::SeqCst);
+    }
+}
+
+impl CheckpointIntercept for MidStepIntercept {
+    fn intent_pending(&self) -> bool {
+        self.coordinator.intent_epoch() > self.serviced.load(Ordering::SeqCst)
+    }
+
+    fn service(&self, rank: &mut ManaRank) -> MpiResult<IntentOutcome> {
+        // One consistent snapshot of (epoch, vacates); the commit barrier then folds
+        // every arriver's snapshot into a single round-wide decision, so ranks whose
+        // snapshot raced a fresh broadcast still agree on what they serviced. This
+        // checkpoint also stands in for any periodic boundary checkpoint due at the
+        // same moment: the drive loop routes both through here in mid-step mode, so
+        // intent-servicing ranks and boundary-checkpointing ranks always fold into
+        // the same round instead of splitting the world across two.
+        let already = self.serviced.load(Ordering::SeqCst);
+        let snapshot = self.coordinator.intent_snapshot();
+        // The checkpoint lands *inside* the current step (or exactly at a boundary,
+        // where `current_step` equals the boundary): record the steps a resume may
+        // safely assume completed.
+        let steps = self.current_step.load(Ordering::SeqCst);
+        let plan = rank.begin_checkpoint()?;
+        rank.drain_quiescent(&plan, self.coordinator.as_ref())?;
+        rank.complete_drain()?;
+        let report = rank.write_checkpoint_into(&self.storage)?;
+        let decided = self.coordinator.commit_with_intent(
+            rank.world_rank(),
+            report.generation,
+            Some(steps),
+            snapshot,
+        )?;
+        self.serviced
+            .store(decided.epoch.max(already), Ordering::SeqCst);
+        // Vacate only on a *newly serviced* preempting intent — a stale vacate flag
+        // from an intent this rank already acted on must not fire again when this
+        // hook runs a plain periodic checkpoint.
+        if decided.vacates && decided.epoch > already {
+            Ok(IntentOutcome::Vacate)
+        } else {
+            Ok(IntentOutcome::Continue)
+        }
+    }
 }
 
 #[cfg(test)]

@@ -3,10 +3,10 @@
 //! scenario the examples and tests used to hand-roll with `thread::spawn` loops.
 
 use crate::backend::Backend;
-use crate::coordinator::{coordinated_checkpoint, CommitLedger, Coordinator};
+use crate::coordinator::{coordinated_checkpoint, CommitLedger, Coordinator, MidStepIntercept};
 use ckpt_store::{CheckpointStorage, StoreReport};
 use mana::restart::restart_job_from_storage;
-use mana::{ManaConfig, ManaRank, StoragePolicy};
+use mana::{CheckpointIntercept, IntentOutcome, ManaConfig, ManaRank, StoragePolicy};
 use mpi_model::error::{MpiError, MpiResult};
 use mpi_model::op::UserFunctionRegistry;
 use parking_lot::RwLock;
@@ -65,6 +65,22 @@ pub struct JobConfig {
     /// Inject a preemption: the job vacates after completing this many steps (after
     /// any checkpoint due at that boundary). Consumed by the first run it fires in.
     pub kill_at_step: Option<u64>,
+    /// Mid-step checkpoint mode: install a [`MidStepIntercept`] on every rank so a
+    /// broadcast checkpoint intent ([`Coordinator::request_checkpoint_now`]) is
+    /// delivered *inside* a step, at the two-phase collective safe points, instead of
+    /// waiting for the next step boundary.
+    pub checkpoint_mid_step: bool,
+    /// Inject a checkpoint intent inside this step (so it lands while ranks straddle
+    /// whatever collective the step runs): rank 0 broadcasts the intent after a short
+    /// stagger that lets its peers enter their registration phase first. The job
+    /// continues afterwards. Implies [`JobConfig::checkpoint_mid_step`]. Consumed by
+    /// the first run it fires in.
+    pub mid_step_checkpoint_at: Option<u64>,
+    /// Like [`JobConfig::mid_step_checkpoint_at`], but the intent is *preempting*:
+    /// once the mid-step generation commits, every rank vacates, and the step the
+    /// intent interrupted is repeated after a resume. Consumed by the first run it
+    /// fires in.
+    pub preempt_mid_step_at: Option<u64>,
     /// How long the drain may observe zero job-wide progress before declaring a
     /// stall.
     pub stall_budget: Duration,
@@ -78,6 +94,9 @@ impl Default for JobConfig {
             mana: ManaConfig::new_design().with_storage(StoragePolicy::Incremental),
             checkpoint_every: None,
             kill_at_step: None,
+            checkpoint_mid_step: false,
+            mid_step_checkpoint_at: None,
+            preempt_mid_step_at: None,
             stall_budget: Duration::from_secs(5),
         }
     }
@@ -108,6 +127,27 @@ impl JobConfig {
     /// Inject a preemption after `steps` completed steps.
     pub fn with_kill_at_step(mut self, steps: u64) -> Self {
         self.kill_at_step = Some(steps);
+        self
+    }
+
+    /// Enable mid-step checkpoint-intent delivery (see
+    /// [`JobConfig::checkpoint_mid_step`]).
+    pub fn with_checkpoint_mid_step(mut self) -> Self {
+        self.checkpoint_mid_step = true;
+        self
+    }
+
+    /// Inject a (non-preempting) checkpoint intent inside step `step`.
+    pub fn with_mid_step_checkpoint_at(mut self, step: u64) -> Self {
+        self.checkpoint_mid_step = true;
+        self.mid_step_checkpoint_at = Some(step);
+        self
+    }
+
+    /// Inject a preempting checkpoint intent inside step `step`.
+    pub fn with_preempt_mid_step_at(mut self, step: u64) -> Self {
+        self.checkpoint_mid_step = true;
+        self.preempt_mid_step_at = Some(step);
         self
     }
 }
@@ -202,6 +242,8 @@ pub struct JobRuntime {
     ledger: Arc<CommitLedger>,
     session: AtomicU64,
     kill_armed: AtomicBool,
+    mid_ckpt_armed: AtomicBool,
+    mid_kill_armed: AtomicBool,
 }
 
 impl JobRuntime {
@@ -215,6 +257,8 @@ impl JobRuntime {
     pub fn with_storage(config: JobConfig, storage: CheckpointStorage) -> Self {
         JobRuntime {
             kill_armed: AtomicBool::new(config.kill_at_step.is_some()),
+            mid_ckpt_armed: AtomicBool::new(config.mid_step_checkpoint_at.is_some()),
+            mid_kill_armed: AtomicBool::new(config.preempt_mid_step_at.is_some()),
             config,
             storage,
             registry: Arc::new(RwLock::new(UserFunctionRegistry::new())),
@@ -418,12 +462,70 @@ impl JobRuntime {
         } else {
             None
         };
+        let mid_step = self.config.checkpoint_mid_step;
+        let mid_ckpt_at = if self.mid_ckpt_armed.load(Ordering::SeqCst) {
+            self.config.mid_step_checkpoint_at
+        } else {
+            None
+        };
+        let mid_kill_at = if self.mid_kill_armed.load(Ordering::SeqCst) {
+            self.config.preempt_mid_step_at
+        } else {
+            None
+        };
         let outcomes = run_world(ranks, move |_, mut rank| {
+            let intercept = if mid_step {
+                let hook = Arc::new(MidStepIntercept::new(
+                    Arc::clone(&coordinator),
+                    storage.clone(),
+                ));
+                rank.set_intercept(Arc::clone(&hook) as Arc<dyn CheckpointIntercept>);
+                Some(hook)
+            } else {
+                None
+            };
             let mut last = None;
             for step in start_step..total_steps {
-                last = Some(step_fn(&mut rank, step)?);
+                if let Some(hook) = &intercept {
+                    hook.enter_step(step);
+                }
+                let vacate_here = mid_kill_at == Some(step);
+                if (vacate_here || mid_ckpt_at == Some(step)) && rank.world_rank() == 0 {
+                    // Rank 0 broadcasts the injected intent after a short stagger, so
+                    // its peers are already parked in this step's collective
+                    // registration phase when the intent lands — the "some ranks
+                    // registered, others not yet entered" straddle.
+                    std::thread::sleep(Duration::from_millis(10));
+                    if vacate_here {
+                        coordinator.request_preempting_checkpoint();
+                    } else {
+                        coordinator.request_checkpoint_now();
+                    }
+                }
+                match step_fn(&mut rank, step) {
+                    Ok(value) => last = Some(value),
+                    // The rank serviced a preempting intent inside the step and
+                    // vacated from within a wrapper.
+                    Err(MpiError::Preempted) => return Ok(RankOutcome::Preempted),
+                    Err(error) => return Err(error),
+                }
                 let boundary = step + 1;
-                if coordinator.checkpoint_due(boundary) {
+                if let Some(hook) = &intercept {
+                    // Boundary safe point: an intent no collective happened to catch
+                    // (a step without collectives) is serviced here — and a periodic
+                    // checkpoint due at this boundary goes through the same hook, so
+                    // an intent raised concurrently with a due boundary cannot split
+                    // the world into an intent round and a boundary round: every
+                    // rank folds into one commit round and adopts its one decision.
+                    hook.enter_step(boundary);
+                    if hook.intent_pending() || coordinator.checkpoint_due(boundary) {
+                        match hook.service(&mut rank) {
+                            Ok(IntentOutcome::Continue) => {}
+                            Ok(IntentOutcome::Vacate) => return Ok(RankOutcome::Preempted),
+                            Err(error) => return Err(error),
+                        }
+                    }
+                } else if coordinator.checkpoint_due(boundary) {
                     coordinated_checkpoint(&mut rank, &coordinator, &storage, Some(boundary))?;
                 }
                 if kill_at == Some(boundary) && boundary < total_steps {
@@ -441,8 +543,18 @@ impl JobRuntime {
             .count();
         if preempted == outcomes.len() {
             self.kill_armed.store(false, Ordering::SeqCst);
+            self.mid_kill_armed.store(false, Ordering::SeqCst);
+            let at_step = kill_at
+                .or(mid_kill_at)
+                .expect("preemption implies a kill step");
+            // An injected (non-preempting) mid-step intent is consumed by the first
+            // run it fires in — which includes a run that was later preempted, as
+            // long as the run reached the intent's step before vacating.
+            if mid_ckpt_at.is_some_and(|step| step < at_step) {
+                self.mid_ckpt_armed.store(false, Ordering::SeqCst);
+            }
             return Ok(JobRun::Preempted {
-                at_step: kill_at.expect("preemption implies a kill step"),
+                at_step,
                 generation: self.published_generation(),
             });
         }
@@ -452,6 +564,11 @@ impl JobRuntime {
                  coordinated"
                     .into(),
             ));
+        }
+        if mid_ckpt_at.is_some() {
+            // The injected mid-step intent fired during this run; don't re-inject on
+            // a later resume.
+            self.mid_ckpt_armed.store(false, Ordering::SeqCst);
         }
         let results = outcomes
             .into_iter()

@@ -22,6 +22,13 @@
 //! (kill-at-step), restart from the newest fully-valid generation (optionally on a
 //! *different* MPI implementation), and a [`Backend`] selector spanning `mpich-sim`,
 //! `openmpi-sim` and `exampi-sim`.
+//!
+//! With [`JobConfig::checkpoint_mid_step`], intent broadcast is no longer confined to
+//! step boundaries: every rank carries a [`MidStepIntercept`], and an intent raised
+//! at any moment ([`Coordinator::request_checkpoint_now`]) is serviced at the safe
+//! points of MANA's two-phase collective protocol — ranks caught in a collective's
+//! registration phase withdraw, checkpoint, and re-register, so the checkpoint lands
+//! with every rank provably outside any collective's critical phase.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,5 +38,7 @@ mod coordinator;
 mod job;
 
 pub use backend::Backend;
-pub use coordinator::{coordinated_checkpoint, CommitLedger, Coordinator};
+pub use coordinator::{
+    coordinated_checkpoint, CommitLedger, Coordinator, IntentSnapshot, MidStepIntercept,
+};
 pub use job::{run_world, JobConfig, JobCtx, JobRun, JobRuntime};

@@ -1,11 +1,13 @@
 //! Concurrent-checkpoint stress: 8 ranks checkpoint simultaneously through the
 //! sharded store, repeatedly, with live point-to-point traffic — asserting that
 //! generations never interleave and that restart lands on the newest fully-valid
-//! generation.
+//! generation — plus the two-phase collective stress: checkpoint intents and
+//! preemptions landing *mid-step*, while ranks straddle an `allreduce` (some already
+//! registered, others not yet entered).
 
 use job_runtime::{Backend, JobConfig, JobRuntime};
 use mana::ManaRank;
-use mpi_model::buffer::{bytes_to_i32, i32_to_bytes};
+use mpi_model::buffer::{bytes_to_i32, bytes_to_u64, i32_to_bytes, u64_to_bytes};
 use mpi_model::constants::PredefinedObject;
 use mpi_model::datatype::PrimitiveType;
 use mpi_model::error::MpiResult;
@@ -121,4 +123,107 @@ fn restart_after_torn_generation_completes_the_job() {
             WORLD
         );
     }
+}
+
+/// A collective-only solver step (the shape of CG/allreduce-dominated proxies): the
+/// per-rank state lives in the upper half, every step reads it, runs an `allreduce`
+/// and an `allgather`, and only *after* the collectives mutates the state. The
+/// pre-collective prefix is pure compute, so a mid-step checkpoint — which re-runs
+/// the interrupted step from its beginning after a restart — reproduces the identical
+/// execution.
+fn collective_step(rank: &mut ManaRank, step: u64) -> MpiResult<u64> {
+    let me = rank.world_rank() as u64;
+    let world = rank.world()?;
+    let uint = rank.constant(PredefinedObject::Datatype(PrimitiveType::UnsignedLong))?;
+    let sum = rank.constant(PredefinedObject::Op(PredefinedOp::Sum))?;
+
+    if step == 0 {
+        rank.upper_mut().store_json("app.solver_state", &(me + 1))?;
+    }
+    let state: u64 = rank.upper().load_json("app.solver_state")?;
+    let local = state.wrapping_mul(step + 3) ^ me;
+
+    let total = rank.allreduce(&u64_to_bytes(&[local]), uint, sum, world)?;
+    let total = bytes_to_u64(&total)[0];
+    let everyone = rank.allgather(&u64_to_bytes(&[local]), world)?;
+    let digest = bytes_to_u64(&everyone)
+        .iter()
+        .fold(0u64, |acc, &x| acc.rotate_left(7) ^ x);
+
+    let next = state
+        .wrapping_mul(31)
+        .wrapping_add(total)
+        .wrapping_add(digest);
+    rank.upper_mut().store_json("app.solver_state", &next)?;
+    Ok(next)
+}
+
+/// Satellite regression: a (non-preempting) checkpoint intent arriving while ranks
+/// straddle an `allreduce` neither deadlocks the drain nor interleaves generations —
+/// even with periodic boundary checkpoints committing around it.
+#[test]
+fn mid_step_intent_straddling_an_allreduce_commits_cleanly() {
+    let runtime = JobRuntime::new(
+        JobConfig::new(WORLD, Backend::Mpich)
+            .with_checkpoint_every(1)
+            .with_mid_step_checkpoint_at(2),
+    );
+    let run = runtime.run_steps(STEPS, stress_step).unwrap();
+    assert!(!run.was_preempted());
+    assert_eq!(run.results().unwrap(), vec![STEPS - 1; WORLD]);
+
+    // Four boundary generations plus the mid-step one: five complete generations,
+    // no gaps, no interleaving, every rank in every one.
+    let storage = runtime.storage();
+    assert_eq!(storage.generations(), (0..STEPS + 1).collect::<Vec<_>>());
+    for generation in 0..STEPS + 1 {
+        assert_eq!(
+            storage.ranks_in_generation(generation),
+            (0..WORLD as i32).collect::<Vec<_>>(),
+            "generation {generation} must hold all {WORLD} ranks"
+        );
+    }
+    assert_eq!(runtime.published_generation(), Some(STEPS));
+    assert_eq!(runtime.checkpoints_committed(), STEPS as usize + 1);
+}
+
+/// Acceptance criterion: an injected preemption landing mid-`allreduce` — rank 0 not
+/// yet entered, its peers already registered — produces a restartable checkpoint.
+/// The job resumes from the newest valid generation, re-executes the straddled
+/// collective (the interrupted step is repeated from its beginning), and completes
+/// with results identical to an uninterrupted run.
+#[test]
+fn preemption_mid_allreduce_resumes_with_identical_results() {
+    const PREEMPT_STEP: u64 = 2;
+
+    // Reference: the same workload, uninterrupted, in its own world and store.
+    let reference = JobRuntime::new(JobConfig::new(WORLD, Backend::Mpich))
+        .run_steps(STEPS, collective_step)
+        .unwrap()
+        .results()
+        .unwrap();
+
+    let runtime = JobRuntime::new(
+        JobConfig::new(WORLD, Backend::Mpich).with_preempt_mid_step_at(PREEMPT_STEP),
+    );
+    let run = runtime.run_steps(STEPS, collective_step).unwrap();
+    assert!(run.was_preempted(), "the mid-collective preemption fires");
+    assert_eq!(
+        run.generation(),
+        Some(0),
+        "the mid-step checkpoint is the only committed generation"
+    );
+    assert_eq!(
+        runtime.storage().ranks_in_generation(0),
+        (0..WORLD as i32).collect::<Vec<_>>(),
+        "the straddled-collective generation must be complete for every rank"
+    );
+
+    let resumed = runtime.resume_steps(STEPS, collective_step).unwrap();
+    assert!(!resumed.was_preempted());
+    let results = resumed.results().unwrap();
+    assert_eq!(
+        results, reference,
+        "resuming through the straddled allreduce must reproduce the uninterrupted run"
+    );
 }

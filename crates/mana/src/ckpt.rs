@@ -41,6 +41,12 @@ pub mod regions {
     pub const BUFFERED: &str = "mana.buffered";
     /// Per-peer send/receive counters.
     pub const COUNTERS: &str = "mana.counters";
+    /// The collective-progress ledger (published sequence numbers + the pending
+    /// registration of a straddled collective).
+    pub const COLLECTIVES: &str = "mana.collectives";
+
+    /// All MANA-internal regions, in the order they are mapped into an image.
+    pub const ALL: [&str; 5] = [TRANSLATOR, REPLAY_LOG, BUFFERED, COUNTERS, COLLECTIVES];
 }
 
 /// Smallest sleep of the drain backoff ladder.
@@ -49,11 +55,15 @@ const BACKOFF_FLOOR: Duration = Duration::from_micros(4);
 /// between probe sweeps, so late traffic is still picked up promptly.
 const BACKOFF_CAP: Duration = Duration::from_millis(1);
 
-/// The drain's expected traffic, produced by [`ManaRank::begin_checkpoint`]: how many
-/// point-to-point messages each world rank has sent this rank since job start.
+/// The drain's expected traffic and the job-wide collective agreement, produced by
+/// [`ManaRank::begin_checkpoint`]: how many point-to-point messages each world rank
+/// has sent this rank since job start, plus the world-communicator collective epoch
+/// every rank reported — the proof that no rank sits inside a collective's critical
+/// phase (all ranks are *between* the same pair of world collectives).
 #[derive(Debug, Clone)]
 pub struct DrainPlan {
     expected_from: Vec<u64>,
+    collective_epoch: u64,
 }
 
 impl DrainPlan {
@@ -61,6 +71,43 @@ impl DrainPlan {
     pub fn expected_from(&self) -> &[u64] {
         &self.expected_from
     }
+
+    /// The job-agreed collective epoch: completed collectives on the world
+    /// communicator, identical on every rank at checkpoint time.
+    pub fn collective_epoch(&self) -> u64 {
+        self.collective_epoch
+    }
+}
+
+/// What a serviced checkpoint intent asks the interrupted wrapper to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntentOutcome {
+    /// Resume the interrupted operation (checkpoint-and-continue).
+    Continue,
+    /// Vacate the allocation: the wrapper unwinds with
+    /// [`MpiError::Preempted`] and the orchestrator treats the run as preempted.
+    Vacate,
+}
+
+/// The mid-step checkpoint hook an orchestrator installs on a [`ManaRank`]
+/// (see [`ManaRank::set_intercept`]): how a rank learns that a checkpoint intent has
+/// been broadcast, and how it services one from *inside* a wrapper.
+///
+/// Collective wrappers consult the hook only at registration-phase safe points:
+/// wrapper entry (before registering), and from the registration poll loop, where a
+/// rank withdraws its registration (atomically, see `collective_withdraw`) before
+/// servicing — so a checkpoint can never catch a rank inside a collective. There is
+/// no post-critical-phase check: an intent arriving during the critical phase waits
+/// for the next registration or step-boundary safe point, where every rank's
+/// upper-half state is the same deterministic step prefix.
+pub trait CheckpointIntercept: Send + Sync {
+    /// Whether a checkpoint intent is pending that this rank has not serviced yet.
+    fn intent_pending(&self) -> bool;
+
+    /// Service the pending intent: run this rank's side of a full coordinated
+    /// checkpoint (quiesce, drain, write, commit). Called with the rank at a safe
+    /// point. Returns what the interrupted wrapper should do next.
+    fn service(&self, rank: &mut ManaRank) -> MpiResult<IntentOutcome>;
 }
 
 /// One peer this rank is still waiting on during a drain.
@@ -164,11 +211,18 @@ impl ManaRank {
         self.write_checkpoint_into(storage)
     }
 
-    /// Phases 1-2 of the checkpoint protocol: quiesce the job (world barrier) and
-    /// exchange per-destination send counts, producing the [`DrainPlan`] the drain
-    /// phase works off. Collective.
+    /// Phases 1-2 of the checkpoint protocol: quiesce the job (world barrier),
+    /// exchange per-destination send counts, and agree on the job-wide collective
+    /// epoch, producing the [`DrainPlan`] the drain phase works off. Collective.
+    ///
+    /// Each alltoall block carries two words: the cumulative send count to that peer
+    /// and this rank's world-communicator collective epoch. The epoch agreement is
+    /// the checkable half of the two-phase collective guarantee: if any two ranks
+    /// report different epochs, some rank was caught inside (or past) a collective
+    /// the others have not reached, and the checkpoint must not proceed.
     pub fn begin_checkpoint(&mut self) -> MpiResult<DrainPlan> {
         let world = self.world()?;
+        let world_vid = world.virtual_id()?;
         let world_phys = self.phys(world, HandleKind::Comm)?;
 
         // Phase 1: quiesce. After this barrier no rank injects new messages until the
@@ -176,17 +230,39 @@ impl ManaRank {
         self.cross();
         self.lower.barrier(world_phys)?;
 
-        // Phase 2: publish per-destination send counts (required subset, category 3).
-        let send_counts = u64_to_bytes(&self.counters.sent_to);
+        // Phase 2: publish per-destination send counts and the collective epoch
+        // (required subset, category 3).
+        let my_epoch = self.collectives.completed_on(world_vid);
+        let mut contribution = Vec::with_capacity(self.world_size * 2);
+        for &count in &self.counters.sent_to {
+            contribution.push(count);
+            contribution.push(my_epoch);
+        }
         self.cross();
-        let exchanged = self.lower.alltoall(&send_counts, 8, world_phys)?;
-        let expected_from = bytes_to_u64(&exchanged);
-        if expected_from.len() != self.world_size {
+        let exchanged = self
+            .lower
+            .alltoall(&u64_to_bytes(&contribution), 16, world_phys)?;
+        let words = bytes_to_u64(&exchanged);
+        if words.len() != self.world_size * 2 {
             return Err(MpiError::Checkpoint(
                 "send-count exchange returned the wrong number of peers".into(),
             ));
         }
-        Ok(DrainPlan { expected_from })
+        let expected_from: Vec<u64> = words.iter().step_by(2).copied().collect();
+        for (peer, &epoch) in words.iter().skip(1).step_by(2).enumerate() {
+            if epoch != my_epoch {
+                return Err(MpiError::Checkpoint(format!(
+                    "collective epoch disagreement at checkpoint: rank {} is at world \
+                     epoch {}, but rank {peer} reported {epoch} — a rank straddles a \
+                     collective's critical phase",
+                    self.world_rank, my_epoch
+                )));
+            }
+        }
+        Ok(DrainPlan {
+            expected_from,
+            collective_epoch: my_epoch,
+        })
     }
 
     /// Phase 4 of the checkpoint protocol: a world barrier confirming every rank has
@@ -215,8 +291,8 @@ impl ManaRank {
     /// Snapshot this rank's upper half into the legacy flat store and advance the
     /// generation. The caller must have completed the drain phases first.
     pub fn write_checkpoint(&mut self, store: &CheckpointStore) -> MpiResult<WriteReport> {
-        let image = self.build_image()?;
-        let report = store.write(self.generation, &image);
+        let generation = self.generation;
+        let report = self.with_built_image(|image| store.write(generation, image))?;
         self.generation += 1;
         Ok(report)
     }
@@ -229,8 +305,8 @@ impl ManaRank {
     /// them in parallel, which is what the orchestrator's parallel write phase
     /// exploits.
     pub fn write_checkpoint_into(&mut self, storage: &CheckpointStorage) -> MpiResult<StoreReport> {
-        let image = self.build_image()?;
-        let report = storage.write_image(self.config.storage, &image);
+        let policy = self.config.storage;
+        let report = self.with_built_image(|image| storage.write_image(policy, image))?;
         self.upper.mark_clean();
         self.upper.advance_epoch();
         self.generation += 1;
@@ -245,22 +321,43 @@ impl ManaRank {
     }
 
     /// Build the checkpoint image for this rank without writing it anywhere (used by
-    /// tests and by the Table 3 bench, which only needs sizes).
+    /// tests and by the Table 3 bench, which only needs sizes). This path pays one
+    /// clone of the upper half; the write paths serialize in place (the upper half is
+    /// moved into the image and back) and do not.
     pub fn build_image(&mut self) -> MpiResult<CheckpointImage> {
-        let mut upper = self.upper.clone();
-        upper.store_json(regions::TRANSLATOR, &self.translator)?;
-        upper.store_json(regions::REPLAY_LOG, &self.replay_log)?;
-        upper.store_json(regions::BUFFERED, &self.buffered)?;
-        upper.store_json(regions::COUNTERS, &self.counters)?;
-        Ok(CheckpointImage::new(
+        self.with_built_image(|image| image.clone())
+    }
+
+    /// Run `consume` over this rank's checkpoint image without cloning the upper
+    /// half: the MANA regions (descriptor table, replay log, drained messages,
+    /// counters, collective ledger) are serialized *into* the live upper half, the
+    /// space is moved into the image for the duration of the call, then moved back
+    /// and the MANA regions unmapped. Peak memory stays one upper half, where the
+    /// old clone-based path briefly held two.
+    fn with_built_image<R>(&mut self, consume: impl FnOnce(&CheckpointImage) -> R) -> MpiResult<R> {
+        self.upper
+            .store_json(regions::TRANSLATOR, &self.translator)?;
+        self.upper
+            .store_json(regions::REPLAY_LOG, &self.replay_log)?;
+        self.upper.store_json(regions::BUFFERED, &self.buffered)?;
+        self.upper.store_json(regions::COUNTERS, &self.counters)?;
+        self.upper
+            .store_json(regions::COLLECTIVES, &self.collectives)?;
+        let image = CheckpointImage::new(
             ImageMetadata {
                 rank: self.world_rank,
                 world_size: self.world_size,
                 generation: self.generation,
                 implementation: self.lower.implementation_name().to_string(),
             },
-            upper,
-        ))
+            std::mem::take(&mut self.upper),
+        );
+        let result = consume(&image);
+        self.upper = image.upper_half;
+        for region in regions::ALL {
+            let _ = self.upper.unmap_region(region);
+        }
+        Ok(result)
     }
 
     /// Phase 3 of the checkpoint protocol: drain pending point-to-point traffic into
@@ -330,8 +427,10 @@ impl ManaRank {
         }
     }
 
-    /// One probe-and-receive sweep over every live communicator; returns how many
-    /// in-flight messages were drained into the upper-half buffer.
+    /// One probe-and-receive sweep over every live communicator, draining each until
+    /// its probe runs dry; returns how many in-flight messages were buffered in the
+    /// upper half. (Draining only one message per communicator per sweep would force
+    /// a full backoff-loop iteration — with its sleep — per in-flight message.)
     fn drain_sweep(
         &mut self,
         comms: &[(
@@ -342,8 +441,11 @@ impl ManaRank {
     ) -> MpiResult<u64> {
         let mut drained = 0u64;
         for (vid, phys, members) in comms {
-            self.cross();
-            if let Some(status) = self.lower.iprobe(ANY_SOURCE, ANY_TAG, *phys)? {
+            loop {
+                self.cross();
+                let Some(status) = self.lower.iprobe(ANY_SOURCE, ANY_TAG, *phys)? else {
+                    break;
+                };
                 // Receive exactly the probed message and buffer it in the upper half.
                 let byte_type = self.constant(PredefinedObject::Datatype(
                     mpi_model::datatype::PrimitiveType::Byte,
@@ -376,6 +478,31 @@ impl ManaRank {
             }
         }
         Ok(drained)
+    }
+
+    /// Whether a checkpoint intent is pending on the installed intercept.
+    pub(crate) fn intent_pending(&self) -> bool {
+        self.intercept
+            .as_ref()
+            .is_some_and(|hook| hook.intent_pending())
+    }
+
+    /// Service a pending mid-step checkpoint intent, if an intercept is installed and
+    /// an intent is pending; a no-op otherwise. Must only be called from a safe point
+    /// (between wrapper calls, or inside a collective wrapper strictly outside the
+    /// critical phase). Returns [`MpiError::Preempted`] when the serviced intent asks
+    /// the rank to vacate.
+    pub fn service_pending_intent(&mut self) -> MpiResult<()> {
+        let Some(hook) = self.intercept.clone() else {
+            return Ok(());
+        };
+        if !hook.intent_pending() {
+            return Ok(());
+        }
+        match hook.service(self)? {
+            IntentOutcome::Continue => Ok(()),
+            IntentOutcome::Vacate => Err(MpiError::Preempted),
+        }
     }
 
     /// The peers this rank is still waiting on, with expected/received counts — the

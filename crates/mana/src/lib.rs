@@ -46,8 +46,12 @@ pub mod subset_check;
 pub mod virtid;
 pub mod wrappers;
 
-pub use ckpt::{DrainObserver, DrainPlan, DrainShortfall, LocalDrainObserver};
+pub use ckpt::{
+    CheckpointIntercept, DrainObserver, DrainPlan, DrainShortfall, IntentOutcome,
+    LocalDrainObserver,
+};
 pub use config::{GgidPolicy, ManaConfig, StoragePolicy, VirtIdMode};
+pub use record::{CollectiveKind, CollectiveLog, CollectiveRecord};
 pub use restart::{restart_job_from_storage, restart_rank};
 pub use runtime::{AppHandle, ManaRank};
 pub use virtid::{Descriptor, VirtualId, VirtualIdTable};

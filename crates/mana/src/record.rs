@@ -16,8 +16,10 @@
 use crate::virtid::VirtualId;
 use mpi_model::constants::PredefinedObject;
 use mpi_model::datatype::TypeDescriptor;
+use mpi_model::error::{MpiError, MpiResult};
 use mpi_model::types::Rank;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// How an MPI object was created, in enough detail to create a semantically equivalent
 /// object in a fresh lower half.
@@ -175,6 +177,140 @@ impl ReplayLog {
     }
 }
 
+// ----------------------------------------------------------------------
+// Collective record-keeping (two-phase collective protocol)
+// ----------------------------------------------------------------------
+
+/// Which collective operation a [`CollectiveRecord`] describes. Arguments are not
+/// recorded: a straddled collective is re-executed by re-running the application code
+/// that issued it, so only the *identity* of the call matters — it names, in the
+/// serialized ledger, which collective the checkpoint interrupted (diagnosis and
+/// tests), and it is what a sanity check against a pending record compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CollectiveKind {
+    /// `MPI_Barrier`.
+    Barrier,
+    /// `MPI_Bcast`.
+    Bcast,
+    /// `MPI_Reduce`.
+    Reduce,
+    /// `MPI_Allreduce`.
+    Allreduce,
+    /// `MPI_Alltoall`.
+    Alltoall,
+    /// `MPI_Gather`.
+    Gather,
+    /// `MPI_Allgather`.
+    Allgather,
+    /// `MPI_Scatter`.
+    Scatter,
+}
+
+/// The collective this rank has *registered for but not completed*: the record a
+/// checkpoint serializes when the intent lands while ranks straddle a collective.
+/// Restart clears it ([`CollectiveLog::clear_pending`]) — the interrupted step
+/// re-runs from its beginning, so the straddled collective is re-executed as a fresh
+/// issue whose sequence number ([`CollectiveLog::begin`] hands out the completed
+/// count) necessarily equals the one the pending registration held.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CollectiveRecord {
+    /// Virtual id of the communicator the collective runs on.
+    pub comm: VirtualId,
+    /// Upper-half collective sequence number on that communicator (0-based).
+    pub seq: u64,
+    /// Which collective operation was issued.
+    pub kind: CollectiveKind,
+}
+
+/// The upper-half ledger of collective progress, serialized into every checkpoint
+/// image: per-communicator completed-collective counts (the published collective
+/// sequence numbers of the two-phase protocol) plus the at-most-one pending
+/// registration. Because a rank is single-threaded, at most one collective can be
+/// between its registration and its completion at any instant.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CollectiveLog {
+    completed: BTreeMap<VirtualId, u64>,
+    pending: Option<CollectiveRecord>,
+    total_completed: u64,
+}
+
+impl CollectiveLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        CollectiveLog::default()
+    }
+
+    /// Enter the registration phase of a collective on `comm`: assign (and publish
+    /// into the upper half) its sequence number. A rank is single-threaded, so a
+    /// leftover pending record here means a previous collective was neither
+    /// completed nor aborted — an internal protocol violation.
+    pub fn begin(&mut self, comm: VirtualId, kind: CollectiveKind) -> MpiResult<u64> {
+        if let Some(pending) = self.pending {
+            return Err(MpiError::Internal(format!(
+                "collective {kind:?} on {comm} begun while {:?} seq {} on {} is \
+                 still pending",
+                pending.kind, pending.seq, pending.comm
+            )));
+        }
+        let seq = self.completed.get(&comm).copied().unwrap_or(0);
+        self.pending = Some(CollectiveRecord { comm, seq, kind });
+        Ok(seq)
+    }
+
+    /// Record that the collective `(comm, seq)` completed its critical phase.
+    pub fn complete(&mut self, comm: VirtualId, seq: u64) -> MpiResult<()> {
+        match self.pending {
+            Some(pending) if pending.comm == comm && pending.seq == seq => {
+                self.pending = None;
+                self.completed.insert(comm, seq + 1);
+                self.total_completed += 1;
+                Ok(())
+            }
+            other => Err(MpiError::Internal(format!(
+                "collective completion for {comm} seq {seq} does not match the \
+                 pending registration {other:?}"
+            ))),
+        }
+    }
+
+    /// Drop the pending registration for `(comm, seq)` without completing it: the
+    /// collective errored before (or inside) its critical phase, so the sequence
+    /// number is not consumed and a later retry re-issues it afresh.
+    pub fn abort(&mut self, comm: VirtualId, seq: u64) {
+        if matches!(self.pending, Some(p) if p.comm == comm && p.seq == seq) {
+            self.pending = None;
+        }
+    }
+
+    /// Forget any pending registration (restart path): the restored application
+    /// re-runs the interrupted step from its beginning, re-issuing every collective
+    /// of the step — including the straddled one, which [`CollectiveLog::begin`]
+    /// then hands the same sequence number the cleared registration held.
+    pub fn clear_pending(&mut self) {
+        self.pending = None;
+    }
+
+    /// The collective this rank has registered for but not completed, if any.
+    pub fn pending(&self) -> Option<CollectiveRecord> {
+        self.pending
+    }
+
+    /// Collectives completed on one communicator (its published sequence number).
+    pub fn completed_on(&self, comm: VirtualId) -> u64 {
+        self.completed.get(&comm).copied().unwrap_or(0)
+    }
+
+    /// Collectives completed across all communicators.
+    pub fn total_completed(&self) -> u64 {
+        self.total_completed
+    }
+
+    /// Drop the record of a freed communicator (its sequence numbers die with it).
+    pub fn forget_comm(&mut self, comm: VirtualId) {
+        self.completed.remove(&comm);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,5 +358,41 @@ mod tests {
         }
         .is_collective());
         assert!(!CreationRecipe::GroupFromComm { comm: vid(1) }.is_collective());
+    }
+
+    #[test]
+    fn collective_log_tracks_pending_and_completed() {
+        let mut log = CollectiveLog::new();
+        let world = vid(1);
+        let seq = log.begin(world, CollectiveKind::Allreduce).unwrap();
+        assert_eq!(seq, 0);
+        assert_eq!(
+            log.pending(),
+            Some(CollectiveRecord {
+                comm: world,
+                seq: 0,
+                kind: CollectiveKind::Allreduce
+            })
+        );
+        // A second begin while one is pending is an internal protocol violation.
+        assert!(log.begin(world, CollectiveKind::Barrier).is_err());
+        // An aborted collective does not consume its sequence number: clearing the
+        // pending record (restart path) behaves identically.
+        log.abort(world, 0);
+        assert!(log.pending().is_none());
+        assert_eq!(log.begin(world, CollectiveKind::Allreduce).unwrap(), 0);
+        log.clear_pending();
+        assert_eq!(log.begin(world, CollectiveKind::Allreduce).unwrap(), 0);
+        log.complete(world, 0).unwrap();
+        assert!(log.pending().is_none());
+        assert_eq!(log.completed_on(world), 1);
+        assert_eq!(log.total_completed(), 1);
+        assert_eq!(log.begin(world, CollectiveKind::Barrier).unwrap(), 1);
+        log.complete(world, 1).unwrap();
+        // Completing without a matching registration is an internal error.
+        assert!(log.complete(world, 5).is_err());
+        log.forget_comm(world);
+        assert_eq!(log.completed_on(world), 0);
+        assert_eq!(log.total_completed(), 2, "totals survive forget_comm");
     }
 }

@@ -24,7 +24,7 @@
 
 use crate::ckpt::regions;
 use crate::config::ManaConfig;
-use crate::record::{CreationRecipe, ReplayLog};
+use crate::record::{CollectiveLog, CreationRecipe, ReplayLog};
 use crate::runtime::{BufferedMessage, DrainCounters, ManaRank, Translator};
 use crate::virtid::VirtualId;
 use mpi_model::api::MpiApi;
@@ -77,12 +77,16 @@ pub fn restart_rank(
     let replay_log: ReplayLog = upper.load_json(regions::REPLAY_LOG)?;
     let buffered: Vec<BufferedMessage> = upper.load_json(regions::BUFFERED)?;
     let counters: DrainCounters = upper.load_json(regions::COUNTERS)?;
-    for region in [
-        regions::TRANSLATOR,
-        regions::REPLAY_LOG,
-        regions::BUFFERED,
-        regions::COUNTERS,
-    ] {
+    // The collective ledger carries the published sequence numbers plus any
+    // straddled (registered-but-not-completed) collective. The pending record is
+    // cleared here: the restored application re-runs the interrupted step from its
+    // beginning, re-issuing every collective of the step in order — the straddled
+    // one is re-executed as a fresh issue that receives the same sequence number
+    // (begin hands out the completed count, which the pending registration never
+    // advanced).
+    let mut collectives: CollectiveLog = upper.load_json(regions::COLLECTIVES)?;
+    collectives.clear_pending();
+    for region in regions::ALL {
         let _ = upper.unmap_region(region);
     }
     // No physical handle recorded before the checkpoint has any meaning now.
@@ -96,11 +100,15 @@ pub fn restart_rank(
 
     let world_rank = lower.world_rank();
     let world_size = lower.world_size();
+    let two_phase = lower
+        .provided_features()
+        .contains(&mpi_model::subset::SubsetFeature::CollectiveRegistration);
     let mut rank = ManaRank {
         lower,
         config,
         translator,
         replay_log,
+        collectives,
         buffered,
         counters,
         crossings: CrossingCounter::new(),
@@ -109,6 +117,8 @@ pub fn restart_rank(
         world_rank,
         world_size,
         generation: image.metadata.generation + 1,
+        two_phase,
+        intercept: None,
     };
 
     rebind_predefined(&mut rank)?;

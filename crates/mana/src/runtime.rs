@@ -9,14 +9,16 @@
 //! virtual ids to physical handles, crosses into the lower half exactly once (counted),
 //! and translates any returned handles back.
 
+use crate::ckpt::CheckpointIntercept;
 use crate::config::{ManaConfig, VirtIdMode};
 use crate::legacy::LegacyTables;
-use crate::record::ReplayLog;
+use crate::record::{CollectiveLog, ReplayLog};
 use crate::virtid::{Descriptor, VirtualId, VirtualIdTable};
 use mpi_model::api::MpiApi;
 use mpi_model::constants::{ConstantResolution, PredefinedObject};
 use mpi_model::error::{MpiError, MpiResult};
 use mpi_model::op::UserFunctionRegistry;
+use mpi_model::subset::SubsetFeature;
 use mpi_model::types::{HandleKind, PhysHandle, Rank, Tag};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
@@ -226,6 +228,7 @@ pub struct ManaRank {
     pub(crate) config: ManaConfig,
     pub(crate) translator: Translator,
     pub(crate) replay_log: ReplayLog,
+    pub(crate) collectives: CollectiveLog,
     pub(crate) buffered: Vec<BufferedMessage>,
     pub(crate) counters: DrainCounters,
     pub(crate) crossings: CrossingCounter,
@@ -234,6 +237,13 @@ pub struct ManaRank {
     pub(crate) world_rank: Rank,
     pub(crate) world_size: usize,
     pub(crate) generation: u64,
+    /// Whether the lower half supports the registration phase of the two-phase
+    /// collective protocol (cached from its feature list at construction).
+    pub(crate) two_phase: bool,
+    /// The mid-step checkpoint hook, if an orchestrator installed one: collective
+    /// wrappers consult it at their safe points (before registering and after
+    /// completing — never inside the critical phase).
+    pub(crate) intercept: Option<Arc<dyn CheckpointIntercept>>,
 }
 
 impl std::fmt::Debug for ManaRank {
@@ -270,11 +280,15 @@ impl ManaRank {
         }
         let world_rank = lower.world_rank();
         let world_size = lower.world_size();
+        let two_phase = lower
+            .provided_features()
+            .contains(&SubsetFeature::CollectiveRegistration);
         Ok(ManaRank {
             lower,
             config,
             translator: Translator::new(config.virtid_mode),
             replay_log: ReplayLog::new(),
+            collectives: CollectiveLog::new(),
             buffered: Vec::new(),
             counters: DrainCounters::new(world_size),
             crossings: CrossingCounter::new(),
@@ -283,6 +297,8 @@ impl ManaRank {
             world_rank,
             world_size,
             generation: 0,
+            two_phase,
+            intercept: None,
         })
     }
 
@@ -335,6 +351,29 @@ impl ManaRank {
     /// Shared registry of user reduction functions.
     pub fn registry(&self) -> Arc<RwLock<UserFunctionRegistry>> {
         Arc::clone(&self.registry)
+    }
+
+    /// The upper-half ledger of collective progress (published sequence numbers and
+    /// the at-most-one pending registration).
+    pub fn collective_log(&self) -> &CollectiveLog {
+        &self.collectives
+    }
+
+    /// Whether collectives on this rank run through the two-phase protocol (the lower
+    /// half advertises collective registration).
+    pub fn two_phase_collectives(&self) -> bool {
+        self.two_phase
+    }
+
+    /// Install a mid-step checkpoint hook: collective wrappers will consult it at
+    /// their safe points and service pending checkpoint intents through it.
+    pub fn set_intercept(&mut self, intercept: Arc<dyn CheckpointIntercept>) {
+        self.intercept = Some(intercept);
+    }
+
+    /// Remove the mid-step checkpoint hook.
+    pub fn clear_intercept(&mut self) {
+        self.intercept = None;
     }
 
     /// Read-only view of the application's upper-half address space.
@@ -436,20 +475,45 @@ impl ManaRank {
             })
     }
 
-    /// Take the earliest buffered (drained) message matching the receive arguments.
-    pub(crate) fn take_buffered(
+    /// Position of the earliest buffered (drained) message matching the receive
+    /// arguments, without consuming it.
+    pub(crate) fn buffered_position(
+        &self,
+        comm: VirtualId,
+        source: Rank,
+        tag: Tag,
+    ) -> Option<usize> {
+        use mpi_model::types::{ANY_SOURCE, ANY_TAG};
+        self.buffered.iter().position(|m| {
+            m.comm == comm
+                && (source == ANY_SOURCE || m.source == source)
+                && (tag == ANY_TAG || m.tag == tag)
+        })
+    }
+
+    /// Take the earliest buffered (drained) message matching the receive arguments,
+    /// refusing — with the message left buffered, so a larger retry still receives
+    /// it — when it does not fit in `max_bytes`. `Ok(None)` means nothing matches.
+    pub(crate) fn take_buffered_checked(
         &mut self,
         comm: VirtualId,
         source: Rank,
         tag: Tag,
-    ) -> Option<BufferedMessage> {
-        use mpi_model::types::{ANY_SOURCE, ANY_TAG};
-        let position = self.buffered.iter().position(|m| {
-            m.comm == comm
-                && (source == ANY_SOURCE || m.source == source)
-                && (tag == ANY_TAG || m.tag == tag)
-        })?;
-        Some(self.buffered.remove(position))
+        max_bytes: usize,
+    ) -> MpiResult<Option<(mpi_model::status::Status, Vec<u8>)>> {
+        let Some(position) = self.buffered_position(comm, source, tag) else {
+            return Ok(None);
+        };
+        let message_bytes = self.buffered[position].payload.len();
+        if message_bytes > max_bytes {
+            return Err(MpiError::Truncate {
+                message_bytes,
+                buffer_bytes: max_bytes,
+            });
+        }
+        let message = self.buffered.remove(position);
+        let status = mpi_model::status::Status::new(message.source, message.tag, message_bytes);
+        Ok(Some((status, message.payload)))
     }
 }
 

@@ -86,6 +86,23 @@ impl VirtualId {
     }
 }
 
+/// Virtual ids key the per-communicator maps of the collective ledger
+/// ([`crate::record::CollectiveLog`]), which is serialized into every checkpoint
+/// image — so they must round-trip as JSON object keys.
+impl serde::MapKey for VirtualId {
+    fn to_key(&self) -> String {
+        self.bits().to_string()
+    }
+
+    fn from_key(key: &str) -> Result<Self, serde::Error> {
+        let bits: u32 = key
+            .parse()
+            .map_err(|_| serde::Error::custom(format!("invalid virtual-id map key {key:?}")))?;
+        VirtualId::from_bits(bits)
+            .ok_or_else(|| serde::Error::custom(format!("map key {key:?} is not a virtual id")))
+    }
+}
+
 impl std::fmt::Display for VirtualId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(

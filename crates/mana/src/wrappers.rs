@@ -8,7 +8,7 @@
 //! crossing (plus the small number of bookkeeping calls creation wrappers make), which
 //! is the quantity behind the paper's §6.3 context-switch analysis.
 
-use crate::record::{CreationRecipe, ReplayEvent};
+use crate::record::{CollectiveKind, CreationRecipe, ReplayEvent};
 use crate::runtime::{AppHandle, BufferedMessage, ManaRank};
 use crate::virtid::blank_descriptor;
 use mpi_model::error::{MpiError, MpiResult};
@@ -16,6 +16,19 @@ use mpi_model::op::OpDescriptor;
 use mpi_model::request::{RequestKind, RequestRecord, RequestState};
 use mpi_model::status::Status;
 use mpi_model::types::{HandleKind, PhysHandle, Rank, Tag};
+use std::time::Duration;
+
+/// Smallest sleep between registration polls while waiting for a collective round to
+/// commit.
+const REGISTRATION_BACKOFF_FLOOR: Duration = Duration::from_micros(2);
+/// Cap of the registration poll backoff: late-arriving peers are noticed within this
+/// bound, so the two-phase protocol adds little latency to an uncontended collective.
+const REGISTRATION_BACKOFF_CAP: Duration = Duration::from_micros(256);
+/// How long a registered rank waits for the round to commit before declaring the
+/// collective dead (a peer errored out before registering). Matches the fabric's
+/// blocking timeout, which guarded this failure mode when collectives crossed
+/// straight into the blocking exchange.
+const REGISTRATION_STALL_BUDGET: Duration = Duration::from_secs(60);
 
 impl ManaRank {
     // ------------------------------------------------------------------
@@ -135,6 +148,7 @@ impl ManaRank {
         self.lower.comm_free(phys)?;
         self.translator.remove(vid)?;
         self.replay_log.mark_freed(vid);
+        self.collectives.forget_comm(vid);
         Ok(())
     }
 
@@ -447,15 +461,12 @@ impl ManaRank {
         comm: AppHandle,
     ) -> MpiResult<(Vec<u8>, Status)> {
         let comm_vid = comm.virtual_id()?;
-        if let Some(message) = self.take_buffered(comm_vid, source, tag) {
-            if message.payload.len() > max_bytes {
-                return Err(MpiError::Truncate {
-                    message_bytes: message.payload.len(),
-                    buffer_bytes: max_bytes,
-                });
-            }
-            let status = Status::new(message.source, message.tag, message.payload.len());
-            return Ok((message.payload, status));
+        // Peek before taking: a truncation error must leave the drained message
+        // buffered, so a retry with a large enough buffer still receives it.
+        if let Some((status, payload)) =
+            self.take_buffered_checked(comm_vid, source, tag, max_bytes)?
+        {
+            return Ok((payload, status));
         }
         let comm_phys = self.phys(comm, HandleKind::Comm)?;
         let type_phys = self.phys(datatype, HandleKind::Datatype)?;
@@ -543,20 +554,40 @@ impl ManaRank {
     }
 
     /// `MPI_Wait`. For receive requests the payload is returned alongside the status.
+    ///
+    /// The request is consumed whether the wait completes or fails: the descriptor is
+    /// removed on the error path too, so a failing lower-half receive (or a peer
+    /// translation failure) cannot leak the virtual id.
     pub fn wait(&mut self, request: AppHandle) -> MpiResult<(Status, Option<Vec<u8>>)> {
         let vid = request.virtual_id()?;
         let record = self.request_record(request)?;
-        let result = match record.kind {
+        match self.wait_complete(&record) {
+            Ok(result) => {
+                self.translator.remove(vid)?;
+                Ok(result)
+            }
+            Err(error) => {
+                let _ = self.translator.remove(vid);
+                Err(error)
+            }
+        }
+    }
+
+    /// The completion half of [`ManaRank::wait`], separated so the caller can remove
+    /// the request descriptor on success *and* failure alike.
+    fn wait_complete(&mut self, record: &RequestRecord) -> MpiResult<(Status, Option<Vec<u8>>)> {
+        match record.kind {
             RequestKind::Send => match record.state {
-                RequestState::Complete(status) => (status, None),
-                _ => return Err(MpiError::Internal("eager send request left pending".into())),
+                RequestState::Complete(status) => Ok((status, None)),
+                _ => Err(MpiError::Internal("eager send request left pending".into())),
             },
             RequestKind::Recv => {
                 let comm_vid = crate::virtid::VirtualId::from_bits(record.comm.bits() as u32)
                     .ok_or_else(|| MpiError::Internal("request with bad comm vid".into()))?;
-                if let Some(message) = self.take_buffered(comm_vid, record.peer, record.tag) {
-                    let status = Status::new(message.source, message.tag, message.payload.len());
-                    (status, Some(message.payload))
+                if let Some((status, payload)) =
+                    self.take_buffered_checked(comm_vid, record.peer, record.tag, record.bytes)?
+                {
+                    Ok((status, Some(payload)))
                 } else {
                     let comm_phys = self.translator.virtual_to_physical(comm_vid)?;
                     let byte_type =
@@ -574,34 +605,50 @@ impl ManaRank {
                     )?;
                     let source_world = self.peer_world_rank(comm_vid, status.source)?;
                     self.counters.received_from[source_world as usize] += 1;
-                    (status, Some(payload))
+                    Ok((status, Some(payload)))
                 }
             }
-        };
-        self.translator.remove(vid)?;
-        Ok(result)
+        }
     }
 
     /// `MPI_Test`: non-blocking completion check.
+    ///
+    /// A request that is still pending stays live (retryable); a request that
+    /// completes — or whose completion attempt *fails* — is consumed, so error paths
+    /// cannot leak the descriptor.
     pub fn test(&mut self, request: AppHandle) -> MpiResult<Option<(Status, Option<Vec<u8>>)>> {
         let vid = request.virtual_id()?;
         let record = self.request_record(request)?;
-        match record.kind {
-            RequestKind::Send => {
-                let result = match record.state {
-                    RequestState::Complete(status) => (status, None),
-                    _ => return Err(MpiError::Internal("eager send request left pending".into())),
-                };
+        match self.test_complete(&record) {
+            Ok(None) => Ok(None),
+            Ok(Some(result)) => {
                 self.translator.remove(vid)?;
                 Ok(Some(result))
             }
+            Err(error) => {
+                let _ = self.translator.remove(vid);
+                Err(error)
+            }
+        }
+    }
+
+    /// The completion half of [`ManaRank::test`]; `Ok(None)` means "not yet".
+    fn test_complete(
+        &mut self,
+        record: &RequestRecord,
+    ) -> MpiResult<Option<(Status, Option<Vec<u8>>)>> {
+        match record.kind {
+            RequestKind::Send => match record.state {
+                RequestState::Complete(status) => Ok(Some((status, None))),
+                _ => Err(MpiError::Internal("eager send request left pending".into())),
+            },
             RequestKind::Recv => {
                 let comm_vid = crate::virtid::VirtualId::from_bits(record.comm.bits() as u32)
                     .ok_or_else(|| MpiError::Internal("request with bad comm vid".into()))?;
-                if let Some(message) = self.take_buffered(comm_vid, record.peer, record.tag) {
-                    let status = Status::new(message.source, message.tag, message.payload.len());
-                    self.translator.remove(vid)?;
-                    return Ok(Some((status, Some(message.payload))));
+                if let Some((status, payload)) =
+                    self.take_buffered_checked(comm_vid, record.peer, record.tag, record.bytes)?
+                {
+                    return Ok(Some((status, Some(payload))));
                 }
                 let comm_phys = self.translator.virtual_to_physical(comm_vid)?;
                 self.cross();
@@ -623,7 +670,6 @@ impl ManaRank {
                         )?;
                         let source_world = self.peer_world_rank(comm_vid, status.source)?;
                         self.counters.received_from[source_world as usize] += 1;
-                        self.translator.remove(vid)?;
                         Ok(Some((status, Some(payload))))
                     }
                 }
@@ -652,21 +698,131 @@ impl ManaRank {
     }
 
     // ------------------------------------------------------------------
-    // Collective communication
+    // Collective communication (two-phase protocol)
     // ------------------------------------------------------------------
+
+    /// Run one collective through the two-phase protocol.
+    ///
+    /// Phase one — **registration** ("trivial barrier"): the wrapper publishes the
+    /// collective's sequence number into the upper half ([`crate::record::CollectiveLog`])
+    /// and announces itself on the lower half's registration board, then polls until
+    /// every member of the communicator has registered. While polling, the rank sits
+    /// at a *safe point*: a broadcast checkpoint intent is serviced by atomically
+    /// withdrawing the registration (which fails if and only if the round already
+    /// committed) and running the coordinated checkpoint, after which the rank
+    /// re-registers. Phase two — the **critical phase**: once the round commits,
+    /// every member is obliged to run the real lower-half collective promptly and
+    /// without checkpointing, so at checkpoint time every rank provably sits either
+    /// before or after the collective, never inside it.
+    ///
+    /// Intents are serviced *only* at registration-phase safe points (wrapper entry,
+    /// or withdrawal from an uncommitted round) and at the orchestrator's step
+    /// boundary — all points at which the upper-half state is the same deterministic
+    /// step prefix on every rank. There is deliberately **no** safe point right after
+    /// the critical phase: an intent landing in that window could be observed by some
+    /// ranks before and others after the step's post-collective state mutation,
+    /// committing a generation whose ranks disagree about how much of the step ran.
+    /// An intent that arrives during the critical phase therefore waits for the next
+    /// registration or boundary.
+    ///
+    /// On lower halves without [`CollectiveRegistration`] support the collective runs
+    /// directly (sequence numbers are still published, so checkpoint-time epoch
+    /// agreement holds, but intents cannot be serviced inside a step).
+    ///
+    /// [`CollectiveRegistration`]: mpi_model::subset::SubsetFeature::CollectiveRegistration
+    fn two_phase_collective<R>(
+        &mut self,
+        comm: AppHandle,
+        kind: CollectiveKind,
+        body: impl FnOnce(&mut Self, PhysHandle) -> MpiResult<R>,
+    ) -> MpiResult<R> {
+        let comm_vid = comm.virtual_id()?;
+        let phys = self.phys(comm, HandleKind::Comm)?;
+        if self.two_phase {
+            // Safe point: an intent that arrived since the last wrapper call is
+            // serviced before this collective begins.
+            self.service_pending_intent()?;
+        }
+        let seq = self.collectives.begin(comm_vid, kind)?;
+        let result = if self.two_phase {
+            self.register_and_await(phys)
+                .and_then(|()| body(self, phys))
+        } else {
+            body(self, phys)
+        };
+        match result {
+            Ok(value) => {
+                self.collectives.complete(comm_vid, seq)?;
+                Ok(value)
+            }
+            Err(error) => {
+                // The collective never completed (a failed round, or a vacating
+                // preemption unwinding out of the registration phase): release the
+                // pending registration so the sequence number is not consumed and
+                // later collectives on this rank are not poisoned.
+                self.collectives.abort(comm_vid, seq);
+                Err(error)
+            }
+        }
+    }
+
+    /// The registration loop of the two-phase protocol: register, poll for the round
+    /// to commit, and service checkpoint intents by withdraw-checkpoint-re-register
+    /// while the round has not committed. A round that fails to commit within the
+    /// stall budget (and with no intent to service) means a peer died before
+    /// registering; the wait is bounded so the job errors out instead of hanging.
+    fn register_and_await(&mut self, phys: PhysHandle) -> MpiResult<()> {
+        'register: loop {
+            self.cross();
+            let ticket = self.lower.collective_register(phys)?;
+            let mut backoff = REGISTRATION_BACKOFF_FLOOR;
+            let registered_at = std::time::Instant::now();
+            loop {
+                self.cross();
+                if self.lower.collective_ready(phys, ticket)? {
+                    return Ok(());
+                }
+                if self.intent_pending() {
+                    self.cross();
+                    if self.lower.collective_withdraw(phys, ticket)? {
+                        // Provably outside the collective: service the checkpoint,
+                        // then start the registration over.
+                        self.service_pending_intent()?;
+                        continue 'register;
+                    }
+                    // The round committed before the withdrawal: this rank is
+                    // obliged to enter the collective; the intent is serviced at
+                    // the next registration or step-boundary safe point.
+                    return Ok(());
+                }
+                if registered_at.elapsed() >= REGISTRATION_STALL_BUDGET {
+                    return Err(MpiError::Internal(format!(
+                        "rank {} waited more than {REGISTRATION_STALL_BUDGET:?} for \
+                         a collective registration round to commit — a peer likely \
+                         died before registering",
+                        self.world_rank
+                    )));
+                }
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(REGISTRATION_BACKOFF_CAP);
+            }
+        }
+    }
 
     /// `MPI_Barrier`.
     pub fn barrier(&mut self, comm: AppHandle) -> MpiResult<()> {
-        let phys = self.phys(comm, HandleKind::Comm)?;
-        self.cross();
-        self.lower.barrier(phys)
+        self.two_phase_collective(comm, CollectiveKind::Barrier, |rank, phys| {
+            rank.cross();
+            rank.lower.barrier(phys)
+        })
     }
 
     /// `MPI_Bcast`.
     pub fn bcast(&mut self, buf: &mut Vec<u8>, root: Rank, comm: AppHandle) -> MpiResult<()> {
-        let phys = self.phys(comm, HandleKind::Comm)?;
-        self.cross();
-        self.lower.bcast(buf, root, phys)
+        self.two_phase_collective(comm, CollectiveKind::Bcast, |rank, phys| {
+            rank.cross();
+            rank.lower.bcast(buf, root, phys)
+        })
     }
 
     /// `MPI_Reduce`.
@@ -678,12 +834,12 @@ impl ManaRank {
         root: Rank,
         comm: AppHandle,
     ) -> MpiResult<Option<Vec<u8>>> {
-        let comm_phys = self.phys(comm, HandleKind::Comm)?;
         let type_phys = self.phys(datatype, HandleKind::Datatype)?;
         let op_phys = self.phys(op, HandleKind::Op)?;
-        self.cross();
-        self.lower
-            .reduce(sendbuf, type_phys, op_phys, root, comm_phys)
+        self.two_phase_collective(comm, CollectiveKind::Reduce, |rank, phys| {
+            rank.cross();
+            rank.lower.reduce(sendbuf, type_phys, op_phys, root, phys)
+        })
     }
 
     /// `MPI_Allreduce`.
@@ -694,11 +850,12 @@ impl ManaRank {
         op: AppHandle,
         comm: AppHandle,
     ) -> MpiResult<Vec<u8>> {
-        let comm_phys = self.phys(comm, HandleKind::Comm)?;
         let type_phys = self.phys(datatype, HandleKind::Datatype)?;
         let op_phys = self.phys(op, HandleKind::Op)?;
-        self.cross();
-        self.lower.allreduce(sendbuf, type_phys, op_phys, comm_phys)
+        self.two_phase_collective(comm, CollectiveKind::Allreduce, |rank, phys| {
+            rank.cross();
+            rank.lower.allreduce(sendbuf, type_phys, op_phys, phys)
+        })
     }
 
     /// `MPI_Alltoall` with equal block sizes.
@@ -708,9 +865,10 @@ impl ManaRank {
         block_bytes: usize,
         comm: AppHandle,
     ) -> MpiResult<Vec<u8>> {
-        let phys = self.phys(comm, HandleKind::Comm)?;
-        self.cross();
-        self.lower.alltoall(sendbuf, block_bytes, phys)
+        self.two_phase_collective(comm, CollectiveKind::Alltoall, |rank, phys| {
+            rank.cross();
+            rank.lower.alltoall(sendbuf, block_bytes, phys)
+        })
     }
 
     /// `MPI_Gather` of equal-sized contributions.
@@ -720,16 +878,18 @@ impl ManaRank {
         root: Rank,
         comm: AppHandle,
     ) -> MpiResult<Option<Vec<u8>>> {
-        let phys = self.phys(comm, HandleKind::Comm)?;
-        self.cross();
-        self.lower.gather(sendbuf, root, phys)
+        self.two_phase_collective(comm, CollectiveKind::Gather, |rank, phys| {
+            rank.cross();
+            rank.lower.gather(sendbuf, root, phys)
+        })
     }
 
     /// `MPI_Allgather` of equal-sized contributions.
     pub fn allgather(&mut self, sendbuf: &[u8], comm: AppHandle) -> MpiResult<Vec<u8>> {
-        let phys = self.phys(comm, HandleKind::Comm)?;
-        self.cross();
-        self.lower.allgather(sendbuf, phys)
+        self.two_phase_collective(comm, CollectiveKind::Allgather, |rank, phys| {
+            rank.cross();
+            rank.lower.allgather(sendbuf, phys)
+        })
     }
 
     /// `MPI_Scatter`.
@@ -740,9 +900,10 @@ impl ManaRank {
         root: Rank,
         comm: AppHandle,
     ) -> MpiResult<Vec<u8>> {
-        let phys = self.phys(comm, HandleKind::Comm)?;
-        self.cross();
-        self.lower.scatter(sendbuf, block_bytes, root, phys)
+        self.two_phase_collective(comm, CollectiveKind::Scatter, |rank, phys| {
+            rank.cross();
+            rank.lower.scatter(sendbuf, block_bytes, root, phys)
+        })
     }
 
     /// Deliver any still-buffered drained message into `buffered` inspection (test

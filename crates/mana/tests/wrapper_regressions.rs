@@ -1,0 +1,211 @@
+//! Regression tests for the point-to-point wrapper bugs fixed alongside the
+//! two-phase collective work:
+//!
+//! * `recv` used to consume a drained (buffered) message *before* checking the
+//!   receive buffer was large enough, destroying the payload on `MPI_ERR_TRUNCATE`;
+//! * `wait`/`test` used to leak the request descriptor when the lower-half receive
+//!   (or the peer-rank translation) failed, because the `?` early-returns skipped
+//!   `translator.remove`.
+
+use job_runtime::run_world;
+use mana::{ManaConfig, ManaRank};
+use mpi_model::api::MpiImplementationFactory;
+use mpi_model::constants::PredefinedObject;
+use mpi_model::datatype::PrimitiveType;
+use mpi_model::error::MpiError;
+use mpi_model::op::UserFunctionRegistry;
+use mpich_sim::MpichFactory;
+use parking_lot::RwLock;
+use split_proc::store::CheckpointStore;
+use std::sync::Arc;
+
+fn launch_mana(world: usize) -> Vec<ManaRank> {
+    let registry = Arc::new(RwLock::new(UserFunctionRegistry::new()));
+    MpichFactory::mpich()
+        .launch(world, Arc::clone(&registry), 1)
+        .unwrap()
+        .into_iter()
+        .map(|lower| ManaRank::new(lower, ManaConfig::new_design(), Arc::clone(&registry)).unwrap())
+        .collect()
+}
+
+/// Drive a two-rank world to the state where rank 1 holds one 8-byte drained message
+/// in its upper-half buffer (rank 0 sent it, both ranks checkpointed, the drain moved
+/// it out of the network), then return rank 1.
+fn rank_with_buffered_message() -> ManaRank {
+    let store = CheckpointStore::unmetered();
+    let ranks = launch_mana(2);
+    let mut out = run_world(ranks, move |rank_index, mut rank: ManaRank| {
+        let world = rank.world().unwrap();
+        let byte = rank
+            .constant(PredefinedObject::Datatype(PrimitiveType::Byte))
+            .unwrap();
+        if rank_index == 0 {
+            rank.send(&[1, 2, 3, 4, 5, 6, 7, 8], byte, 1, 7, world)
+                .unwrap();
+        }
+        rank.checkpoint(&store).unwrap();
+        Ok(rank)
+    })
+    .unwrap();
+    let receiver = out.remove(1);
+    assert_eq!(
+        receiver.buffered_messages(),
+        1,
+        "the checkpoint must have drained the in-flight message"
+    );
+    receiver
+}
+
+#[test]
+fn truncated_recv_keeps_the_drained_message_buffered() {
+    let mut receiver = rank_with_buffered_message();
+    let world = receiver.world().unwrap();
+    let byte = receiver
+        .constant(PredefinedObject::Datatype(PrimitiveType::Byte))
+        .unwrap();
+
+    // A too-small receive fails with MPI_ERR_TRUNCATE — and must NOT destroy the
+    // buffered payload.
+    let err = receiver.recv(byte, 4, 0, 7, world).unwrap_err();
+    assert!(matches!(
+        err,
+        MpiError::Truncate {
+            message_bytes: 8,
+            buffer_bytes: 4
+        }
+    ));
+    assert_eq!(
+        receiver.buffered_messages(),
+        1,
+        "truncation must leave the drained message in the buffer"
+    );
+
+    // Retrying with a large enough buffer still receives the original payload.
+    let (payload, status) = receiver.recv(byte, 64, 0, 7, world).unwrap();
+    assert_eq!(payload, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    assert_eq!(status.source, 0);
+    assert_eq!(receiver.buffered_messages(), 0);
+}
+
+#[test]
+fn truncated_wait_keeps_the_message_and_consumes_the_request() {
+    let mut receiver = rank_with_buffered_message();
+    let world = receiver.world().unwrap();
+    let byte = receiver
+        .constant(PredefinedObject::Datatype(PrimitiveType::Byte))
+        .unwrap();
+
+    let before = receiver.descriptor_count();
+    let request = receiver.irecv(byte, 4, 0, 7, world).unwrap();
+    let err = receiver.wait(request).unwrap_err();
+    assert!(matches!(err, MpiError::Truncate { .. }));
+    assert_eq!(
+        receiver.descriptor_count(),
+        before,
+        "a failed wait must not leak the request descriptor"
+    );
+    assert_eq!(
+        receiver.buffered_messages(),
+        1,
+        "the drained message survives the truncated wait"
+    );
+
+    // A fresh request with a big enough buffer completes and delivers the payload.
+    let request = receiver.irecv(byte, 64, 0, 7, world).unwrap();
+    let (status, payload) = receiver.wait(request).unwrap();
+    assert_eq!(payload.unwrap(), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    assert_eq!(status.count_bytes, 8);
+    assert_eq!(receiver.descriptor_count(), before);
+}
+
+#[test]
+fn failing_wait_releases_the_request_descriptor() {
+    let ranks = launch_mana(2);
+    let results = run_world(ranks, |rank_index, mut rank: ManaRank| {
+        let world = rank.world().unwrap();
+        let byte = rank
+            .constant(PredefinedObject::Datatype(PrimitiveType::Byte))
+            .unwrap();
+        if rank_index == 0 {
+            // An 8-byte message the receiver's request cannot hold: the lower-half
+            // receive inside `wait` fails with MPI_ERR_TRUNCATE, and before the fix
+            // the `?` early-return skipped the descriptor removal.
+            rank.send(&[7; 8], byte, 1, 11, world).unwrap();
+            return Ok(0);
+        }
+        let before = rank.descriptor_count();
+        let request = rank.irecv(byte, 4, 0, 11, world).unwrap();
+        assert_eq!(rank.descriptor_count(), before + 1);
+        let err = rank.wait(request).unwrap_err();
+        assert!(matches!(err, MpiError::Truncate { .. }));
+        assert_eq!(
+            rank.descriptor_count(),
+            before,
+            "a failed wait must remove the request descriptor"
+        );
+        Ok(1)
+    })
+    .unwrap();
+    assert_eq!(results, vec![0, 1]);
+}
+
+#[test]
+fn failing_test_releases_the_request_descriptor() {
+    let ranks = launch_mana(2);
+    let results = run_world(ranks, |rank_index, mut rank: ManaRank| {
+        let world = rank.world().unwrap();
+        let byte = rank
+            .constant(PredefinedObject::Datatype(PrimitiveType::Byte))
+            .unwrap();
+        if rank_index == 0 {
+            // An 8-byte message the receiver's request cannot hold.
+            rank.send(&[9; 8], byte, 1, 3, world).unwrap();
+            return Ok(0);
+        }
+        let before = rank.descriptor_count();
+        let request = rank.irecv(byte, 4, 0, 3, world).unwrap();
+        // Poll until the message arrives; the completion attempt then fails with
+        // MPI_ERR_TRUNCATE coming from the lower half.
+        let error = loop {
+            match rank.test(request) {
+                Ok(None) => std::thread::yield_now(),
+                Ok(Some(_)) => panic!("an oversized message must not complete the request"),
+                Err(error) => break error,
+            }
+        };
+        assert!(matches!(error, MpiError::Truncate { .. }));
+        assert_eq!(
+            rank.descriptor_count(),
+            before,
+            "a failed test must remove the request descriptor"
+        );
+        Ok(1)
+    })
+    .unwrap();
+    assert_eq!(results, vec![0, 1]);
+}
+
+#[test]
+fn pending_test_keeps_the_request_retryable() {
+    let mut ranks = launch_mana(1);
+    let mut rank = ranks.remove(0);
+    let world = rank.world().unwrap();
+    let byte = rank
+        .constant(PredefinedObject::Datatype(PrimitiveType::Byte))
+        .unwrap();
+
+    let before = rank.descriptor_count();
+    let request = rank.irecv(byte, 16, 0, 0, world).unwrap();
+    assert!(rank.test(request).unwrap().is_none(), "nothing sent yet");
+    assert_eq!(
+        rank.descriptor_count(),
+        before + 1,
+        "a still-pending request stays live after a test"
+    );
+    // Satisfy it so the world shuts down clean.
+    rank.send(&[1], byte, 0, 0, world).unwrap();
+    let completed = rank.wait(request).unwrap();
+    assert_eq!(completed.1.unwrap(), vec![1]);
+    assert_eq!(rank.descriptor_count(), before);
+}

@@ -251,6 +251,27 @@ impl<C: HandleCodec> Engine<C> {
             .collective_exchange(context, seq, my_index, size, contribution)
     }
 
+    /// Resolve the route for a collective *registration*: the communicator's context,
+    /// the sequence number the next collective will use (peeked, not consumed — the
+    /// real collective's `exchange` advances it), this rank's index, and the size.
+    fn registration_route(&self, comm: PhysHandle) -> MpiResult<(u64, u64, usize, usize)> {
+        let idx = self.comm_index(comm)?;
+        let c = self.comms.get(idx)?;
+        let my_index = c
+            .descriptor
+            .rank_of(self.world_rank)
+            .ok_or(MpiError::InvalidRank {
+                rank: self.world_rank,
+                size: c.descriptor.size(),
+            })? as usize;
+        Ok((
+            c.descriptor.context,
+            c.collective_seq,
+            my_index,
+            c.descriptor.size(),
+        ))
+    }
+
     /// Agree on a fresh context id across all members of a communicator: the member
     /// with communicator rank 0 allocates it from the fabric and the exchange
     /// broadcasts it.
@@ -944,6 +965,40 @@ impl<C: HandleCodec> MpiApi for Engine<C> {
     // ------------------------------------------------------------------
     // Collectives
     // ------------------------------------------------------------------
+
+    fn collective_register(&mut self, comm: PhysHandle) -> MpiResult<u64> {
+        self.check_initialized()?;
+        self.require(
+            SubsetFeature::CollectiveRegistration,
+            "collective registration",
+        )?;
+        let (context, seq, my_index, size) = self.registration_route(comm)?;
+        self.endpoint
+            .collective_register(context, seq, my_index, size)?;
+        Ok(seq)
+    }
+
+    fn collective_ready(&mut self, comm: PhysHandle, ticket: u64) -> MpiResult<bool> {
+        self.check_initialized()?;
+        self.require(
+            SubsetFeature::CollectiveRegistration,
+            "collective registration",
+        )?;
+        let (context, _, _, _) = self.registration_route(comm)?;
+        Ok(self
+            .endpoint
+            .collective_registration_committed(context, ticket))
+    }
+
+    fn collective_withdraw(&mut self, comm: PhysHandle, ticket: u64) -> MpiResult<bool> {
+        self.check_initialized()?;
+        self.require(
+            SubsetFeature::CollectiveRegistration,
+            "collective registration",
+        )?;
+        let (context, _, my_index, _) = self.registration_route(comm)?;
+        self.endpoint.collective_withdraw(context, ticket, my_index)
+    }
 
     fn barrier(&mut self, comm: PhysHandle) -> MpiResult<()> {
         self.check_initialized()?;

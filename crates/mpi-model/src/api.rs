@@ -248,6 +248,24 @@ pub trait MpiApi: Send {
     // Collective communication
     // ------------------------------------------------------------------
 
+    /// Registration phase of the two-phase collective protocol: announce intent to
+    /// enter the *next* collective on `comm` (a cheap "trivial barrier" round that
+    /// moves no application data). Returns the collective sequence number the
+    /// registration is keyed by — the ticket for [`MpiApi::collective_ready`] and
+    /// [`MpiApi::collective_withdraw`]. Idempotent per `(comm, ticket)`.
+    fn collective_register(&mut self, comm: PhysHandle) -> MpiResult<u64>;
+
+    /// Whether the registration round `ticket` on `comm` has committed (every member
+    /// of the communicator has registered). Once committed, every member must proceed
+    /// into the real collective — withdrawals fail from that point on.
+    fn collective_ready(&mut self, comm: PhysHandle, ticket: u64) -> MpiResult<bool>;
+
+    /// Atomically withdraw this rank's registration from round `ticket` on `comm`.
+    /// `Ok(true)` means the rank is provably outside the collective (safe to service a
+    /// checkpoint intent); `Ok(false)` means the round committed first and the rank is
+    /// obliged to enter the collective.
+    fn collective_withdraw(&mut self, comm: PhysHandle, ticket: u64) -> MpiResult<bool>;
+
     /// `MPI_Barrier`.
     fn barrier(&mut self, comm: PhysHandle) -> MpiResult<()>;
 

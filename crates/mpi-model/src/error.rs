@@ -95,6 +95,11 @@ pub enum MpiError {
         /// Explanation of the checkpoint/restart failure.
         String,
     ),
+    /// The rank vacated its allocation after servicing a preempting checkpoint intent
+    /// delivered mid-step. Not a failure of the MPI program: orchestrators catch this
+    /// marker, treat the run as preempted, and later resume it from the committed
+    /// generation.
+    Preempted,
 }
 
 impl MpiError {
@@ -122,6 +127,7 @@ impl MpiError {
             MpiError::UnknownUserFunction(_) => "MPI_ERR_OP",
             MpiError::Internal(_) => "MPI_ERR_INTERN",
             MpiError::Checkpoint(_) => "MPI_ERR_OTHER",
+            MpiError::Preempted => "MPI_ERR_OTHER",
         }
     }
 }
@@ -166,6 +172,9 @@ impl std::fmt::Display for MpiError {
             MpiError::UnknownUserFunction(id) => write!(f, "unknown user reduction function {id}"),
             MpiError::Internal(msg) => write!(f, "internal error: {msg}"),
             MpiError::Checkpoint(msg) => write!(f, "checkpoint/restart error: {msg}"),
+            MpiError::Preempted => {
+                write!(f, "rank vacated after a preempting checkpoint intent")
+            }
         }
     }
 }

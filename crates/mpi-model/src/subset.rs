@@ -63,6 +63,13 @@ pub enum SubsetFeature {
     /// checkpointing this (paper §1.3), and none of the simulated implementations
     /// provide it; it exists so the compliance report can show it as out of scope.
     OneSided,
+    /// Collective registration (the "trivial barrier" half of MANA's two-phase
+    /// collective protocol): announce intent to enter a collective, poll for the
+    /// round to commit, and atomically withdraw while it has not. Implementations
+    /// without it still run collectives, but MANA then cannot deliver checkpoint
+    /// intents while ranks straddle one — checkpoints stay confined to points with
+    /// no collective in flight.
+    CollectiveRegistration,
 }
 
 /// The exact subset the paper's §5 lists as required for MANA support.

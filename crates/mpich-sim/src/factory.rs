@@ -76,6 +76,7 @@ impl MpichFactory {
             SubsetFeature::CommCreate,
             SubsetFeature::DerivedDatatypes,
             SubsetFeature::UserOps,
+            SubsetFeature::CollectiveRegistration,
         ]
     }
 }

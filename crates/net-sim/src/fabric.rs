@@ -53,11 +53,26 @@ struct CollectiveSlot {
     readers_remaining: usize,
 }
 
+/// Registration board entry for one collective round: who has announced intent to
+/// enter the collective keyed by `(context, seq)`. The board is the fabric half of
+/// the two-phase collective protocol ("trivial barrier"): a member may *withdraw* its
+/// registration — atomically, and only while the round is still incomplete — which is
+/// what lets a rank step out to service a checkpoint without ever being caught inside
+/// the collective's critical phase.
+struct RegistrationSlot {
+    expected: usize,
+    registered: std::collections::HashSet<usize>,
+    /// Once every member has registered the round is *committed*: withdrawals fail
+    /// and every member must proceed into the real collective exchange.
+    committed: bool,
+}
+
 struct FabricInner {
     world_size: usize,
     session_nonce: u64,
     slots: Vec<RankSlot>,
     collectives: Mutex<HashMap<(ContextId, u64), CollectiveSlot>>,
+    registrations: Mutex<HashMap<(ContextId, u64), RegistrationSlot>>,
     collective_done: Condvar,
     next_context: AtomicU64,
     next_seq: AtomicU64,
@@ -98,6 +113,7 @@ impl Fabric {
                 session_nonce: config.session_nonce,
                 slots,
                 collectives: Mutex::new(HashMap::new()),
+                registrations: Mutex::new(HashMap::new()),
                 collective_done: Condvar::new(),
                 // Contexts 1 and 2 are reserved for MPI_COMM_WORLD / MPI_COMM_SELF.
                 next_context: AtomicU64::new(16),
@@ -401,6 +417,9 @@ impl Endpoint {
                 };
                 if remove {
                     table.remove(&key);
+                    // The round is over: clear any registration-board entry for the
+                    // same key (every registrant necessarily contributed).
+                    self.inner.registrations.lock().remove(&key);
                 }
                 return Ok(result.as_ref().clone());
             }
@@ -416,6 +435,85 @@ impl Endpoint {
                 )));
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Two-phase collective registration ("trivial barrier") board
+    // ------------------------------------------------------------------
+
+    /// Announce intent to enter the collective `(context, seq)`. Idempotent: a member
+    /// re-registering (after stepping out for a checkpoint) is a no-op. Once the last
+    /// member registers, the round *commits* and withdrawals start failing.
+    pub fn collective_register(
+        &self,
+        context: ContextId,
+        seq: u64,
+        my_index: usize,
+        comm_size: usize,
+    ) -> MpiResult<()> {
+        if comm_size == 0 || my_index >= comm_size {
+            return Err(MpiError::Internal(format!(
+                "collective registration with index {my_index} out of {comm_size}"
+            )));
+        }
+        let mut board = self.inner.registrations.lock();
+        let slot = board
+            .entry((context, seq))
+            .or_insert_with(|| RegistrationSlot {
+                expected: comm_size,
+                registered: std::collections::HashSet::with_capacity(comm_size),
+                committed: false,
+            });
+        if slot.expected != comm_size {
+            return Err(MpiError::CollectiveMismatch(format!(
+                "ranks disagree about communicator size in registration: {} vs {}",
+                slot.expected, comm_size
+            )));
+        }
+        slot.registered.insert(my_index);
+        if slot.registered.len() == slot.expected {
+            slot.committed = true;
+        }
+        Ok(())
+    }
+
+    /// Whether the registration round `(context, seq)` has committed (every member
+    /// registered). A missing slot reads as not committed: the caller is expected to
+    /// hold a live registration of its own while polling.
+    pub fn collective_registration_committed(&self, context: ContextId, seq: u64) -> bool {
+        self.inner
+            .registrations
+            .lock()
+            .get(&(context, seq))
+            .map(|slot| slot.committed)
+            .unwrap_or(false)
+    }
+
+    /// Atomically withdraw `my_index`'s registration from round `(context, seq)`.
+    /// Returns `true` if the withdrawal succeeded (the rank is provably *outside* the
+    /// collective and may safely checkpoint), `false` if the round has already
+    /// committed — in which case the rank is obliged to enter the real collective
+    /// before doing anything else. This check-and-remove is one critical section, so
+    /// exactly one of "withdrawn" / "committed" holds for every member.
+    pub fn collective_withdraw(
+        &self,
+        context: ContextId,
+        seq: u64,
+        my_index: usize,
+    ) -> MpiResult<bool> {
+        let mut board = self.inner.registrations.lock();
+        let Some(slot) = board.get_mut(&(context, seq)) else {
+            // Nothing registered under this key: trivially out.
+            return Ok(true);
+        };
+        if slot.committed {
+            return Ok(false);
+        }
+        slot.registered.remove(&my_index);
+        if slot.registered.is_empty() {
+            board.remove(&(context, seq));
+        }
+        Ok(true)
     }
 }
 
@@ -578,6 +676,50 @@ mod tests {
         let e0 = f.endpoint(0).unwrap();
         assert!(e0.send(5, 0, 1, 0, vec![]).is_err());
         assert!(f.pending_for_rank(9).is_err());
+    }
+
+    #[test]
+    fn registration_board_commits_and_blocks_withdrawal() {
+        let f = fabric(3);
+        let e0 = f.endpoint(0).unwrap();
+        let e1 = f.endpoint(1).unwrap();
+        let e2 = f.endpoint(2).unwrap();
+        // Two of three register: not committed, withdrawal allowed (and idempotent
+        // re-registration is a no-op).
+        e0.collective_register(40, 0, 0, 3).unwrap();
+        e0.collective_register(40, 0, 0, 3).unwrap();
+        e1.collective_register(40, 0, 1, 3).unwrap();
+        assert!(!e0.collective_registration_committed(40, 0));
+        assert!(e1.collective_withdraw(40, 0, 1).unwrap());
+        // After the withdrawal the last member cannot commit the round alone.
+        e2.collective_register(40, 0, 2, 3).unwrap();
+        assert!(!e2.collective_registration_committed(40, 0));
+        // All three in: committed, withdrawal now fails for everyone.
+        e1.collective_register(40, 0, 1, 3).unwrap();
+        assert!(e0.collective_registration_committed(40, 0));
+        assert!(!e1.collective_withdraw(40, 0, 1).unwrap());
+        assert!(!e0.collective_withdraw(40, 0, 0).unwrap());
+        // A size disagreement is caught at registration time.
+        let err = e0.collective_register(40, 0, 0, 2).unwrap_err();
+        assert!(matches!(err, MpiError::CollectiveMismatch(_)));
+        // Completing the matching exchange clears the board entry.
+        let handles: Vec<_> = (0..3)
+            .map(|rank| {
+                let f = f.clone();
+                thread::spawn(move || {
+                    let ep = f.endpoint(rank as Rank).unwrap();
+                    ep.collective_exchange(40, 0, rank, 3, vec![]).unwrap()
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(f.inner.registrations.lock().len(), 0);
+        // A fully withdrawn round leaves no slot behind.
+        e0.collective_register(41, 0, 0, 3).unwrap();
+        assert!(e0.collective_withdraw(41, 0, 0).unwrap());
+        assert_eq!(f.inner.registrations.lock().len(), 0);
     }
 
     #[test]

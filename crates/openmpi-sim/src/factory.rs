@@ -43,6 +43,7 @@ impl OpenMpiFactory {
             SubsetFeature::CommCreate,
             SubsetFeature::DerivedDatatypes,
             SubsetFeature::UserOps,
+            SubsetFeature::CollectiveRegistration,
         ]
     }
 }

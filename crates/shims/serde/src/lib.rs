@@ -25,6 +25,7 @@ pub mod __private;
 mod impls;
 mod value;
 
+pub use impls::MapKey;
 pub use value::{Number, Value};
 
 use std::fmt;
