@@ -1,9 +1,10 @@
 //! # mana-apps
 //!
 //! Proxy versions of the five real-world applications the paper evaluates (CoMD, HPCG,
-//! LAMMPS, LULESH-2.0 and SW4), written against the MANA wrapper API
-//! ([`mana::ManaRank`]) so they are oblivious to which simulated MPI implementation is
-//! loaded in the lower half.
+//! LAMMPS, LULESH-2.0 and SW4), plus a VASP-style plane-wave-DFT proxy for the
+//! transpose-dominated workload shape, written against MANA's typed session API
+//! ([`mana::Session`]) so they are oblivious to which simulated MPI implementation is
+//! loaded in the lower half — and contain no hand-rolled byte marshalling.
 //!
 //! Each proxy reproduces the *communication skeleton* of its namesake — who talks to
 //! whom, which collectives close each timestep, how often MPI is called relative to
@@ -14,7 +15,7 @@
 //! factor) to the paper's measured checkpoint sizes, and the per-iteration MPI call
 //! mix is calibrated to the paper's measured context-switch rates.
 //!
-//! All five proxies support *transparent* checkpoint-restart: their entire state lives
+//! All six proxies support *transparent* checkpoint-restart: their entire state lives
 //! in the rank's upper-half address space, they can be told to checkpoint at a given
 //! iteration, and when started on a restored rank they resume from the recorded
 //! iteration without any application-specific recovery code — the property that makes
@@ -29,26 +30,33 @@ pub mod lammps;
 pub mod lulesh;
 pub mod skeleton;
 pub mod sw4;
+pub mod vasp;
 pub mod workloads;
 
 pub use skeleton::{AppId, AppProfile, AppReport, RunConfig};
 pub use workloads::{perlmutter_workloads, single_node_workloads, WorkloadSpec};
 
-/// Run the named proxy application on one (already initialized or restored) rank.
-///
-/// This is the single entry point the harness, the examples and the integration tests
-/// use; it dispatches to the per-app profile and the shared skeleton runner.
-pub fn run_app(
-    app: AppId,
-    rank: &mut mana::ManaRank,
-    config: &RunConfig,
-) -> mpi_model::error::MpiResult<AppReport> {
-    let profile = match app {
+/// The communication/memory profile of the named proxy application.
+pub fn profile_of(app: AppId) -> AppProfile {
+    match app {
         AppId::CoMd => comd::profile(),
         AppId::Hpcg => hpcg::profile(),
         AppId::Lammps => lammps::profile(),
         AppId::Lulesh => lulesh::profile(),
         AppId::Sw4 => sw4::profile(),
-    };
-    skeleton::run(&profile, rank, config)
+        AppId::Vasp => vasp::profile(),
+    }
+}
+
+/// Run the named proxy application on one (already initialized or restored) rank's
+/// typed session.
+///
+/// This is the single entry point the harness, the examples and the integration tests
+/// use; it dispatches to the per-app profile and the shared skeleton runner.
+pub fn run_app(
+    app: AppId,
+    session: &mut mana::Session,
+    config: &RunConfig,
+) -> mpi_model::error::MpiResult<AppReport> {
+    skeleton::run(&profile_of(app), session, config)
 }

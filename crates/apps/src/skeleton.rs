@@ -1,25 +1,23 @@
-//! The shared communication skeleton all five proxy applications run on.
+//! The shared communication skeleton all six proxy applications run on.
 //!
 //! A proxy application is described by an [`AppProfile`]: how many halo neighbours it
 //! exchanges with per timestep, how big the halo messages are, how many reductions
 //! close each step, how often it rebuilds neighbour lists with an all-to-all, and how
 //! much per-rank state it carries. The shared [`run`] function executes that profile
-//! against a [`mana::ManaRank`], keeping *all* application state in the rank's
-//! upper-half address space so a checkpoint taken mid-run is transparently resumable.
+//! against a typed [`mana::Session`], keeping *all* application state — including the
+//! typed MPI handles themselves — in the rank's upper-half address space, so a
+//! checkpoint taken mid-run is transparently resumable.
 
 use ckpt_store::{CheckpointStorage, StoreReport};
-use mana::runtime::AppHandle;
-use mana::ManaRank;
-use mpi_model::buffer::{bytes_to_f64, f64_to_bytes};
-use mpi_model::constants::PredefinedObject;
-use mpi_model::datatype::PrimitiveType;
+use mana::{Comm, Op, Session};
 use mpi_model::error::{MpiError, MpiResult};
-use mpi_model::op::PredefinedOp;
 use mpi_model::types::Rank;
 use serde::{Deserialize, Serialize};
 use split_proc::store::{CheckpointStore, WriteReport};
 
-/// The five applications of the paper's evaluation.
+/// The five applications of the paper's evaluation, plus the VASP-style proxy added
+/// for the plane-wave-DFT workload shape (the paper's §1 motivating class of codes
+/// with no application-level checkpointing).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum AppId {
     /// CoMD: molecular-dynamics proxy (halo exchange + energy reduction).
@@ -32,11 +30,25 @@ pub enum AppId {
     Lulesh,
     /// SW4: seismic wave propagation (large halos, frequent exchanges).
     Sw4,
+    /// VASP-style plane-wave DFT proxy (all-to-all FFT transposes every step,
+    /// reduction-heavy orthonormalization).
+    Vasp,
 }
 
 impl AppId {
-    /// All applications in the order the paper's figures list them.
-    pub const ALL: [AppId; 5] = [
+    /// All applications: the paper's five (in the order its figures list them)
+    /// followed by the VASP-style proxy.
+    pub const ALL: [AppId; 6] = [
+        AppId::Hpcg,
+        AppId::Lulesh,
+        AppId::CoMd,
+        AppId::Lammps,
+        AppId::Sw4,
+        AppId::Vasp,
+    ];
+
+    /// The five applications of the paper's Table 1, in figure order.
+    pub const TABLE1: [AppId; 5] = [
         AppId::Hpcg,
         AppId::Lulesh,
         AppId::CoMd,
@@ -52,6 +64,7 @@ impl AppId {
             AppId::Lammps => "LAMMPS",
             AppId::Lulesh => "LULESH",
             AppId::Sw4 => "SW4",
+            AppId::Vasp => "VASP",
         }
     }
 }
@@ -109,7 +122,7 @@ pub struct RunConfig {
     /// `checkpoint_at` is set and no `storage` engine is configured.
     pub store: Option<CheckpointStore>,
     /// The `ckpt-store` storage engine. When set, checkpoints go through
-    /// [`ManaRank::checkpoint_into`] under the rank's configured
+    /// [`Session::checkpoint_into`] under the rank's configured
     /// [`mana::StoragePolicy`], enabling incremental/compressed writes. Takes
     /// precedence over `store`.
     pub storage: Option<CheckpointStorage>,
@@ -176,6 +189,12 @@ pub struct AppReport {
 }
 
 /// The application state stored in the upper half; everything needed to resume.
+///
+/// The MPI handles are stored *typed* (`Comm`, `Op<f64>`): they serialize as the
+/// same virtual-id-bearing values as raw `AppHandle`s, so they survive a
+/// checkpoint/restart identically — with the element type statically attached on
+/// the way back out. (Datatypes need no handle here at all: the typed sends and
+/// reductions resolve the `f64` datatype from the element type.)
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct SkeletonState {
     app: AppId,
@@ -184,10 +203,9 @@ struct SkeletonState {
     /// (text formatting of floats must not perturb the resumed computation).
     #[serde(with = "f64_bits")]
     lattice: Vec<f64>,
-    world: AppHandle,
-    compute_comm: AppHandle,
-    double_type: AppHandle,
-    sum_op: AppHandle,
+    world: Comm,
+    compute_comm: Comm,
+    sum_op: Op<f64>,
 }
 
 /// Bit-exact (de)serialization of an `f64` vector through `u64` bit patterns.
@@ -209,22 +227,25 @@ fn state_region(app: AppId) -> String {
     format!("app.{}.state", app.name().to_lowercase())
 }
 
-/// Execute (or resume) `profile` on `rank` according to `config`.
-pub fn run(profile: &AppProfile, rank: &mut ManaRank, config: &RunConfig) -> MpiResult<AppReport> {
-    let me = rank.world_rank();
-    let size = rank.world_size() as Rank;
+/// Execute (or resume) `profile` on `session` according to `config`.
+pub fn run(
+    profile: &AppProfile,
+    session: &mut Session,
+    config: &RunConfig,
+) -> MpiResult<AppReport> {
+    let me = session.world_rank();
+    let size = session.world_size() as Rank;
     let region = state_region(profile.id);
 
     // Resume from the upper half if state is present, otherwise initialize.
-    let mut state: SkeletonState = if rank.upper().contains(&region) {
-        rank.upper().load_json(&region)?
+    let mut state: SkeletonState = if session.upper().contains(&region) {
+        session.upper().load_json(&region)?
     } else {
-        let world = rank.world()?;
-        let double_type = rank.constant(PredefinedObject::Datatype(PrimitiveType::Double))?;
-        let sum_op = rank.constant(PredefinedObject::Op(PredefinedOp::Sum))?;
+        let world = session.world()?;
+        let sum_op = Op::sum();
         let compute_comm = if profile.uses_split_comm && size > 1 {
             // Row communicator: ranks with the same parity compute together.
-            rank.comm_split(world, Some(me % 2), me)?
+            session.comm_split(world, Some(me % 2), me)?
         } else {
             world
         };
@@ -238,7 +259,6 @@ pub fn run(profile: &AppProfile, rank: &mut ManaRank, config: &RunConfig) -> Mpi
             lattice,
             world,
             compute_comm,
-            double_type,
             sum_op,
         }
     };
@@ -255,27 +275,16 @@ pub fn run(profile: &AppProfile, rank: &mut ManaRank, config: &RunConfig) -> Mpi
             for n in 1..=profile.halo_neighbors as Rank {
                 let right = (me + n).rem_euclid(size);
                 let left = (me - n).rem_euclid(size);
-                let outgoing = f64_to_bytes(&state.lattice[..halo]);
-                rank.send(&outgoing, state.double_type, right, n, state.world)?;
-                let (incoming, _) =
-                    rank.recv(state.double_type, outgoing.len(), left, n, state.world)?;
-                let incoming = bytes_to_f64(&incoming);
+                session.send(&state.lattice[..halo], right, n, state.world)?;
+                let (incoming, _) = session.recv::<f64>(halo, left, n, state.world)?;
                 // Fold the halo into the boundary of the local state.
                 for (cell, ghost) in state.lattice.iter_mut().zip(incoming.iter()) {
                     *cell = 0.75 * *cell + 0.25 * ghost;
                 }
                 // And the reverse direction.
-                let outgoing = f64_to_bytes(&state.lattice[state.lattice.len() - halo..]);
-                rank.send(&outgoing, state.double_type, left, 1000 + n, state.world)?;
-                let (incoming, _) = rank.recv(
-                    state.double_type,
-                    outgoing.len(),
-                    right,
-                    1000 + n,
-                    state.world,
-                )?;
-                let incoming = bytes_to_f64(&incoming);
                 let tail = state.lattice.len() - halo;
+                session.send(&state.lattice[tail..], left, 1000 + n, state.world)?;
+                let (incoming, _) = session.recv::<f64>(halo, right, 1000 + n, state.world)?;
                 for (cell, ghost) in state.lattice[tail..].iter_mut().zip(incoming.iter()) {
                     *cell = 0.75 * *cell + 0.25 * ghost;
                 }
@@ -292,54 +301,47 @@ pub fn run(profile: &AppProfile, rank: &mut ManaRank, config: &RunConfig) -> Mpi
         // Global reductions closing the timestep (energy / dot products / dt).
         for r in 0..profile.allreduces_per_iter {
             let local = state.lattice[(r * 7) % window.max(1)] + step as f64 * 1e-6;
-            let reduced = rank.allreduce(
-                &f64_to_bytes(&[local]),
-                state.double_type,
-                state.sum_op,
-                state.compute_comm,
-            )?;
-            state.lattice[0] += bytes_to_f64(&reduced)[0] * 1e-9;
+            let reduced = session.allreduce(&[local], state.sum_op, state.compute_comm)?;
+            state.lattice[0] += reduced[0] * 1e-9;
         }
 
-        // Periodic neighbour-list rebuild.
+        // Periodic neighbour-list rebuild (the FFT transpose, for VASP).
         if profile.alltoall_every > 0
             && (step + 1).is_multiple_of(profile.alltoall_every)
             && size > 1
         {
-            let block: Vec<u8> = (0..size)
-                .flat_map(|peer| ((me * 1000 + peer) as u64).to_le_bytes())
-                .collect();
-            let gathered = rank.alltoall(&block, 8, state.world)?;
-            state.lattice[0] += gathered.len() as f64 * 1e-12;
+            let block: Vec<u64> = (0..size).map(|peer| (me * 1000 + peer) as u64).collect();
+            let gathered = session.alltoall(&block, 1, state.world)?;
+            state.lattice[0] += gathered.len() as f64 * 8.0 * 1e-12;
         }
 
         state.iteration += 1;
 
         // Transparent checkpoint, if requested at this timestep.
         if config.checkpoint_at == Some(state.iteration) {
-            rank.upper_mut().store_json(&region, &state)?;
+            session.upper_mut().store_json(&region, &state)?;
             if let Some(storage) = config.storage.as_ref() {
-                let report = rank.checkpoint_into(storage)?;
+                let report = session.checkpoint_into(storage)?;
                 checkpoint_report = Some(report.to_write_report());
                 incremental_report = Some(report);
             } else {
                 let store = config.store.as_ref().ok_or_else(|| {
                     MpiError::Checkpoint("checkpoint requested without a checkpoint store".into())
                 })?;
-                checkpoint_report = Some(rank.checkpoint(store)?);
+                checkpoint_report = Some(session.checkpoint(store)?);
             }
         }
     }
 
     // Persist the final state so a later checkpoint (or inspection) sees it.
-    rank.upper_mut().store_json(&region, &state)?;
+    session.upper_mut().store_json(&region, &state)?;
 
     let checksum = state.lattice.iter().take(512).sum::<f64>() + state.iteration as f64;
     Ok(AppReport {
         app: profile.id,
         rank: me,
         iterations_completed: state.iteration,
-        crossings: rank.crossings(),
+        crossings: session.crossings(),
         checksum,
         state_bytes: state.lattice.len() * 8,
         checkpoint: checkpoint_report,
@@ -350,7 +352,7 @@ pub fn run(profile: &AppProfile, rank: &mut ManaRank, config: &RunConfig) -> Mpi
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mana::ManaConfig;
+    use mana::{ManaConfig, ManaRank};
     use mpi_model::api::MpiImplementationFactory;
     use mpi_model::op::UserFunctionRegistry;
     use parking_lot::RwLock;
@@ -387,8 +389,9 @@ mod tests {
                 .map(|lower| {
                     let reg = reg.clone();
                     std::thread::spawn(move || {
-                        let mut rank = ManaRank::new(lower, ManaConfig::new_design(), reg).unwrap();
-                        run(&profile(), &mut rank, &RunConfig::smoke(6)).unwrap()
+                        let rank = ManaRank::new(lower, ManaConfig::new_design(), reg).unwrap();
+                        let mut session = Session::new(rank);
+                        run(&profile(), &mut session, &RunConfig::smoke(6)).unwrap()
                     })
                 })
                 .collect();

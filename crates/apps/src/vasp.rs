@@ -1,0 +1,42 @@
+//! VASP-style proxy: plane-wave density-functional theory, the paper's motivating
+//! class of production codes with *no* application-level checkpointing (§1 — the
+//! workloads that need transparent checkpointing most).
+//!
+//! Communication skeleton: every SCF iteration runs 3-D FFTs whose transposes are
+//! all-to-alls (`alltoall_every: 1` — the defining trait of the plane-wave method),
+//! closes with a burst of reductions (subspace orthonormalization, band energies,
+//! charge-density mixing), and exchanges modest wavefunction halos between band
+//! groups. Band parallelism carves a sub-communicator out of the world. This profile
+//! is not part of the paper's Table 1 evaluation; it exists to open the
+//! transpose-dominated workload shape to the typed session API and the two-phase
+//! collective checkpointing path.
+
+use crate::skeleton::{AppId, AppProfile};
+
+/// The VASP communication/memory profile.
+pub fn profile() -> AppProfile {
+    AppProfile {
+        id: AppId::Vasp,
+        halo_neighbors: 1,
+        halo_elements: 256,
+        allreduces_per_iter: 6,
+        alltoall_every: 1,
+        uses_split_comm: true,
+        state_elements_full_scale: 12_000_000, // ~96 MB of wavefunctions per rank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transpose_dominated_call_mix() {
+        let p = profile();
+        // One all-to-all every single step: the FFT-transpose signature.
+        assert_eq!(p.alltoall_every, 1);
+        assert!(p.allreduces_per_iter >= 4, "reduction-heavy SCF closes");
+        assert!(p.uses_split_comm, "band-group communicator");
+        assert_eq!(p.state_bytes_at_scale(1.0), 96_000_000);
+    }
+}

@@ -228,7 +228,10 @@ mod tests {
         let specs = single_node_workloads();
         assert_eq!(specs.len(), 5);
         let apps: Vec<AppId> = specs.iter().map(|s| s.app).collect();
-        assert_eq!(apps, AppId::ALL.to_vec());
+        assert_eq!(apps, AppId::TABLE1.to_vec());
+        // The VASP proxy is deliberately outside the paper's Table 1.
+        assert!(!apps.contains(&AppId::Vasp));
+        assert!(AppId::ALL.contains(&AppId::Vasp));
         // Rank counts from Table 1.
         assert_eq!(
             specs.iter().find(|s| s.app == AppId::CoMd).unwrap().ranks,

@@ -3,17 +3,19 @@
 //! Usage:
 //!
 //! ```text
-//! harness [--json] [table1|table2|table3|ckpt-store|parallel|collectives|figure2|figure3|figure4|cs-rate|validate|all]
+//! harness [--json] [table1|table2|table3|ckpt-store|parallel|collectives|typed-overhead|figure2|figure3|figure4|cs-rate|validate|all]
 //! harness ci
 //! ```
 //!
 //! With no argument (or `all`) every section is produced. `--json` emits the
 //! machine-readable report used to populate EXPERIMENTS.md.
 //!
-//! `ci` runs the quick smoke mode: it measures the `ckpt-store` byte-reduction rows
-//! and the parallel sharded-vs-serialized write comparison, writes `BENCH_ci.json`
-//! for the CI artifact upload, and **exits nonzero** if the incremental-vs-full byte
-//! reduction at 1% dirty regresses below the gate (50x).
+//! `ci` runs the quick smoke mode: it measures the `ckpt-store` byte-reduction rows,
+//! the parallel sharded-vs-serialized write comparison, and the typed-session
+//! overhead on the CoMD profile, writes `BENCH_ci.json` for the CI artifact upload,
+//! and **exits nonzero** if the incremental-vs-full byte reduction at 1% dirty
+//! regresses below the gate (50x) or the typed layer costs 5% or more over the raw
+//! byte path.
 
 use mana_apps::workloads::{perlmutter_workloads, single_node_workloads};
 use mana_apps::AppId;
@@ -43,6 +45,10 @@ fn run_ci() -> std::process::ExitCode {
     println!(
         "parallel sharded write speedup over serialized baseline: {:.1}x",
         report.parallel_speedup
+    );
+    println!(
+        "{}",
+        mana_bench::typed_overhead_note_from(&report.typed_overhead)
     );
     println!("wrote BENCH_ci.json");
     if report.pass {
@@ -90,13 +96,7 @@ fn cs_rate_note() -> String {
         "app", "ranks", "paper CS/s", "calls/iter (proxy)"
     ));
     for spec in single_node_workloads() {
-        let profile = match spec.app {
-            AppId::CoMd => mana_apps::comd::profile(),
-            AppId::Hpcg => mana_apps::hpcg::profile(),
-            AppId::Lammps => mana_apps::lammps::profile(),
-            AppId::Lulesh => mana_apps::lulesh::profile(),
-            AppId::Sw4 => mana_apps::sw4::profile(),
-        };
+        let profile = mana_apps::profile_of(spec.app);
         note.push_str(&format!(
             "{:<8} {:>12} {:>16.1e} {:>18}\n",
             spec.app.name(),
@@ -207,6 +207,9 @@ fn main() -> std::process::ExitCode {
     }
     if want("collectives") {
         report.notes.push(mana_bench::collective_checkpoint_note());
+    }
+    if want("typed-overhead") {
+        report.notes.push(mana_bench::typed_overhead_note());
     }
     if want("validate") {
         report.validation_runs = validation_runs();

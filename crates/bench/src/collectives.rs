@@ -7,12 +7,8 @@
 //! between two collectives of the same step costs on top.
 
 use job_runtime::{Backend, JobConfig, JobRuntime};
-use mana::ManaRank;
-use mpi_model::buffer::{bytes_to_u64, u64_to_bytes};
-use mpi_model::constants::PredefinedObject;
-use mpi_model::datatype::PrimitiveType;
+use mana::{Op, Session};
 use mpi_model::error::MpiResult;
-use mpi_model::op::PredefinedOp;
 use serde::{Deserialize, Serialize};
 
 /// Ranks in the collective-overhead comparison.
@@ -38,31 +34,29 @@ pub struct CollectiveCkptRow {
 
 /// One collective-heavy step: pure compute, an `allreduce`, an `allgather`, then the
 /// state update — the safe shape for mid-step checkpoints.
-fn collective_step(rank: &mut ManaRank, step: u64) -> MpiResult<u64> {
-    let me = rank.world_rank() as u64;
-    let world = rank.world()?;
-    let uint = rank.constant(PredefinedObject::Datatype(PrimitiveType::UnsignedLong))?;
-    let sum = rank.constant(PredefinedObject::Op(PredefinedOp::Sum))?;
+fn collective_step(session: &mut Session, step: u64) -> MpiResult<u64> {
+    let me = session.world_rank() as u64;
+    let world = session.world()?;
 
     if step == 0 {
         let state: Vec<u8> = (0..STATE_BYTES)
             .map(|i| ((i as u64).wrapping_add(me * 7919).wrapping_mul(0x9E37_79B9) >> 13) as u8)
             .collect();
-        rank.upper_mut().map_region("app.solver", state);
+        session.upper_mut().map_region("app.solver", state);
     }
-    let local = rank
+    let local = session
         .upper()
         .region("app.solver")?
         .iter()
         .fold(me + step, |acc, &b| {
             acc.wrapping_mul(31).wrapping_add(b as u64)
         });
-    let total = bytes_to_u64(&rank.allreduce(&u64_to_bytes(&[local]), uint, sum, world)?)[0];
-    let gathered = rank.allgather(&u64_to_bytes(&[local]), world)?;
-    let digest = bytes_to_u64(&gathered)
+    let total = session.allreduce(&[local], Op::sum(), world)?[0];
+    let digest = session
+        .allgather(&[local], world)?
         .iter()
         .fold(total, |acc, &x| acc.rotate_left(7) ^ x);
-    rank.upper_mut().region_mut("app.solver")?[(step as usize) % STATE_BYTES] = digest as u8;
+    session.upper_mut().region_mut("app.solver")?[(step as usize) % STATE_BYTES] = digest as u8;
     Ok(digest)
 }
 

@@ -28,6 +28,11 @@ pub mod collectives;
 pub mod model;
 pub mod report;
 pub mod runner;
+pub mod typed;
+
+/// Maximum acceptable typed-session overhead over the raw byte path, in percent
+/// (the acceptance gate of the typed-API migration).
+pub const TYPED_OVERHEAD_GATE_PCT: f64 = 5.0;
 
 pub use ckpt::{
     measure_parallel_checkpoint, parallel_checkpoint_note, parallel_checkpoint_note_from,
@@ -40,3 +45,7 @@ pub use collectives::{
 pub use model::{CostModel, OverheadRow};
 pub use report::{CiReport, Report};
 pub use runner::{run_small_scale, SmallScaleConfig, SmallScaleResult};
+pub use typed::{
+    measure_typed_overhead, typed_overhead_note, typed_overhead_note_from, TypedOverheadReport,
+    TypedOverheadRow,
+};

@@ -3,6 +3,7 @@
 use crate::ckpt::{ParallelCkptRow, StorageRow};
 use crate::model::{CheckpointRow, OverheadRow};
 use crate::runner::SmallScaleResult;
+use crate::typed::TypedOverheadReport;
 use serde::{Deserialize, Serialize};
 
 /// A complete harness report: one section per table/figure requested.
@@ -121,6 +122,9 @@ pub struct CiReport {
     pub parallel_speedup: f64,
     /// Minimum acceptable `incremental_reduction_1pct`.
     pub reduction_gate: f64,
+    /// The typed-session-vs-raw-bytes comparison on the CoMD profile, with its own
+    /// `< gate_pct` verdict folded into `pass`.
+    pub typed_overhead: TypedOverheadReport,
     /// Whether every gate passed.
     pub pass: bool,
 }
@@ -155,13 +159,15 @@ impl CiReport {
                 }
             })
             .unwrap_or(0.0);
-        let pass = incremental_reduction_1pct >= reduction_gate;
+        let typed_overhead = crate::typed::measure_typed_overhead(crate::TYPED_OVERHEAD_GATE_PCT);
+        let pass = incremental_reduction_1pct >= reduction_gate && typed_overhead.pass;
         CiReport {
             storage_rows,
             parallel_rows,
             incremental_reduction_1pct,
             parallel_speedup,
             reduction_gate,
+            typed_overhead,
             pass,
         }
     }

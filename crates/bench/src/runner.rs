@@ -3,7 +3,7 @@
 
 use ckpt_store::CheckpointStorage;
 use mana::restart::restart_job_from_storage;
-use mana::{ManaConfig, ManaRank};
+use mana::{ManaConfig, ManaRank, Session};
 use mana_apps::{run_app, AppId, RunConfig};
 use mpi_model::api::MpiImplementationFactory;
 use mpi_model::error::MpiResult;
@@ -80,8 +80,8 @@ fn run_job(
         .into_iter()
         .map(|lower| ManaRank::new(lower, mana_config, registry.clone()))
         .collect::<MpiResult<_>>()?;
-    let mut reports = job_runtime::run_world(ranks, move |_, mut rank| {
-        run_app(app, &mut rank, &run_config)
+    let mut reports = job_runtime::run_world(ranks, move |_, rank| {
+        run_app(app, &mut Session::new(rank), &run_config)
     })?;
     reports.sort_by_key(|r| r.rank);
     Ok(reports)
@@ -154,8 +154,8 @@ pub fn run_small_scale(
                 store: None,
                 storage: None,
             };
-            let mut resumed = job_runtime::run_world(restarted, move |_, mut rank| {
-                run_app(app, &mut rank, &finish_config)
+            let mut resumed = job_runtime::run_world(restarted, move |_, rank| {
+                run_app(app, &mut Session::new(rank), &finish_config)
             })?;
             resumed.sort_by_key(|r| r.rank);
             let equivalent = reference.iter().zip(resumed.iter()).all(|(a, b)| {

@@ -1,0 +1,279 @@
+//! Typed-session overhead: what the `mana::api` layer costs over raw byte calls.
+//!
+//! The typed session layer sits above the byte-faithful wrappers and adds, per call:
+//! a cached-constant array load instead of the byte path's descriptor-table scan, an
+//! [`MpiData`] encode/decode (the identical marshalling work the byte-level caller
+//! performs by hand), and an (almost always empty) reaper check. This module runs the
+//! CoMD communication profile — the paper's most latency-sensitive small-message app —
+//! through both paths and compares wall time and crossings. The acceptance gate is
+//! **< 5% typed overhead**; both paths make exactly the same lower-half calls, so the
+//! crossing counts must match exactly.
+//!
+//! The gated comparison runs on a **single-rank** world on purpose: with one rank
+//! there is no inter-thread scheduling and no collective-registration backoff sleep,
+//! so the measured wall time is (almost) pure deterministic work and the 5% gate is
+//! meaningful even on a contended CI runner — and with no idle wait diluting the
+//! denominator, it is also the *strictest* configuration for the layer's per-call
+//! cost. Crossing equality (asserted exactly) proves the typed path forwards
+//! one-to-one regardless of world size.
+
+use mana::{ManaConfig, ManaRank, Op, Session};
+use mpi_model::api::MpiImplementationFactory;
+use mpi_model::constants::PredefinedObject;
+use mpi_model::datatype::PrimitiveType;
+use mpi_model::error::MpiResult;
+use mpi_model::op::{PredefinedOp, UserFunctionRegistry};
+use mpi_model::typed::MpiData;
+use mpi_model::types::Rank;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Ranks in the gated overhead comparison (single rank: deterministic wall time —
+/// see the module docs).
+pub const TYPED_WORLD: usize = 1;
+/// Timesteps per measured run: long enough that the 5% gate comfortably exceeds
+/// residual OS jitter.
+pub const TYPED_STEPS: u64 = 2000;
+/// Measured runs per path; the fastest is kept (damps preemption noise further).
+const RUNS: usize = 9;
+
+/// One measured path of the comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TypedOverheadRow {
+    /// "raw bytes" or "typed session".
+    pub path: String,
+    /// Wall-clock seconds for the whole world (fastest of the repeats).
+    pub wall_seconds: f64,
+    /// Mean upper↔lower crossings per rank (deterministic).
+    pub crossings_per_rank: f64,
+}
+
+/// The typed-vs-raw comparison and its gate verdict.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TypedOverheadReport {
+    /// The byte-level wrapper path.
+    pub raw: TypedOverheadRow,
+    /// The typed session path.
+    pub typed: TypedOverheadRow,
+    /// The systematic typed-over-raw cost in percent: median over paired rounds
+    /// of `typed/raw - 1` (negative = typed was faster; see
+    /// [`measure_typed_overhead`]).
+    pub overhead_pct: f64,
+    /// Maximum acceptable overhead, percent.
+    pub gate_pct: f64,
+    /// Whether the typed path stayed under the gate.
+    pub pass: bool,
+}
+
+fn launch_world(session: u64, world_size: usize) -> Vec<ManaRank> {
+    let registry = Arc::new(RwLock::new(UserFunctionRegistry::new()));
+    mpich_sim::MpichFactory::mpich()
+        .launch(world_size, Arc::clone(&registry), session)
+        .expect("launch")
+        .into_iter()
+        .map(|lower| {
+            ManaRank::new(lower, ManaConfig::new_design(), Arc::clone(&registry)).expect("wrap")
+        })
+        .collect()
+}
+
+/// CoMD profile constants (kept in sync with `mana_apps::comd::profile()` by a test).
+const HALO_NEIGHBORS: Rank = 3;
+const HALO_ELEMENTS: usize = 512;
+
+/// One CoMD-shaped timestep through the byte-level wrapper API: handles resolved
+/// through `constant()` and payloads marshalled at the call site — the pattern every
+/// application hand-rolled before the typed layer existed (expressed through
+/// [`MpiData`] so the marshalling work is identical on both paths).
+fn raw_step(rank: &mut ManaRank, halo: &[f64], step: u64) -> MpiResult<f64> {
+    let me = rank.world_rank();
+    let size = rank.world_size() as Rank;
+    let world = rank.constant(PredefinedObject::CommWorld)?;
+    let double = rank.constant(PredefinedObject::Datatype(PrimitiveType::Double))?;
+    let sum = rank.constant(PredefinedObject::Op(PredefinedOp::Sum))?;
+    for n in 1..=HALO_NEIGHBORS {
+        let right = (me + n).rem_euclid(size);
+        let left = (me - n).rem_euclid(size);
+        rank.send(&f64::encode(halo), double, right, n, world)?;
+        let (bytes, _) = rank.recv(double, halo.len() * 8, left, n, world)?;
+        let _ = f64::decode(&bytes)?;
+    }
+    let local = [me as f64 + step as f64 * 1e-3];
+    let reduced = rank.allreduce(&f64::encode(&local), double, sum, world)?;
+    Ok(f64::decode(&reduced)?[0])
+}
+
+/// The same timestep through the typed session API.
+fn typed_step(session: &mut Session, halo: &[f64], step: u64) -> MpiResult<f64> {
+    let me = session.world_rank();
+    let size = session.world_size() as Rank;
+    let world = session.world()?;
+    for n in 1..=HALO_NEIGHBORS {
+        let right = (me + n).rem_euclid(size);
+        let left = (me - n).rem_euclid(size);
+        session.send(halo, right, n, world)?;
+        let _ = session.recv::<f64>(halo.len(), left, n, world)?;
+    }
+    let local = [me as f64 + step as f64 * 1e-3];
+    Ok(session.allreduce(&local, Op::sum(), world)?[0])
+}
+
+fn halo_payload(me: Rank) -> Vec<f64> {
+    (0..HALO_ELEMENTS)
+        .map(|i| (i as f64 * 0.25 + me as f64).sin())
+        .collect()
+}
+
+fn run_raw(session: u64, world_size: usize) -> (f64, f64) {
+    let ranks = launch_world(session, world_size);
+    let start = std::time::Instant::now();
+    let crossings = job_runtime::run_world(ranks, |_, mut rank: ManaRank| {
+        let halo = halo_payload(rank.world_rank());
+        let mut acc = 0.0;
+        for step in 0..TYPED_STEPS {
+            acc += raw_step(&mut rank, &halo, step)?;
+        }
+        assert!(acc.is_finite());
+        Ok(rank.crossings())
+    })
+    .expect("raw run");
+    let wall = start.elapsed().as_secs_f64();
+    let mean = crossings.iter().sum::<u64>() as f64 / crossings.len() as f64;
+    (wall, mean)
+}
+
+fn run_typed(session: u64, world_size: usize) -> (f64, f64) {
+    let ranks = launch_world(session, world_size);
+    let start = std::time::Instant::now();
+    let crossings = job_runtime::run_world(ranks, |_, rank| {
+        let mut session = Session::new(rank);
+        let halo = halo_payload(session.world_rank());
+        let mut acc = 0.0;
+        for step in 0..TYPED_STEPS {
+            acc += typed_step(&mut session, &halo, step)?;
+        }
+        assert!(acc.is_finite());
+        Ok(session.crossings())
+    })
+    .expect("typed run");
+    let wall = start.elapsed().as_secs_f64();
+    let mean = crossings.iter().sum::<u64>() as f64 / crossings.len() as f64;
+    (wall, mean)
+}
+
+/// Measure both paths over interleaved paired rounds and compare against
+/// `gate_pct`.
+///
+/// The reported rows carry each path's fastest wall time; the *gate* is the
+/// **median** over rounds of the paired `typed/raw` ratio. Pairing matters on a
+/// shared machine: the two runs of a round see the same load, so the ratio
+/// cancels drift, and the median discards the outlier rounds a one-off scheduler
+/// stall inflates (in either direction) while tracking a *systematic* per-call
+/// cost, which appears in every round.
+pub fn measure_typed_overhead(gate_pct: f64) -> TypedOverheadReport {
+    let mut raw_wall = f64::INFINITY;
+    let mut typed_wall = f64::INFINITY;
+    let mut raw_crossings = 0.0;
+    let mut typed_crossings = 0.0;
+    let mut paired_ratios = Vec::with_capacity(RUNS);
+    for round in 0..RUNS as u64 {
+        let (raw, crossings) = run_raw(100 + round, TYPED_WORLD);
+        raw_wall = raw_wall.min(raw);
+        raw_crossings = crossings;
+        let (typed, crossings) = run_typed(200 + round, TYPED_WORLD);
+        typed_wall = typed_wall.min(typed);
+        typed_crossings = crossings;
+        paired_ratios.push(typed / raw);
+    }
+    paired_ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+    let median_ratio = paired_ratios[paired_ratios.len() / 2];
+    let overhead_pct = (median_ratio - 1.0) * 100.0;
+    TypedOverheadReport {
+        raw: TypedOverheadRow {
+            path: "raw bytes".into(),
+            wall_seconds: raw_wall,
+            crossings_per_rank: raw_crossings,
+        },
+        typed: TypedOverheadRow {
+            path: "typed session".into(),
+            wall_seconds: typed_wall,
+            crossings_per_rank: typed_crossings,
+        },
+        overhead_pct,
+        gate_pct,
+        pass: overhead_pct < gate_pct,
+    }
+}
+
+/// Render the comparison as an aligned text note for the harness.
+pub fn typed_overhead_note() -> String {
+    typed_overhead_note_from(&measure_typed_overhead(crate::TYPED_OVERHEAD_GATE_PCT))
+}
+
+/// Render an already-measured comparison.
+pub fn typed_overhead_note_from(report: &TypedOverheadReport) -> String {
+    let mut note = format!(
+        "== Typed session layer overhead: CoMD profile, {TYPED_WORLD} ranks x \
+         {TYPED_STEPS} steps ==\n{:<16} {:>12} {:>16}\n",
+        "path", "wall (ms)", "crossings/rank"
+    );
+    for row in [&report.raw, &report.typed] {
+        note.push_str(&format!(
+            "{:<16} {:>12.1} {:>16.0}\n",
+            row.path,
+            row.wall_seconds * 1e3,
+            row.crossings_per_rank
+        ));
+    }
+    note.push_str(&format!(
+        "typed overhead: {:+.1}% (gate: <{:.0}%) — {}\n",
+        report.overhead_pct,
+        report.gate_pct,
+        if report.pass { "PASS" } else { "FAIL" }
+    ));
+    note
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_constants_match_comd() {
+        let comd = mana_apps::comd::profile();
+        assert_eq!(HALO_NEIGHBORS as usize, comd.halo_neighbors);
+        assert_eq!(HALO_ELEMENTS, comd.halo_elements);
+        assert_eq!(comd.allreduces_per_iter, 1);
+    }
+
+    #[test]
+    fn typed_layer_adds_no_crossings() {
+        // On a single-rank world the crossing count is fully deterministic (the
+        // collective registration poll succeeds on its first check, whereas in a
+        // multi-rank world the poll count depends on peer timing): both paths must
+        // make exactly the same lower-half calls. (Wall time is asserted by the
+        // harness gate, where the release build and min-of-N repeats make the
+        // comparison meaningful.)
+        let (_, raw_crossings) = run_raw(900, 1);
+        let (_, typed_crossings) = run_typed(901, 1);
+        assert_eq!(
+            typed_crossings, raw_crossings,
+            "typed calls must forward one-to-one to the lower half"
+        );
+    }
+
+    #[test]
+    fn overhead_report_renders() {
+        let report = measure_typed_overhead(5.0);
+        // The gated comparison runs single-rank, so the crossing counts are exactly
+        // equal — any drift would mean per-call overhead in the typed layer.
+        assert_eq!(
+            report.typed.crossings_per_rank,
+            report.raw.crossings_per_rank
+        );
+        let note = typed_overhead_note_from(&report);
+        assert!(note.contains("typed session"));
+        assert!(note.contains("gate"));
+    }
+}

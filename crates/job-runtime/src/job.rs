@@ -6,7 +6,7 @@ use crate::backend::Backend;
 use crate::coordinator::{coordinated_checkpoint, CommitLedger, Coordinator, MidStepIntercept};
 use ckpt_store::{CheckpointStorage, StoreReport};
 use mana::restart::restart_job_from_storage;
-use mana::{CheckpointIntercept, IntentOutcome, ManaConfig, ManaRank, StoragePolicy};
+use mana::{CheckpointIntercept, IntentOutcome, ManaConfig, ManaRank, Session, StoragePolicy};
 use mpi_model::error::{MpiError, MpiResult};
 use mpi_model::op::UserFunctionRegistry;
 use parking_lot::RwLock;
@@ -163,8 +163,9 @@ pub struct JobCtx {
 impl JobCtx {
     /// Take a full coordinated checkpoint of the job (collective: every rank's body
     /// must call this at the same logical point).
-    pub fn checkpoint(&self, rank: &mut ManaRank) -> MpiResult<StoreReport> {
-        coordinated_checkpoint(rank, &self.coordinator, &self.storage, None)
+    pub fn checkpoint(&self, session: &mut Session) -> MpiResult<StoreReport> {
+        session.reap();
+        coordinated_checkpoint(session.rank_mut(), &self.coordinator, &self.storage, None)
     }
 
     /// The storage engine checkpoints go into.
@@ -322,13 +323,14 @@ impl JobRuntime {
     // Free-form bodies
     // ------------------------------------------------------------------
 
-    /// Launch a fresh world and run one closure per rank, each on its own thread.
-    /// The [`JobCtx`] lets the body take coordinated checkpoints at its own logical
-    /// points. Results come back in rank order.
+    /// Launch a fresh world and run one closure per rank, each on its own thread,
+    /// against the typed [`Session`] API. The [`JobCtx`] lets the body take
+    /// coordinated checkpoints at its own logical points. Results come back in rank
+    /// order.
     pub fn run<T, F>(&self, body: F) -> MpiResult<Vec<T>>
     where
         T: Send + 'static,
-        F: Fn(ManaRank, JobCtx) -> MpiResult<T> + Send + Sync + 'static,
+        F: Fn(Session, JobCtx) -> MpiResult<T> + Send + Sync + 'static,
     {
         let ranks = self.launch()?;
         self.run_ranks(ranks, body)
@@ -340,7 +342,7 @@ impl JobRuntime {
     pub fn resume<T, F>(&self, body: F) -> MpiResult<(Vec<T>, u64)>
     where
         T: Send + 'static,
-        F: Fn(ManaRank, JobCtx) -> MpiResult<T> + Send + Sync + 'static,
+        F: Fn(Session, JobCtx) -> MpiResult<T> + Send + Sync + 'static,
     {
         self.resume_on(self.config.backend, body)
     }
@@ -350,7 +352,7 @@ impl JobRuntime {
     pub fn resume_on<T, F>(&self, backend: Backend, body: F) -> MpiResult<(Vec<T>, u64)>
     where
         T: Send + 'static,
-        F: Fn(ManaRank, JobCtx) -> MpiResult<T> + Send + Sync + 'static,
+        F: Fn(Session, JobCtx) -> MpiResult<T> + Send + Sync + 'static,
     {
         let (ranks, generation) = self.restart(backend)?;
         Ok((self.run_ranks(ranks, body)?, generation))
@@ -369,7 +371,7 @@ impl JobRuntime {
     fn run_ranks<T, F>(&self, ranks: Vec<ManaRank>, body: F) -> MpiResult<Vec<T>>
     where
         T: Send + 'static,
-        F: Fn(ManaRank, JobCtx) -> MpiResult<T> + Send + Sync + 'static,
+        F: Fn(Session, JobCtx) -> MpiResult<T> + Send + Sync + 'static,
     {
         let coordinator = self.coordinator();
         let storage = self.storage.clone();
@@ -378,7 +380,7 @@ impl JobRuntime {
                 coordinator: Arc::clone(&coordinator),
                 storage: storage.clone(),
             };
-            body(rank, ctx)
+            body(Session::new(rank), ctx)
         })
     }
 
@@ -388,11 +390,12 @@ impl JobRuntime {
 
     /// Launch a fresh world and drive every rank through steps `0..total_steps`,
     /// taking a coordinated checkpoint at every interval boundary and honouring an
-    /// injected preemption. `step_fn(rank, step)` executes one step on one rank.
+    /// injected preemption. `step_fn(session, step)` executes one step on one rank
+    /// through the typed [`Session`] API.
     pub fn run_steps<T, F>(&self, total_steps: u64, step_fn: F) -> MpiResult<JobRun<T>>
     where
         T: Send + 'static,
-        F: Fn(&mut ManaRank, u64) -> MpiResult<T> + Send + Sync + 'static,
+        F: Fn(&mut Session, u64) -> MpiResult<T> + Send + Sync + 'static,
     {
         let ranks = self.launch()?;
         self.drive(ranks, 0, total_steps, Arc::new(step_fn))
@@ -405,7 +408,7 @@ impl JobRuntime {
     pub fn resume_steps<T, F>(&self, total_steps: u64, step_fn: F) -> MpiResult<JobRun<T>>
     where
         T: Send + 'static,
-        F: Fn(&mut ManaRank, u64) -> MpiResult<T> + Send + Sync + 'static,
+        F: Fn(&mut Session, u64) -> MpiResult<T> + Send + Sync + 'static,
     {
         let (ranks, generation) = self.restart(self.config.backend)?;
         let start_step = self.ledger.steps_at(generation).ok_or_else(|| {
@@ -422,7 +425,7 @@ impl JobRuntime {
     pub fn run_to_completion<T, F>(&self, total_steps: u64, step_fn: F) -> MpiResult<JobRun<T>>
     where
         T: Send + 'static,
-        F: Fn(&mut ManaRank, u64) -> MpiResult<T> + Send + Sync + 'static,
+        F: Fn(&mut Session, u64) -> MpiResult<T> + Send + Sync + 'static,
     {
         let step_fn = Arc::new(step_fn);
         let ranks = self.launch()?;
@@ -448,7 +451,7 @@ impl JobRuntime {
     ) -> MpiResult<JobRun<T>>
     where
         T: Send + 'static,
-        F: Fn(&mut ManaRank, u64) -> MpiResult<T> + Send + Sync + 'static,
+        F: Fn(&mut Session, u64) -> MpiResult<T> + Send + Sync + 'static,
     {
         if start_step >= total_steps {
             return Err(MpiError::Checkpoint(format!(
@@ -473,13 +476,16 @@ impl JobRuntime {
         } else {
             None
         };
-        let outcomes = run_world(ranks, move |_, mut rank| {
+        let outcomes = run_world(ranks, move |_, rank| {
+            let mut session = Session::new(rank);
             let intercept = if mid_step {
                 let hook = Arc::new(MidStepIntercept::new(
                     Arc::clone(&coordinator),
                     storage.clone(),
                 ));
-                rank.set_intercept(Arc::clone(&hook) as Arc<dyn CheckpointIntercept>);
+                session
+                    .rank_mut()
+                    .set_intercept(Arc::clone(&hook) as Arc<dyn CheckpointIntercept>);
                 Some(hook)
             } else {
                 None
@@ -490,7 +496,7 @@ impl JobRuntime {
                     hook.enter_step(step);
                 }
                 let vacate_here = mid_kill_at == Some(step);
-                if (vacate_here || mid_ckpt_at == Some(step)) && rank.world_rank() == 0 {
+                if (vacate_here || mid_ckpt_at == Some(step)) && session.world_rank() == 0 {
                     // Rank 0 broadcasts the injected intent after a short stagger, so
                     // its peers are already parked in this step's collective
                     // registration phase when the intent lands — the "some ranks
@@ -502,7 +508,7 @@ impl JobRuntime {
                         coordinator.request_checkpoint_now();
                     }
                 }
-                match step_fn(&mut rank, step) {
+                match step_fn(&mut session, step) {
                     Ok(value) => last = Some(value),
                     // The rank serviced a preempting intent inside the step and
                     // vacated from within a wrapper.
@@ -510,6 +516,11 @@ impl JobRuntime {
                     Err(error) => return Err(error),
                 }
                 let boundary = step + 1;
+                // Descriptors of requests the step body dropped without completing
+                // must be removed *before* any checkpoint at this boundary — a
+                // leaked descriptor serialized into the image would survive restart
+                // with no reaper entry left to collect it.
+                session.reap();
                 if let Some(hook) = &intercept {
                     // Boundary safe point: an intent no collective happened to catch
                     // (a step without collectives) is serviced here — and a periodic
@@ -519,14 +530,19 @@ impl JobRuntime {
                     // rank folds into one commit round and adopts its one decision.
                     hook.enter_step(boundary);
                     if hook.intent_pending() || coordinator.checkpoint_due(boundary) {
-                        match hook.service(&mut rank) {
+                        match hook.service(session.rank_mut()) {
                             Ok(IntentOutcome::Continue) => {}
                             Ok(IntentOutcome::Vacate) => return Ok(RankOutcome::Preempted),
                             Err(error) => return Err(error),
                         }
                     }
                 } else if coordinator.checkpoint_due(boundary) {
-                    coordinated_checkpoint(&mut rank, &coordinator, &storage, Some(boundary))?;
+                    coordinated_checkpoint(
+                        session.rank_mut(),
+                        &coordinator,
+                        &storage,
+                        Some(boundary),
+                    )?;
                 }
                 if kill_at == Some(boundary) && boundary < total_steps {
                     // The allocation is revoked: the rank vacates without any

@@ -1,34 +1,31 @@
 //! End-to-end scenarios for the coordinated job orchestrator: the quickstart,
 //! cross-implementation-restart and preemptible-job stories, each expressed through
-//! the single `JobRuntime` API and exercised across the simulated MPI backends.
+//! the single `JobRuntime` API — now handing every body a typed `Session` — and
+//! exercised across the simulated MPI backends.
 
 use job_runtime::{Backend, JobConfig, JobRuntime};
-use mana::runtime::AppHandle;
-use mana::{ManaConfig, StoragePolicy};
-use mpi_model::buffer::{bytes_to_i32, i32_to_bytes};
-use mpi_model::constants::PredefinedObject;
-use mpi_model::datatype::PrimitiveType;
-use mpi_model::op::PredefinedOp;
+use mana::{Comm, Datatype, ManaConfig, Op, Session, StoragePolicy};
+use mpi_model::error::MpiResult;
 
 const STATE: &str = "app.state";
 
 /// The quickstart story on every distinct backend: compute, take a coordinated
 /// checkpoint, vacate, resume on a fresh session, and keep computing with the same
-/// virtual handles.
+/// typed handles.
 #[test]
 fn quickstart_scenario_runs_on_all_backends() {
     for backend in Backend::DISTINCT {
         let runtime = JobRuntime::new(JobConfig::new(4, backend));
         runtime
-            .run(|mut rank, ctx| {
-                let me = rank.world_rank();
-                let world = rank.world()?;
-                let int = rank.constant(PredefinedObject::Datatype(PrimitiveType::Int))?;
-                let sum = rank.constant(PredefinedObject::Op(PredefinedOp::Sum))?;
-                let total = rank.allreduce(&i32_to_bytes(&[me + 1]), int, sum, world)?;
-                rank.upper_mut()
-                    .store_json(STATE, &(me, bytes_to_i32(&total)[0], world, int, sum))?;
-                let report = ctx.checkpoint(&mut rank)?;
+            .run(|mut session, ctx| {
+                let me = session.world_rank();
+                let world = session.world()?;
+                let int = session.datatype::<i32>()?;
+                let total = session.allreduce(&[me + 1], Op::sum(), world)?[0];
+                session
+                    .upper_mut()
+                    .store_json(STATE, &(me, total, world, int, Op::<i32>::sum()))?;
+                let report = ctx.checkpoint(&mut session)?;
                 assert!(report.written_bytes > 0);
                 Ok(())
             })
@@ -37,19 +34,18 @@ fn quickstart_scenario_runs_on_all_backends() {
         assert_eq!(runtime.published_generation(), Some(0));
 
         let (results, generation) = runtime
-            .resume(|mut rank, _ctx| {
-                let me = rank.world_rank();
-                let (saved_me, saved_sum, world, int, sum): (
+            .resume(|mut session, _ctx| {
+                let me = session.world_rank();
+                let (saved_me, saved_sum, world, _int, sum): (
                     i32,
                     i32,
-                    AppHandle,
-                    AppHandle,
-                    AppHandle,
-                ) = rank.upper().load_json(STATE)?;
+                    Comm,
+                    Datatype<i32>,
+                    Op<i32>,
+                ) = session.upper().load_json(STATE)?;
                 assert_eq!(saved_me, me);
-                // The saved virtual handles still work on the brand-new lower half.
-                let total = rank.allreduce(&i32_to_bytes(&[saved_sum]), int, sum, world)?;
-                Ok(bytes_to_i32(&total)[0])
+                // The saved typed handles still work on the brand-new lower half.
+                Ok(session.allreduce(&[saved_sum], sum, world)?[0])
             })
             .unwrap_or_else(|e| panic!("{} phase 2: {e:?}", backend.name()));
         assert_eq!(generation, 0);
@@ -68,21 +64,21 @@ fn cross_implementation_restart_via_resume_on() {
     ] {
         let runtime = JobRuntime::new(JobConfig::new(3, first));
         runtime
-            .run(|mut rank, ctx| {
-                let me = rank.world_rank();
-                let world = rank.world()?;
-                rank.upper_mut().store_json(STATE, &(me, world))?;
-                ctx.checkpoint(&mut rank)?;
-                Ok(rank.implementation_name())
+            .run(|mut session, ctx| {
+                let me = session.world_rank();
+                let world = session.world()?;
+                session.upper_mut().store_json(STATE, &(me, world))?;
+                ctx.checkpoint(&mut session)?;
+                Ok(session.implementation_name())
             })
             .unwrap();
 
         let (names, _generation) = runtime
-            .resume_on(second, |mut rank, _ctx| {
-                let (me, world): (i32, AppHandle) = rank.upper().load_json(STATE)?;
-                assert_eq!(me, rank.world_rank());
-                rank.barrier(world)?;
-                Ok(rank.implementation_name())
+            .resume_on(second, |mut session, _ctx| {
+                let (me, world): (i32, Comm) = session.upper().load_json(STATE)?;
+                assert_eq!(me, session.world_rank());
+                session.barrier(world)?;
+                Ok(session.implementation_name())
             })
             .unwrap();
         assert!(names.iter().all(|&n| n == second.name()));
@@ -95,29 +91,28 @@ fn cross_implementation_restart_via_resume_on() {
 fn inflight_messages_survive_a_coordinated_checkpoint() {
     let runtime = JobRuntime::new(JobConfig::new(2, Backend::Mpich));
     runtime
-        .run(|mut rank, ctx| {
-            let me = rank.world_rank();
-            let world = rank.world()?;
-            let byte = rank.constant(PredefinedObject::Datatype(PrimitiveType::Byte))?;
-            rank.upper_mut().store_json(STATE, &(world, byte))?;
+        .run(|mut session, ctx| {
+            let me = session.world_rank();
+            let world = session.world()?;
+            session.upper_mut().store_json(STATE, &world)?;
             if me == 0 {
                 for i in 0..10u8 {
-                    rank.send(&[i], byte, 1, 5, world)?;
+                    session.send(&[i], 1, 5, world)?;
                 }
             }
-            ctx.checkpoint(&mut rank)?;
-            Ok(rank.buffered_messages())
+            ctx.checkpoint(&mut session)?;
+            Ok(session.buffered_messages())
         })
         .unwrap();
 
     let (buffered, _) = runtime
-        .resume(|mut rank, _ctx| {
-            let me = rank.world_rank();
-            let buffered = rank.buffered_messages();
-            let (world, byte): (AppHandle, AppHandle) = rank.upper().load_json(STATE)?;
+        .resume(|mut session, _ctx| {
+            let me = session.world_rank();
+            let buffered = session.buffered_messages();
+            let world: Comm = session.upper().load_json(STATE)?;
             if me == 1 {
                 for i in 0..10u8 {
-                    let (payload, status) = rank.recv(byte, 16, 0, 5, world)?;
+                    let (payload, status) = session.recv::<u8>(16, 0, 5, world)?;
                     assert_eq!(payload, vec![i]);
                     assert_eq!(status.source, 0);
                 }
@@ -139,12 +134,10 @@ fn preemptible_job_scenario_runs_on_all_backends() {
                 .with_checkpoint_every(2)
                 .with_kill_at_step(5),
         );
-        let step_fn = |rank: &mut mana::ManaRank, step: u64| {
-            let world = rank.world()?;
-            let int = rank.constant(PredefinedObject::Datatype(PrimitiveType::Int))?;
-            let sum = rank.constant(PredefinedObject::Op(PredefinedOp::Sum))?;
-            let total = rank.allreduce(&i32_to_bytes(&[1]), int, sum, world)?;
-            assert_eq!(bytes_to_i32(&total)[0], 3);
+        let step_fn = |session: &mut Session, step: u64| -> MpiResult<u64> {
+            let world = session.world()?;
+            let total = session.allreduce(&[1], Op::sum(), world)?[0];
+            assert_eq!(total, 3);
             Ok(step)
         };
 
@@ -171,9 +164,9 @@ fn run_to_completion_resumes_through_preemption() {
             .with_kill_at_step(4),
     );
     let run = runtime
-        .run_to_completion(9, |rank, step| {
-            let world = rank.world()?;
-            rank.barrier(world)?;
+        .run_to_completion(9, |session, step| {
+            let world = session.world()?;
+            session.barrier(world)?;
             Ok(step)
         })
         .unwrap();
@@ -194,20 +187,20 @@ fn incremental_policy_applies_through_the_orchestrator() {
             .with_checkpoint_every(1),
     );
     let run = runtime
-        .run_steps(3, |rank, step| {
+        .run_steps(3, |session, step| {
             if step == 0 {
                 // A large region that stays clean after step 0.
                 let bulk: Vec<u8> = (0..256 * 1024)
                     .map(|i| {
-                        ((i as u64 + rank.world_rank() as u64 * 7919)
+                        ((i as u64 + session.world_rank() as u64 * 7919)
                             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                             >> 24) as u8
                     })
                     .collect();
-                rank.upper_mut().map_region("app.bulk", bulk);
+                session.upper_mut().map_region("app.bulk", bulk);
             }
-            let world = rank.world()?;
-            rank.barrier(world)?;
+            let world = session.world()?;
+            session.barrier(world)?;
             Ok(())
         })
         .unwrap();

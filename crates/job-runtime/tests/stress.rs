@@ -6,40 +6,28 @@
 //! registered, others not yet entered).
 
 use job_runtime::{Backend, JobConfig, JobRuntime};
-use mana::ManaRank;
-use mpi_model::buffer::{bytes_to_i32, bytes_to_u64, i32_to_bytes, u64_to_bytes};
-use mpi_model::constants::PredefinedObject;
-use mpi_model::datatype::PrimitiveType;
+use mana::{Op, Session};
 use mpi_model::error::MpiResult;
-use mpi_model::op::PredefinedOp;
 
 const WORLD: usize = 8;
 const STEPS: u64 = 4;
 
 /// One step of the stress workload: a ring exchange, a reduction, and a
 /// step-unique dirty region so every generation stores fresh private chunks.
-fn stress_step(rank: &mut ManaRank, step: u64) -> MpiResult<u64> {
-    let me = rank.world_rank();
-    let n = rank.world_size() as i32;
-    let world = rank.world()?;
-    let int = rank.constant(PredefinedObject::Datatype(PrimitiveType::Int))?;
-    let sum = rank.constant(PredefinedObject::Op(PredefinedOp::Sum))?;
+fn stress_step(session: &mut Session, step: u64) -> MpiResult<u64> {
+    let me = session.world_rank();
+    let n = session.world_size() as i32;
+    let world = session.world()?;
 
     let next = (me + 1) % n;
     let prev = (me + n - 1) % n;
-    rank.send(
-        &i32_to_bytes(&[me * 100 + step as i32]),
-        int,
-        next,
-        7,
-        world,
-    )?;
-    let (payload, status) = rank.recv(int, 64, prev, 7, world)?;
+    session.send(&[me * 100 + step as i32], next, 7, world)?;
+    let (payload, status) = session.recv::<i32>(16, prev, 7, world)?;
     assert_eq!(status.source, prev);
-    assert_eq!(bytes_to_i32(&payload)[0], prev * 100 + step as i32);
+    assert_eq!(payload[0], prev * 100 + step as i32);
 
-    let total = rank.allreduce(&i32_to_bytes(&[1]), int, sum, world)?;
-    assert_eq!(bytes_to_i32(&total)[0], n);
+    let total = session.allreduce(&[1], Op::sum(), world)?[0];
+    assert_eq!(total, n);
 
     // Aperiodic, rank- and step-dependent content: chunks are private to this
     // (rank, generation), so corruption injection always finds a fresh chunk.
@@ -52,7 +40,7 @@ fn stress_step(rank: &mut ManaRank, step: u64) -> MpiResult<u64> {
                 >> 24) as u8
         })
         .collect();
-    rank.upper_mut().map_region("app.scratch", scratch);
+    session.upper_mut().map_region("app.scratch", scratch);
     Ok(step)
 }
 
@@ -131,22 +119,21 @@ fn restart_after_torn_generation_completes_the_job() {
 /// pre-collective prefix is pure compute, so a mid-step checkpoint — which re-runs
 /// the interrupted step from its beginning after a restart — reproduces the identical
 /// execution.
-fn collective_step(rank: &mut ManaRank, step: u64) -> MpiResult<u64> {
-    let me = rank.world_rank() as u64;
-    let world = rank.world()?;
-    let uint = rank.constant(PredefinedObject::Datatype(PrimitiveType::UnsignedLong))?;
-    let sum = rank.constant(PredefinedObject::Op(PredefinedOp::Sum))?;
+fn collective_step(session: &mut Session, step: u64) -> MpiResult<u64> {
+    let me = session.world_rank() as u64;
+    let world = session.world()?;
 
     if step == 0 {
-        rank.upper_mut().store_json("app.solver_state", &(me + 1))?;
+        session
+            .upper_mut()
+            .store_json("app.solver_state", &(me + 1))?;
     }
-    let state: u64 = rank.upper().load_json("app.solver_state")?;
+    let state: u64 = session.upper().load_json("app.solver_state")?;
     let local = state.wrapping_mul(step + 3) ^ me;
 
-    let total = rank.allreduce(&u64_to_bytes(&[local]), uint, sum, world)?;
-    let total = bytes_to_u64(&total)[0];
-    let everyone = rank.allgather(&u64_to_bytes(&[local]), world)?;
-    let digest = bytes_to_u64(&everyone)
+    let total = session.allreduce(&[local], Op::sum(), world)?[0];
+    let digest = session
+        .allgather(&[local], world)?
         .iter()
         .fold(0u64, |acc, &x| acc.rotate_left(7) ^ x);
 
@@ -154,7 +141,7 @@ fn collective_step(rank: &mut ManaRank, step: u64) -> MpiResult<u64> {
         .wrapping_mul(31)
         .wrapping_add(total)
         .wrapping_add(digest);
-    rank.upper_mut().store_json("app.solver_state", &next)?;
+    session.upper_mut().store_json("app.solver_state", &next)?;
     Ok(next)
 }
 

@@ -32,10 +32,16 @@
 //!   virtual id the application holds in its own memory valid.
 //! * **MPI-subset auditing** ([`subset_check`]): verifies that a candidate lower half
 //!   provides the three categories of functions MANA needs (§5).
+//! * **The typed session layer** ([`api`]): [`api::Session`] and the typed handles
+//!   ([`api::Comm`], [`api::Datatype`], [`api::Op`], [`api::Request`]) — the
+//!   misuse-resistant, marshalling-free API applications program against, layered
+//!   *above* (never replacing) the byte-faithful wrappers the paper's protocol
+//!   requires.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod ckpt;
 pub mod config;
 pub mod legacy;
@@ -46,6 +52,7 @@ pub mod subset_check;
 pub mod virtid;
 pub mod wrappers;
 
+pub use api::{Comm, Datatype, Group, Op, Request, Session};
 pub use ckpt::{
     CheckpointIntercept, DrainObserver, DrainPlan, DrainShortfall, IntentOutcome,
     LocalDrainObserver,

@@ -140,10 +140,23 @@ impl ManaRank {
         )
     }
 
+    /// Reject frees of predefined objects: the standard makes freeing
+    /// `MPI_COMM_WORLD`, a named datatype or a built-in op erroneous, and silently
+    /// removing the descriptor would additionally break every later constant lookup
+    /// on this rank. The descriptor (and the lower half) are left untouched.
+    fn reject_predefined_free(&self, handle: AppHandle) -> MpiResult<()> {
+        let vid = handle.virtual_id()?;
+        if let Some(object) = self.translator.get(vid)?.predefined {
+            return Err(MpiError::FreePredefined(object));
+        }
+        Ok(())
+    }
+
     /// `MPI_Comm_free`.
     pub fn comm_free(&mut self, comm: AppHandle) -> MpiResult<()> {
         let vid = comm.virtual_id()?;
         let phys = self.phys(comm, HandleKind::Comm)?;
+        self.reject_predefined_free(comm)?;
         self.cross();
         self.lower.comm_free(phys)?;
         self.translator.remove(vid)?;
@@ -233,6 +246,7 @@ impl ManaRank {
     pub fn group_free(&mut self, group: AppHandle) -> MpiResult<()> {
         let vid = group.virtual_id()?;
         let phys = self.phys(group, HandleKind::Group)?;
+        self.reject_predefined_free(group)?;
         self.cross();
         self.lower.group_free(phys)?;
         self.translator.remove(vid)?;
@@ -282,8 +296,10 @@ impl ManaRank {
 
     /// `MPI_Type_contiguous`.
     pub fn type_contiguous(&mut self, count: usize, inner: AppHandle) -> MpiResult<AppHandle> {
-        let inner_desc = self.inner_type_descriptor(inner)?;
+        // Kind check first: a non-datatype handle fails with `WrongKind` naming the
+        // expected vs. actual kind, never with a generic missing-metadata error.
         let inner_phys = self.phys(inner, HandleKind::Datatype)?;
+        let inner_desc = self.inner_type_descriptor(inner)?;
         self.cross();
         let phys = self.lower.type_contiguous(count, inner_phys)?;
         Ok(self.register_new_datatype(
@@ -303,8 +319,8 @@ impl ManaRank {
         stride: i64,
         inner: AppHandle,
     ) -> MpiResult<AppHandle> {
-        let inner_desc = self.inner_type_descriptor(inner)?;
         let inner_phys = self.phys(inner, HandleKind::Datatype)?;
+        let inner_desc = self.inner_type_descriptor(inner)?;
         self.cross();
         let phys = self
             .lower
@@ -327,8 +343,8 @@ impl ManaRank {
         displacements: &[i64],
         inner: AppHandle,
     ) -> MpiResult<AppHandle> {
-        let inner_desc = self.inner_type_descriptor(inner)?;
         let inner_phys = self.phys(inner, HandleKind::Datatype)?;
+        let inner_desc = self.inner_type_descriptor(inner)?;
         self.cross();
         let phys = self
             .lower
@@ -340,6 +356,45 @@ impl ManaRank {
                 displacements: displacements.to_vec(),
                 inner: Box::new(inner_desc),
             },
+        ))
+    }
+
+    /// `MPI_Type_create_struct`.
+    pub fn type_create_struct(
+        &mut self,
+        block_lengths: &[usize],
+        byte_displacements: &[i64],
+        members: &[AppHandle],
+    ) -> MpiResult<AppHandle> {
+        let mut member_phys = Vec::with_capacity(members.len());
+        let mut member_descs = Vec::with_capacity(members.len());
+        for &member in members {
+            member_phys.push(self.phys(member, HandleKind::Datatype)?);
+            member_descs.push(self.inner_type_descriptor(member)?);
+        }
+        self.cross();
+        let phys =
+            self.lower
+                .type_create_struct(block_lengths, byte_displacements, &member_phys)?;
+        Ok(self.register_new_datatype(
+            phys,
+            mpi_model::datatype::TypeDescriptor::Struct {
+                block_lengths: block_lengths.to_vec(),
+                byte_displacements: byte_displacements.to_vec(),
+                types: member_descs,
+            },
+        ))
+    }
+
+    /// `MPI_Type_dup`.
+    pub fn type_dup(&mut self, inner: AppHandle) -> MpiResult<AppHandle> {
+        let inner_phys = self.phys(inner, HandleKind::Datatype)?;
+        let inner_desc = self.inner_type_descriptor(inner)?;
+        self.cross();
+        let phys = self.lower.type_dup(inner_phys)?;
+        Ok(self.register_new_datatype(
+            phys,
+            mpi_model::datatype::TypeDescriptor::Dup(Box::new(inner_desc)),
         ))
     }
 
@@ -369,6 +424,7 @@ impl ManaRank {
     pub fn type_free(&mut self, datatype: AppHandle) -> MpiResult<()> {
         let vid = datatype.virtual_id()?;
         let phys = self.phys(datatype, HandleKind::Datatype)?;
+        self.reject_predefined_free(datatype)?;
         self.cross();
         self.lower.type_free(phys)?;
         self.translator.remove(vid)?;
@@ -418,6 +474,7 @@ impl ManaRank {
     pub fn op_free(&mut self, op: AppHandle) -> MpiResult<()> {
         let vid = op.virtual_id()?;
         let phys = self.phys(op, HandleKind::Op)?;
+        self.reject_predefined_free(op)?;
         self.cross();
         self.lower.op_free(phys)?;
         self.translator.remove(vid)?;
@@ -518,12 +575,16 @@ impl ManaRank {
     /// no rank is ever blocked inside the lower half at checkpoint time (paper §2.1).
     pub fn irecv(
         &mut self,
-        _datatype: AppHandle,
+        datatype: AppHandle,
         max_bytes: usize,
         source: Rank,
         tag: Tag,
         comm: AppHandle,
     ) -> MpiResult<AppHandle> {
+        // The datatype is not needed until completion (the deferred receive uses
+        // MPI_BYTE), but its kind is still validated at post time, like every other
+        // argument position.
+        let _ = self.phys(datatype, HandleKind::Datatype)?;
         let comm_vid = comm.virtual_id()?;
         let ggid_policy = self.config.ggid_policy;
         let record = RequestRecord::pending(

@@ -1,10 +1,12 @@
-//! End-to-end transparent checkpoint-restart tests for the MANA layer.
+//! End-to-end transparent checkpoint-restart tests for the MANA layer, written
+//! against the typed session API.
 //!
 //! These are the behavioural claims of the paper, exercised across all three simulated
 //! MPI implementations:
 //!
-//! * virtual ids held in application memory stay valid across a restart even though
-//!   every physical handle and constant address in the new lower half is different;
+//! * typed handles (wrapping virtual ids) held in application memory stay valid across
+//!   a restart even though every physical handle and constant address in the new lower
+//!   half is different;
 //! * point-to-point messages that were in flight at checkpoint time are delivered
 //!   after restart;
 //! * communicators/datatypes/ops created before the checkpoint work after it;
@@ -13,25 +15,19 @@
 //!   is stored in the image).
 
 use job_runtime::{run_world, Backend, JobConfig, JobRuntime};
-use mana::restart::restart_job;
-use mana::runtime::AppHandle;
-use mana::{ManaConfig, ManaRank};
-use mpi_model::buffer::{bytes_to_f64, bytes_to_i32, f64_to_bytes, i32_to_bytes};
-use mpi_model::constants::PredefinedObject;
-use mpi_model::datatype::PrimitiveType;
-use mpi_model::op::PredefinedOp;
+use mana::{Comm, Datatype, ManaConfig, Op, Session};
 use mpi_model::types::ANY_SOURCE;
 use serde::{Deserialize, Serialize};
 use split_proc::store::CheckpointStore;
 
-/// Application state the "app" stores in its upper half: the virtual handles it holds
+/// Application state the "app" stores in its upper half: the typed handles it holds
 /// and a little progress marker. Surviving serialization of *handles* is the point.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct AppState {
-    world: AppHandle,
-    row_comm: AppHandle,
-    double_type: AppHandle,
-    sum_op: AppHandle,
+    world: Comm,
+    row_comm: Comm,
+    double_type: Datatype<f64>,
+    sum_op: Op<i32>,
     iteration: u64,
 }
 
@@ -41,62 +37,41 @@ const TAG_NORMAL: i32 = 7;
 
 /// Phase 1 of the scenario: build objects, do some traffic, leave one message in
 /// flight, then checkpoint.
-fn phase_before(mut rank: ManaRank, store: &CheckpointStore) -> (u64, usize) {
-    let me = rank.world_rank();
-    let n = rank.world_size() as i32;
+fn phase_before(mut session: Session, store: &CheckpointStore) -> (u64, usize) {
+    let me = session.world_rank();
+    let n = session.world_size() as i32;
 
-    let world = rank.world().unwrap();
-    let double_type = rank
-        .constant(PredefinedObject::Datatype(PrimitiveType::Double))
-        .unwrap();
-    let int_type = rank
-        .constant(PredefinedObject::Datatype(PrimitiveType::Int))
-        .unwrap();
-    let sum_op = rank
-        .constant(PredefinedObject::Op(PredefinedOp::Sum))
-        .unwrap();
+    let world = session.world().unwrap();
+    let double_type = session.datatype::<f64>().unwrap();
+    let sum_op = Op::<i32>::sum();
 
     // Split the world into two "rows".
     let color = me % 2;
-    let row_comm = rank.comm_split(world, Some(color), me).unwrap();
+    let row_comm = session.comm_split(world, Some(color), me).unwrap();
     assert!(!row_comm.is_null());
 
     // Some completed traffic: an allreduce over the row communicator.
-    let total = rank
-        .allreduce(&i32_to_bytes(&[me + 1]), int_type, sum_op, row_comm)
-        .unwrap();
-    assert!(bytes_to_i32(&total)[0] > 0);
+    let total = session.allreduce(&[me + 1], sum_op, row_comm).unwrap()[0];
+    assert!(total > 0);
 
     // A normal send/recv ring on the world communicator.
     let next = (me + 1) % n;
     let prev = (me + n - 1) % n;
-    rank.send(
-        &f64_to_bytes(&[me as f64]),
-        double_type,
-        next,
-        TAG_NORMAL,
-        world,
-    )
-    .unwrap();
-    let (data, status) = rank.recv(double_type, 64, prev, TAG_NORMAL, world).unwrap();
+    session.send(&[me as f64], next, TAG_NORMAL, world).unwrap();
+    let (data, status) = session.recv::<f64>(8, prev, TAG_NORMAL, world).unwrap();
     assert_eq!(status.source, prev);
-    assert_eq!(bytes_to_f64(&data)[0] as i32, prev);
+    assert_eq!(data[0] as i32, prev);
 
     // Leave one message *in flight*: rank 0 sends to rank 1, but rank 1 will only
     // receive it after the restart. The checkpoint drain must preserve it.
     if me == 0 {
-        rank.send(
-            &f64_to_bytes(&[1234.5, 678.9]),
-            double_type,
-            1,
-            TAG_INFLIGHT,
-            world,
-        )
-        .unwrap();
+        session
+            .send(&[1234.5, 678.9], 1, TAG_INFLIGHT, world)
+            .unwrap();
     }
 
-    // Stash the handles and progress in the upper half: this is the application state
-    // the checkpoint must preserve.
+    // Stash the typed handles and progress in the upper half: this is the application
+    // state the checkpoint must preserve.
     let state = AppState {
         world,
         row_comm,
@@ -104,51 +79,53 @@ fn phase_before(mut rank: ManaRank, store: &CheckpointStore) -> (u64, usize) {
         sum_op,
         iteration: 41 + me as u64,
     };
-    rank.upper_mut().store_json(STATE_REGION, &state).unwrap();
+    session
+        .upper_mut()
+        .store_json(STATE_REGION, &state)
+        .unwrap();
 
-    let report = rank.checkpoint(store).unwrap();
+    let report = session.checkpoint(store).unwrap();
     assert!(report.bytes > 0);
-    (rank.crossings(), rank.buffered_messages())
+    (session.crossings(), session.buffered_messages())
 }
 
 /// Phase 2: after restart, recover the state, receive the in-flight message, and keep
-/// computing with the pre-checkpoint handles.
-fn phase_after(mut rank: ManaRank) {
-    let me = rank.world_rank();
-    let state: AppState = rank.upper().load_json(STATE_REGION).unwrap();
+/// computing with the pre-checkpoint typed handles.
+fn phase_after(mut session: Session) {
+    let me = session.world_rank();
+    let state: AppState = session.upper().load_json(STATE_REGION).unwrap();
     assert_eq!(state.iteration, 41 + me as u64);
 
-    // The saved virtual ids still work, even though the lower half is brand new.
-    assert_eq!(rank.comm_size(state.world).unwrap(), rank.world_size());
-    assert_eq!(rank.comm_rank(state.world).unwrap(), me);
-    let row_size = rank.comm_size(state.row_comm).unwrap();
-    let n = rank.world_size();
+    // The saved typed handles still work, even though the lower half is brand new.
+    assert_eq!(
+        session.comm_size(state.world).unwrap(),
+        session.world_size()
+    );
+    assert_eq!(session.comm_rank(state.world).unwrap(), me);
+    let row_size = session.comm_size(state.row_comm).unwrap();
+    let n = session.world_size();
     let expected_row = if me % 2 == 0 { n.div_ceil(2) } else { n / 2 };
     assert_eq!(row_size, expected_row);
+    assert_eq!(session.type_size(state.double_type).unwrap(), 8);
 
     // The in-flight message arrives after restart.
     if me == 1 {
-        let (payload, status) = rank
-            .recv(state.double_type, 64, ANY_SOURCE, TAG_INFLIGHT, state.world)
+        let (payload, status) = session
+            .recv::<f64>(8, ANY_SOURCE, TAG_INFLIGHT, state.world)
             .unwrap();
         assert_eq!(status.tag, TAG_INFLIGHT);
-        assert_eq!(bytes_to_f64(&payload), vec![1234.5, 678.9]);
+        assert_eq!(payload, vec![1234.5, 678.9]);
     }
 
     // Collectives over both surviving communicators still work.
-    let int_type = rank
-        .constant(PredefinedObject::Datatype(PrimitiveType::Int))
-        .unwrap();
-    let total = rank
-        .allreduce(&i32_to_bytes(&[1]), int_type, state.sum_op, state.world)
-        .unwrap();
-    assert_eq!(bytes_to_i32(&total)[0] as usize, rank.world_size());
-    let row_total = rank
-        .allreduce(&i32_to_bytes(&[1]), int_type, state.sum_op, state.row_comm)
-        .unwrap();
-    assert_eq!(bytes_to_i32(&row_total)[0] as usize, row_size);
+    let total = session.allreduce(&[1], state.sum_op, state.world).unwrap()[0];
+    assert_eq!(total as usize, session.world_size());
+    let row_total = session
+        .allreduce(&[1], state.sum_op, state.row_comm)
+        .unwrap()[0];
+    assert_eq!(row_total as usize, row_size);
 
-    rank.barrier(state.world).unwrap();
+    session.barrier(state.world).unwrap();
 }
 
 fn run_scenario(first: Backend, second: Backend, config: ManaConfig, world_size: usize) {
@@ -158,7 +135,7 @@ fn run_scenario(first: Backend, second: Backend, config: ManaConfig, world_size:
     // --- Run until the checkpoint under the first implementation. ---
     let store_for_ranks = store.clone();
     let results = runtime
-        .run(move |rank, _ctx| Ok(phase_before(rank, &store_for_ranks)))
+        .run(move |session, _ctx| Ok(phase_before(session, &store_for_ranks)))
         .unwrap();
     for (crossings, _buffered) in results {
         assert!(
@@ -179,10 +156,11 @@ fn run_scenario(first: Backend, second: Backend, config: ManaConfig, world_size:
         .launch(world_size, runtime.registry(), 2)
         .unwrap();
     let second_name = second.name();
-    let restarted = restart_job(new_lowers, images, config, runtime.registry()).unwrap();
+    let restarted =
+        mana::restart::restart_job(new_lowers, images, config, runtime.registry()).unwrap();
     run_world(restarted, move |_, rank| {
         assert_eq!(rank.implementation_name(), second_name);
-        phase_after(rank);
+        phase_after(Session::new(rank));
         Ok(())
     })
     .unwrap();
@@ -264,18 +242,16 @@ fn multiple_checkpoint_generations() {
     let store = CheckpointStore::unmetered();
     let store_for_ranks = store.clone();
     runtime
-        .run(move |mut rank, _ctx| {
-            let world = rank.world()?;
-            let int_type = rank.constant(PredefinedObject::Datatype(PrimitiveType::Int))?;
-            let sum = rank.constant(PredefinedObject::Op(PredefinedOp::Sum))?;
+        .run(move |mut session, _ctx| {
+            let world = session.world()?;
             for generation in 0..3u64 {
-                let total = rank.allreduce(&i32_to_bytes(&[1]), int_type, sum, world)?;
-                assert_eq!(bytes_to_i32(&total)[0], 2);
-                let report = rank.checkpoint(&store_for_ranks)?;
+                let total = session.allreduce(&[1], Op::sum(), world)?[0];
+                assert_eq!(total, 2);
+                let report = session.checkpoint(&store_for_ranks)?;
                 assert!(report.bytes > 0);
-                assert_eq!(rank.generation(), generation + 1);
+                assert_eq!(session.generation(), generation + 1);
             }
-            Ok(rank.world_rank())
+            Ok(session.world_rank())
         })
         .unwrap();
     // Three generations of two ranks each.
@@ -286,7 +262,7 @@ fn multiple_checkpoint_generations() {
         .factory()
         .launch(2, runtime.registry(), 9)
         .unwrap();
-    let restarted = restart_job(
+    let restarted = mana::restart::restart_job(
         new_lowers,
         images,
         ManaConfig::new_design(),
@@ -303,29 +279,28 @@ fn drain_buffers_many_inflight_messages() {
     // The coordinated checkpoint goes through the runtime's sharded engine store; the
     // drain behaviour under test is identical either way.
     runtime
-        .run(move |mut rank, ctx| {
-            let me = rank.world_rank();
-            let world = rank.world()?;
-            let byte_type = rank.constant(PredefinedObject::Datatype(PrimitiveType::Byte))?;
+        .run(move |mut session, ctx| {
+            let me = session.world_rank();
+            let world = session.world()?;
             // Rank 0 fires 20 messages that rank 1 never receives before the
             // checkpoint; the drain must buffer all of them, in order.
             if me == 0 {
                 for i in 0..20u8 {
-                    rank.send(&[i], byte_type, 1, 5, world)?;
+                    session.send(&[i], 1, 5, world)?;
                 }
             }
-            ctx.checkpoint(&mut rank)?;
+            ctx.checkpoint(&mut session)?;
             if me == 1 {
-                assert_eq!(rank.buffered_messages(), 20);
+                assert_eq!(session.buffered_messages(), 20);
                 // And they are delivered, in FIFO order, by ordinary receives.
                 for i in 0..20u8 {
-                    let (payload, status) = rank.recv(byte_type, 16, 0, 5, world)?;
+                    let (payload, status) = session.recv::<u8>(16, 0, 5, world)?;
                     assert_eq!(payload, vec![i]);
                     assert_eq!(status.source, 0);
                 }
-                assert_eq!(rank.buffered_messages(), 0);
+                assert_eq!(session.buffered_messages(), 0);
             } else {
-                assert_eq!(rank.buffered_messages(), 0);
+                assert_eq!(session.buffered_messages(), 0);
             }
             Ok(())
         })
@@ -336,23 +311,22 @@ fn drain_buffers_many_inflight_messages() {
 fn nonblocking_requests_survive_checkpoint() {
     let runtime = JobRuntime::new(JobConfig::new(2, Backend::OpenMpi));
     runtime
-        .run(move |mut rank, ctx| {
-            let me = rank.world_rank();
-            let world = rank.world()?;
-            let byte_type = rank.constant(PredefinedObject::Datatype(PrimitiveType::Byte))?;
+        .run(move |mut session, ctx| {
+            let me = session.world_rank();
+            let world = session.world()?;
             if me == 0 {
-                let req = rank.isend(&[42, 43], byte_type, 1, 11, world)?;
-                ctx.checkpoint(&mut rank)?;
-                let (status, payload) = rank.wait(req)?;
-                assert!(payload.is_none());
+                let req = session.isend(&[42u8, 43], 1, 11, world)?;
+                ctx.checkpoint(&mut session)?;
+                let (payload, status) = req.wait(&mut session)?;
+                assert!(payload.is_empty());
                 assert_eq!(status.tag, 11);
             } else {
                 // Post the irecv *before* the checkpoint; satisfy it afterwards.
-                let req = rank.irecv(byte_type, 16, 0, 11, world)?;
-                ctx.checkpoint(&mut rank)?;
-                let (status, payload) = rank.wait(req)?;
+                let req = session.irecv::<u8>(16, 0, 11, world)?;
+                ctx.checkpoint(&mut session)?;
+                let (payload, status) = req.wait(&mut session)?;
                 assert_eq!(status.count_bytes, 2);
-                assert_eq!(payload.unwrap(), vec![42, 43]);
+                assert_eq!(payload, vec![42, 43]);
             }
             Ok(())
         })

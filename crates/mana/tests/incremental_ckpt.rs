@@ -4,11 +4,7 @@
 
 use ckpt_store::{CheckpointStorage, StoragePolicy};
 use job_runtime::{Backend, JobConfig, JobRuntime};
-use mana::ManaConfig;
-use mpi_model::buffer::{bytes_to_i32, i32_to_bytes};
-use mpi_model::constants::PredefinedObject;
-use mpi_model::datatype::PrimitiveType;
-use mpi_model::op::PredefinedOp;
+use mana::{ManaConfig, Op};
 
 const BULK_REGION: &str = "app.bulk";
 const MARKER_REGION: &str = "app.marker";
@@ -27,11 +23,9 @@ fn checkpoint_generations(
         storage.clone(),
     );
     let per_rank = runtime
-        .run(move |mut rank, ctx| {
-            let me = rank.world_rank();
-            let world = rank.world()?;
-            let int_type = rank.constant(PredefinedObject::Datatype(PrimitiveType::Int))?;
-            let sum = rank.constant(PredefinedObject::Op(PredefinedOp::Sum))?;
+        .run(move |mut session, ctx| {
+            let me = session.world_rank();
+            let world = session.world()?;
 
             // High multiplier bits: aperiodic over the whole region (low-bit
             // patterns repeat every 2^(9+8) bytes and would self-dedup), offset
@@ -42,15 +36,16 @@ fn checkpoint_generations(
                         as u8
                 })
                 .collect();
-            rank.upper_mut().map_region(BULK_REGION, bulk);
+            session.upper_mut().map_region(BULK_REGION, bulk);
 
             let mut reports = Vec::new();
             for generation in 0..generations {
-                let total = rank.allreduce(&i32_to_bytes(&[1]), int_type, sum, world)?;
-                assert_eq!(bytes_to_i32(&total)[0], 2);
-                rank.upper_mut()
+                let total = session.allreduce(&[1], Op::sum(), world)?[0];
+                assert_eq!(total, 2);
+                session
+                    .upper_mut()
                     .map_region(MARKER_REGION, vec![me as u8, generation as u8]);
-                reports.push(ctx.checkpoint(&mut rank)?);
+                reports.push(ctx.checkpoint(&mut session)?);
             }
             Ok(reports)
         })
@@ -115,14 +110,12 @@ fn corrupt_newest_generation_falls_back_to_previous() {
 
     // The restored ranks carry generation 0's marker and still communicate.
     let (_, generation) = runtime
-        .resume(|mut rank, _ctx| {
-            let marker = rank.upper().region(MARKER_REGION).unwrap().to_vec();
-            assert_eq!(marker, vec![rank.world_rank() as u8, 0]);
-            let world = rank.world()?;
-            let int_type = rank.constant(PredefinedObject::Datatype(PrimitiveType::Int))?;
-            let sum = rank.constant(PredefinedObject::Op(PredefinedOp::Sum))?;
-            let total = rank.allreduce(&i32_to_bytes(&[1]), int_type, sum, world)?;
-            assert_eq!(bytes_to_i32(&total)[0], 2);
+        .resume(|mut session, _ctx| {
+            let marker = session.upper().region(MARKER_REGION).unwrap().to_vec();
+            assert_eq!(marker, vec![session.world_rank() as u8, 0]);
+            let world = session.world()?;
+            let total = session.allreduce(&[1], Op::sum(), world)?[0];
+            assert_eq!(total, 2);
             Ok(())
         })
         .unwrap();

@@ -12,13 +12,11 @@ use job_runtime::run_world;
 use mana::restart::restart_job_from_storage;
 use mana::{
     CheckpointIntercept, CollectiveKind, IntentOutcome, LocalDrainObserver, ManaConfig, ManaRank,
+    Op, Session,
 };
 use mpi_model::api::MpiImplementationFactory;
-use mpi_model::buffer::{bytes_to_u64, u64_to_bytes};
-use mpi_model::constants::PredefinedObject;
-use mpi_model::datatype::PrimitiveType;
 use mpi_model::error::{MpiError, MpiResult};
-use mpi_model::op::{PredefinedOp, UserFunctionRegistry};
+use mpi_model::op::UserFunctionRegistry;
 use mpich_sim::MpichFactory;
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -54,14 +52,13 @@ impl CheckpointIntercept for StraddleIntercept {
 
 /// The interrupted "step": an `allreduce` followed by an `allgather`, state mutation
 /// only after both. Returns the two collective results.
-fn two_collective_step(rank: &mut ManaRank) -> MpiResult<(u64, u64)> {
-    let me = rank.world_rank() as u64;
-    let world = rank.world()?;
-    let uint = rank.constant(PredefinedObject::Datatype(PrimitiveType::UnsignedLong))?;
-    let sum = rank.constant(PredefinedObject::Op(PredefinedOp::Sum))?;
+fn two_collective_step(session: &mut Session) -> MpiResult<(u64, u64)> {
+    let me = session.world_rank() as u64;
+    let world = session.world()?;
     let local = me * 7 + 3;
-    let total = bytes_to_u64(&rank.allreduce(&u64_to_bytes(&[local]), uint, sum, world)?)[0];
-    let digest = bytes_to_u64(&rank.allgather(&u64_to_bytes(&[local]), world)?)
+    let total = session.allreduce(&[local], Op::sum(), world)?[0];
+    let digest = session
+        .allgather(&[local], world)?
         .iter()
         .fold(0u64, |acc, &x| acc.rotate_left(5) ^ x);
     Ok((total, digest))
@@ -90,8 +87,8 @@ fn straddling_the_second_collective_of_a_step_restarts_cleanly() {
             .into_iter()
             .map(|lower| ManaRank::new(lower, ManaConfig::new_design(), Arc::clone(&reg)).unwrap())
             .collect();
-        run_world(fresh, |_, mut rank: ManaRank| {
-            two_collective_step(&mut rank)
+        run_world(fresh, |_, rank| {
+            two_collective_step(&mut Session::new(rank))
         })
         .unwrap()
     };
@@ -104,23 +101,24 @@ fn straddling_the_second_collective_of_a_step_restarts_cleanly() {
         let storage = storage.clone();
         let intent = Arc::clone(&intent);
         let pending_at_service = Arc::clone(&pending_at_service);
-        run_world(ranks, move |index, mut rank: ManaRank| {
-            rank.set_intercept(Arc::new(StraddleIntercept {
-                intent: Arc::clone(&intent),
-                storage: storage.clone(),
-                pending_at_service: Arc::clone(&pending_at_service),
-            }));
-            let me = rank.world_rank() as u64;
-            let world = rank.world()?;
-            let uint = rank.constant(PredefinedObject::Datatype(PrimitiveType::UnsignedLong))?;
-            let sum = rank.constant(PredefinedObject::Op(PredefinedOp::Sum))?;
+        run_world(ranks, move |index, rank| {
+            let mut session = Session::new(rank);
+            session
+                .rank_mut()
+                .set_intercept(Arc::new(StraddleIntercept {
+                    intent: Arc::clone(&intent),
+                    storage: storage.clone(),
+                    pending_at_service: Arc::clone(&pending_at_service),
+                }));
+            let me = session.world_rank() as u64;
+            let world = session.world()?;
             let local = me * 7 + 3;
-            rank.allreduce(&u64_to_bytes(&[local]), uint, sum, world)?;
+            session.allreduce(&[local], Op::sum(), world)?;
             if index == 0 {
                 std::thread::sleep(std::time::Duration::from_millis(20));
                 intent.store(true, Ordering::SeqCst);
             }
-            match rank.allgather(&u64_to_bytes(&[local]), world) {
+            match session.allgather(&[local], world) {
                 Err(MpiError::Preempted) => Ok("preempted"),
                 Ok(_) => Ok("completed"),
                 Err(error) => Err(error),
@@ -152,8 +150,8 @@ fn straddling_the_second_collective_of_a_step_restarts_cleanly() {
             "restart must clear the straddled pending record"
         );
     }
-    let results = run_world(restored, |_, mut rank: ManaRank| {
-        two_collective_step(&mut rank)
+    let results = run_world(restored, |_, rank| {
+        two_collective_step(&mut Session::new(rank))
     })
     .unwrap();
     assert_eq!(

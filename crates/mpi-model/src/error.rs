@@ -5,6 +5,7 @@
 //! but keep a mapping back to the classic error classes so that wrappers can surface
 //! the same information an `MPI_Error_class` call would.
 
+use crate::constants::PredefinedObject;
 use crate::types::{HandleKind, PhysHandle, Rank, Tag};
 use serde::{Deserialize, Serialize};
 
@@ -73,6 +74,14 @@ pub enum MpiError {
         /// The offending datatype handle.
         PhysHandle,
     ),
+    /// A free operation (`MPI_Comm_free`, `MPI_Group_free`, `MPI_Type_free`,
+    /// `MPI_Op_free`) was applied to a predefined object, which the standard forbids
+    /// (freeing `MPI_COMM_WORLD` or `MPI_DOUBLE` is erroneous). The descriptor is left
+    /// untouched.
+    FreePredefined(
+        /// The predefined object the application tried to free.
+        PredefinedObject,
+    ),
     /// The collective was invoked with mismatched parameters across ranks
     /// (detected by the simulated fabric, which can see all sides).
     CollectiveMismatch(
@@ -123,6 +132,13 @@ impl MpiError {
             MpiError::Unsupported { .. } => "MPI_ERR_UNSUPPORTED_OPERATION",
             MpiError::NotInitialized => "MPI_ERR_OTHER",
             MpiError::TypeNotCommitted(_) => "MPI_ERR_TYPE",
+            MpiError::FreePredefined(object) => match object.kind() {
+                HandleKind::Comm => "MPI_ERR_COMM",
+                HandleKind::Group => "MPI_ERR_GROUP",
+                HandleKind::Request => "MPI_ERR_REQUEST",
+                HandleKind::Op => "MPI_ERR_OP",
+                HandleKind::Datatype => "MPI_ERR_TYPE",
+            },
             MpiError::CollectiveMismatch(_) => "MPI_ERR_ARG",
             MpiError::UnknownUserFunction(_) => "MPI_ERR_OP",
             MpiError::Internal(_) => "MPI_ERR_INTERN",
@@ -168,6 +184,9 @@ impl std::fmt::Display for MpiError {
             }
             MpiError::NotInitialized => write!(f, "MPI not initialized (or already finalized)"),
             MpiError::TypeNotCommitted(h) => write!(f, "datatype {h} used before MPI_Type_commit"),
+            MpiError::FreePredefined(object) => {
+                write!(f, "cannot free predefined object {}", object.mpi_name())
+            }
             MpiError::CollectiveMismatch(msg) => write!(f, "collective mismatch: {msg}"),
             MpiError::UnknownUserFunction(id) => write!(f, "unknown user reduction function {id}"),
             MpiError::Internal(msg) => write!(f, "internal error: {msg}"),

@@ -28,6 +28,9 @@
 //!   which is the crux of paper §4.3.
 //! * [`subset`] — the minimal MPI subset MANA requires from an implementation
 //!   (paper §5), as an auditable feature list.
+//! * [`typed`] — the [`typed::MpiData`] mapping from Rust element types onto
+//!   datatype descriptors/envelopes and wire bytes, which the typed session layer
+//!   (`mana::api`) builds its misuse-resistant generic API on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,6 +46,7 @@ pub mod op;
 pub mod request;
 pub mod status;
 pub mod subset;
+pub mod typed;
 pub mod types;
 
 pub use api::MpiApi;
@@ -53,4 +57,5 @@ pub use group::GroupDescriptor;
 pub use op::{OpDescriptor, PredefinedOp};
 pub use status::Status;
 pub use subset::{SubsetFeature, REQUIRED_SUBSET};
+pub use typed::{DoubleInt, MpiData};
 pub use types::{HandleKind, PhysHandle, Rank, Tag, ANY_SOURCE, ANY_TAG};

@@ -1,0 +1,230 @@
+//! Typed element mapping: Rust types ↔ MPI datatypes ↔ wire bytes.
+//!
+//! The wrapper layer is deliberately byte-faithful (buffers cross the MPI interface as
+//! `&[u8]` plus a datatype handle, exactly as in the C API), but applications should
+//! never hand-roll `to_le_bytes`/`from_le_bytes` marshalling. [`MpiData`] is the one
+//! place that mapping lives: each implementing type names the [`TypeDescriptor`] (and
+//! therefore the [`TypeEnvelope`]) describing its layout and provides the matching
+//! encode/decode. The typed session layer (`mana::api`) is generic over `MpiData`, so
+//! `send::<f64>`/`allreduce::<i32>`/... resolve their datatype and marshalling from
+//! the element type alone.
+//!
+//! Scalars map onto the predefined MPI datatypes; [`DoubleInt`] maps onto
+//! `MPI_DOUBLE_INT` (the `MPI_MAXLOC`/`MPI_MINLOC` pair type); and user structs can
+//! implement the trait with a [`TypeDescriptor::Struct`] layout, which the session
+//! layer materializes as a committed derived datatype in the lower half.
+
+use crate::datatype::{PrimitiveType, TypeDescriptor, TypeEnvelope};
+use crate::error::{MpiError, MpiResult};
+use serde::{Deserialize, Serialize};
+
+/// A Rust type that can travel through the MPI interface as a typed element.
+///
+/// Implementations must uphold one invariant: `encode` produces exactly
+/// `values.len() * Self::type_descriptor().size()` bytes, and `decode` accepts exactly
+/// what `encode` produced. The default `decode` helpers enforce divisibility, so a
+/// torn or mis-typed payload surfaces as an error instead of silently dropping
+/// trailing bytes (which the old free-function helpers did).
+pub trait MpiData: Copy + Send + Sync + 'static {
+    /// The portable structural description of one element of this type.
+    fn type_descriptor() -> TypeDescriptor;
+
+    /// Append one element's wire bytes (little-endian, matching the fabric).
+    fn encode_element(self, out: &mut Vec<u8>);
+
+    /// Decode one element from exactly [`MpiData::elem_size`] bytes.
+    fn decode_element(bytes: &[u8]) -> MpiResult<Self>;
+
+    /// The envelope `MPI_Type_get_envelope` reports for this type's datatype.
+    fn envelope() -> TypeEnvelope {
+        Self::type_descriptor().envelope()
+    }
+
+    /// Bytes per element.
+    fn elem_size() -> usize {
+        Self::type_descriptor().size()
+    }
+
+    /// Encode a slice of elements into wire bytes.
+    fn encode(values: &[Self]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(values.len() * Self::elem_size());
+        for &value in values {
+            value.encode_element(&mut out);
+        }
+        out
+    }
+
+    /// Decode wire bytes into elements, rejecting payloads that are not a whole
+    /// number of elements.
+    fn decode(bytes: &[u8]) -> MpiResult<Vec<Self>> {
+        let width = Self::elem_size();
+        if width == 0 || !bytes.len().is_multiple_of(width) {
+            return Err(MpiError::Internal(format!(
+                "payload of {} bytes is not a whole number of {width}-byte elements",
+                bytes.len()
+            )));
+        }
+        bytes
+            .chunks_exact(width)
+            .map(Self::decode_element)
+            .collect()
+    }
+}
+
+fn short_payload<T>(width: usize, got: usize) -> MpiResult<T> {
+    Err(MpiError::Internal(format!(
+        "element decode needs {width} bytes, got {got}"
+    )))
+}
+
+macro_rules! impl_scalar {
+    ($($ty:ty => $prim:expr),* $(,)?) => {$(
+        impl MpiData for $ty {
+            fn type_descriptor() -> TypeDescriptor {
+                TypeDescriptor::Primitive($prim)
+            }
+
+            #[inline]
+            fn elem_size() -> usize {
+                std::mem::size_of::<$ty>()
+            }
+
+            #[inline]
+            fn encode_element(self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+
+            #[inline]
+            fn decode_element(bytes: &[u8]) -> MpiResult<Self> {
+                match bytes.try_into() {
+                    Ok(array) => Ok(<$ty>::from_le_bytes(array)),
+                    Err(_) => short_payload(std::mem::size_of::<$ty>(), bytes.len()),
+                }
+            }
+        }
+    )*};
+}
+
+impl_scalar!(
+    i8 => PrimitiveType::Int8,
+    u8 => PrimitiveType::Byte,
+    i32 => PrimitiveType::Int,
+    u32 => PrimitiveType::Unsigned,
+    i64 => PrimitiveType::Long,
+    u64 => PrimitiveType::UnsignedLong,
+    f32 => PrimitiveType::Float,
+    f64 => PrimitiveType::Double,
+);
+
+impl MpiData for bool {
+    fn type_descriptor() -> TypeDescriptor {
+        TypeDescriptor::Primitive(PrimitiveType::Bool)
+    }
+
+    #[inline]
+    fn elem_size() -> usize {
+        1
+    }
+
+    fn encode_element(self, out: &mut Vec<u8>) {
+        out.push(u8::from(self));
+    }
+
+    fn decode_element(bytes: &[u8]) -> MpiResult<Self> {
+        match bytes {
+            [byte] => Ok(*byte != 0),
+            other => short_payload(1, other.len()),
+        }
+    }
+}
+
+/// The `MPI_DOUBLE_INT` value/index pair operated on by `MPI_MAXLOC`/`MPI_MINLOC`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DoubleInt {
+    /// The compared value.
+    pub value: f64,
+    /// The index carried alongside it (lowest index wins ties).
+    pub index: i32,
+}
+
+impl MpiData for DoubleInt {
+    fn type_descriptor() -> TypeDescriptor {
+        TypeDescriptor::Primitive(PrimitiveType::DoubleInt)
+    }
+
+    #[inline]
+    fn elem_size() -> usize {
+        12
+    }
+
+    fn encode_element(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.value.to_le_bytes());
+        out.extend_from_slice(&self.index.to_le_bytes());
+    }
+
+    fn decode_element(bytes: &[u8]) -> MpiResult<Self> {
+        if bytes.len() != 12 {
+            return short_payload(12, bytes.len());
+        }
+        Ok(DoubleInt {
+            value: f64::from_le_bytes(bytes[..8].try_into().unwrap()),
+            index: i32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::TypeCombiner;
+
+    #[test]
+    fn scalar_roundtrips() {
+        assert_eq!(
+            f64::decode(&f64::encode(&[1.5, -2.0])).unwrap(),
+            [1.5, -2.0]
+        );
+        assert_eq!(
+            i32::decode(&i32::encode(&[i32::MIN, 0, 7])).unwrap(),
+            [i32::MIN, 0, 7]
+        );
+        assert_eq!(u64::decode(&u64::encode(&[u64::MAX])).unwrap(), [u64::MAX]);
+        assert_eq!(
+            bool::decode(&bool::encode(&[true, false])).unwrap(),
+            [true, false]
+        );
+    }
+
+    #[test]
+    fn envelope_of_scalars_is_named() {
+        assert_eq!(f64::envelope().combiner, TypeCombiner::Named);
+        assert_eq!(u8::elem_size(), 1);
+        assert_eq!(DoubleInt::elem_size(), 12);
+    }
+
+    #[test]
+    fn decode_rejects_partial_elements() {
+        let mut bytes = f64::encode(&[1.0]);
+        bytes.push(0xff);
+        assert!(f64::decode(&bytes).is_err(), "no silent truncation");
+        assert!(i32::decode(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn double_int_roundtrip() {
+        let pairs = [
+            DoubleInt {
+                value: 4.25,
+                index: 3,
+            },
+            DoubleInt {
+                value: -1.0,
+                index: 9,
+            },
+        ];
+        assert_eq!(
+            DoubleInt::decode(&DoubleInt::encode(&pairs)).unwrap(),
+            pairs
+        );
+    }
+}

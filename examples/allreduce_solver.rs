@@ -20,12 +20,8 @@
 //! ```
 
 use mana_repro::job_runtime::{Backend, JobConfig, JobRuntime};
-use mana_repro::mana::ManaRank;
-use mana_repro::mpi_model::buffer::{bytes_to_u64, u64_to_bytes};
-use mana_repro::mpi_model::constants::PredefinedObject;
-use mana_repro::mpi_model::datatype::PrimitiveType;
+use mana_repro::mana::{Op, Session};
 use mana_repro::mpi_model::error::MpiResult;
-use mana_repro::mpi_model::op::PredefinedOp;
 
 const RANKS: usize = 8;
 const STEPS: u64 = 6;
@@ -35,22 +31,23 @@ const STATE_REGION: &str = "app.solver_state";
 /// One solver step: read the upper-half state, contribute to two collectives, and
 /// only *then* update the state. The pre-collective prefix is pure compute, so the
 /// step re-runs identically when a mid-step checkpoint interrupts it.
-fn solver_step(rank: &mut ManaRank, step: u64) -> MpiResult<u64> {
-    let me = rank.world_rank() as u64;
-    let world = rank.world()?;
-    let uint = rank.constant(PredefinedObject::Datatype(PrimitiveType::UnsignedLong))?;
-    let sum = rank.constant(PredefinedObject::Op(PredefinedOp::Sum))?;
+fn solver_step(session: &mut Session, step: u64) -> MpiResult<u64> {
+    let me = session.world_rank() as u64;
+    let world = session.world()?;
 
     if step == 0 {
-        rank.upper_mut().store_json(STATE_REGION, &(me * 37 + 11))?;
+        session
+            .upper_mut()
+            .store_json(STATE_REGION, &(me * 37 + 11))?;
     }
-    let state: u64 = rank.upper().load_json(STATE_REGION)?;
+    let state: u64 = session.upper().load_json(STATE_REGION)?;
 
     // Local residual contribution, then the global residual (allreduce)...
     let local = state.wrapping_mul(step + 5) ^ (me << 17);
-    let residual = bytes_to_u64(&rank.allreduce(&u64_to_bytes(&[local]), uint, sum, world)?)[0];
+    let residual = session.allreduce(&[local], Op::sum(), world)?[0];
     // ...and the search-direction digest over everyone's contribution (allgather).
-    let direction = bytes_to_u64(&rank.allgather(&u64_to_bytes(&[local]), world)?)
+    let direction = session
+        .allgather(&[local], world)?
         .iter()
         .fold(0u64, |acc, &x| acc.rotate_left(9) ^ x);
 
@@ -58,7 +55,7 @@ fn solver_step(rank: &mut ManaRank, step: u64) -> MpiResult<u64> {
         .wrapping_mul(6364136223846793005)
         .wrapping_add(residual)
         .wrapping_add(direction);
-    rank.upper_mut().store_json(STATE_REGION, &next)?;
+    session.upper_mut().store_json(STATE_REGION, &next)?;
     Ok(next)
 }
 

@@ -23,7 +23,7 @@ fn main() {
     for backend in Backend::DISTINCT {
         let probe = JobRuntime::new(JobConfig::new(1, backend));
         let audits = probe
-            .run(|rank, _ctx| Ok(rank.audit_lower_half()))
+            .run(|session, _ctx| Ok(session.audit_lower_half()))
             .expect("probe");
         println!(
             "{:<8} provides the MANA-required subset: {} ({} optional features beyond it)",
@@ -38,10 +38,10 @@ fn main() {
 
     println!("\n== run CoMD under MPICH and checkpoint at step {CHECKPOINT_AT} ==");
     runtime
-        .run(|mut rank, ctx| {
+        .run(|mut session, ctx| {
             let report = run_app(
                 AppId::CoMd,
-                &mut rank,
+                &mut session,
                 &RunConfig {
                     iterations: CHECKPOINT_AT,
                     state_scale: 1e-4,
@@ -50,11 +50,11 @@ fn main() {
                     storage: None,
                 },
             )?;
-            let ckpt = ctx.checkpoint(&mut rank)?;
+            let ckpt = ctx.checkpoint(&mut session)?;
             println!(
                 "rank {} under {}: {} crossings, wrote {} bytes ({} logical)",
                 report.rank,
-                rank.implementation_name(),
+                session.implementation_name(),
                 report.crossings,
                 ckpt.written_bytes,
                 ckpt.logical_bytes
@@ -65,11 +65,11 @@ fn main() {
 
     println!("\n== restart that generation under Open MPI and finish the run ==");
     let (reports, generation) = runtime
-        .resume_on(Backend::OpenMpi, |mut rank, _ctx| {
-            let implementation = rank.implementation_name();
+        .resume_on(Backend::OpenMpi, |mut session, _ctx| {
+            let implementation = session.implementation_name();
             let report = run_app(
                 AppId::CoMd,
-                &mut rank,
+                &mut session,
                 &RunConfig {
                     iterations: TOTAL_STEPS,
                     state_scale: 1e-4,

@@ -23,10 +23,10 @@ fn main() {
         for app in [AppId::CoMd, AppId::Lulesh] {
             let runtime = JobRuntime::new(JobConfig::new(RANKS, backend));
             let reports = runtime
-                .run(move |mut rank, _ctx| {
+                .run(move |mut session, _ctx| {
                     run_app(
                         app,
-                        &mut rank,
+                        &mut session,
                         &RunConfig {
                             iterations: STEPS,
                             state_scale: 1e-4,

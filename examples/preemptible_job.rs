@@ -15,7 +15,7 @@
 
 use mana_repro::ckpt_store::CheckpointStorage;
 use mana_repro::job_runtime::{Backend, JobConfig, JobRuntime};
-use mana_repro::mana::{ManaConfig, ManaRank, StoragePolicy};
+use mana_repro::mana::{ManaConfig, Session, StoragePolicy};
 use mana_repro::mana_apps::{run_app, AppId, RunConfig};
 use mana_repro::mpi_model::error::MpiResult;
 use mana_repro::split_proc::store::StoreConfig;
@@ -28,17 +28,17 @@ const PREEMPTION_NOTICE_AT: u64 = 9;
 /// One LULESH timestep. A read-only input mesh mapped at step 0 stays clean forever,
 /// so the incremental engine never rewrites it — the common shape of real HPC state
 /// (large static tables, small hot state).
-fn lulesh_step(rank: &mut ManaRank, step: u64) -> MpiResult<mana_repro::mana_apps::AppReport> {
+fn lulesh_step(session: &mut Session, step: u64) -> MpiResult<mana_repro::mana_apps::AppReport> {
     if step == 0 {
-        let me = rank.world_rank() as u64;
+        let me = session.world_rank() as u64;
         let mesh: Vec<u8> = (0..2 << 20)
             .map(|i| ((i as u64 + me * 7919).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 24) as u8)
             .collect();
-        rank.upper_mut().map_region("app.input_mesh", mesh);
+        session.upper_mut().map_region("app.input_mesh", mesh);
     }
     run_app(
         AppId::Lulesh,
-        rank,
+        session,
         &RunConfig {
             iterations: step + 1,
             state_scale: 2e-4,

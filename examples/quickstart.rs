@@ -1,20 +1,20 @@
-//! Quickstart: wrap an MPI job in MANA via the `JobRuntime` orchestrator, compute,
-//! take a *coordinated* transparent checkpoint, kill the job, restart it on a fresh
-//! MPI library session, and keep computing with the exact same handles.
+//! Quickstart: wrap an MPI job in MANA via the `JobRuntime` orchestrator, compute
+//! through the typed session API, take a *coordinated* transparent checkpoint, kill
+//! the job, restart it on a fresh MPI library session, and keep computing with the
+//! exact same typed handles.
 //!
 //! ```text
 //! cargo run --example quickstart [mpich|craympi|openmpi|exampi]
 //! ```
 //!
 //! The optional argument picks the simulated MPI implementation — the same program
-//! runs unchanged on any of them.
+//! runs unchanged on any of them. Note what the application code does *not* contain:
+//! no byte marshalling, no `MPI_BYTE` buffers, no per-call constant lookups — the
+//! `Session` resolves each predefined handle once and `allreduce::<i32>` carries its
+//! own encoding.
 
 use mana_repro::job_runtime::{Backend, JobConfig, JobRuntime};
-use mana_repro::mana::{ManaConfig, StoragePolicy};
-use mana_repro::mpi_model::buffer::{bytes_to_i32, i32_to_bytes};
-use mana_repro::mpi_model::constants::PredefinedObject;
-use mana_repro::mpi_model::datatype::PrimitiveType;
-use mana_repro::mpi_model::op::PredefinedOp;
+use mana_repro::mana::{Comm, Datatype, ManaConfig, Op, StoragePolicy};
 
 const RANKS: usize = 4;
 
@@ -33,26 +33,24 @@ fn main() {
         backend.name()
     );
     runtime
-        .run(|mut rank, ctx| {
-            let me = rank.world_rank();
-            let world = rank.world()?;
-            let int = rank.constant(PredefinedObject::Datatype(PrimitiveType::Int))?;
-            let sum = rank.constant(PredefinedObject::Op(PredefinedOp::Sum))?;
+        .run(|mut session, ctx| {
+            let me = session.world_rank();
+            let world = session.world()?;
+            let int = session.datatype::<i32>()?;
 
             // Some computation: a global sum everyone agrees on.
-            let total = rank.allreduce(&i32_to_bytes(&[me + 1]), int, sum, world)?;
-            // Stash application state (including the MPI handles!) in the upper half.
-            rank.upper_mut().store_json(
-                "app.progress",
-                &(me, bytes_to_i32(&total)[0], world, int, sum),
-            )?;
+            let total = session.allreduce(&[me + 1], Op::sum(), world)?[0];
+            // Stash application state — the *typed* MPI handles included! — in the
+            // upper half. They serialize as the same virtual ids as raw handles.
+            session
+                .upper_mut()
+                .store_json("app.progress", &(me, total, world, int, Op::<i32>::sum()))?;
             // The coordinator drives all ranks through drain → parallel write →
             // commit; the generation is published only once every rank's image is in.
-            let report = ctx.checkpoint(&mut rank)?;
+            let report = ctx.checkpoint(&mut session)?;
             println!(
-                "rank {me}: checkpointed {} bytes (sum so far = {})",
-                report.written_bytes,
-                bytes_to_i32(&total)[0]
+                "rank {me}: checkpointed {} bytes (sum so far = {total})",
+                report.written_bytes
             );
             Ok(())
         })
@@ -63,19 +61,15 @@ fn main() {
         runtime.published_generation().expect("one commit")
     );
     let (results, generation) = runtime
-        .resume(|mut rank, _ctx| {
-            let me = rank.world_rank();
-            // Recover the saved handles and keep going — they are still valid.
-            let (saved_me, saved_sum, world, int, sum): (
-                i32,
-                i32,
-                mana_repro::mana::runtime::AppHandle,
-                mana_repro::mana::runtime::AppHandle,
-                mana_repro::mana::runtime::AppHandle,
-            ) = rank.upper().load_json("app.progress")?;
+        .resume(|mut session, _ctx| {
+            let me = session.world_rank();
+            // Recover the saved typed handles and keep going — they are still valid,
+            // and they come back with their element types attached.
+            let (saved_me, saved_sum, world, _int, sum): (i32, i32, Comm, Datatype<i32>, Op<i32>) =
+                session.upper().load_json("app.progress")?;
             assert_eq!(saved_me, me);
-            let total = rank.allreduce(&i32_to_bytes(&[saved_sum]), int, sum, world)?;
-            Ok((me, saved_sum, bytes_to_i32(&total)[0]))
+            let total = session.allreduce(&[saved_sum], sum, world)?[0];
+            Ok((me, saved_sum, total))
         })
         .expect("phase 2");
     assert_eq!(generation, 0);
@@ -85,5 +79,5 @@ fn main() {
             "rank {me}: sum before checkpoint = {before}, new global sum after restart = {after}"
         );
     }
-    println!("\nquickstart finished: the same virtual handles survived the restart.");
+    println!("\nquickstart finished: the same typed handles survived the restart.");
 }

@@ -1,13 +1,10 @@
 //! Integration tests for the implementation-oblivious property itself: the same
-//! application-visible handles, the same MANA code paths, over handle regimes as
-//! different as 32-bit table indices, 64-bit struct pointers, and lazily-materialized
-//! shared pointers.
+//! application-visible typed handles, the same MANA code paths, over handle regimes
+//! as different as 32-bit table indices, 64-bit struct pointers, and
+//! lazily-materialized shared pointers.
 
-use mana_repro::mana::ManaConfig;
-use mana_repro::mpi_model::buffer::{bytes_to_i32, i32_to_bytes};
+use mana_repro::mana::{ManaConfig, Op, Session};
 use mana_repro::mpi_model::constants::{ConstantResolution, PredefinedObject};
-use mana_repro::mpi_model::datatype::PrimitiveType;
-use mana_repro::mpi_model::op::PredefinedOp;
 use mana_repro::{launch_mana_job, run_ranks};
 use mpi_model::api::MpiImplementationFactory;
 
@@ -15,18 +12,18 @@ use mpi_model::api::MpiImplementationFactory;
 /// changes. Returns (implementation name, world handle bits, sum result).
 fn same_app_everywhere(factory: &dyn MpiImplementationFactory) -> Vec<(String, u64, i32)> {
     let ranks = launch_mana_job(factory, 3, ManaConfig::new_design(), 3).unwrap();
-    run_ranks(ranks, |mut rank| {
-        let name = rank.implementation_name().to_string();
-        let world = rank.world()?;
-        let int = rank.constant(PredefinedObject::Datatype(PrimitiveType::Int))?;
-        let sum = rank.constant(PredefinedObject::Op(PredefinedOp::Sum))?;
-        let sub = rank.comm_split(world, Some(rank.world_rank() % 2), 0)?;
-        let vec_type = rank.type_vector(4, 2, 3, int)?;
-        rank.type_commit(vec_type)?;
-        assert_eq!(rank.type_size(vec_type)?, 32);
-        let total = rank.allreduce(&i32_to_bytes(&[2]), int, sum, sub)?;
-        rank.type_free(vec_type)?;
-        Ok((name, world.0, bytes_to_i32(&total)[0]))
+    run_ranks(ranks, |rank| {
+        let mut session = Session::new(rank);
+        let name = session.implementation_name().to_string();
+        let world = session.world()?;
+        let int = session.datatype::<i32>()?;
+        let sub = session.comm_split(world, Some(session.world_rank() % 2), 0)?;
+        let vec_type = session.rank_mut().type_vector(4, 2, 3, int.handle())?;
+        session.rank_mut().type_commit(vec_type)?;
+        assert_eq!(session.rank_mut().type_size(vec_type)?, 32);
+        let total = session.allreduce(&[2], Op::sum(), sub)?[0];
+        session.rank_mut().type_free(vec_type)?;
+        Ok((name, world.handle().0, total))
     })
     .unwrap()
 }
