@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! harness [--json] [table1|table2|table3|ckpt-store|parallel|collectives|typed-overhead|figure2|figure3|figure4|cs-rate|validate|all]
+//! harness [--json] [table1|table2|table3|ckpt-store|parallel|collectives|typed-overhead|async-ckpt|figure2|figure3|figure4|cs-rate|validate|all]
 //! harness ci
 //! ```
 //!
@@ -11,11 +11,12 @@
 //! machine-readable report used to populate EXPERIMENTS.md.
 //!
 //! `ci` runs the quick smoke mode: it measures the `ckpt-store` byte-reduction rows,
-//! the parallel sharded-vs-serialized write comparison, and the typed-session
-//! overhead on the CoMD profile, writes `BENCH_ci.json` for the CI artifact upload,
-//! and **exits nonzero** if the incremental-vs-full byte reduction at 1% dirty
-//! regresses below the gate (50x) or the typed layer costs 5% or more over the raw
-//! byte path.
+//! the parallel sharded-vs-serialized write comparison, the typed-session overhead
+//! on the CoMD profile, and the async-vs-sync checkpoint stall on the CoMD profile;
+//! writes `BENCH_ci.json` for the CI artifact upload, and **exits nonzero** if the
+//! incremental-vs-full byte reduction at 1% dirty regresses below the gate (50x),
+//! the typed layer costs 5% or more over the raw byte path, or the async
+//! checkpoint stall exceeds 50% of the synchronous write wall time.
 
 use mana_apps::workloads::{perlmutter_workloads, single_node_workloads};
 use mana_apps::AppId;
@@ -50,6 +51,7 @@ fn run_ci() -> std::process::ExitCode {
         "{}",
         mana_bench::typed_overhead_note_from(&report.typed_overhead)
     );
+    println!("{}", mana_bench::async_ckpt_note_from(&report.async_ckpt));
     println!("wrote BENCH_ci.json");
     if report.pass {
         std::process::ExitCode::SUCCESS
@@ -210,6 +212,9 @@ fn main() -> std::process::ExitCode {
     }
     if want("typed-overhead") {
         report.notes.push(mana_bench::typed_overhead_note());
+    }
+    if want("async-ckpt") {
+        report.notes.push(mana_bench::async_ckpt_note());
     }
     if want("validate") {
         report.validation_runs = validation_runs();

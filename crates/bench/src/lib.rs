@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod async_ckpt;
 pub mod ckpt;
 pub mod collectives;
 pub mod model;
@@ -34,6 +35,14 @@ pub mod typed;
 /// (the acceptance gate of the typed-API migration).
 pub const TYPED_OVERHEAD_GATE_PCT: f64 = 5.0;
 
+/// Maximum acceptable per-checkpoint rank stall under the asynchronous flush,
+/// as a fraction of the synchronous `write_checkpoint_into` wall time (the
+/// acceptance gate of the async checkpoint split).
+pub const ASYNC_CKPT_GATE_FRACTION: f64 = 0.5;
+
+pub use async_ckpt::{
+    async_ckpt_note, async_ckpt_note_from, measure_async_ckpt, AsyncCkptReport, ASYNC_CKPT_ROUNDS,
+};
 pub use ckpt::{
     measure_parallel_checkpoint, parallel_checkpoint_note, parallel_checkpoint_note_from,
     parallel_checkpoint_rows, storage_comparison_note, ParallelCkptRow, StorageRow,

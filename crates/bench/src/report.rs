@@ -1,5 +1,6 @@
 //! Plain-text and JSON rendering of the harness output.
 
+use crate::async_ckpt::AsyncCkptReport;
 use crate::ckpt::{ParallelCkptRow, StorageRow};
 use crate::model::{CheckpointRow, OverheadRow};
 use crate::runner::SmallScaleResult;
@@ -125,6 +126,9 @@ pub struct CiReport {
     /// The typed-session-vs-raw-bytes comparison on the CoMD profile, with its own
     /// `< gate_pct` verdict folded into `pass`.
     pub typed_overhead: TypedOverheadReport,
+    /// The async-vs-sync checkpoint stall comparison on the CoMD profile, with its
+    /// own `≤ gate_fraction` verdict folded into `pass`.
+    pub async_ckpt: AsyncCkptReport,
     /// Whether every gate passed.
     pub pass: bool,
 }
@@ -160,7 +164,12 @@ impl CiReport {
             })
             .unwrap_or(0.0);
         let typed_overhead = crate::typed::measure_typed_overhead(crate::TYPED_OVERHEAD_GATE_PCT);
-        let pass = incremental_reduction_1pct >= reduction_gate && typed_overhead.pass;
+        let async_ckpt = crate::async_ckpt::measure_async_ckpt(
+            crate::ASYNC_CKPT_GATE_FRACTION,
+            crate::ASYNC_CKPT_ROUNDS,
+        );
+        let pass =
+            incremental_reduction_1pct >= reduction_gate && typed_overhead.pass && async_ckpt.pass;
         CiReport {
             storage_rows,
             parallel_rows,
@@ -168,6 +177,7 @@ impl CiReport {
             parallel_speedup,
             reduction_gate,
             typed_overhead,
+            async_ckpt,
             pass,
         }
     }

@@ -1,0 +1,385 @@
+//! The background flusher pool: chunk, compress, and store checkpoint images off the
+//! ranks' critical path.
+//!
+//! The synchronous write path stalls a rank for the whole chunk/compress/store cost
+//! of its image. The asynchronous split instead has the rank **snapshot** (freeze an
+//! owned [`CheckpointImage`], a memory copy) and hand the image to a [`FlusherPool`],
+//! which performs the expensive storage write on a worker thread and completes a
+//! [`FlushHandle`] the submitter can wait on (or poll) later.
+//!
+//! Generation visibility is governed by the store's pending table (see
+//! [`CheckpointStorage::begin_generation`]): a generation announced as pending stays
+//! invisible to `generations()`/`read`/`latest_valid_images` until every rank's flush
+//! has landed, at which point the worker that completes the last flush commits it
+//! atomically. A job killed mid-flush therefore leaves a *pending* — never a torn
+//! visible — generation, and restart falls back to the newest committed one exactly
+//! as it falls back from a torn synchronous write.
+
+use crate::store::{CheckpointStorage, StoreReport};
+use crate::StoragePolicy;
+use parking_lot::{Condvar, Mutex};
+use split_proc::image::CheckpointImage;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Callback a submitter attaches to a flush job; runs on the worker thread after the
+/// image has reached storage (and after the store's per-rank flush accounting), but
+/// before the job's [`FlushHandle`] completes — so a waiter that observes the handle
+/// done also observes everything the callback published.
+type FlushCallback = Box<dyn FnOnce(&StoreReport) + Send>;
+
+struct FlushJob {
+    policy: StoragePolicy,
+    image: CheckpointImage,
+    handle: Arc<HandleState>,
+    on_flushed: Option<FlushCallback>,
+}
+
+/// Where one flush job stands.
+#[derive(Default, Clone, Copy)]
+enum FlushOutcome {
+    /// Queued or being written.
+    #[default]
+    InFlight,
+    /// Landed in storage.
+    Done(StoreReport),
+    /// The worker panicked while processing this job (in the storage write or the
+    /// submitter's callback). The flush did not land; waiters must not hang.
+    Poisoned,
+}
+
+#[derive(Default)]
+struct HandleState {
+    outcome: Mutex<FlushOutcome>,
+    done_cv: Condvar,
+}
+
+/// A claim ticket for one submitted flush: wait for (or poll) the background write of
+/// one rank's frozen image. Dropping the handle does **not** cancel the flush.
+#[derive(Clone)]
+pub struct FlushHandle {
+    state: Arc<HandleState>,
+    generation: u64,
+    rank: mpi_model::types::Rank,
+}
+
+impl FlushHandle {
+    /// The generation the submitted image belongs to.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The rank whose image was submitted.
+    pub fn rank(&self) -> mpi_model::types::Rank {
+        self.rank
+    }
+
+    /// Whether the flush has reached storage.
+    pub fn is_flushed(&self) -> bool {
+        matches!(*self.state.outcome.lock(), FlushOutcome::Done(_))
+    }
+
+    /// Whether the worker processing this flush panicked (the flush never landed).
+    pub fn is_poisoned(&self) -> bool {
+        matches!(*self.state.outcome.lock(), FlushOutcome::Poisoned)
+    }
+
+    /// The flush's store report, if it has landed (non-blocking).
+    pub fn try_report(&self) -> Option<StoreReport> {
+        match *self.state.outcome.lock() {
+            FlushOutcome::Done(report) => Some(report),
+            _ => None,
+        }
+    }
+
+    /// Block until the background write lands and return its report.
+    ///
+    /// # Panics
+    ///
+    /// If the flusher worker panicked while processing this job — the panic is
+    /// propagated to the waiter (which surfaces it through whatever harness runs
+    /// the rank) instead of leaving it hanging on a flush that will never land.
+    pub fn wait(&self) -> StoreReport {
+        let mut outcome = self.state.outcome.lock();
+        loop {
+            match *outcome {
+                FlushOutcome::Done(report) => return report,
+                FlushOutcome::Poisoned => panic!(
+                    "flusher worker panicked while flushing generation {} of rank {}",
+                    self.generation, self.rank
+                ),
+                FlushOutcome::InFlight => self.state.done_cv.wait(&mut outcome),
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for FlushHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlushHandle")
+            .field("generation", &self.generation)
+            .field("rank", &self.rank)
+            .field("flushed", &self.is_flushed())
+            .finish()
+    }
+}
+
+#[derive(Default)]
+struct PoolState {
+    jobs: VecDeque<FlushJob>,
+    /// Jobs currently being written by a worker.
+    active: usize,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    storage: CheckpointStorage,
+    state: Mutex<PoolState>,
+    /// Workers wait here for jobs (or shutdown).
+    work_cv: Condvar,
+    /// [`FlusherPool::wait_idle`] waits here for the queue to drain.
+    idle_cv: Condvar,
+}
+
+/// A pool of background flusher threads sharing one [`CheckpointStorage`].
+///
+/// Jobs are processed FIFO; jobs from different ranks run concurrently across the
+/// workers (the sharded store admits them in parallel, exactly like the synchronous
+/// parallel write phase). Dropping the pool drains the remaining queue, then joins
+/// the workers.
+pub struct FlusherPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl FlusherPool {
+    /// A pool over `storage` with one worker per available core, capped at 4.
+    pub fn new(storage: CheckpointStorage) -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(4);
+        FlusherPool::with_workers(storage, workers)
+    }
+
+    /// A pool over `storage` with exactly `workers` flusher threads (min 1).
+    pub fn with_workers(storage: CheckpointStorage, workers: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            storage,
+            state: Mutex::new(PoolState::default()),
+            work_cv: Condvar::new(),
+            idle_cv: Condvar::new(),
+        });
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        FlusherPool { shared, workers }
+    }
+
+    /// The storage engine flushes land in.
+    pub fn storage(&self) -> &CheckpointStorage {
+        &self.shared.storage
+    }
+
+    /// Number of flusher threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submit one rank's frozen image for background writing under `policy`.
+    pub fn submit(&self, policy: StoragePolicy, image: CheckpointImage) -> FlushHandle {
+        self.submit_inner(policy, image, None)
+    }
+
+    /// [`FlusherPool::submit`] with a completion callback that runs on the worker
+    /// thread once the write has landed — after the store's per-rank flush
+    /// accounting, before the job's [`FlushHandle`] completes, so a waiter that
+    /// observes the handle done also observes everything the callback published.
+    pub fn submit_with(
+        &self,
+        policy: StoragePolicy,
+        image: CheckpointImage,
+        on_flushed: impl FnOnce(&StoreReport) + Send + 'static,
+    ) -> FlushHandle {
+        self.submit_inner(policy, image, Some(Box::new(on_flushed)))
+    }
+
+    fn submit_inner(
+        &self,
+        policy: StoragePolicy,
+        image: CheckpointImage,
+        on_flushed: Option<FlushCallback>,
+    ) -> FlushHandle {
+        let handle = FlushHandle {
+            state: Arc::new(HandleState::default()),
+            generation: image.metadata.generation,
+            rank: image.metadata.rank,
+        };
+        let mut state = self.shared.state.lock();
+        state.jobs.push_back(FlushJob {
+            policy,
+            image,
+            handle: Arc::clone(&handle.state),
+            on_flushed,
+        });
+        drop(state);
+        self.shared.work_cv.notify_one();
+        handle
+    }
+
+    /// Flush jobs queued or in flight right now.
+    pub fn backlog(&self) -> usize {
+        let state = self.shared.state.lock();
+        state.jobs.len() + state.active
+    }
+
+    /// Block until every submitted flush has landed (queue empty and no worker busy).
+    pub fn wait_idle(&self) {
+        let mut state = self.shared.state.lock();
+        while !state.jobs.is_empty() || state.active > 0 {
+            self.shared.idle_cv.wait(&mut state);
+        }
+    }
+}
+
+impl Drop for FlusherPool {
+    fn drop(&mut self) {
+        self.shared.state.lock().shutdown = true;
+        self.shared.work_cv.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock();
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    state.active += 1;
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                shared.work_cv.wait(&mut state);
+            }
+        };
+        // Panic containment: a panic in the storage write or the submitter's
+        // callback must not wedge the pool — `active` is decremented and the handle
+        // completed (as poisoned) either way, so `wait`/`wait_idle` report the
+        // failure instead of hanging forever.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let report = shared.storage.write_image(job.policy, &job.image);
+            // Per-rank flush accounting: the write that completes a pending
+            // generation's rank set commits the generation (making it visible)
+            // right here, before any callback or waiter can observe the flush as
+            // done.
+            shared
+                .storage
+                .note_rank_flushed(report.generation, report.rank);
+            if let Some(on_flushed) = job.on_flushed {
+                on_flushed(&report);
+            }
+            report
+        }));
+        *job.handle.outcome.lock() = match outcome {
+            Ok(report) => FlushOutcome::Done(report),
+            Err(_) => FlushOutcome::Poisoned,
+        };
+        job.handle.done_cv.notify_all();
+        let mut state = shared.state.lock();
+        state.active -= 1;
+        if state.jobs.is_empty() && state.active == 0 {
+            shared.idle_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use split_proc::address_space::UpperHalfSpace;
+    use split_proc::image::ImageMetadata;
+
+    fn image(rank: i32, world_size: usize, generation: u64, fill: u8) -> CheckpointImage {
+        let mut upper = UpperHalfSpace::new();
+        upper.map_region("app.state", vec![fill; 200_000]);
+        CheckpointImage::new(
+            ImageMetadata {
+                rank,
+                world_size,
+                generation,
+                implementation: "mpich".into(),
+            },
+            upper,
+        )
+    }
+
+    #[test]
+    fn flush_lands_and_handle_reports() {
+        let storage = CheckpointStorage::unmetered();
+        let pool = FlusherPool::with_workers(storage.clone(), 2);
+        let handle = pool.submit(StoragePolicy::Incremental, image(0, 1, 0, 0x5A));
+        let report = handle.wait();
+        assert_eq!(report.generation, 0);
+        assert!(handle.is_flushed());
+        assert_eq!(
+            handle.try_report().unwrap().written_bytes,
+            report.written_bytes
+        );
+        assert_eq!(storage.read(0, 0).unwrap().metadata.rank, 0);
+        pool.wait_idle();
+        assert_eq!(pool.backlog(), 0);
+    }
+
+    #[test]
+    fn pending_generation_commits_only_when_every_rank_flushed() {
+        let storage = CheckpointStorage::unmetered();
+        let pool = FlusherPool::with_workers(storage.clone(), 1);
+        storage.begin_generation(3, 2);
+        pool.submit(StoragePolicy::Incremental, image(0, 2, 3, 1))
+            .wait();
+        assert!(storage.is_pending(3));
+        assert!(storage.generations().is_empty());
+        pool.submit(StoragePolicy::Incremental, image(1, 2, 3, 2))
+            .wait();
+        assert!(!storage.is_pending(3));
+        assert_eq!(storage.generations(), vec![3]);
+        assert_eq!(storage.latest_valid_generation(2).unwrap(), 3);
+    }
+
+    #[test]
+    fn callback_runs_before_the_handle_completes() {
+        let storage = CheckpointStorage::unmetered();
+        let pool = FlusherPool::with_workers(storage, 1);
+        let seen = Arc::new(Mutex::new(None));
+        let seen_in_cb = Arc::clone(&seen);
+        let handle = pool.submit_with(StoragePolicy::Incremental, image(0, 1, 0, 9), move |r| {
+            *seen_in_cb.lock() = Some(r.generation);
+        });
+        handle.wait();
+        assert_eq!(*seen.lock(), Some(0));
+    }
+
+    #[test]
+    fn drop_drains_the_queue() {
+        let storage = CheckpointStorage::unmetered();
+        let handles: Vec<FlushHandle> = {
+            let pool = FlusherPool::with_workers(storage.clone(), 1);
+            (0..4)
+                .map(|g| pool.submit(StoragePolicy::Incremental, image(0, 1, g, g as u8)))
+                .collect()
+        };
+        for handle in handles {
+            assert!(handle.is_flushed(), "drop must drain queued flushes");
+        }
+        assert_eq!(storage.generations().len(), 4);
+    }
+}

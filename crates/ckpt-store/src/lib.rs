@@ -20,7 +20,11 @@
 //!   of a manifest *or any chunk* is detected at read time, so restart can fall back
 //!   to the newest generation that still validates end-to-end.
 //! * **Generation GC** — pruning a generation decrements chunk refcounts and frees
-//!   chunks no surviving generation references.
+//!   chunks no surviving generation references. The newest committed generation and
+//!   any generation with a flush in flight are never pruned, whatever the cutoff.
+//! * **Asynchronous flush** ([`flush`]) — a [`FlusherPool`] writes frozen images off
+//!   the ranks' critical path; generations move through a *pending → committed*
+//!   state so a half-flushed generation is never visible to readers or restart.
 //!
 //! The engine is selected through [`StoragePolicy`] (a `ManaConfig` knob in the MANA
 //! layer): `FullImage` preserves the legacy flat-image baseline — mirroring the
@@ -31,12 +35,14 @@
 #![warn(missing_docs)]
 
 pub mod chunk;
+pub mod flush;
 pub mod manifest;
 pub mod store;
 
 pub use chunk::{ChunkRef, DEFAULT_CHUNK_SIZE};
+pub use flush::{FlushHandle, FlusherPool};
 pub use manifest::{Manifest, RegionManifest};
-pub use store::{CheckpointStorage, StorageStats, StoreReport, DEFAULT_SHARD_COUNT};
+pub use store::{CheckpointStorage, PruneReport, StorageStats, StoreReport, DEFAULT_SHARD_COUNT};
 
 use serde::{Deserialize, Serialize};
 

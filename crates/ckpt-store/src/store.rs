@@ -54,17 +54,20 @@ impl StoreReport {
         }
     }
 
-    /// Effective bandwidth in MB/s measured against the bytes actually written.
-    pub fn effective_bandwidth_mb_s(&self) -> f64 {
+    /// Effective bandwidth in MB/s measured against the bytes actually written, or
+    /// `None` for an unmetered store (no write-time model, so no bandwidth exists —
+    /// reporting `0 MB/s` would be a lie, not a measurement).
+    pub fn effective_bandwidth_mb_s(&self) -> Option<f64> {
         if self.write_time_s > 0.0 {
-            self.written_bytes as f64 / 1.0e6 / self.write_time_s
+            Some(self.written_bytes as f64 / 1.0e6 / self.write_time_s)
         } else {
-            0.0
+            None
         }
     }
 
     /// View as the flat store's report type (image size = bytes written), for callers
-    /// that predate the engine.
+    /// that predate the engine. An unmetered write carries `None` bandwidth — not a
+    /// fabricated `0 MB/s` — so downstream reports can skip the column honestly.
     pub fn to_write_report(&self) -> split_proc::store::WriteReport {
         split_proc::store::WriteReport {
             bytes: self.written_bytes,
@@ -72,6 +75,20 @@ impl StoreReport {
             effective_bandwidth_mb_s: self.effective_bandwidth_mb_s(),
         }
     }
+}
+
+/// What one [`CheckpointStorage::prune_before`] sweep did — and, as important, what
+/// it deliberately did **not** do.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PruneReport {
+    /// Chunk payload bytes freed by the sweep.
+    pub freed_bytes: usize,
+    /// Generations whose checkpoints were dropped, ascending.
+    pub pruned: Vec<u64>,
+    /// Generations older than the cutoff that were *kept*: the newest committed
+    /// generation (the job's only restart point) and any generation still pending
+    /// (a flush in flight must never have its chunks deleted under it), ascending.
+    pub retained: Vec<u64>,
 }
 
 /// Aggregate occupancy of the store.
@@ -129,16 +146,38 @@ struct Catalog {
     full_images: BTreeMap<(u64, Rank), Vec<u8>>,
 }
 
+/// One generation announced as in flight by an asynchronous flush: which ranks'
+/// flushes have landed so far, out of how many the commit needs.
+struct PendingGeneration {
+    expected_ranks: usize,
+    flushed: BTreeSet<Rank>,
+    /// Tombstone: the round was aborted. The entry stays (keeping the generation
+    /// invisible) so a straggler flush that lands *after* the abort is released on
+    /// arrival instead of surfacing a slot of a dead round.
+    aborted: bool,
+}
+
 /// The storage engine. Cloning shares the underlying store (all ranks of a job write
 /// into one engine, which is what makes cross-rank chunk dedup possible).
 ///
 /// Internally the chunk space is split into [`DEFAULT_SHARD_COUNT`] digest-keyed
 /// shards, each behind its own lock, so the parallel per-rank writes of a coordinated
 /// checkpoint proceed concurrently instead of queueing on one global mutex.
+///
+/// Generations move through a **pending → committed** state: a generation announced
+/// via [`begin_generation`](CheckpointStorage::begin_generation) (the asynchronous
+/// flush path) stays invisible to [`generations`](CheckpointStorage::generations),
+/// [`read`](CheckpointStorage::read) and therefore
+/// [`latest_valid_images`](CheckpointStorage::latest_valid_images) until every rank's
+/// flush has landed. Synchronous writes never enter the pending state and are visible
+/// immediately, exactly as before.
 #[derive(Clone)]
 pub struct CheckpointStorage {
     shards: Arc<Vec<Mutex<ChunkShard>>>,
     catalog: Arc<Mutex<Catalog>>,
+    /// Generations announced but not yet fully flushed. Locked on its own, never
+    /// while the catalog or a shard lock is held.
+    pending: Arc<Mutex<BTreeMap<u64, PendingGeneration>>>,
     model: Option<StoreConfig>,
     chunk_size: usize,
 }
@@ -168,6 +207,7 @@ impl CheckpointStorage {
         CheckpointStorage {
             shards: Arc::new((0..DEFAULT_SHARD_COUNT).map(|_| Mutex::default()).collect()),
             catalog: Arc::new(Mutex::new(Catalog::default())),
+            pending: Arc::new(Mutex::new(BTreeMap::new())),
             model: None,
             chunk_size: DEFAULT_CHUNK_SIZE,
         }
@@ -262,6 +302,142 @@ impl CheckpointStorage {
                 }
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Pending-generation lifecycle (asynchronous flush)
+    // ------------------------------------------------------------------
+
+    /// Announce `generation` as in flight: an asynchronous flush of a
+    /// `expected_ranks`-rank job is about to write its images. Until
+    /// [`note_rank_flushed`](CheckpointStorage::note_rank_flushed) has seen every
+    /// rank (or [`commit_generation`](CheckpointStorage::commit_generation) forces
+    /// it), the generation is invisible to readers and protected from
+    /// [`prune_before`](CheckpointStorage::prune_before).
+    ///
+    /// Idempotent: later calls for the same generation are no-ops, so every rank can
+    /// announce before submitting its own flush without coordinating who goes first.
+    /// One exception: an entry left by an **aborted** round (see
+    /// [`abort_generation`](CheckpointStorage::abort_generation)) is *reset* to a
+    /// fresh round — a restarted job legitimately reuses the generation number, and
+    /// the dead round's stale flush accounting must not count toward the new one.
+    /// No slot sweep happens here: every dead-round slot is already released by the
+    /// abort's own sweep or, for a straggler landing later, by its
+    /// [`note_rank_flushed`](CheckpointStorage::note_rank_flushed) hitting the
+    /// tombstone — and sweeping here would race a fresh round's first flushes.
+    /// (Stragglers still in flight at reset time are the caller's to drain first —
+    /// `JobRuntime::restart` waits its flusher pool idle before aborting, precisely
+    /// so no dead-round flush can land after this point and be mistaken for the new
+    /// round's.)
+    pub fn begin_generation(&self, generation: u64, expected_ranks: usize) {
+        let mut pending = self.pending.lock();
+        let entry = pending
+            .entry(generation)
+            .or_insert_with(|| PendingGeneration {
+                expected_ranks: expected_ranks.max(1),
+                flushed: BTreeSet::new(),
+                aborted: false,
+            });
+        if entry.aborted {
+            *entry = PendingGeneration {
+                expected_ranks: expected_ranks.max(1),
+                flushed: BTreeSet::new(),
+                aborted: false,
+            };
+        }
+    }
+
+    /// Record that `rank`'s flush for a pending `generation` has landed. When the
+    /// last expected rank lands, the generation commits — it becomes visible to
+    /// readers — and `true` is returned (exactly once). A generation never announced
+    /// as pending returns `false`: it was visible all along (the synchronous path).
+    /// A flush landing on an **aborted** round is released on the spot (its round is
+    /// dead; the slot must never surface) and reported as `false`.
+    pub fn note_rank_flushed(&self, generation: u64, rank: Rank) -> bool {
+        let aborted_straggler = {
+            let mut pending = self.pending.lock();
+            let Some(entry) = pending.get_mut(&generation) else {
+                return false;
+            };
+            if entry.aborted {
+                true
+            } else {
+                entry.flushed.insert(rank);
+                if entry.flushed.len() >= entry.expected_ranks {
+                    pending.remove(&generation);
+                    return true;
+                }
+                return false;
+            }
+        };
+        if aborted_straggler {
+            self.release_slot(generation, rank);
+        }
+        false
+    }
+
+    /// Force-commit a pending generation (make it visible regardless of flush
+    /// accounting). A no-op if the generation is not pending or its round was
+    /// aborted.
+    pub fn commit_generation(&self, generation: u64) {
+        let mut pending = self.pending.lock();
+        if pending.get(&generation).is_some_and(|entry| !entry.aborted) {
+            pending.remove(&generation);
+        }
+    }
+
+    /// Drop a generation's pending entry entirely, abort tombstone included. Only
+    /// safe once no flush of that generation can still be in flight (the tombstone
+    /// exists precisely to catch stragglers) — restart uses it after aborting the
+    /// dead incarnation's rounds with its flusher pool drained, so the restarted
+    /// job's *synchronous* checkpoints can reuse the generation number without the
+    /// stale tombstone hiding them forever.
+    pub fn forget_generation(&self, generation: u64) {
+        self.pending.lock().remove(&generation);
+    }
+
+    /// Abort a pending generation: release every slot already written for it (the
+    /// chunks become unreferenced and are reclaimed by the next
+    /// [`prune_before`](CheckpointStorage::prune_before) sweep) and tombstone the
+    /// pending entry — the generation stays invisible, and a straggler flush still
+    /// in flight at abort time is released when it lands instead of surfacing a
+    /// slot of the dead round. Returns the number of `(generation, rank)` slots
+    /// released here (stragglers are released later, on arrival).
+    pub fn abort_generation(&self, generation: u64) -> usize {
+        {
+            let mut pending = self.pending.lock();
+            // Only a *pending* round can be aborted: a generation that already
+            // committed (or was never announced) is left alone, so an abort racing
+            // a completed round cannot destroy a valid restart point.
+            match pending.get_mut(&generation) {
+                Some(entry) => entry.aborted = true,
+                None => return 0,
+            }
+        }
+        let slots: Vec<(u64, Rank)> = {
+            let catalog = self.catalog.lock();
+            catalog
+                .manifests
+                .keys()
+                .chain(catalog.full_images.keys())
+                .filter(|(g, _)| *g == generation)
+                .copied()
+                .collect()
+        };
+        for (generation, rank) in &slots {
+            self.release_slot(*generation, *rank);
+        }
+        slots.len()
+    }
+
+    /// Whether `generation` is announced but not yet committed.
+    pub fn is_pending(&self, generation: u64) -> bool {
+        self.pending.lock().contains_key(&generation)
+    }
+
+    /// Generations currently pending (announced, not yet fully flushed), ascending.
+    pub fn pending_generations(&self) -> Vec<u64> {
+        self.pending.lock().keys().copied().collect()
     }
 
     // ------------------------------------------------------------------
@@ -451,7 +627,16 @@ impl CheckpointStorage {
 
     /// Read one rank's image back, whichever policy wrote it, verifying the manifest
     /// CRC and every chunk digest (or the flat image's CRC) end to end.
+    ///
+    /// A generation still pending (an asynchronous flush in flight) is refused: a
+    /// half-flushed generation must never be observed, even piecewise.
     pub fn read(&self, generation: u64, rank: Rank) -> MpiResult<CheckpointImage> {
+        if self.is_pending(generation) {
+            return Err(MpiError::Checkpoint(format!(
+                "generation {generation} is pending (its asynchronous flush has not \
+                 committed); refusing to read a half-flushed checkpoint"
+            )));
+        }
         let manifest_bytes = {
             let catalog = self.catalog.lock();
             if let Some(bytes) = catalog.full_images.get(&(generation, rank)) {
@@ -520,12 +705,26 @@ impl CheckpointStorage {
             || catalog.full_images.contains_key(&(generation, rank))
     }
 
-    /// All generations with at least one checkpoint, ascending.
+    /// All **committed** generations with at least one checkpoint, ascending.
+    /// Generations whose asynchronous flush is still pending are excluded — they do
+    /// not exist yet as far as readers (and restart fallback) are concerned.
     pub fn generations(&self) -> Vec<u64> {
-        let catalog = self.catalog.lock();
-        let mut generations: BTreeSet<u64> = catalog.manifests.keys().map(|(g, _)| *g).collect();
-        generations.extend(catalog.full_images.keys().map(|(g, _)| *g));
-        generations.into_iter().collect()
+        // Catalog snapshot first, pending filter second: any catalogued slot of an
+        // async generation implies `begin_generation` already ran, so a generation
+        // that is half-flushed at the catalog snapshot is still pending when the
+        // filter reads — it can never leak out as committed.
+        let generations: BTreeSet<u64> = {
+            let catalog = self.catalog.lock();
+            let mut generations: BTreeSet<u64> =
+                catalog.manifests.keys().map(|(g, _)| *g).collect();
+            generations.extend(catalog.full_images.keys().map(|(g, _)| *g));
+            generations
+        };
+        let pending = self.pending.lock();
+        generations
+            .into_iter()
+            .filter(|g| !pending.contains_key(g))
+            .collect()
     }
 
     /// The ranks holding a checkpoint in `generation`, ascending (used by tests that
@@ -585,19 +784,53 @@ impl CheckpointStorage {
     // GC and occupancy
     // ------------------------------------------------------------------
 
-    /// Drop all checkpoints from generations older than `keep_from`, releasing chunk
-    /// references and freeing chunks nothing references any more. Returns the number
-    /// of chunk payload bytes freed.
-    pub fn prune_before(&self, keep_from: u64) -> usize {
+    /// Drop checkpoints from generations older than `keep_from`, releasing chunk
+    /// references and freeing chunks nothing references any more.
+    ///
+    /// Two classes of generation are **never** pruned, whatever the cutoff says:
+    ///
+    /// * the newest committed generation — deleting it could leave
+    ///   `restart_job_from_storage` with nothing to fall back to (the cutoff may be
+    ///   arbitrarily aggressive, e.g. computed from a generation counter that ran
+    ///   ahead of the commits);
+    /// * any pending generation — its flush is mid-flight, and deleting chunks under
+    ///   a concurrent writer would tear the generation it is about to commit.
+    ///
+    /// The returned [`PruneReport`] says exactly which generations were dropped and
+    /// which were retained despite being older than the cutoff.
+    pub fn prune_before(&self, keep_from: u64) -> PruneReport {
+        let mut report = PruneReport::default();
         let doomed: Vec<(u64, Rank)> = {
-            let mut catalog = self.catalog.lock();
+            let catalog = self.catalog.lock();
+            // The pending snapshot is taken *while the catalog is held*: any
+            // catalogued slot of an async generation implies `begin_generation`
+            // already ran, so a half-flushed generation can never be mistaken for
+            // the newest committed one (a stale pre-catalog snapshot could miss a
+            // generation that began and landed its first slot in between, stripping
+            // protection from the real restart point). Lock order catalog → pending
+            // is safe: no other path acquires the catalog while holding pending.
+            let pending: BTreeSet<u64> = self.pending.lock().keys().copied().collect();
+            let mut all: BTreeSet<u64> = catalog.manifests.keys().map(|(g, _)| *g).collect();
+            all.extend(catalog.full_images.keys().map(|(g, _)| *g));
+            let newest_committed = all.iter().rev().find(|g| !pending.contains(g)).copied();
+            let protected = |generation: u64| {
+                pending.contains(&generation) || Some(generation) == newest_committed
+            };
+            for &generation in all.iter().filter(|g| **g < keep_from) {
+                if protected(generation) {
+                    report.retained.push(generation);
+                } else {
+                    report.pruned.push(generation);
+                }
+            }
+            let mut catalog = catalog;
             catalog
                 .full_images
-                .retain(|(generation, _), _| *generation >= keep_from);
+                .retain(|(generation, _), _| *generation >= keep_from || protected(*generation));
             catalog
                 .manifests
                 .keys()
-                .filter(|(generation, _)| *generation < keep_from)
+                .filter(|(generation, _)| *generation < keep_from && !protected(*generation))
                 .copied()
                 .collect()
         };
@@ -605,18 +838,17 @@ impl CheckpointStorage {
             self.release_slot(generation, rank);
         }
 
-        let mut freed = 0usize;
         for shard in self.shards.iter() {
             shard.lock().chunks.retain(|_, entry| {
                 if entry.refs == 0 {
-                    freed += entry.stored.len();
+                    report.freed_bytes += entry.stored.len();
                     false
                 } else {
                     true
                 }
             });
         }
-        freed
+        report
     }
 
     /// Aggregate occupancy.

@@ -239,12 +239,14 @@ fn pruning_releases_unshared_chunks_only() {
     storage.write_image(StoragePolicy::Incremental, &image_of(0, 1, &upper));
 
     let before = storage.stats();
-    let freed = storage.prune_before(1);
+    let report = storage.prune_before(1);
     let after = storage.stats();
 
     // Only generation 0's private chunk (the old region001 content) is freed; the
     // seven shared regions' chunks survive because generation 1 references them.
-    assert!(freed > 0);
+    assert_eq!(report.pruned, vec![0]);
+    assert!(report.retained.is_empty());
+    assert!(report.freed_bytes > 0);
     assert!(after.chunk_bytes < before.chunk_bytes);
     assert_eq!(after.manifest_count, 1);
     assert!(
@@ -260,19 +262,34 @@ fn rewriting_a_generation_releases_the_replaced_manifests_chunks() {
     let upper_a = synthetic_upper(0, 4, 32 * 1024);
     let upper_b = synthetic_upper(7, 4, 32 * 1024); // disjoint content
 
+    // What upper_b alone costs in chunk bytes (reference store).
+    let reference = CheckpointStorage::unmetered();
+    reference.write_image(StoragePolicy::Incremental, &image_of(0, 0, &upper_b));
+    let upper_b_chunk_bytes = reference.stats().chunk_bytes;
+
     storage.write_image(StoragePolicy::Incremental, &image_of(0, 0, &upper_a));
     // Rewrite the same (generation, rank) slot — the re-checkpoint-after-fallback
     // case. The replaced manifest must give its chunk references back.
     storage.write_image(StoragePolicy::Incremental, &image_of(0, 0, &upper_b));
     assert_eq!(storage.read(0, 0).unwrap().upper_half, upper_b);
 
-    storage.prune_before(u64::MAX);
-    let stats = storage.stats();
-    assert_eq!(stats.manifest_count, 0);
-    assert_eq!(
-        stats.chunk_count, 0,
-        "chunks of a replaced manifest must not leak past a full prune"
+    // Generation 0 is the newest committed generation, so even a prune past it keeps
+    // it restartable — but the *replaced* manifest's chunks (upper_a's content, now
+    // unreferenced) must be reclaimed by the sweep.
+    let report = storage.prune_before(u64::MAX);
+    assert_eq!(report.retained, vec![0]);
+    assert!(report.pruned.is_empty());
+    assert!(
+        report.freed_bytes > 0,
+        "upper_a's orphaned chunks are freed"
     );
+    let stats = storage.stats();
+    assert_eq!(stats.manifest_count, 1, "the newest generation survives");
+    assert_eq!(
+        stats.chunk_bytes, upper_b_chunk_bytes,
+        "exactly the live manifest's chunks remain — nothing leaked, nothing torn"
+    );
+    assert_eq!(storage.read(0, 0).unwrap().upper_half, upper_b);
 
     // Rewriting a chunked slot with a flat image also releases the manifest.
     let storage = CheckpointStorage::unmetered();
@@ -280,7 +297,12 @@ fn rewriting_a_generation_releases_the_replaced_manifests_chunks() {
     storage.write_image(StoragePolicy::FullImage, &image_of(0, 0, &upper_b));
     assert_eq!(storage.read(0, 0).unwrap().upper_half, upper_b);
     storage.prune_before(u64::MAX);
-    assert_eq!(storage.stats().total_bytes(), 0);
+    let stats = storage.stats();
+    assert_eq!(
+        stats.chunk_count, 0,
+        "the replaced manifest's chunks are freed"
+    );
+    assert_eq!(stats.full_image_count, 1, "the newest generation survives");
 }
 
 #[test]
@@ -327,8 +349,15 @@ fn metered_incremental_writes_model_less_time_than_full() {
         gen1.write_time_s,
         full.write_time_s
     );
-    assert!(gen1.effective_bandwidth_mb_s() >= 0.0);
+    assert!(gen1.effective_bandwidth_mb_s().unwrap() > 0.0);
     assert_eq!(gen1.to_write_report().bytes, gen1.written_bytes);
+
+    // An unmetered write has no bandwidth — `None`, not a fabricated zero — and the
+    // legacy-report view propagates the same honesty.
+    let unmetered = CheckpointStorage::unmetered();
+    let report = unmetered.write_image(StoragePolicy::Incremental, &image_of(0, 0, &upper));
+    assert_eq!(report.effective_bandwidth_mb_s(), None);
+    assert_eq!(report.to_write_report().effective_bandwidth_mb_s, None);
 }
 
 /// Hammer the prune/write race the sharded engine must survive: writers keep
@@ -395,4 +424,258 @@ fn concurrent_prune_never_strands_a_committed_generation() {
             .read(generation, 0)
             .unwrap_or_else(|e| panic!("generation {generation} is torn: {e:?}"));
     }
+}
+
+#[test]
+fn prune_never_drops_the_newest_committed_or_a_pending_generation() {
+    let storage = CheckpointStorage::unmetered();
+    let mut upper = synthetic_upper(0, 8, 8_192);
+    for generation in 0..3u64 {
+        storage.write_image(StoragePolicy::Incremental, &image_of(0, generation, &upper));
+        upper.mark_clean();
+        upper.advance_epoch();
+        upper.region_mut("app.region000").unwrap()[0] = generation as u8;
+    }
+
+    // A cutoff past everything (e.g. computed from a generation counter that ran
+    // ahead of the commits) must still leave the newest committed generation.
+    let report = storage.prune_before(u64::MAX);
+    assert_eq!(report.pruned, vec![0, 1]);
+    assert_eq!(report.retained, vec![2]);
+    assert_eq!(storage.generations(), vec![2]);
+    assert!(storage.read(2, 0).is_ok(), "the restart point survives");
+    assert_eq!(storage.latest_valid_generation(1).unwrap(), 2);
+
+    // A pending generation (flush in flight) is equally untouchable, and does not
+    // lose its protection to the newest-committed rule.
+    storage.begin_generation(3, 1);
+    storage.write_image(StoragePolicy::Incremental, &image_of(0, 3, &upper));
+    let report = storage.prune_before(u64::MAX);
+    assert!(report.pruned.is_empty());
+    assert_eq!(report.retained, vec![2, 3]);
+    assert!(storage.read(2, 0).is_ok());
+
+    // Once the pending generation commits, the old newest becomes prunable.
+    assert!(storage.note_rank_flushed(3, 0));
+    let report = storage.prune_before(u64::MAX);
+    assert_eq!(report.pruned, vec![2]);
+    assert_eq!(report.retained, vec![3]);
+    assert_eq!(storage.latest_valid_generation(1).unwrap(), 3);
+}
+
+#[test]
+fn pending_generation_is_invisible_until_every_rank_flushes() {
+    let storage = CheckpointStorage::unmetered();
+    let upper = synthetic_upper(0, 4, 8_192);
+    storage.write_image(StoragePolicy::Incremental, &image_of(0, 0, &upper));
+    storage.write_image(StoragePolicy::Incremental, &image_of(1, 0, &upper));
+
+    storage.begin_generation(1, 2);
+    storage.begin_generation(1, 2); // idempotent
+    storage.write_image(StoragePolicy::Incremental, &image_of(0, 1, &upper));
+    assert!(storage.is_pending(1));
+    assert_eq!(storage.pending_generations(), vec![1]);
+    assert_eq!(
+        storage.generations(),
+        vec![0],
+        "half-flushed generation hidden"
+    );
+    let err = storage.read(1, 0).unwrap_err();
+    assert!(
+        format!("{err:?}").contains("pending"),
+        "unexpected error {err:?}"
+    );
+    assert_eq!(
+        storage.latest_valid_generation(2).unwrap(),
+        0,
+        "restart fallback must never select a half-flushed generation"
+    );
+
+    assert!(!storage.note_rank_flushed(1, 0));
+    storage.write_image(StoragePolicy::Incremental, &image_of(1, 1, &upper));
+    assert!(storage.note_rank_flushed(1, 1), "last rank commits");
+    assert!(!storage.is_pending(1));
+    assert_eq!(storage.generations(), vec![0, 1]);
+    assert_eq!(storage.latest_valid_generation(2).unwrap(), 1);
+    // A generation never announced as pending reports no commit transition.
+    assert!(!storage.note_rank_flushed(0, 0));
+
+    // The force-commit escape hatch: makes a pending generation visible without
+    // waiting for the flush accounting — but never resurrects an aborted round.
+    storage.begin_generation(2, 2);
+    storage.write_image(StoragePolicy::Incremental, &image_of(0, 2, &upper));
+    assert!(storage.is_pending(2));
+    storage.commit_generation(2);
+    assert!(!storage.is_pending(2));
+    assert_eq!(storage.generations(), vec![0, 1, 2]);
+    storage.begin_generation(3, 2);
+    storage.abort_generation(3);
+    storage.commit_generation(3);
+    assert!(storage.is_pending(3), "an aborted round stays invisible");
+}
+
+#[test]
+fn aborting_a_pending_generation_releases_its_slots() {
+    let storage = CheckpointStorage::unmetered();
+    let upper_old = synthetic_upper(0, 4, 16_384);
+    let upper_new = synthetic_upper(9, 4, 16_384); // disjoint content
+    storage.write_image(StoragePolicy::Incremental, &image_of(0, 0, &upper_old));
+
+    storage.begin_generation(1, 2);
+    storage.write_image(StoragePolicy::Incremental, &image_of(0, 1, &upper_new));
+    let released = storage.abort_generation(1);
+    assert_eq!(released, 1, "one rank's slot had landed");
+    // The tombstone keeps the dead round invisible — it is still "pending" as far
+    // as readers and the pruner are concerned, never half-visible.
+    assert!(storage.is_pending(1));
+    assert_eq!(storage.generations(), vec![0]);
+    let report = storage.prune_before(u64::MAX);
+    assert!(
+        report.freed_bytes > 0,
+        "the aborted flush's chunks are reclaimed"
+    );
+    assert!(storage.read(0, 0).is_ok());
+
+    // A straggler flush of the aborted round — still in flight when the abort ran —
+    // is released the moment it reports in, and never commits the dead round.
+    storage.write_image(StoragePolicy::Incremental, &image_of(1, 1, &upper_new));
+    assert!(!storage.note_rank_flushed(1, 1));
+    assert_eq!(storage.generations(), vec![0]);
+    assert!(
+        storage.read(1, 1).is_err(),
+        "straggler slot released on arrival"
+    );
+
+    // A restarted incarnation reuses the generation number: `begin_generation`
+    // resets the tombstone to a fresh round with fresh flush accounting — the dead
+    // round's stale `flushed` set must not count toward the new round's commit.
+    storage.begin_generation(1, 2);
+    storage.write_image(StoragePolicy::Incremental, &image_of(0, 1, &upper_new));
+    assert!(
+        !storage.note_rank_flushed(1, 0),
+        "fresh round: one of two landed"
+    );
+    storage.write_image(StoragePolicy::Incremental, &image_of(1, 1, &upper_new));
+    assert!(
+        storage.note_rank_flushed(1, 1),
+        "fresh round commits on its own ranks"
+    );
+    assert_eq!(storage.generations(), vec![0, 1]);
+    assert_eq!(storage.latest_valid_generation(2).unwrap(), 1);
+}
+
+/// Satellite stress test: one thread pruning aggressively while two "ranks" take
+/// periodic checkpoints, alternating synchronous writes and asynchronous flushes
+/// through a [`ckpt_store::FlusherPool`]. A restartable generation must survive at
+/// every instant, and the stats stay consistent (no torn survivor, no leak past the
+/// final sweep).
+#[test]
+fn concurrent_prune_with_sync_and_async_checkpoints_keeps_a_restart_point() {
+    use ckpt_store::FlusherPool;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Barrier};
+
+    const WORLD: usize = 2;
+    const GENERATIONS: u64 = 40;
+
+    let storage = CheckpointStorage::unmetered().with_chunk_size(512);
+    let pool = Arc::new(FlusherPool::with_workers(storage.clone(), 2));
+    let done = Arc::new(AtomicBool::new(false));
+    let round_barrier = Arc::new(Barrier::new(WORLD));
+
+    let writers: Vec<_> = (0..WORLD as i32)
+        .map(|rank| {
+            let storage = storage.clone();
+            let pool = Arc::clone(&pool);
+            let round_barrier = Arc::clone(&round_barrier);
+            std::thread::spawn(move || {
+                let mut upper = synthetic_upper(rank, 6, 2_048);
+                for generation in 0..GENERATIONS {
+                    upper.region_mut("app.region000").unwrap()[0] = generation as u8;
+                    let image = CheckpointImage::new(
+                        ImageMetadata {
+                            rank,
+                            world_size: WORLD,
+                            generation,
+                            implementation: "mpich".into(),
+                        },
+                        upper.clone(),
+                    );
+                    // Ranks agree on the mode per generation: even = sync write,
+                    // odd = async flush through the pool. Both announce the
+                    // generation pending first, exactly as the orchestrator's
+                    // coordinated paths do — a half-written generation must never
+                    // look committed to the racing pruner.
+                    round_barrier.wait();
+                    storage.begin_generation(generation, WORLD);
+                    if generation % 2 == 0 {
+                        storage.write_image(StoragePolicy::Incremental, &image);
+                        storage.note_rank_flushed(generation, rank);
+                    } else {
+                        pool.submit(StoragePolicy::Incremental, image).wait();
+                    }
+                    upper.mark_clean();
+                    upper.advance_epoch();
+                }
+            })
+        })
+        .collect();
+
+    let pruner = {
+        let storage = storage.clone();
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut sweeps = 0u64;
+            let mut committed_once = false;
+            while !done.load(Ordering::SeqCst) {
+                // As aggressive as it gets: prune *everything*. The guard must keep
+                // the newest committed generation and anything mid-flush.
+                storage.prune_before(u64::MAX);
+                // The assertion latches: from the first observed commit onwards, a
+                // restartable generation must exist at *every* instant, pruner
+                // racing or not — an empty committed set after that point is
+                // exactly the failure this test exists to catch, not a reason to
+                // skip the check.
+                committed_once = committed_once || !storage.generations().is_empty();
+                if committed_once {
+                    storage
+                        .latest_valid_images(WORLD)
+                        .expect("a restartable generation must always survive");
+                }
+                let stats = storage.stats();
+                assert!(stats.total_bytes() >= stats.chunk_bytes);
+                sweeps += 1;
+                std::thread::yield_now();
+            }
+            assert!(sweeps > 0);
+        })
+    };
+
+    for writer in writers {
+        writer.join().unwrap();
+    }
+    pool.wait_idle();
+    done.store(true, Ordering::SeqCst);
+    pruner.join().unwrap();
+
+    // Quiescent wrap-up: nothing pending, the newest generation is complete for the
+    // whole world, and every surviving generation validates end to end.
+    assert!(storage.pending_generations().is_empty());
+    let (generation, images) = storage.latest_valid_images(WORLD).unwrap();
+    assert_eq!(generation, GENERATIONS - 1);
+    assert_eq!(images.len(), WORLD);
+    for generation in storage.generations() {
+        for rank in 0..WORLD {
+            storage
+                .read(generation, rank as i32)
+                .unwrap_or_else(|e| panic!("generation {generation} rank {rank} torn: {e:?}"));
+        }
+    }
+    // After a final sweep only the newest committed generation (and its chunks)
+    // remains: refcount accounting survived the concurrency.
+    let report = storage.prune_before(u64::MAX);
+    assert_eq!(report.retained, vec![GENERATIONS - 1]);
+    let stats = storage.stats();
+    assert_eq!(stats.manifest_count, WORLD);
+    assert!(stats.chunk_count > 0);
 }

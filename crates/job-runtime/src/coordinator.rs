@@ -65,9 +65,31 @@ impl CommitLedger {
         self.commits.lock().len()
     }
 
+    /// Rewind the ledger to a restored generation: drop records of newer (dead or
+    /// torn) rounds and republish the restored generation. Called on restart, where
+    /// a fallback legitimately regresses the generation counter — without this, the
+    /// in-run never-regress guard of the commit recording would pin
+    /// `published_generation` to a dead incarnation's higher number forever.
+    pub fn rewind_to(&self, generation: u64) {
+        let mut commits = self.commits.lock();
+        commits.retain(|g, _| *g <= generation);
+        self.published.store(generation, Ordering::SeqCst);
+    }
+
     fn record(&self, generation: u64, steps: Option<u64>) {
         self.commits.lock().insert(generation, steps);
-        self.published.store(generation, Ordering::SeqCst);
+        // Never regress the published generation: asynchronous flushes can commit
+        // out of order (generation G's flush may outlast G+1's), and the newest
+        // committed generation must stay published.
+        let _ = self
+            .published
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |current| {
+                if current == NO_GENERATION || generation > current {
+                    Some(generation)
+                } else {
+                    None
+                }
+            });
     }
 }
 
@@ -130,7 +152,17 @@ pub struct Coordinator {
     /// How long a rank waits at the commit barrier before declaring the job wedged
     /// (a peer died mid-checkpoint).
     barrier_timeout: Duration,
+    /// Per-generation asynchronous flush accounting: how many ranks' background
+    /// flushes have landed and the fold of their step counts (minimum wins, like the
+    /// blocking barrier). Nobody ever *waits* on this state — that is the point.
+    flush_rounds: Mutex<BTreeMap<u64, FlushRound>>,
     ledger: Arc<CommitLedger>,
+}
+
+#[derive(Default)]
+struct FlushRound {
+    landed: usize,
+    steps: Option<u64>,
 }
 
 impl Coordinator {
@@ -158,6 +190,7 @@ impl Coordinator {
             }),
             barrier_cv: Condvar::new(),
             barrier_timeout: Duration::from_secs(30),
+            flush_rounds: Mutex::new(BTreeMap::new()),
             ledger,
         }
     }
@@ -344,6 +377,40 @@ impl Coordinator {
         // no later round can complete before every waiter of this one has left.
         Ok(state.decided_intent)
     }
+
+    // ------------------------------------------------------------------
+    // Phase 2c: asynchronous flush commit (no barrier, nobody blocks)
+    // ------------------------------------------------------------------
+
+    /// Record that one rank's background flush of `generation` has landed. Called
+    /// from flusher-pool worker threads, never from rank threads — ranks return to
+    /// computation the moment their snapshot is frozen.
+    ///
+    /// When the last rank's flush lands, the generation's step fold is recorded in
+    /// the ledger (the storage engine itself committed the generation a moment
+    /// earlier, in the same worker, via its pending-flush accounting). Returns `true`
+    /// exactly once per generation, from the landing that completed it.
+    pub fn note_flush_landed(&self, generation: u64, steps: Option<u64>) -> bool {
+        let mut rounds = self.flush_rounds.lock();
+        let round = rounds.entry(generation).or_default();
+        round.landed += 1;
+        round.steps = match (round.steps, steps) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        if round.landed >= self.world_size {
+            let round = rounds.remove(&generation).expect("entry just touched");
+            self.ledger.record(generation, round.steps);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Generations whose asynchronous flushes are still partially outstanding.
+    pub fn flushes_in_flight(&self) -> usize {
+        self.flush_rounds.lock().len()
+    }
 }
 
 impl DrainObserver for Coordinator {
@@ -378,10 +445,58 @@ pub fn coordinated_checkpoint(
     rank.drain_quiescent(&plan, coordinator)?;
     rank.complete_drain()?;
     // Phase 2: parallel per-rank write (the sharded store admits all ranks at once),
-    // then the commit barrier publishes the generation atomically.
-    let report = rank.write_checkpoint_into(storage)?;
-    coordinator.commit(rank.world_rank(), report.generation, steps)?;
-    Ok(report)
+    // then the commit barrier publishes the generation atomically. The generation is
+    // announced *pending* in the store for the duration of the round, so a
+    // half-written generation is never visible to readers — and never mistaken for
+    // the newest committed generation by a concurrent `prune_before`.
+    let generation = rank.generation();
+    storage.begin_generation(generation, coordinator.world_size());
+    let result = (|| {
+        let report = rank.write_checkpoint_into(storage)?;
+        storage.note_rank_flushed(report.generation, rank.world_rank());
+        coordinator.commit(rank.world_rank(), report.generation, steps)?;
+        Ok(report)
+    })();
+    if result.is_err() {
+        // The round failed (a write error, or the commit barrier poisoned/timed
+        // out): abort the generation so its pending entry cannot linger forever —
+        // retained by every GC sweep and poisoning a later round that reuses the
+        // number with a stale partial rank set. Aborting is a no-op if the round
+        // actually committed in storage (abort only touches pending rounds).
+        storage.abort_generation(generation);
+    }
+    result
+}
+
+/// Run one rank through a coordinated checkpoint with an **asynchronous flush**: the
+/// two MPI-level quiesce phases and the job-wide observed drain exactly as the
+/// synchronous [`coordinated_checkpoint`], but the storage write is split off — the
+/// rank freezes its image (a memory copy), submits it to `flusher`, and returns to
+/// computation immediately with a [`FlushHandle`].
+///
+/// The generation is announced *pending* in the store and commits — becoming visible
+/// to `latest_valid_images`/`read_job` and published in the ledger — only when every
+/// rank's background flush has landed, with no rank ever blocking on it: the flusher
+/// worker that lands the last image performs the commit. A job killed mid-flush
+/// leaves the generation pending forever, and a restart falls back to the newest
+/// committed generation exactly as it falls back from a torn synchronous write.
+pub fn coordinated_checkpoint_async(
+    rank: &mut ManaRank,
+    coordinator: &Arc<Coordinator>,
+    flusher: &ckpt_store::FlusherPool,
+    steps: Option<u64>,
+) -> MpiResult<ckpt_store::FlushHandle> {
+    // Phase 1: quiesce + drain to job-observed global quiescence (unchanged — the
+    // network must be quiet before the upper half is frozen).
+    let plan = rank.begin_checkpoint()?;
+    rank.drain_quiescent(&plan, coordinator.as_ref())?;
+    rank.complete_drain()?;
+    // Phase 2: freeze and submit. The commit accounting rides the flush completion
+    // callback on the worker thread; this rank does not wait for anything.
+    let coordinator = Arc::clone(coordinator);
+    rank.write_checkpoint_async_with(flusher, move |report| {
+        coordinator.note_flush_landed(report.generation, steps);
+    })
 }
 
 /// One rank's mid-step checkpoint hook: the [`CheckpointIntercept`] a step-driven run
@@ -440,13 +555,31 @@ impl CheckpointIntercept for MidStepIntercept {
         let plan = rank.begin_checkpoint()?;
         rank.drain_quiescent(&plan, self.coordinator.as_ref())?;
         rank.complete_drain()?;
-        let report = rank.write_checkpoint_into(&self.storage)?;
-        let decided = self.coordinator.commit_with_intent(
-            rank.world_rank(),
-            report.generation,
-            Some(steps),
-            snapshot,
-        )?;
+        // Same pending announcement as `coordinated_checkpoint`: the generation is
+        // invisible (and prune-protected) until every rank's write lands.
+        let generation = rank.generation();
+        self.storage
+            .begin_generation(generation, self.coordinator.world_size());
+        let decided = (|| {
+            let report = rank.write_checkpoint_into(&self.storage)?;
+            self.storage
+                .note_rank_flushed(report.generation, rank.world_rank());
+            self.coordinator.commit_with_intent(
+                rank.world_rank(),
+                report.generation,
+                Some(steps),
+                snapshot,
+            )
+        })();
+        // See `coordinated_checkpoint`: a failed round must not leave a stale
+        // pending entry behind (no-op if the round committed).
+        let decided = match decided {
+            Ok(decided) => decided,
+            Err(error) => {
+                self.storage.abort_generation(generation);
+                return Err(error);
+            }
+        };
         self.serviced
             .store(decided.epoch.max(already), Ordering::SeqCst);
         // Vacate only on a *newly serviced* preempting intent — a stale vacate flag
@@ -494,6 +627,40 @@ mod tests {
             "an interleaved generation must fail both ranks"
         );
         assert!(ledger.published_generation().is_none());
+    }
+
+    #[test]
+    fn ledger_rewind_tracks_a_fallback_restart() {
+        let ledger = CommitLedger::new();
+        ledger.record(0, Some(2));
+        ledger.record(3, Some(8));
+        assert_eq!(ledger.published_generation(), Some(3));
+        // Fallback restart onto generation 0: the dead incarnation's records go.
+        ledger.rewind_to(0);
+        assert_eq!(ledger.published_generation(), Some(0));
+        assert_eq!(ledger.steps_at(0), Some(2));
+        assert_eq!(ledger.steps_at(3), None);
+        // The resumed run's lower-numbered commits are no longer suppressed.
+        ledger.record(1, Some(4));
+        assert_eq!(ledger.published_generation(), Some(1));
+    }
+
+    #[test]
+    fn async_flush_commit_records_once_and_never_regresses() {
+        let ledger = Arc::new(CommitLedger::new());
+        let coordinator = Coordinator::new(2, None, Arc::clone(&ledger));
+        assert!(!coordinator.note_flush_landed(4, Some(8)));
+        assert!(ledger.published_generation().is_none());
+        // Generation 5's flushes land first (they were smaller).
+        assert!(!coordinator.note_flush_landed(5, Some(12)));
+        assert!(coordinator.note_flush_landed(5, Some(10)));
+        assert_eq!(ledger.published_generation(), Some(5));
+        assert_eq!(ledger.steps_at(5), Some(10), "minimum step fold wins");
+        // Generation 4's late flush lands afterwards: recorded, never regressing.
+        assert!(coordinator.note_flush_landed(4, Some(6)));
+        assert_eq!(ledger.published_generation(), Some(5));
+        assert_eq!(ledger.steps_at(4), Some(6));
+        assert_eq!(coordinator.flushes_in_flight(), 0);
     }
 
     #[test]

@@ -3,15 +3,18 @@
 //! scenario the examples and tests used to hand-roll with `thread::spawn` loops.
 
 use crate::backend::Backend;
-use crate::coordinator::{coordinated_checkpoint, CommitLedger, Coordinator, MidStepIntercept};
-use ckpt_store::{CheckpointStorage, StoreReport};
+use crate::coordinator::{
+    coordinated_checkpoint, coordinated_checkpoint_async, CommitLedger, Coordinator,
+    MidStepIntercept,
+};
+use ckpt_store::{CheckpointStorage, FlushHandle, FlusherPool, StoreReport};
 use mana::restart::restart_job_from_storage;
 use mana::{CheckpointIntercept, IntentOutcome, ManaConfig, ManaRank, Session, StoragePolicy};
 use mpi_model::error::{MpiError, MpiResult};
 use mpi_model::op::UserFunctionRegistry;
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 /// Run one closure per worker, each on its own thread, and collect the results in
@@ -81,6 +84,19 @@ pub struct JobConfig {
     /// intent interrupted is repeated after a resume. Consumed by the first run it
     /// fires in.
     pub preempt_mid_step_at: Option<u64>,
+    /// Asynchronous checkpoint flush: at a step-boundary checkpoint, ranks freeze
+    /// their upper half (a memory copy) and return to computation immediately while
+    /// a background flusher pool chunks, compresses and stores the images. The
+    /// generation is published only once every rank's flush lands — no rank ever
+    /// blocks on the commit.
+    ///
+    /// **Precedence:** [`JobConfig::checkpoint_mid_step`] wins. In mid-step mode
+    /// *every* checkpoint — boundary checkpoints included — is serviced through the
+    /// synchronous [`MidStepIntercept`], because intent-servicing ranks and
+    /// boundary-checkpointing ranks must fold into one commit round (and a
+    /// preempting intent needs its generation durable before the rank vacates), so
+    /// this flag has no effect while mid-step mode is on.
+    pub async_checkpoint: bool,
     /// How long the drain may observe zero job-wide progress before declaring a
     /// stall.
     pub stall_budget: Duration,
@@ -97,6 +113,7 @@ impl Default for JobConfig {
             checkpoint_mid_step: false,
             mid_step_checkpoint_at: None,
             preempt_mid_step_at: None,
+            async_checkpoint: false,
             stall_budget: Duration::from_secs(5),
         }
     }
@@ -150,6 +167,13 @@ impl JobConfig {
         self.preempt_mid_step_at = Some(step);
         self
     }
+
+    /// Flush step-boundary checkpoints asynchronously (see
+    /// [`JobConfig::async_checkpoint`]).
+    pub fn with_async_checkpoint(mut self) -> Self {
+        self.async_checkpoint = true;
+        self
+    }
 }
 
 /// Per-rank handle into the coordinator, passed to [`JobRuntime::run`] bodies so
@@ -158,6 +182,9 @@ impl JobConfig {
 pub struct JobCtx {
     coordinator: Arc<Coordinator>,
     storage: CheckpointStorage,
+    /// Lazily spawned, shared with the owning [`JobRuntime`]: the pool's worker
+    /// threads only exist once some rank actually takes an async checkpoint.
+    flusher: Arc<OnceLock<Arc<FlusherPool>>>,
 }
 
 impl JobCtx {
@@ -166,6 +193,22 @@ impl JobCtx {
     pub fn checkpoint(&self, session: &mut Session) -> MpiResult<StoreReport> {
         session.reap();
         coordinated_checkpoint(session.rank_mut(), &self.coordinator, &self.storage, None)
+    }
+
+    /// Take a coordinated checkpoint with an asynchronous flush: the rank returns as
+    /// soon as its snapshot is frozen, holding a [`FlushHandle`] for the background
+    /// write. Collective, like [`JobCtx::checkpoint`]. The generation publishes only
+    /// when every rank's flush lands.
+    pub fn checkpoint_async(&self, session: &mut Session) -> MpiResult<FlushHandle> {
+        session.reap();
+        coordinated_checkpoint_async(session.rank_mut(), &self.coordinator, self.flusher(), None)
+    }
+
+    /// The background flusher pool asynchronous checkpoints go through (spawned on
+    /// first use).
+    pub fn flusher(&self) -> &Arc<FlusherPool> {
+        self.flusher
+            .get_or_init(|| Arc::new(FlusherPool::new(self.storage.clone())))
     }
 
     /// The storage engine checkpoints go into.
@@ -239,6 +282,9 @@ enum RankOutcome<T> {
 pub struct JobRuntime {
     config: JobConfig,
     storage: CheckpointStorage,
+    /// Spawned lazily on first async checkpoint (a purely synchronous job never
+    /// pays for idle flusher threads); shared across runs and restarts.
+    flusher: Arc<OnceLock<Arc<FlusherPool>>>,
     registry: Arc<RwLock<UserFunctionRegistry>>,
     ledger: Arc<CommitLedger>,
     session: AtomicU64,
@@ -261,6 +307,7 @@ impl JobRuntime {
             mid_ckpt_armed: AtomicBool::new(config.mid_step_checkpoint_at.is_some()),
             mid_kill_armed: AtomicBool::new(config.preempt_mid_step_at.is_some()),
             config,
+            flusher: Arc::new(OnceLock::new()),
             storage,
             registry: Arc::new(RwLock::new(UserFunctionRegistry::new())),
             ledger: Arc::new(CommitLedger::new()),
@@ -276,6 +323,14 @@ impl JobRuntime {
     /// The checkpoint store every generation of this job lands in.
     pub fn storage(&self) -> &CheckpointStorage {
         &self.storage
+    }
+
+    /// The background flusher pool used when
+    /// [`JobConfig::async_checkpoint`] is on (spawned on first use; shared across
+    /// runs and restarts).
+    pub fn flusher(&self) -> &Arc<FlusherPool> {
+        self.flusher
+            .get_or_init(|| Arc::new(FlusherPool::new(self.storage.clone())))
     }
 
     /// The shared user-function registry (survives restarts, as user-defined
@@ -361,11 +416,26 @@ impl JobRuntime {
     /// Relaunch lower halves on `backend` and restore every rank from the newest
     /// generation that validates end to end for the whole job.
     pub fn restart(&self, backend: Backend) -> MpiResult<(Vec<ManaRank>, u64)> {
+        // The flusher pool outlives a vacated world (the simulated node-local flush
+        // daemon). Let any straggler flush of the dead incarnation land *before*
+        // the restart aborts pending generations: a straggler landing after the
+        // abort-and-reset could otherwise be counted toward the new incarnation's
+        // round for the same generation number.
+        if let Some(pool) = self.flusher.get() {
+            pool.wait_idle();
+        }
         let session = self.session.fetch_add(1, Ordering::SeqCst);
         let lowers = backend
             .factory()
             .launch(self.config.world_size, self.registry(), session)?;
-        restart_job_from_storage(lowers, &self.storage, self.config.mana, self.registry())
+        let (ranks, generation) =
+            restart_job_from_storage(lowers, &self.storage, self.config.mana, self.registry())?;
+        // A fallback legitimately regresses the generation counter: rewind the
+        // ledger to the restored generation so `published_generation` tracks the
+        // resumed run instead of staying pinned to a dead incarnation's higher
+        // (possibly torn) number by the in-run never-regress guard.
+        self.ledger.rewind_to(generation);
+        Ok((ranks, generation))
     }
 
     fn run_ranks<T, F>(&self, ranks: Vec<ManaRank>, body: F) -> MpiResult<Vec<T>>
@@ -375,10 +445,12 @@ impl JobRuntime {
     {
         let coordinator = self.coordinator();
         let storage = self.storage.clone();
+        let flusher = Arc::clone(&self.flusher);
         run_world(ranks, move |_, rank| {
             let ctx = JobCtx {
                 coordinator: Arc::clone(&coordinator),
                 storage: storage.clone(),
+                flusher: Arc::clone(&flusher),
             };
             body(Session::new(rank), ctx)
         })
@@ -460,6 +532,11 @@ impl JobRuntime {
         }
         let coordinator = self.coordinator();
         let storage = self.storage.clone();
+        // Mid-step mode takes precedence (see `JobConfig::async_checkpoint`): all
+        // its checkpoints are synchronous, so the flag is only effective without
+        // it — and only an effectively-async run materializes the flusher pool.
+        let async_ckpt = self.config.async_checkpoint && !self.config.checkpoint_mid_step;
+        let flusher = async_ckpt.then(|| Arc::clone(self.flusher()));
         let kill_at = if self.kill_armed.load(Ordering::SeqCst) {
             self.config.kill_at_step
         } else {
@@ -490,67 +567,101 @@ impl JobRuntime {
             } else {
                 None
             };
-            let mut last = None;
-            for step in start_step..total_steps {
-                if let Some(hook) = &intercept {
-                    hook.enter_step(step);
-                }
-                let vacate_here = mid_kill_at == Some(step);
-                if (vacate_here || mid_ckpt_at == Some(step)) && session.world_rank() == 0 {
-                    // Rank 0 broadcasts the injected intent after a short stagger, so
-                    // its peers are already parked in this step's collective
-                    // registration phase when the intent lands — the "some ranks
-                    // registered, others not yet entered" straddle.
-                    std::thread::sleep(Duration::from_millis(10));
-                    if vacate_here {
-                        coordinator.request_preempting_checkpoint();
-                    } else {
-                        coordinator.request_checkpoint_now();
+            // This rank's in-flight asynchronous flush — at most one, by the
+            // backpressure below. Waited before the rank thread returns (on
+            // completion *and* on preemption — the simulated flusher outlives a
+            // vacated allocation, like a node-local burst-buffer daemon), so
+            // `drive`'s caller observes a settled ledger.
+            let mut in_flight: Option<FlushHandle> = None;
+            let outcome = (|session: &mut Session, in_flight: &mut Option<FlushHandle>| {
+                let mut last = None;
+                for step in start_step..total_steps {
+                    if let Some(hook) = &intercept {
+                        hook.enter_step(step);
                     }
-                }
-                match step_fn(&mut session, step) {
-                    Ok(value) => last = Some(value),
-                    // The rank serviced a preempting intent inside the step and
-                    // vacated from within a wrapper.
-                    Err(MpiError::Preempted) => return Ok(RankOutcome::Preempted),
-                    Err(error) => return Err(error),
-                }
-                let boundary = step + 1;
-                // Descriptors of requests the step body dropped without completing
-                // must be removed *before* any checkpoint at this boundary — a
-                // leaked descriptor serialized into the image would survive restart
-                // with no reaper entry left to collect it.
-                session.reap();
-                if let Some(hook) = &intercept {
-                    // Boundary safe point: an intent no collective happened to catch
-                    // (a step without collectives) is serviced here — and a periodic
-                    // checkpoint due at this boundary goes through the same hook, so
-                    // an intent raised concurrently with a due boundary cannot split
-                    // the world into an intent round and a boundary round: every
-                    // rank folds into one commit round and adopts its one decision.
-                    hook.enter_step(boundary);
-                    if hook.intent_pending() || coordinator.checkpoint_due(boundary) {
-                        match hook.service(session.rank_mut()) {
-                            Ok(IntentOutcome::Continue) => {}
-                            Ok(IntentOutcome::Vacate) => return Ok(RankOutcome::Preempted),
-                            Err(error) => return Err(error),
+                    let vacate_here = mid_kill_at == Some(step);
+                    if (vacate_here || mid_ckpt_at == Some(step)) && session.world_rank() == 0 {
+                        // Rank 0 broadcasts the injected intent after a short stagger, so
+                        // its peers are already parked in this step's collective
+                        // registration phase when the intent lands — the "some ranks
+                        // registered, others not yet entered" straddle.
+                        std::thread::sleep(Duration::from_millis(10));
+                        if vacate_here {
+                            coordinator.request_preempting_checkpoint();
+                        } else {
+                            coordinator.request_checkpoint_now();
                         }
                     }
-                } else if coordinator.checkpoint_due(boundary) {
-                    coordinated_checkpoint(
-                        session.rank_mut(),
-                        &coordinator,
-                        &storage,
-                        Some(boundary),
-                    )?;
+                    match step_fn(session, step) {
+                        Ok(value) => last = Some(value),
+                        // The rank serviced a preempting intent inside the step and
+                        // vacated from within a wrapper.
+                        Err(MpiError::Preempted) => return Ok(RankOutcome::Preempted),
+                        Err(error) => return Err(error),
+                    }
+                    let boundary = step + 1;
+                    // Descriptors of requests the step body dropped without completing
+                    // must be removed *before* any checkpoint at this boundary — a
+                    // leaked descriptor serialized into the image would survive restart
+                    // with no reaper entry left to collect it.
+                    session.reap();
+                    if let Some(hook) = &intercept {
+                        // Boundary safe point: an intent no collective happened to catch
+                        // (a step without collectives) is serviced here — and a periodic
+                        // checkpoint due at this boundary goes through the same hook, so
+                        // an intent raised concurrently with a due boundary cannot split
+                        // the world into an intent round and a boundary round: every
+                        // rank folds into one commit round and adopts its one decision.
+                        hook.enter_step(boundary);
+                        if hook.intent_pending() || coordinator.checkpoint_due(boundary) {
+                            match hook.service(session.rank_mut()) {
+                                Ok(IntentOutcome::Continue) => {}
+                                Ok(IntentOutcome::Vacate) => return Ok(RankOutcome::Preempted),
+                                Err(error) => return Err(error),
+                            }
+                        }
+                    } else if coordinator.checkpoint_due(boundary) {
+                        if async_ckpt {
+                            // Backpressure: at most one flush in flight per rank. If
+                            // the previous generation's flush is still running when
+                            // the next boundary arrives, the rank absorbs the
+                            // remaining flush time here — otherwise every boundary
+                            // would queue another full upper-half copy and a slow
+                            // store could grow the queue without bound.
+                            if let Some(previous) = in_flight.take() {
+                                previous.wait();
+                            }
+                            // Snapshot fast, flush in the background: the rank holds the
+                            // handle and moves straight on to the next step. The commit
+                            // (storage visibility + ledger publish) happens on the
+                            // flusher thread that lands the last rank's image.
+                            *in_flight = Some(coordinated_checkpoint_async(
+                                session.rank_mut(),
+                                &coordinator,
+                                flusher.as_ref().expect("async runs materialize the pool"),
+                                Some(boundary),
+                            )?);
+                        } else {
+                            coordinated_checkpoint(
+                                session.rank_mut(),
+                                &coordinator,
+                                &storage,
+                                Some(boundary),
+                            )?;
+                        }
+                    }
+                    if kill_at == Some(boundary) && boundary < total_steps {
+                        // The allocation is revoked: the rank vacates without any
+                        // further checkpoint. Work since the last commit is lost.
+                        return Ok(RankOutcome::Preempted);
+                    }
                 }
-                if kill_at == Some(boundary) && boundary < total_steps {
-                    // The allocation is revoked: the rank vacates without any
-                    // further checkpoint. Work since the last commit is lost.
-                    return Ok(RankOutcome::Preempted);
-                }
+                Ok(RankOutcome::Completed(last.expect("at least one step ran")))
+            })(&mut session, &mut in_flight);
+            if let Some(handle) = in_flight {
+                handle.wait();
             }
-            Ok(RankOutcome::Completed(last.expect("at least one step ran")))
+            outcome
         })?;
 
         let preempted = outcomes

@@ -211,3 +211,129 @@ fn incremental_policy_applies_through_the_orchestrator() {
     // 3 generations x 256 KiB per rank.
     assert!(stats.total_bytes() < 2 * 2 * 256 * 1024);
 }
+
+/// Asynchronous checkpoint flush through the step driver: every boundary generation
+/// is published (by flusher threads, not rank threads), nothing stays pending, and
+/// the results match the synchronous run exactly.
+#[test]
+fn async_checkpoint_publishes_every_boundary_generation() {
+    let step_fn = |session: &mut Session, step: u64| -> MpiResult<i64> {
+        if step == 0 {
+            let bulk: Vec<u8> = (0..128 * 1024)
+                .map(|i| ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 24) as u8)
+                .collect();
+            session.upper_mut().map_region("app.bulk", bulk);
+        }
+        let me = session.world_rank() as i64;
+        let world = session.world()?;
+        Ok(session.allreduce(&[me + step as i64], Op::sum(), world)?[0])
+    };
+
+    let sync_runtime = JobRuntime::new(JobConfig::new(4, Backend::Mpich).with_checkpoint_every(2));
+    let sync = sync_runtime.run_steps(6, step_fn).unwrap();
+
+    let async_runtime = JobRuntime::new(
+        JobConfig::new(4, Backend::Mpich)
+            .with_checkpoint_every(2)
+            .with_async_checkpoint(),
+    );
+    let run = async_runtime.run_steps(6, step_fn).unwrap();
+
+    assert!(!run.was_preempted());
+    assert_eq!(
+        run.generation(),
+        Some(2),
+        "generations 0..=2 at boundaries 2/4/6"
+    );
+    assert_eq!(async_runtime.checkpoints_committed(), 3);
+    assert!(
+        async_runtime.storage().pending_generations().is_empty(),
+        "every flush landed and committed before the run returned"
+    );
+    assert_eq!(
+        async_runtime.storage().generations(),
+        vec![0, 1, 2],
+        "all three generations visible"
+    );
+    assert_eq!(
+        run.results().unwrap(),
+        sync.results().unwrap(),
+        "the async flush must not perturb the computation"
+    );
+    // Every committed generation is restorable for the whole world.
+    for generation in 0..=2 {
+        assert_eq!(
+            async_runtime
+                .storage()
+                .read_job(generation, 4)
+                .unwrap()
+                .len(),
+            4
+        );
+    }
+}
+
+/// Preemption with async flush: the job vacates at the kill boundary, the in-flight
+/// flushes settle, and the resume restarts from the newest *committed* generation
+/// with bit-identical results.
+#[test]
+fn async_checkpoint_preemption_resumes_from_committed_generation() {
+    let step_fn = |session: &mut Session, step: u64| -> MpiResult<i64> {
+        let me = session.world_rank() as i64;
+        let world = session.world()?;
+        Ok(session.allreduce(&[me * 10 + step as i64], Op::sum(), world)?[0])
+    };
+
+    let runtime = JobRuntime::new(
+        JobConfig::new(3, Backend::Mpich)
+            .with_checkpoint_every(2)
+            .with_kill_at_step(5)
+            .with_async_checkpoint(),
+    );
+    let run = runtime.run_steps(8, step_fn).unwrap();
+    assert!(run.was_preempted());
+    // Boundaries 2 and 4 checkpointed before the kill at 5.
+    assert_eq!(run.generation(), Some(1));
+    assert!(runtime.storage().pending_generations().is_empty());
+
+    let resumed = runtime.run_to_completion(8, step_fn).unwrap();
+    assert!(!resumed.was_preempted());
+    // A straight-through reference run must agree exactly.
+    let reference = JobRuntime::new(JobConfig::new(3, Backend::Mpich))
+        .run_steps(8, step_fn)
+        .unwrap();
+    assert_eq!(resumed.results().unwrap(), reference.results().unwrap());
+}
+
+/// Free-form bodies can take async checkpoints through `JobCtx::checkpoint_async`:
+/// the handle reports the background write, and a resume restores the generation.
+#[test]
+fn jobctx_async_checkpoint_round_trips() {
+    let runtime = JobRuntime::new(JobConfig::new(2, Backend::OpenMpi));
+    runtime
+        .run(|mut session, ctx| {
+            let me = session.world_rank();
+            let world = session.world()?;
+            let total = session.allreduce(&[me + 1], Op::sum(), world)?[0];
+            session.upper_mut().store_json(STATE, &(me, total, world))?;
+            let handle = ctx.checkpoint_async(&mut session)?;
+            assert_eq!(handle.generation(), 0);
+            // The rank is free to compute here while the flush runs; the handle can
+            // be awaited for the physical write report.
+            let report = handle.wait();
+            assert!(report.written_bytes > 0);
+            Ok(())
+        })
+        .unwrap();
+    assert_eq!(runtime.published_generation(), Some(0));
+
+    let (results, generation) = runtime
+        .resume(|mut session, _ctx| {
+            let (me, total, world): (i32, i32, Comm) = session.upper().load_json(STATE)?;
+            assert_eq!(me, session.world_rank());
+            Ok(session.allreduce(&[total], Op::<i32>::sum(), world)?[0])
+        })
+        .unwrap();
+    assert_eq!(generation, 0);
+    assert_eq!(results, vec![6, 6], "(1+2)*2 on both ranks");
+}

@@ -21,7 +21,7 @@
 //! addresses) is saved: that is the whole point of the split-process design.
 
 use crate::runtime::{BufferedMessage, ManaRank};
-use ckpt_store::{CheckpointStorage, StoreReport};
+use ckpt_store::{CheckpointStorage, FlushHandle, FlusherPool, StoreReport};
 use mpi_model::buffer::{bytes_to_u64, u64_to_bytes};
 use mpi_model::constants::PredefinedObject;
 use mpi_model::error::{MpiError, MpiResult};
@@ -67,6 +67,18 @@ pub struct DrainPlan {
 }
 
 impl DrainPlan {
+    /// A hand-built plan: expect `expected_from[i]` cumulative messages from world
+    /// rank `i`, at the given collective epoch. For tests and stall-path diagnostics
+    /// that need a plan no real exchange would produce (e.g. a peer that never
+    /// sends); real checkpoints get their plan from
+    /// [`ManaRank::begin_checkpoint`].
+    pub fn synthetic(expected_from: Vec<u64>, collective_epoch: u64) -> Self {
+        DrainPlan {
+            expected_from,
+            collective_epoch,
+        }
+    }
+
     /// Expected cumulative message count from each world rank.
     pub fn expected_from(&self) -> &[u64] {
         &self.expected_from
@@ -313,6 +325,64 @@ impl ManaRank {
         Ok(report)
     }
 
+    /// The fast half of the asynchronous checkpoint split: freeze this rank's
+    /// checkpoint image (one memory copy of the upper half, with the MANA regions
+    /// serialized in) and immediately return the rank to computation. The caller
+    /// hands the frozen image to a [`FlusherPool`], which performs the expensive
+    /// chunk/compress/store work in the background.
+    ///
+    /// Generation and dirty-tracking epoch advance *here*, at freeze time: every
+    /// application write after this call is dirty relative to this snapshot, exactly
+    /// as it would be after a synchronous write. The caller must have completed the
+    /// drain phases first.
+    pub fn snapshot_checkpoint(&mut self) -> MpiResult<CheckpointImage> {
+        let image = self.with_built_image(|image| image.clone())?;
+        self.upper.mark_clean();
+        self.upper.advance_epoch();
+        self.generation += 1;
+        Ok(image)
+    }
+
+    /// Snapshot this rank (see
+    /// [`snapshot_checkpoint`](ManaRank::snapshot_checkpoint)) and submit the frozen
+    /// image to `flusher` for background writing under the configured storage
+    /// policy. The generation is announced as *pending* in the flusher's store — it
+    /// becomes visible only once every rank of the world has flushed it, so a job
+    /// killed mid-flush restarts from the newest committed generation exactly like a
+    /// job killed mid-write does today. The caller must have completed the drain
+    /// phases first.
+    pub fn write_checkpoint_async(&mut self, flusher: &FlusherPool) -> MpiResult<FlushHandle> {
+        self.write_checkpoint_async_with(flusher, |_| {})
+    }
+
+    /// [`write_checkpoint_async`](ManaRank::write_checkpoint_async) with a completion
+    /// callback, run on the flusher thread after this rank's image lands in storage
+    /// (orchestrators hang their commit accounting here).
+    pub fn write_checkpoint_async_with(
+        &mut self,
+        flusher: &FlusherPool,
+        on_flushed: impl FnOnce(&StoreReport) + Send + 'static,
+    ) -> MpiResult<FlushHandle> {
+        let policy = self.config.storage;
+        let world_size = self.world_size;
+        let image = self.snapshot_checkpoint()?;
+        flusher
+            .storage()
+            .begin_generation(image.metadata.generation, world_size);
+        Ok(flusher.submit_with(policy, image, on_flushed))
+    }
+
+    /// Take a full transparent checkpoint with an asynchronous flush: quiesce and
+    /// drain (collective, as always), then snapshot and return immediately with a
+    /// [`FlushHandle`] while the storage write proceeds in the background.
+    ///
+    /// Collective: every rank of the job must call this at the same logical point,
+    /// all against pools sharing one store (or one shared pool).
+    pub fn checkpoint_async(&mut self, flusher: &FlusherPool) -> MpiResult<FlushHandle> {
+        self.quiesce_and_drain(&LocalDrainObserver::default())?;
+        self.write_checkpoint_async(flusher)
+    }
+
     /// Phases 1-4 of the checkpoint protocol in one call, for the standalone paths.
     fn quiesce_and_drain(&mut self, observer: &dyn DrainObserver) -> MpiResult<()> {
         let plan = self.begin_checkpoint()?;
@@ -414,15 +484,23 @@ impl ManaRank {
             } else if frozen_since.elapsed() >= observer.stall_budget() {
                 let shortfalls = self.drain_shortfall(expected_from);
                 return Err(MpiError::Checkpoint(format!(
-                    "drain stalled on rank {} after {:.1}s without progress \
-                     anywhere in the job; still missing {} messages: {}",
+                    "drain stalled on rank {} after {:.3}s without progress \
+                     anywhere in the job (stall budget {:.3}s); still missing {} \
+                     messages: {}",
                     self.world_rank,
+                    frozen_since.elapsed().as_secs_f64(),
                     observer.stall_budget().as_secs_f64(),
                     shortfalls.iter().map(DrainShortfall::missing).sum::<u64>(),
                     describe_shortfalls(&shortfalls)
                 )));
             }
-            std::thread::sleep(backoff);
+            // Clamp the sleep to the remaining stall budget: an uncapped backoff
+            // taken *after* the stall check could overshoot the budget by a whole
+            // sleep, declaring the stall late and misreporting the real wait.
+            let remaining = observer
+                .stall_budget()
+                .saturating_sub(frozen_since.elapsed());
+            std::thread::sleep(backoff.min(remaining));
             backoff = (backoff * 2).min(BACKOFF_CAP);
         }
     }

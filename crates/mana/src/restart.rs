@@ -372,6 +372,13 @@ pub fn restart_job(
 /// for the job as a whole, so all ranks restart from the same older generation rather
 /// than a torn mix. Returns the restarted ranks in rank order plus the generation that
 /// was actually used.
+///
+/// Generations still *pending* (an asynchronous flush the dead incarnation never
+/// committed) are aborted first — torn by definition, their half-landed slots are
+/// released and the round tombstoned. Callers driving their own
+/// [`ckpt_store::FlusherPool`] must drain it (`wait_idle`) or drop it before
+/// restarting from the same storage, so no dead-incarnation flush is still in flight
+/// when the restarted job reuses a generation number.
 pub fn restart_job_from_storage(
     lowers: Vec<Box<dyn MpiApi>>,
     storage: &ckpt_store::CheckpointStorage,
@@ -379,6 +386,20 @@ pub fn restart_job_from_storage(
     registry: Arc<RwLock<UserFunctionRegistry>>,
 ) -> MpiResult<(Vec<ManaRank>, u64)> {
     let world_size = lowers.len();
+    // Any generation still pending belongs to the incarnation that died: its flush
+    // never committed, so the round is torn by definition. Abort it — releasing any
+    // half-landed slots and tombstoning the round — so the restarted job can reuse
+    // the generation number with fresh flush accounting instead of inheriting the
+    // dead round's partial rank set (which would let a mixed-round generation
+    // commit).
+    for generation in storage.pending_generations() {
+        storage.abort_generation(generation);
+        // With no flush of the dead incarnation left in flight (the caller drained
+        // its pool — see above), the tombstone has nothing left to catch. Drop it,
+        // or it would hide the restarted job's own checkpoints when they reuse the
+        // generation number through the *synchronous* path, which never announces.
+        storage.forget_generation(generation);
+    }
     let (generation, images) = storage.latest_valid_images(world_size)?;
     let ranks = restart_job(lowers, images, config, registry)?;
     Ok((ranks, generation))

@@ -74,8 +74,10 @@ pub struct WriteReport {
     pub bytes: usize,
     /// Modelled write time in seconds.
     pub write_time_s: f64,
-    /// Effective bandwidth in MB/s (size / time).
-    pub effective_bandwidth_mb_s: f64,
+    /// Effective bandwidth in MB/s (size / time), or `None` when the store is
+    /// unmetered — an unmetered write has no modelled time, so there is no
+    /// bandwidth to report (printing `0 MB/s` would misstate a non-measurement).
+    pub effective_bandwidth_mb_s: Option<f64>,
 }
 
 /// Encoded images keyed by `(generation, rank)`.
@@ -117,9 +119,9 @@ impl CheckpointStore {
             bytes,
             write_time_s,
             effective_bandwidth_mb_s: if write_time_s > 0.0 {
-                size_mb / write_time_s
+                Some(size_mb / write_time_s)
             } else {
-                0.0
+                None
             },
         }
     }
@@ -182,6 +184,10 @@ mod tests {
         let img = image(2, 128);
         let report = store.write(1, &img);
         assert_eq!(report.bytes, img.encoded_len());
+        assert_eq!(
+            report.effective_bandwidth_mb_s, None,
+            "an unmetered store must not fabricate a bandwidth figure"
+        );
         assert!(store.contains(1, 2));
         let back = store.read(1, 2).unwrap();
         assert_eq!(back, img);
@@ -231,7 +237,7 @@ mod tests {
         let store = CheckpointStore::new(StoreConfig::nfs_discovery());
         let report = store.write(0, &image(0, 2_000_000));
         assert!(report.write_time_s > 0.0);
-        assert!(report.effective_bandwidth_mb_s > 0.0);
+        assert!(report.effective_bandwidth_mb_s.unwrap() > 0.0);
         assert!(store.total_bytes() >= 2_000_000);
     }
 }
