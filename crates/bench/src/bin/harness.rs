@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! harness [--json] [table1|table2|table3|ckpt-store|parallel|collectives|typed-overhead|async-ckpt|figure2|figure3|figure4|cs-rate|validate|all]
+//! harness [--json] [table1|table2|table3|ckpt-store|parallel|collectives|typed-overhead|async-ckpt|ckpt-service|figure2|figure3|figure4|cs-rate|validate|all]
 //! harness ci
 //! ```
 //!
@@ -12,11 +12,16 @@
 //!
 //! `ci` runs the quick smoke mode: it measures the `ckpt-store` byte-reduction rows,
 //! the parallel sharded-vs-serialized write comparison, the typed-session overhead
-//! on the CoMD profile, and the async-vs-sync checkpoint stall on the CoMD profile;
-//! writes `BENCH_ci.json` for the CI artifact upload, and **exits nonzero** if the
+//! on the CoMD profile, the async-vs-sync checkpoint stall on the CoMD profile, and
+//! the multi-tenant checkpoint service under load (cross-job dedup, aggregate
+//! throughput, a 100+-job preempt/restart fleet, the cold-tier round trip); writes
+//! `BENCH_ci.json` for the CI artifact upload, and **exits nonzero** if the
 //! incremental-vs-full byte reduction at 1% dirty regresses below the gate (50x),
-//! the typed layer costs 5% or more over the raw byte path, or the async
-//! checkpoint stall exceeds 50% of the synchronous write wall time.
+//! the typed layer costs 5% or more over the raw byte path, the async checkpoint
+//! stall exceeds 50% of the synchronous write wall time, the service's cross-job
+//! dedup falls under 1.5x or its aggregate throughput under 0.7x the single-job
+//! baseline, any fleet job fails to complete and restart, or the cold-tier round
+//! trip is not bit-identical.
 
 use mana_apps::workloads::{perlmutter_workloads, single_node_workloads};
 use mana_apps::AppId;
@@ -52,6 +57,7 @@ fn run_ci() -> std::process::ExitCode {
         mana_bench::typed_overhead_note_from(&report.typed_overhead)
     );
     println!("{}", mana_bench::async_ckpt_note_from(&report.async_ckpt));
+    println!("{}", mana_bench::service_note_from(&report.service));
     println!("wrote BENCH_ci.json");
     if report.pass {
         std::process::ExitCode::SUCCESS
@@ -215,6 +221,9 @@ fn main() -> std::process::ExitCode {
     }
     if want("async-ckpt") {
         report.notes.push(mana_bench::async_ckpt_note());
+    }
+    if want("ckpt-service") {
+        report.notes.push(mana_bench::service_note());
     }
     if want("validate") {
         report.validation_runs = validation_runs();

@@ -29,6 +29,7 @@ pub mod collectives;
 pub mod model;
 pub mod report;
 pub mod runner;
+pub mod service;
 pub mod typed;
 
 /// Maximum acceptable typed-session overhead over the raw byte path, in percent
@@ -39,6 +40,16 @@ pub const TYPED_OVERHEAD_GATE_PCT: f64 = 5.0;
 /// as a fraction of the synchronous `write_checkpoint_into` wall time (the
 /// acceptance gate of the async checkpoint split).
 pub const ASYNC_CKPT_GATE_FRACTION: f64 = 0.5;
+
+/// Minimum acceptable service-wide `logical / physical` ratio for two
+/// identical-app tenants checkpointing through one `CkptService` (the cross-job
+/// dedup acceptance gate).
+pub const SERVICE_DEDUP_GATE: f64 = 1.5;
+
+/// Minimum acceptable ratio of aggregate throughput across concurrent service
+/// tenants to the single-job baseline (the shared chunk space must not serialize
+/// concurrent jobs).
+pub const SERVICE_THROUGHPUT_GATE: f64 = 0.7;
 
 pub use async_ckpt::{
     async_ckpt_note, async_ckpt_note_from, measure_async_ckpt, AsyncCkptReport, ASYNC_CKPT_ROUNDS,
@@ -54,6 +65,10 @@ pub use collectives::{
 pub use model::{CostModel, OverheadRow};
 pub use report::{CiReport, Report};
 pub use runner::{run_small_scale, SmallScaleConfig, SmallScaleResult};
+pub use service::{
+    measure_service_bench, service_note, service_note_from, ServiceBenchConfig, ServiceBenchReport,
+    SERVICE_FLEET_JOBS,
+};
 pub use typed::{
     measure_typed_overhead, typed_overhead_note, typed_overhead_note_from, TypedOverheadReport,
     TypedOverheadRow,

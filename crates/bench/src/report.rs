@@ -4,6 +4,7 @@ use crate::async_ckpt::AsyncCkptReport;
 use crate::ckpt::{ParallelCkptRow, StorageRow};
 use crate::model::{CheckpointRow, OverheadRow};
 use crate::runner::SmallScaleResult;
+use crate::service::{ServiceBenchConfig, ServiceBenchReport};
 use crate::typed::TypedOverheadReport;
 use serde::{Deserialize, Serialize};
 
@@ -129,6 +130,10 @@ pub struct CiReport {
     /// The async-vs-sync checkpoint stall comparison on the CoMD profile, with its
     /// own `≤ gate_fraction` verdict folded into `pass`.
     pub async_ckpt: AsyncCkptReport,
+    /// The multi-tenant checkpoint service under load (cross-job dedup, aggregate
+    /// throughput, the preempt/restart fleet, the cold-tier round trip), with its
+    /// own gate verdicts folded into `pass`.
+    pub service: ServiceBenchReport,
     /// Whether every gate passed.
     pub pass: bool,
 }
@@ -168,8 +173,15 @@ impl CiReport {
             crate::ASYNC_CKPT_GATE_FRACTION,
             crate::ASYNC_CKPT_ROUNDS,
         );
-        let pass =
-            incremental_reduction_1pct >= reduction_gate && typed_overhead.pass && async_ckpt.pass;
+        let service = crate::service::measure_service_bench(
+            &ServiceBenchConfig::default(),
+            crate::SERVICE_DEDUP_GATE,
+            crate::SERVICE_THROUGHPUT_GATE,
+        );
+        let pass = incremental_reduction_1pct >= reduction_gate
+            && typed_overhead.pass
+            && async_ckpt.pass
+            && service.pass;
         CiReport {
             storage_rows,
             parallel_rows,
@@ -178,6 +190,7 @@ impl CiReport {
             reduction_gate,
             typed_overhead,
             async_ckpt,
+            service,
             pass,
         }
     }

@@ -1,0 +1,432 @@
+//! The multi-tenant checkpoint service under load: cross-job dedup, aggregate
+//! throughput, a preempt-and-restart fleet, and the cold-tier round trip.
+//!
+//! Four measurements, three of them gated:
+//!
+//! * **Cross-job dedup** — two tenants running the identical app checkpoint through
+//!   one service; the service-wide `logical / physical` ratio must reach **≥ 1.5×**
+//!   (the second tenant's chunk payloads are free, only its manifests cost bytes).
+//! * **Aggregate throughput** — N concurrent tenants writing *distinct* content
+//!   through one service vs one tenant alone on its own service. The shared chunk
+//!   space is sharded, so concurrency must not serialize: the aggregate MB/s across
+//!   all tenants must stay **≥ 0.7×** the single-job baseline.
+//! * **Fleet** — hundreds of small jobs, each a real [`JobRuntime`] tenant, run
+//!   concurrently: checkpoint every step under a tight generation quota, take an
+//!   injected preemption, are left with a *pending* (killed-mid-flush) generation,
+//!   and must all restart from their newest committed generation and complete.
+//! * **Cold tier** — a tenant's whole working set is demoted to the file-backed
+//!   cold tier and read back: the restart images must be **bit-identical** (gated),
+//!   with the promote traffic visible in the cold-tier hit rate.
+
+use ckpt_service::{CkptService, ServiceConfig, ServiceHandle, TenantQuota};
+use ckpt_store::StoragePolicy;
+use job_runtime::{Backend, JobConfig, JobRuntime};
+use serde::{Deserialize, Serialize};
+use split_proc::image::{CheckpointImage, ImageMetadata};
+use std::time::Instant;
+
+/// Jobs in the full-scale fleet run (the acceptance floor is 100).
+pub const SERVICE_FLEET_JOBS: usize = 108;
+
+/// What the service bench measures at which scale.
+#[derive(Debug, Clone)]
+pub struct ServiceBenchConfig {
+    /// Concurrent small jobs in the fleet run.
+    pub fleet_jobs: usize,
+    /// Per-checkpoint state bytes of each fleet job.
+    pub fleet_state_bytes: usize,
+    /// Concurrent tenants in the aggregate-throughput run.
+    pub throughput_tenants: usize,
+    /// Generations each throughput tenant writes.
+    pub throughput_generations: u64,
+    /// Per-generation state bytes of each throughput tenant.
+    pub throughput_state_bytes: usize,
+    /// Generations each dedup tenant writes.
+    pub dedup_generations: u64,
+    /// Per-generation state bytes of each dedup tenant.
+    pub dedup_state_bytes: usize,
+}
+
+impl Default for ServiceBenchConfig {
+    fn default() -> Self {
+        ServiceBenchConfig {
+            fleet_jobs: SERVICE_FLEET_JOBS,
+            fleet_state_bytes: 24 * 1024,
+            throughput_tenants: 8,
+            throughput_generations: 6,
+            throughput_state_bytes: 256 * 1024,
+            dedup_generations: 4,
+            dedup_state_bytes: 256 * 1024,
+        }
+    }
+}
+
+impl ServiceBenchConfig {
+    /// A scaled-down configuration for the in-crate regression test (debug builds).
+    pub fn small() -> Self {
+        ServiceBenchConfig {
+            fleet_jobs: 12,
+            fleet_state_bytes: 8 * 1024,
+            throughput_tenants: 4,
+            throughput_generations: 3,
+            throughput_state_bytes: 64 * 1024,
+            dedup_generations: 3,
+            dedup_state_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// The service measurements and their gate verdicts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServiceBenchReport {
+    /// Jobs launched in the fleet run.
+    pub fleet_jobs: usize,
+    /// Fleet jobs that completed all their steps after the restart.
+    pub fleet_completed: usize,
+    /// Fleet jobs that restarted from their newest *committed* generation (the
+    /// injected pending generation — the mid-flush kill — was correctly skipped).
+    pub fleet_restarted: usize,
+    /// Generations reclaimed by per-tenant quota GC across the fleet.
+    pub quota_reclaims: u64,
+    /// Service-wide `logical / physical` for two identical-app tenants.
+    pub dedup_ratio: f64,
+    /// Minimum acceptable `dedup_ratio`.
+    pub dedup_gate: f64,
+    /// Aggregate MB/s across all concurrent throughput tenants.
+    pub aggregate_mb_s: f64,
+    /// MB/s of one tenant alone on its own service.
+    pub single_job_mb_s: f64,
+    /// `aggregate_mb_s / single_job_mb_s` — the gated figure.
+    pub throughput_ratio: f64,
+    /// Minimum acceptable `throughput_ratio`.
+    pub throughput_gate: f64,
+    /// Fraction of chunk reads served by cold-tier promotes in the round-trip run.
+    pub cold_hit_rate: f64,
+    /// Whether a fully-spilled tenant's restart images were bit-identical.
+    pub cold_roundtrip_ok: bool,
+    /// Whether every gate passed (including the fleet completing and restarting in
+    /// full).
+    pub pass: bool,
+}
+
+/// Deterministic, incompressible-texture state for `(seed, generation)` — dedup in
+/// these measurements comes from *identical writers*, never from compression.
+fn state(seed: u64, generation: u64, bytes: usize) -> Vec<u8> {
+    (0..bytes)
+        .map(|i| {
+            ((i as u64)
+                .wrapping_add(seed.wrapping_mul(10_000_019))
+                .wrapping_add(generation.wrapping_mul(1_000_003))
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                >> 23) as u8
+        })
+        .collect()
+}
+
+fn image(seed: u64, generation: u64, bytes: usize) -> CheckpointImage {
+    let mut upper = split_proc::address_space::UpperHalfSpace::new();
+    upper.map_region("app.state", state(seed, generation, bytes));
+    CheckpointImage::new(
+        ImageMetadata {
+            rank: 0,
+            world_size: 1,
+            generation,
+            implementation: "mpich".into(),
+        },
+        upper,
+    )
+}
+
+/// Write `generations` single-rank generations through a tenant handle with the
+/// full pending/commit protocol, returning the logical bytes written.
+fn write_generations(handle: &ServiceHandle, seed: u64, generations: u64, bytes: usize) -> u64 {
+    let mut logical = 0u64;
+    for generation in 0..generations {
+        handle.storage().begin_generation(generation, 1);
+        let report = handle
+            .storage()
+            .write_image(StoragePolicy::Incremental, &image(seed, generation, bytes));
+        handle.storage().note_rank_flushed(generation, 0);
+        logical += report.logical_bytes as u64;
+        handle.note_external_write(&report);
+    }
+    logical
+}
+
+fn measure_dedup(config: &ServiceBenchConfig) -> f64 {
+    let service = CkptService::new(ServiceConfig::default()).expect("service");
+    // Identical apps: same seed, so every chunk the second tenant writes is already
+    // in the shared space.
+    for tenant in ["app-a", "app-b"] {
+        let handle = service.register_tenant(tenant);
+        write_generations(
+            &handle,
+            7,
+            config.dedup_generations,
+            config.dedup_state_bytes,
+        );
+    }
+    service.stats().dedup_ratio()
+}
+
+fn measure_throughput(config: &ServiceBenchConfig) -> (f64, f64) {
+    let generations = config.throughput_generations;
+    let bytes = config.throughput_state_bytes;
+    // Baseline: one tenant alone on its own service.
+    let single = CkptService::new(ServiceConfig::default()).expect("service");
+    let handle = single.register_tenant("solo");
+    let start = Instant::now();
+    let logical = write_generations(&handle, 1_000, generations, bytes);
+    let single_mb_s = logical as f64 / 1e6 / start.elapsed().as_secs_f64();
+
+    // Aggregate: N tenants concurrently on one shared service, *distinct* content
+    // per tenant so the chunk space absorbs genuinely parallel stores.
+    let shared = CkptService::new(ServiceConfig::default()).expect("service");
+    let handles: Vec<ServiceHandle> = (0..config.throughput_tenants)
+        .map(|t| shared.register_tenant(&format!("tenant-{t}")))
+        .collect();
+    let start = Instant::now();
+    let workers: Vec<_> = handles
+        .into_iter()
+        .enumerate()
+        .map(|(t, handle)| {
+            std::thread::spawn(move || {
+                write_generations(&handle, 2_000 + t as u64, generations, bytes)
+            })
+        })
+        .collect();
+    let total_logical: u64 = workers.into_iter().map(|w| w.join().expect("writer")).sum();
+    let aggregate_mb_s = total_logical as f64 / 1e6 / start.elapsed().as_secs_f64();
+    (aggregate_mb_s, single_mb_s)
+}
+
+/// One fleet job: a single-rank [`JobRuntime`] tenant that checkpoints every step,
+/// is preempted mid-run, is left with a *pending* generation (the mid-flush kill:
+/// a flush that never landed), and must restart from its newest committed
+/// generation and finish. Returns `(restarted_from_newest_committed, completed)`.
+fn fleet_job(handle: ServiceHandle, seed: u64, bytes: usize) -> (bool, bool) {
+    const STEPS: u64 = 4;
+    const KILL_AT: u64 = 3;
+    let runtime = JobRuntime::with_service(
+        JobConfig::new(1, Backend::Mpich)
+            .with_checkpoint_every(1)
+            .with_async_checkpoint()
+            .with_kill_at_step(KILL_AT),
+        handle.clone(),
+    );
+    let run = runtime
+        .run_steps(STEPS, move |session, step| {
+            session
+                .upper_mut()
+                .map_region("app.state", state(seed, step, bytes));
+            Ok(step)
+        })
+        .expect("fleet run");
+    if !run.was_preempted() {
+        return (false, false);
+    }
+    // Boundaries 1..=KILL_AT each committed a generation before the kill.
+    let newest_committed = KILL_AT - 1;
+    // The mid-flush kill: the dead incarnation announced its next generation but no
+    // rank's flush ever landed. The restart must skip it and fall back.
+    handle.storage().begin_generation(KILL_AT, 1);
+    let restarted = handle
+        .storage()
+        .latest_valid_images(1)
+        .map(|(generation, _)| generation == newest_committed)
+        .unwrap_or(false);
+    let completed = runtime
+        .resume_steps(STEPS, move |session, step| {
+            session
+                .upper_mut()
+                .map_region("app.state", state(seed, step, bytes));
+            Ok(step)
+        })
+        .map(|run| !run.was_preempted())
+        .unwrap_or(false);
+    (restarted, completed)
+}
+
+fn measure_fleet(config: &ServiceBenchConfig) -> (usize, usize, u64) {
+    let service = CkptService::new(ServiceConfig {
+        // Plenty of admission headroom for the whole fleet; whatever is rejected
+        // under momentary bursts falls back synchronously and still commits.
+        max_in_flight_total: config.fleet_jobs * 2,
+        ..ServiceConfig::default()
+    })
+    .expect("service");
+    let bytes = config.fleet_state_bytes;
+    let workers: Vec<_> = (0..config.fleet_jobs)
+        .map(|job| {
+            let handle = service.register_tenant_with(
+                &format!("fleet-{job}"),
+                // Tight quota: the GC reclaims behind the running checkpoints.
+                TenantQuota::default().with_max_generations(2),
+            );
+            // A few distinct "applications" across the fleet, so fleet dedup is
+            // also in play while the jobs churn.
+            let seed = (job % 4) as u64;
+            std::thread::spawn(move || fleet_job(handle, seed, bytes))
+        })
+        .collect();
+    let mut restarted = 0;
+    let mut completed = 0;
+    for worker in workers {
+        let (r, c) = worker.join().expect("fleet job");
+        restarted += usize::from(r);
+        completed += usize::from(c);
+    }
+    let reclaims = service
+        .stats()
+        .tenants
+        .iter()
+        .map(|t| t.reclaimed_generations)
+        .sum();
+    (restarted, completed, reclaims)
+}
+
+fn measure_cold_roundtrip(config: &ServiceBenchConfig) -> (f64, bool) {
+    let service = CkptService::new(ServiceConfig {
+        // A zero hot-set target: every landed write is immediately demoted, so the
+        // subsequent restart read runs entirely against the cold tier.
+        hot_bytes_target: Some(0),
+        ..ServiceConfig::default()
+    })
+    .expect("service");
+    let handle = service.register_tenant("cold");
+    let generations = config.dedup_generations;
+    let bytes = config.dedup_state_bytes;
+    write_generations(&handle, 99, generations, bytes);
+    service.storage().spill_over(0);
+
+    let newest = generations - 1;
+    let ok = handle
+        .storage()
+        .latest_valid_images(1)
+        .map(|(generation, images)| {
+            generation == newest
+                && images[0].upper_half.region("app.state").expect("region")
+                    == state(99, newest, bytes).as_slice()
+        })
+        .unwrap_or(false);
+    (service.storage().stats().cold_hit_rate(), ok)
+}
+
+/// Run every service measurement at the given scale and apply the gates.
+pub fn measure_service_bench(
+    config: &ServiceBenchConfig,
+    dedup_gate: f64,
+    throughput_gate: f64,
+) -> ServiceBenchReport {
+    let dedup_ratio = measure_dedup(config);
+    let (aggregate_mb_s, single_job_mb_s) = measure_throughput(config);
+    let throughput_ratio = if single_job_mb_s > 0.0 {
+        aggregate_mb_s / single_job_mb_s
+    } else {
+        f64::INFINITY
+    };
+    let (fleet_restarted, fleet_completed, quota_reclaims) = measure_fleet(config);
+    let (cold_hit_rate, cold_roundtrip_ok) = measure_cold_roundtrip(config);
+    let pass = dedup_ratio >= dedup_gate
+        && throughput_ratio >= throughput_gate
+        && fleet_completed == config.fleet_jobs
+        && fleet_restarted == config.fleet_jobs
+        && cold_roundtrip_ok;
+    ServiceBenchReport {
+        fleet_jobs: config.fleet_jobs,
+        fleet_completed,
+        fleet_restarted,
+        quota_reclaims,
+        dedup_ratio,
+        dedup_gate,
+        aggregate_mb_s,
+        single_job_mb_s,
+        throughput_ratio,
+        throughput_gate,
+        cold_hit_rate,
+        cold_roundtrip_ok,
+        pass,
+    }
+}
+
+/// Render the full-scale measurement as an aligned text note for the harness.
+pub fn service_note() -> String {
+    service_note_from(&measure_service_bench(
+        &ServiceBenchConfig::default(),
+        crate::SERVICE_DEDUP_GATE,
+        crate::SERVICE_THROUGHPUT_GATE,
+    ))
+}
+
+/// Render an already-measured report.
+pub fn service_note_from(report: &ServiceBenchReport) -> String {
+    let mut note = String::from("== Multi-tenant checkpoint service ==\n");
+    note.push_str(&format!(
+        "cross-job dedup (two identical tenants): {:.2}x logical/physical (gate: ≥{:.1}x)\n",
+        report.dedup_ratio, report.dedup_gate
+    ));
+    note.push_str(&format!(
+        "aggregate throughput: {:.1} MB/s across tenants vs {:.1} MB/s single job — \
+         ratio {:.2} (gate: ≥{:.1})\n",
+        report.aggregate_mb_s,
+        report.single_job_mb_s,
+        report.throughput_ratio,
+        report.throughput_gate
+    ));
+    note.push_str(&format!(
+        "fleet: {}/{} jobs completed, {}/{} restarted from newest committed after a \
+         mid-flush kill, {} generations quota-reclaimed\n",
+        report.fleet_completed,
+        report.fleet_jobs,
+        report.fleet_restarted,
+        report.fleet_jobs,
+        report.quota_reclaims
+    ));
+    note.push_str(&format!(
+        "cold tier: restart round trip {} (hit rate {:.2})\n",
+        if report.cold_roundtrip_ok {
+            "bit-identical"
+        } else {
+            "MISMATCH"
+        },
+        report.cold_hit_rate
+    ));
+    note.push_str(&format!(
+        "service gates — {}\n",
+        if report.pass { "PASS" } else { "FAIL" }
+    ));
+    note
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The service gates at a scaled-down size: dedup, throughput, full fleet
+    /// completion + restart, and the cold round trip must all hold even in debug
+    /// builds.
+    #[test]
+    fn service_bench_passes_its_gates_at_small_scale() {
+        let config = ServiceBenchConfig::small();
+        let report = measure_service_bench(
+            &config,
+            crate::SERVICE_DEDUP_GATE,
+            crate::SERVICE_THROUGHPUT_GATE,
+        );
+        assert!(
+            report.pass,
+            "service bench failed its gates: {}",
+            service_note_from(&report)
+        );
+        assert_eq!(report.fleet_completed, config.fleet_jobs);
+        assert_eq!(report.fleet_restarted, config.fleet_jobs);
+        assert!(report.quota_reclaims > 0, "the tight quota must have fired");
+        assert!(
+            report.cold_hit_rate > 0.0,
+            "reads must have hit the cold tier"
+        );
+        let note = service_note_from(&report);
+        assert!(note.contains("bit-identical"));
+        assert!(note.contains("PASS"));
+    }
+}

@@ -32,6 +32,10 @@ type FlushCallback = Box<dyn FnOnce(&StoreReport) + Send>;
 struct FlushJob {
     policy: StoragePolicy,
     image: CheckpointImage,
+    /// Storage this job writes into. Usually the pool's own storage; a multi-tenant
+    /// service instead routes each job into the submitting tenant's view (see
+    /// [`FlusherPool::submit_to`]).
+    storage: CheckpointStorage,
     handle: Arc<HandleState>,
     on_flushed: Option<FlushCallback>,
 }
@@ -91,6 +95,20 @@ impl FlushHandle {
             FlushOutcome::Done(report) => Some(report),
             _ => None,
         }
+    }
+
+    /// A handle that is already complete: carries `report` as if a background write
+    /// had just landed. This is what the admission-control fallback path hands back
+    /// after performing a rejected submission's write synchronously — the caller's
+    /// wait/poll logic stays uniform whether the write rode the pool or not.
+    pub fn ready(report: StoreReport) -> FlushHandle {
+        let handle = FlushHandle {
+            state: Arc::new(HandleState::default()),
+            generation: report.generation,
+            rank: report.rank,
+        };
+        *handle.state.outcome.lock() = FlushOutcome::Done(report);
+        handle
     }
 
     /// Block until the background write lands and return its report.
@@ -192,7 +210,7 @@ impl FlusherPool {
 
     /// Submit one rank's frozen image for background writing under `policy`.
     pub fn submit(&self, policy: StoragePolicy, image: CheckpointImage) -> FlushHandle {
-        self.submit_inner(policy, image, None)
+        self.submit_inner(self.shared.storage.clone(), policy, image, None)
     }
 
     /// [`FlusherPool::submit`] with a completion callback that runs on the worker
@@ -205,11 +223,32 @@ impl FlusherPool {
         image: CheckpointImage,
         on_flushed: impl FnOnce(&StoreReport) + Send + 'static,
     ) -> FlushHandle {
-        self.submit_inner(policy, image, Some(Box::new(on_flushed)))
+        self.submit_inner(
+            self.shared.storage.clone(),
+            policy,
+            image,
+            Some(Box::new(on_flushed)),
+        )
+    }
+
+    /// Submit a flush that writes into `storage` instead of the pool's own — the
+    /// multi-tenant path: one shared worker pool, each job landing in the submitting
+    /// tenant's storage view. The per-rank flush accounting
+    /// (`note_rank_flushed`) runs against the same `storage`, so pending-generation
+    /// commits stay within the tenant's namespace.
+    pub fn submit_to(
+        &self,
+        storage: &CheckpointStorage,
+        policy: StoragePolicy,
+        image: CheckpointImage,
+        on_flushed: impl FnOnce(&StoreReport) + Send + 'static,
+    ) -> FlushHandle {
+        self.submit_inner(storage.clone(), policy, image, Some(Box::new(on_flushed)))
     }
 
     fn submit_inner(
         &self,
+        storage: CheckpointStorage,
         policy: StoragePolicy,
         image: CheckpointImage,
         on_flushed: Option<FlushCallback>,
@@ -223,6 +262,7 @@ impl FlusherPool {
         state.jobs.push_back(FlushJob {
             policy,
             image,
+            storage,
             handle: Arc::clone(&handle.state),
             on_flushed,
         });
@@ -276,13 +316,13 @@ fn worker_loop(shared: &PoolShared) {
         // completed (as poisoned) either way, so `wait`/`wait_idle` report the
         // failure instead of hanging forever.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let report = shared.storage.write_image(job.policy, &job.image);
+            let report = job.storage.write_image(job.policy, &job.image);
             // Per-rank flush accounting: the write that completes a pending
             // generation's rank set commits the generation (making it visible)
             // right here, before any callback or waiter can observe the flush as
-            // done.
-            shared
-                .storage
+            // done. Runs against the job's own target storage, so tenant-routed
+            // jobs commit within their tenant's namespace.
+            job.storage
                 .note_rank_flushed(report.generation, report.rank);
             if let Some(on_flushed) = job.on_flushed {
                 on_flushed(&report);

@@ -25,6 +25,13 @@
 //! * **Asynchronous flush** ([`flush`]) — a [`FlusherPool`] writes frozen images off
 //!   the ranks' critical path; generations move through a *pending → committed*
 //!   state so a half-flushed generation is never visible to readers or restart.
+//! * **Tenant views** ([`CheckpointStorage::tenant_view`]) — additional catalog
+//!   namespaces over one shared chunk space: each tenant's generations, reads and
+//!   GC are isolated, while identical chunks written by different tenants are
+//!   stored once (the multi-tenant service in `ckpt-service` builds on this).
+//! * **Cold tier** ([`tier`]) — least-recently-referenced chunks can be spilled to
+//!   CRC-framed files ([`CheckpointStorage::spill_over`]) and are transparently
+//!   promoted — with CRC re-validation — when a read needs them.
 //!
 //! The engine is selected through [`StoragePolicy`] (a `ManaConfig` knob in the MANA
 //! layer): `FullImage` preserves the legacy flat-image baseline — mirroring the
@@ -38,11 +45,16 @@ pub mod chunk;
 pub mod flush;
 pub mod manifest;
 pub mod store;
+pub mod tier;
 
 pub use chunk::{ChunkRef, DEFAULT_CHUNK_SIZE};
 pub use flush::{FlushHandle, FlusherPool};
 pub use manifest::{Manifest, RegionManifest};
-pub use store::{CheckpointStorage, PruneReport, StorageStats, StoreReport, DEFAULT_SHARD_COUNT};
+pub use store::{
+    CheckpointStorage, PruneReport, ShardStats, SpillReport, StorageStats, StoreReport,
+    DEFAULT_SHARD_COUNT,
+};
+pub use tier::ColdTier;
 
 use serde::{Deserialize, Serialize};
 

@@ -3,6 +3,7 @@
 
 use crate::chunk::{for_each_chunk, rle_compress, rle_decompress, ChunkRef, DEFAULT_CHUNK_SIZE};
 use crate::manifest::{Manifest, RegionManifest};
+use crate::tier::ColdTier;
 use crate::StoragePolicy;
 use mpi_model::error::{MpiError, MpiResult};
 use mpi_model::types::Rank;
@@ -12,6 +13,7 @@ use split_proc::image::CheckpointImage;
 use split_proc::integrity::fnv1a64;
 use split_proc::store::StoreConfig;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// What one checkpoint write cost, physically and logically.
@@ -81,8 +83,16 @@ impl StoreReport {
 /// it deliberately did **not** do.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PruneReport {
-    /// Chunk payload bytes freed by the sweep.
+    /// **Physical** chunk payload bytes freed by the sweep: stored bytes of chunks
+    /// whose reference count reached zero. With cross-tenant dedup this can be far
+    /// smaller than [`logical_freed_bytes`](PruneReport::logical_freed_bytes) — a
+    /// pruned generation whose chunks are still referenced by another generation (or
+    /// another tenant's manifests) only drops reference counts.
     pub freed_bytes: usize,
+    /// **Logical** bytes released by the sweep: the uncompressed upper-half payload
+    /// size of every `(generation, rank)` slot dropped, regardless of whether the
+    /// underlying chunks were shared. This is the number quota accounting wants.
+    pub logical_freed_bytes: usize,
     /// Generations whose checkpoints were dropped, ascending.
     pub pruned: Vec<u64>,
     /// Generations older than the cutoff that were *kept*: the newest committed
@@ -91,13 +101,47 @@ pub struct PruneReport {
     pub retained: Vec<u64>,
 }
 
+/// Occupancy of one digest-keyed chunk shard — the real numbers the service's
+/// tiering and GC decisions are driven by, not a recomputation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// Distinct chunks resident in this shard (hot or cold).
+    pub chunk_count: usize,
+    /// Stored bytes held by this shard's chunks, hot and cold combined.
+    pub stored_bytes: usize,
+    /// Stored bytes resident in memory (hot payloads).
+    pub hot_bytes: usize,
+    /// Chunks whose payload currently lives in the cold tier.
+    pub cold_chunks: usize,
+    /// Sum of reference counts across this shard's chunks.
+    pub refcount_total: u64,
+}
+
 /// Aggregate occupancy of the store.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StorageStats {
     /// Distinct chunks held.
     pub chunk_count: usize,
-    /// Bytes held by chunk payloads (stored form).
+    /// Bytes held by chunk payloads (stored form), hot and cold combined.
     pub chunk_bytes: usize,
+    /// Chunk payload bytes resident in memory (the hot set).
+    pub hot_bytes: usize,
+    /// Chunks whose payload currently lives in the cold tier.
+    pub cold_chunk_count: usize,
+    /// Chunk payload bytes currently spilled to the cold tier.
+    pub cold_bytes: usize,
+    /// Sum of chunk reference counts across all shards.
+    pub refcount_total: u64,
+    /// Chunk fetches served by promoting a cold-tier payload (lifetime counter).
+    pub cold_hits: u64,
+    /// Total chunk fetches on the read path (lifetime counter, hot + cold).
+    pub chunk_reads: u64,
+    /// Chunks demoted to the cold tier over the store's lifetime.
+    pub spilled_chunks: u64,
+    /// Stored bytes demoted to the cold tier over the store's lifetime.
+    pub spilled_bytes: u64,
+    /// Per-shard occupancy, in shard order.
+    pub shards: Vec<ShardStats>,
     /// Manifests held.
     pub manifest_count: usize,
     /// Bytes held by encoded manifests.
@@ -109,16 +153,76 @@ pub struct StorageStats {
 }
 
 impl StorageStats {
-    /// Total bytes resident in the store.
+    /// Total bytes resident in the store (in memory or spilled).
     pub fn total_bytes(&self) -> usize {
         self.chunk_bytes + self.manifest_bytes + self.full_image_bytes
     }
+
+    /// Fraction of chunk fetches served by promoting from the cold tier, or 0.0
+    /// when nothing has been read yet.
+    pub fn cold_hit_rate(&self) -> f64 {
+        if self.chunk_reads == 0 {
+            0.0
+        } else {
+            self.cold_hits as f64 / self.chunk_reads as f64
+        }
+    }
+}
+
+/// What one [`CheckpointStorage::spill_over`] pass demoted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillReport {
+    /// Chunks demoted to the cold tier by this pass.
+    pub spilled_chunks: usize,
+    /// Stored bytes demoted by this pass.
+    pub spilled_bytes: usize,
+    /// Hot bytes resident after the pass.
+    pub hot_bytes: usize,
+}
+
+/// Where a chunk's stored payload currently lives.
+enum ChunkPayload {
+    /// Resident in memory.
+    Hot(Vec<u8>),
+    /// Demoted to the cold tier; fetched (and CRC-revalidated) on next read.
+    Cold,
 }
 
 struct ChunkEntry {
     refs: u64,
-    stored: Vec<u8>,
+    payload: ChunkPayload,
+    /// Length of the stored form (kept even while the payload is cold).
+    stored_len: u32,
     compressed: bool,
+    /// Last-referenced tick from the store's LRU clock; spill candidates are the
+    /// chunks with the oldest touch.
+    touch: u64,
+}
+
+/// Counters and tiering state shared by every tenant view of one chunk space.
+struct TierState {
+    cold: Option<ColdTier>,
+    /// Monotonic LRU clock; bumped on every chunk reference.
+    clock: AtomicU64,
+    hot_bytes: AtomicUsize,
+    cold_hits: AtomicU64,
+    chunk_reads: AtomicU64,
+    spilled_chunks: AtomicU64,
+    spilled_bytes: AtomicU64,
+}
+
+impl Default for TierState {
+    fn default() -> Self {
+        TierState {
+            cold: None,
+            clock: AtomicU64::new(0),
+            hot_bytes: AtomicUsize::new(0),
+            cold_hits: AtomicU64::new(0),
+            chunk_reads: AtomicU64::new(0),
+            spilled_chunks: AtomicU64::new(0),
+            spilled_bytes: AtomicU64::new(0),
+        }
+    }
 }
 
 /// Number of digest-keyed chunk shards a store carves its content-addressed space
@@ -178,6 +282,9 @@ pub struct CheckpointStorage {
     /// Generations announced but not yet fully flushed. Locked on its own, never
     /// while the catalog or a shard lock is held.
     pending: Arc<Mutex<BTreeMap<u64, PendingGeneration>>>,
+    /// Cold tier + LRU clock + occupancy counters, shared by every clone and every
+    /// tenant view of this chunk space.
+    tier: Arc<TierState>,
     model: Option<StoreConfig>,
     chunk_size: usize,
 }
@@ -208,6 +315,7 @@ impl CheckpointStorage {
             shards: Arc::new((0..DEFAULT_SHARD_COUNT).map(|_| Mutex::default()).collect()),
             catalog: Arc::new(Mutex::new(Catalog::default())),
             pending: Arc::new(Mutex::new(BTreeMap::new())),
+            tier: Arc::new(TierState::default()),
             model: None,
             chunk_size: DEFAULT_CHUNK_SIZE,
         }
@@ -239,9 +347,72 @@ impl CheckpointStorage {
         self
     }
 
+    /// Attach a cold tier: least-recently-referenced chunks can then be demoted to
+    /// file-backed storage by [`spill_over`](CheckpointStorage::spill_over) and are
+    /// transparently promoted (CRC-revalidated) on read.
+    ///
+    /// Must be called before the store is shared (cloned or viewed): it rebuilds the
+    /// shared tier state, so earlier occupancy counters are reset.
+    pub fn with_cold_tier(mut self, cold: ColdTier) -> Self {
+        self.tier = Arc::new(TierState {
+            cold: Some(cold),
+            ..TierState::default()
+        });
+        self
+    }
+
+    /// Whether a cold tier is attached.
+    pub fn has_cold_tier(&self) -> bool {
+        self.tier.cold.is_some()
+    }
+
+    /// A new catalog namespace over the **same** content-addressed chunk space.
+    ///
+    /// The view shares the chunk shards (and their reference counts), the cold tier,
+    /// the LRU clock and the write-time model with `self`, but has a fresh, empty
+    /// catalog and pending table. This is the tenancy primitive of the multi-tenant
+    /// checkpoint service: every tenant writes generations and manifests into its own
+    /// namespace — `generations`, `read`, `prune_before`, `latest_valid_images` are
+    /// all per-tenant — while identical chunks written by different tenants are
+    /// stored once. Shared reference counts make cross-tenant GC safe: a tenant
+    /// pruning its generations only frees chunks no other tenant references.
+    ///
+    /// Configure the store (`with_shards`, `with_chunk_size`, `with_cold_tier`)
+    /// **before** creating views; views snapshot the configuration.
+    pub fn tenant_view(&self) -> CheckpointStorage {
+        CheckpointStorage {
+            shards: Arc::clone(&self.shards),
+            catalog: Arc::new(Mutex::new(Catalog::default())),
+            pending: Arc::new(Mutex::new(BTreeMap::new())),
+            tier: Arc::clone(&self.tier),
+            model: self.model,
+            chunk_size: self.chunk_size,
+        }
+    }
+
     /// Number of digest-keyed chunk shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Chunk payload bytes currently resident in memory (the hot set).
+    pub fn hot_bytes(&self) -> usize {
+        self.tier.hot_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Next tick of the shared LRU clock.
+    fn tick(&self) -> u64 {
+        self.tier.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Decrease the hot-byte counter (saturating — defensive against double frees).
+    fn sub_hot(&self, bytes: usize) {
+        let _ = self
+            .tier
+            .hot_bytes
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |current| {
+                Some(current.saturating_sub(bytes))
+            });
     }
 
     /// The shard a chunk digest routes to.
@@ -252,10 +423,12 @@ impl CheckpointStorage {
     /// Increment the reference count of `key` if the chunk is resident, returning its
     /// stored form `(stored_len, compressed)` when it was.
     fn bump_chunk_ref(&self, key: (u64, u32)) -> Option<(u32, bool)> {
+        let now = self.tick();
         let mut shard = self.shard(key.0).lock();
         shard.chunks.get_mut(&key).map(|entry| {
             entry.refs += 1;
-            (entry.stored.len() as u32, entry.compressed)
+            entry.touch = now;
+            (entry.stored_len, entry.compressed)
         })
     }
 
@@ -285,16 +458,28 @@ impl CheckpointStorage {
     /// Remove whatever `(generation, rank)` currently holds, decrementing the chunk
     /// references a removed manifest owned. Zero-ref chunks stay resident until the
     /// next `prune_before` sweep (or are immediately re-referenced by a rewrite).
+    /// Returns the **logical** bytes the slot represented (the uncompressed
+    /// upper-half payload size), so GC paths can report logical and physical frees
+    /// separately.
     ///
     /// Best effort on an undecodable manifest: it cannot tell us which chunks to
-    /// release, so its chunks leak until the store is dropped.
-    fn release_slot(&self, generation: u64, rank: Rank) {
-        let removed = {
+    /// release, so its chunks leak until the store is dropped (and its logical size
+    /// is unknowable, reported as 0).
+    fn release_slot(&self, generation: u64, rank: Rank) -> usize {
+        let (full_image, manifest) = {
             let mut catalog = self.catalog.lock();
-            catalog.full_images.remove(&(generation, rank));
-            catalog.manifests.remove(&(generation, rank))
+            (
+                catalog.full_images.remove(&(generation, rank)),
+                catalog.manifests.remove(&(generation, rank)),
+            )
         };
-        if let Some(manifest) = removed.and_then(|bytes| Manifest::decode(&bytes).ok()) {
+        let mut logical = full_image.map_or(0, |bytes| bytes.len());
+        if let Some(manifest) = manifest.and_then(|bytes| Manifest::decode(&bytes).ok()) {
+            logical += manifest
+                .regions
+                .iter()
+                .map(|region| region.len as usize)
+                .sum::<usize>();
             for chunk in manifest.chunk_refs() {
                 let mut shard = self.shard(chunk.digest).lock();
                 if let Some(entry) = shard.chunks.get_mut(&chunk.key()) {
@@ -302,6 +487,7 @@ impl CheckpointStorage {
                 }
             }
         }
+        logical
     }
 
     // ------------------------------------------------------------------
@@ -565,14 +751,16 @@ impl CheckpointStorage {
                 // Re-check under the shard lock: another rank may have stored the
                 // same content while we were compressing. Whoever loses the race
                 // re-references the winner's copy instead of inserting a duplicate.
+                let now = self.tick();
                 let mut shard = self.shard(digest).lock();
                 if let Some(entry) = shard.chunks.get_mut(&key) {
                     entry.refs += 1;
+                    entry.touch = now;
                     report.chunks_reused += 1;
                     chunks.push(ChunkRef {
                         digest,
                         raw_len: piece.len() as u32,
-                        stored_len: entry.stored.len() as u32,
+                        stored_len: entry.stored_len,
                         compressed: entry.compressed,
                     });
                     return;
@@ -588,12 +776,17 @@ impl CheckpointStorage {
                     stored_len: stored.len() as u32,
                     compressed,
                 });
+                self.tier
+                    .hot_bytes
+                    .fetch_add(stored.len(), Ordering::Relaxed);
                 shard.chunks.insert(
                     key,
                     ChunkEntry {
                         refs: 1,
-                        stored,
+                        stored_len: stored.len() as u32,
+                        payload: ChunkPayload::Hot(stored),
                         compressed,
+                        touch: now,
                     },
                 );
             });
@@ -658,16 +851,29 @@ impl CheckpointStorage {
         for region in &manifest.regions {
             let mut data = Vec::with_capacity(region.len as usize);
             for chunk in &region.chunks {
-                let (stored, compressed) = {
-                    let shard = self.shard(chunk.digest).lock();
-                    let entry = shard.chunks.get(&chunk.key()).ok_or_else(|| {
+                self.tier.chunk_reads.fetch_add(1, Ordering::Relaxed);
+                let now = self.tick();
+                // Hot chunks are served straight from the shard; a cold chunk is
+                // fetched from its spill file (outside the shard lock), CRC-verified
+                // by the tier, and promoted back into memory.
+                let hot = {
+                    let mut shard = self.shard(chunk.digest).lock();
+                    let entry = shard.chunks.get_mut(&chunk.key()).ok_or_else(|| {
                         MpiError::Checkpoint(format!(
                             "chunk {:#018x} (len {}) referenced by generation {generation}, \
                              rank {rank} is missing from the store",
                             chunk.digest, chunk.raw_len
                         ))
                     })?;
-                    (entry.stored.clone(), entry.compressed)
+                    entry.touch = now;
+                    match &entry.payload {
+                        ChunkPayload::Hot(stored) => Some((stored.clone(), entry.compressed)),
+                        ChunkPayload::Cold => None,
+                    }
+                };
+                let (stored, compressed) = match hot {
+                    Some(hot) => hot,
+                    None => self.promote_chunk(chunk)?,
                 };
                 let raw = if compressed {
                     rle_decompress(&stored, chunk.raw_len as usize)?
@@ -696,6 +902,44 @@ impl CheckpointStorage {
         upper.set_epoch(manifest.upper_epoch);
         upper.mark_clean();
         Ok(CheckpointImage::new(manifest.metadata.clone(), upper))
+    }
+
+    /// Fetch a cold chunk's stored form from the spill file (the tier re-validates
+    /// its CRC-32 frame) and promote it back into the in-memory shard. Returns the
+    /// stored bytes and compression flag for the caller's decode.
+    fn promote_chunk(&self, chunk: &ChunkRef) -> MpiResult<(Vec<u8>, bool)> {
+        let cold = self.tier.cold.as_ref().ok_or_else(|| {
+            MpiError::Checkpoint(format!(
+                "chunk {:#018x} is marked cold but no cold tier is attached",
+                chunk.digest
+            ))
+        })?;
+        let stored = cold.fetch(chunk.key())?;
+        if stored.len() != chunk.stored_len as usize {
+            return Err(MpiError::Checkpoint(format!(
+                "cold chunk {:#018x} promoted to {} bytes, manifest says {}",
+                chunk.digest,
+                stored.len(),
+                chunk.stored_len
+            )));
+        }
+        let mut shard = self.shard(chunk.digest).lock();
+        let compressed = match shard.chunks.get_mut(&chunk.key()) {
+            Some(entry) => {
+                if matches!(entry.payload, ChunkPayload::Cold) {
+                    entry.payload = ChunkPayload::Hot(stored.clone());
+                    self.tier
+                        .hot_bytes
+                        .fetch_add(stored.len(), Ordering::Relaxed);
+                }
+                entry.compressed
+            }
+            // The entry was pruned while we were fetching; serve this read from the
+            // file's content anyway (the digest check downstream still guards it).
+            None => chunk.compressed,
+        };
+        self.tier.cold_hits.fetch_add(1, Ordering::Relaxed);
+        Ok((stored, compressed))
     }
 
     /// Whether a checkpoint exists (valid or not) for `(generation, rank)`.
@@ -835,37 +1079,144 @@ impl CheckpointStorage {
                 .collect()
         };
         for (generation, rank) in doomed {
-            self.release_slot(generation, rank);
+            report.logical_freed_bytes += self.release_slot(generation, rank);
         }
 
+        let mut cold_doomed: Vec<(u64, u32)> = Vec::new();
         for shard in self.shards.iter() {
-            shard.lock().chunks.retain(|_, entry| {
+            shard.lock().chunks.retain(|key, entry| {
                 if entry.refs == 0 {
-                    report.freed_bytes += entry.stored.len();
+                    report.freed_bytes += entry.stored_len as usize;
+                    match entry.payload {
+                        ChunkPayload::Hot(_) => self.sub_hot(entry.stored_len as usize),
+                        ChunkPayload::Cold => cold_doomed.push(*key),
+                    }
                     false
                 } else {
                     true
                 }
             });
         }
+        if let Some(cold) = &self.tier.cold {
+            for key in cold_doomed {
+                cold.discard(key);
+            }
+        }
         report
     }
 
-    /// Aggregate occupancy.
+    /// Demote least-recently-referenced chunks to the cold tier until the hot set is
+    /// at most `hot_target_bytes`, or until every chunk is cold. A no-op (beyond
+    /// reporting current occupancy) when no cold tier is attached or the hot set is
+    /// already within target. Demotion is transparent to readers: a cold chunk is
+    /// fetched, CRC-revalidated and promoted on the next
+    /// [`read`](CheckpointStorage::read) that needs it.
+    pub fn spill_over(&self, hot_target_bytes: usize) -> SpillReport {
+        let mut report = SpillReport {
+            hot_bytes: self.hot_bytes(),
+            ..SpillReport::default()
+        };
+        let Some(cold) = self.tier.cold.as_ref() else {
+            return report;
+        };
+        if report.hot_bytes <= hot_target_bytes {
+            return report;
+        }
+
+        // Rank hot chunks oldest-touch first. The snapshot is advisory: each
+        // candidate is re-checked under its shard lock before demotion.
+        let mut candidates: Vec<(u64, (u64, u32))> = Vec::new();
+        for shard in self.shards.iter() {
+            let shard = shard.lock();
+            for (key, entry) in shard.chunks.iter() {
+                if matches!(entry.payload, ChunkPayload::Hot(_)) {
+                    candidates.push((entry.touch, *key));
+                }
+            }
+        }
+        candidates.sort_unstable();
+
+        for (_, key) in candidates {
+            if self.hot_bytes() <= hot_target_bytes {
+                break;
+            }
+            // Copy the payload out under the lock, write the spill file unlocked
+            // (file IO must not block the shard), then flip the entry to cold only
+            // if it is still hot — a concurrent prune or spill may have beaten us.
+            let stored = {
+                let shard = self.shard(key.0).lock();
+                match shard.chunks.get(&key).map(|entry| &entry.payload) {
+                    Some(ChunkPayload::Hot(bytes)) => bytes.clone(),
+                    _ => continue,
+                }
+            };
+            if cold.spill(key, &stored).is_err() {
+                // Disk trouble: stop demoting, keep serving from memory.
+                break;
+            }
+            let mut shard = self.shard(key.0).lock();
+            match shard.chunks.get_mut(&key) {
+                Some(entry) if matches!(entry.payload, ChunkPayload::Hot(_)) => {
+                    entry.payload = ChunkPayload::Cold;
+                    self.sub_hot(stored.len());
+                    report.spilled_chunks += 1;
+                    report.spilled_bytes += stored.len();
+                }
+                Some(_) => {}
+                // Pruned while we spilled: the file is unreachable garbage, drop it.
+                None => cold.discard(key),
+            }
+        }
+        self.tier
+            .spilled_chunks
+            .fetch_add(report.spilled_chunks as u64, Ordering::Relaxed);
+        self.tier
+            .spilled_bytes
+            .fetch_add(report.spilled_bytes as u64, Ordering::Relaxed);
+        report.hot_bytes = self.hot_bytes();
+        report
+    }
+
+    /// Aggregate occupancy, including per-shard breakdowns and cold-tier counters.
+    ///
+    /// On a tenant view the chunk/shard numbers describe the **shared** chunk space
+    /// (they are the same from every view), while the manifest and full-image
+    /// numbers describe this view's own catalog namespace.
     pub fn stats(&self) -> StorageStats {
+        let mut shards = Vec::with_capacity(self.shards.len());
+        for shard in self.shards.iter() {
+            let shard = shard.lock();
+            let mut occupancy = ShardStats {
+                chunk_count: shard.chunks.len(),
+                ..ShardStats::default()
+            };
+            for entry in shard.chunks.values() {
+                occupancy.stored_bytes += entry.stored_len as usize;
+                occupancy.refcount_total += entry.refs;
+                match entry.payload {
+                    ChunkPayload::Hot(_) => occupancy.hot_bytes += entry.stored_len as usize,
+                    ChunkPayload::Cold => occupancy.cold_chunks += 1,
+                }
+            }
+            shards.push(occupancy);
+        }
         let mut stats = StorageStats {
-            chunk_count: 0,
-            chunk_bytes: 0,
+            chunk_count: shards.iter().map(|s| s.chunk_count).sum(),
+            chunk_bytes: shards.iter().map(|s| s.stored_bytes).sum(),
+            hot_bytes: shards.iter().map(|s| s.hot_bytes).sum(),
+            cold_chunk_count: shards.iter().map(|s| s.cold_chunks).sum(),
+            cold_bytes: shards.iter().map(|s| s.stored_bytes - s.hot_bytes).sum(),
+            refcount_total: shards.iter().map(|s| s.refcount_total).sum(),
+            cold_hits: self.tier.cold_hits.load(Ordering::Relaxed),
+            chunk_reads: self.tier.chunk_reads.load(Ordering::Relaxed),
+            spilled_chunks: self.tier.spilled_chunks.load(Ordering::Relaxed),
+            spilled_bytes: self.tier.spilled_bytes.load(Ordering::Relaxed),
+            shards,
             manifest_count: 0,
             manifest_bytes: 0,
             full_image_count: 0,
             full_image_bytes: 0,
         };
-        for shard in self.shards.iter() {
-            let shard = shard.lock();
-            stats.chunk_count += shard.chunks.len();
-            stats.chunk_bytes += shard.chunks.values().map(|e| e.stored.len()).sum::<usize>();
-        }
         let catalog = self.catalog.lock();
         stats.manifest_count = catalog.manifests.len();
         stats.manifest_bytes = catalog.manifests.values().map(|m| m.len()).sum();
@@ -923,9 +1274,21 @@ impl CheckpointStorage {
             .chunks
             .get_mut(&private)
             .ok_or_else(|| MpiError::Checkpoint("private chunk vanished".into()))?;
-        let position = entry.stored.len() / 2;
-        entry.stored[position] ^= 0x01;
-        Ok(())
+        match &mut entry.payload {
+            ChunkPayload::Hot(stored) => {
+                let position = stored.len() / 2;
+                stored[position] ^= 0x01;
+                Ok(())
+            }
+            // The private chunk was demoted: corrupt its spill file instead, which
+            // exercises the CRC re-validation on promote.
+            ChunkPayload::Cold => self
+                .tier
+                .cold
+                .as_ref()
+                .ok_or_else(|| MpiError::Checkpoint("cold chunk without a cold tier".into()))?
+                .corrupt_spilled(private),
+        }
     }
 
     /// Flip one byte of the stored manifest (or flat image) for `(generation, rank)`.

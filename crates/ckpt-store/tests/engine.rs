@@ -679,3 +679,103 @@ fn concurrent_prune_with_sync_and_async_checkpoints_keeps_a_restart_point() {
     assert_eq!(stats.manifest_count, WORLD);
     assert!(stats.chunk_count > 0);
 }
+
+#[test]
+fn per_shard_occupancy_sums_to_the_aggregate() {
+    let storage = CheckpointStorage::unmetered().with_chunk_size(4096);
+    for rank in 0..2 {
+        storage.write_image(
+            StoragePolicy::Incremental,
+            &image_of(rank, 0, &synthetic_upper(rank, 3, 40_000)),
+        );
+    }
+    let stats = storage.stats();
+    assert_eq!(stats.shards.len(), storage.shard_count());
+    assert_eq!(
+        stats.shards.iter().map(|s| s.chunk_count).sum::<usize>(),
+        stats.chunk_count
+    );
+    assert_eq!(
+        stats.shards.iter().map(|s| s.stored_bytes).sum::<usize>(),
+        stats.chunk_bytes
+    );
+    assert_eq!(
+        stats.shards.iter().map(|s| s.refcount_total).sum::<u64>(),
+        stats.refcount_total
+    );
+    // No cold tier: everything is hot, and every chunk is referenced at least once.
+    assert_eq!(stats.hot_bytes, stats.chunk_bytes);
+    assert_eq!(stats.cold_chunk_count, 0);
+    assert!(stats.refcount_total >= stats.chunk_count as u64);
+    assert!(
+        stats.shards.iter().filter(|s| s.chunk_count > 0).count() > 1,
+        "the digest space must actually spread across shards"
+    );
+}
+
+#[test]
+fn prune_reports_logical_and_physical_frees_separately() {
+    let storage = CheckpointStorage::unmetered().with_chunk_size(4096);
+    let upper = synthetic_upper(0, 2, 20_000);
+
+    // Two generations with identical content: generation 0's chunks are all shared
+    // with generation 1.
+    let mut gen0 = upper.clone();
+    gen0.mark_all_dirty();
+    storage.write_image(StoragePolicy::Incremental, &image_of(0, 0, &gen0));
+    let mut gen1 = upper.clone();
+    gen1.mark_all_dirty();
+    storage.write_image(StoragePolicy::Incremental, &image_of(0, 1, &gen1));
+
+    let report = storage.prune_before(1);
+    assert_eq!(report.pruned, vec![0]);
+    assert_eq!(
+        report.freed_bytes, 0,
+        "fully shared chunks must free no physical bytes"
+    );
+    assert_eq!(
+        report.logical_freed_bytes, 40_000,
+        "the logical release is the pruned slots' payload size"
+    );
+
+    // Replace generation 1 with unique content, then prune it away under a newer
+    // one: now the physical free is real.
+    let unique = synthetic_upper(7, 2, 20_000);
+    storage.write_image(StoragePolicy::Incremental, &image_of(0, 2, &unique));
+    let swept = storage.prune_before(2);
+    assert_eq!(swept.pruned, vec![1]);
+    assert!(
+        swept.freed_bytes > 0,
+        "unshared chunks must free physical bytes"
+    );
+    assert_eq!(swept.logical_freed_bytes, 40_000);
+}
+
+#[test]
+fn tenant_views_share_chunks_but_not_catalogs() {
+    let storage = CheckpointStorage::unmetered().with_chunk_size(4096);
+    let first = storage.tenant_view();
+    let second = storage.tenant_view();
+    let upper = synthetic_upper(0, 2, 30_000);
+
+    let a = first.write_image(StoragePolicy::Incremental, &image_of(0, 0, &upper));
+    let b = second.write_image(StoragePolicy::Incremental, &image_of(0, 0, &upper));
+    assert!(a.chunks_new > 0);
+    assert_eq!(b.chunks_new, 0, "the second view dedups against the first");
+    assert_eq!(b.chunks_reused, a.chunks_new + a.chunks_reused);
+
+    // Catalogs are namespaced: each view sees only its own generation...
+    assert_eq!(first.generations(), vec![0]);
+    assert_eq!(second.generations(), vec![0]);
+    assert!(
+        storage.generations().is_empty(),
+        "the base catalog stays empty"
+    );
+    // ...and the shared chunk space holds each chunk once.
+    assert_eq!(first.stats().chunk_count, a.chunks_new);
+
+    // One view pruning everything leaves the other's reads intact.
+    first.prune_before(u64::MAX);
+    let restored = second.read(0, 0).unwrap();
+    assert_eq!(restored.upper_half, upper);
+}

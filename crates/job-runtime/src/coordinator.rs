@@ -14,6 +14,7 @@
 //!    half-written: either every rank's image committed, or the generation is not
 //!    published (and a restart falls back to the newest fully-valid one).
 
+use ckpt_service::ServiceHandle;
 use ckpt_store::{CheckpointStorage, StoreReport};
 use mana::{CheckpointIntercept, DrainObserver, IntentOutcome, ManaRank};
 use mpi_model::error::{MpiError, MpiResult};
@@ -472,7 +473,7 @@ pub fn coordinated_checkpoint(
 /// two MPI-level quiesce phases and the job-wide observed drain exactly as the
 /// synchronous [`coordinated_checkpoint`], but the storage write is split off — the
 /// rank freezes its image (a memory copy), submits it to `flusher`, and returns to
-/// computation immediately with a [`FlushHandle`].
+/// computation immediately with a [`FlushHandle`](ckpt_store::FlushHandle).
 ///
 /// The generation is announced *pending* in the store and commits — becoming visible
 /// to `latest_valid_images`/`read_job` and published in the ledger — only when every
@@ -499,6 +500,59 @@ pub fn coordinated_checkpoint_async(
     })
 }
 
+/// [`coordinated_checkpoint_async`] for a job attached to a multi-tenant
+/// [`CkptService`](ckpt_service::CkptService): the frozen image is submitted
+/// through the tenant's [`ServiceHandle`], which applies admission control over the
+/// service's shared flusher pool.
+///
+/// A rejected submission (pool saturated, or this tenant out of in-flight budget)
+/// **falls back to a synchronous write** on the rank thread — the checkpoint is
+/// never skipped, it just costs this rank the write time instead of riding the
+/// pool. The fallback deliberately uses the barrier-free async commit accounting
+/// (`note_rank_flushed` + [`Coordinator::note_flush_landed`]) rather than the
+/// blocking commit barrier: its peers may have been *admitted* and returned to
+/// computation already, so a rank waiting at a barrier for them would deadlock
+/// against flushes that only land later. The returned handle is pre-completed.
+pub fn coordinated_checkpoint_tenant(
+    rank: &mut ManaRank,
+    coordinator: &Arc<Coordinator>,
+    service: &ServiceHandle,
+    steps: Option<u64>,
+) -> MpiResult<ckpt_store::FlushHandle> {
+    // Phase 1: quiesce + drain to job-observed global quiescence, exactly as the
+    // private-pool async path.
+    let plan = rank.begin_checkpoint()?;
+    rank.drain_quiescent(&plan, coordinator.as_ref())?;
+    rank.complete_drain()?;
+    // Phase 2: freeze, announce pending in the *tenant's view*, and submit through
+    // the service. The commit accounting rides the flush completion exactly as in
+    // the private-pool path — whichever thread lands the last rank's image commits.
+    let policy = rank.config().storage;
+    let world_size = rank.world_size();
+    let world_rank = rank.world_rank();
+    let image = rank.snapshot_checkpoint()?;
+    let generation = image.metadata.generation;
+    service.storage().begin_generation(generation, world_size);
+    let landed = {
+        let coordinator = Arc::clone(coordinator);
+        move |report: &StoreReport| {
+            coordinator.note_flush_landed(report.generation, steps);
+        }
+    };
+    match service.submit_with(policy, image, landed) {
+        Ok(handle) => Ok(handle),
+        Err(rejected) => {
+            // Admission control turned the submission away and handed the image
+            // back: write it synchronously into the tenant's view. The caller owns
+            // the pending accounting the flusher worker would have performed.
+            let report = service.write_sync_fallback(policy, &rejected.image);
+            service.storage().note_rank_flushed(generation, world_rank);
+            coordinator.note_flush_landed(generation, steps);
+            Ok(ckpt_store::FlushHandle::ready(report))
+        }
+    }
+}
+
 /// One rank's mid-step checkpoint hook: the [`CheckpointIntercept`] a step-driven run
 /// installs on its [`ManaRank`] when [`crate::JobConfig::checkpoint_mid_step`] is on.
 ///
@@ -510,6 +564,10 @@ pub fn coordinated_checkpoint_async(
 pub struct MidStepIntercept {
     coordinator: Arc<Coordinator>,
     storage: CheckpointStorage,
+    /// Meter serviced checkpoints against this service tenancy (set on
+    /// service-attached jobs; the writes themselves go into `storage`, which is
+    /// then the tenant's view).
+    service: Option<ServiceHandle>,
     /// The step this rank is currently executing (maintained by the drive loop).
     current_step: AtomicU64,
     /// The intent epoch this rank has serviced up to.
@@ -522,9 +580,16 @@ impl MidStepIntercept {
         MidStepIntercept {
             coordinator,
             storage,
+            service: None,
             current_step: AtomicU64::new(0),
             serviced: AtomicU64::new(0),
         }
+    }
+
+    /// Meter every serviced checkpoint against a service tenancy.
+    pub fn with_service(mut self, service: ServiceHandle) -> Self {
+        self.service = Some(service);
+        self
     }
 
     /// Record the step the owning rank is about to execute.
@@ -564,6 +629,9 @@ impl CheckpointIntercept for MidStepIntercept {
             let report = rank.write_checkpoint_into(&self.storage)?;
             self.storage
                 .note_rank_flushed(report.generation, rank.world_rank());
+            if let Some(service) = &self.service {
+                service.note_external_write(&report);
+            }
             self.coordinator.commit_with_intent(
                 rank.world_rank(),
                 report.generation,

@@ -4,9 +4,10 @@
 
 use crate::backend::Backend;
 use crate::coordinator::{
-    coordinated_checkpoint, coordinated_checkpoint_async, CommitLedger, Coordinator,
-    MidStepIntercept,
+    coordinated_checkpoint, coordinated_checkpoint_async, coordinated_checkpoint_tenant,
+    CommitLedger, Coordinator, MidStepIntercept,
 };
+use ckpt_service::ServiceHandle;
 use ckpt_store::{CheckpointStorage, FlushHandle, FlusherPool, StoreReport};
 use mana::restart::restart_job_from_storage;
 use mana::{CheckpointIntercept, IntentOutcome, ManaConfig, ManaRank, Session, StoragePolicy};
@@ -185,6 +186,12 @@ pub struct JobCtx {
     /// Lazily spawned, shared with the owning [`JobRuntime`]: the pool's worker
     /// threads only exist once some rank actually takes an async checkpoint.
     flusher: Arc<OnceLock<Arc<FlusherPool>>>,
+    /// Present when the job is attached to a shared [`CkptService`] tenant
+    /// ([`JobRuntime::with_service`]): checkpoints are accounted (and, async, routed)
+    /// through this handle instead of a private pool.
+    ///
+    /// [`CkptService`]: ckpt_service::CkptService
+    service: Option<ServiceHandle>,
 }
 
 impl JobCtx {
@@ -192,15 +199,32 @@ impl JobCtx {
     /// must call this at the same logical point).
     pub fn checkpoint(&self, session: &mut Session) -> MpiResult<StoreReport> {
         session.reap();
-        coordinated_checkpoint(session.rank_mut(), &self.coordinator, &self.storage, None)
+        let report =
+            coordinated_checkpoint(session.rank_mut(), &self.coordinator, &self.storage, None)?;
+        if let Some(service) = &self.service {
+            service.note_external_write(&report);
+        }
+        Ok(report)
     }
 
     /// Take a coordinated checkpoint with an asynchronous flush: the rank returns as
     /// soon as its snapshot is frozen, holding a [`FlushHandle`] for the background
     /// write. Collective, like [`JobCtx::checkpoint`]. The generation publishes only
     /// when every rank's flush lands.
+    ///
+    /// On a service-attached job the submission goes through the tenant's admission
+    /// control; a rejection falls back to a synchronous write on this thread (the
+    /// checkpoint is never skipped) and the returned handle is already complete.
     pub fn checkpoint_async(&self, session: &mut Session) -> MpiResult<FlushHandle> {
         session.reap();
+        if let Some(service) = &self.service {
+            return coordinated_checkpoint_tenant(
+                session.rank_mut(),
+                &self.coordinator,
+                service,
+                None,
+            );
+        }
         coordinated_checkpoint_async(session.rank_mut(), &self.coordinator, self.flusher(), None)
     }
 
@@ -283,8 +307,12 @@ pub struct JobRuntime {
     config: JobConfig,
     storage: CheckpointStorage,
     /// Spawned lazily on first async checkpoint (a purely synchronous job never
-    /// pays for idle flusher threads); shared across runs and restarts.
+    /// pays for idle flusher threads); shared across runs and restarts. Never
+    /// materialized on a service-attached job — those ride the service's pool.
     flusher: Arc<OnceLock<Arc<FlusherPool>>>,
+    /// The shared-service tenancy this job runs under, if any: `storage` is then the
+    /// tenant's namespaced view of the service's chunk space.
+    service: Option<ServiceHandle>,
     registry: Arc<RwLock<UserFunctionRegistry>>,
     ledger: Arc<CommitLedger>,
     session: AtomicU64,
@@ -309,10 +337,23 @@ impl JobRuntime {
             config,
             flusher: Arc::new(OnceLock::new()),
             storage,
+            service: None,
             registry: Arc::new(RwLock::new(UserFunctionRegistry::new())),
             ledger: Arc::new(CommitLedger::new()),
             session: AtomicU64::new(1),
         }
+    }
+
+    /// A runtime attached to a multi-tenant [`CkptService`](ckpt_service::CkptService)
+    /// tenancy: every checkpoint lands in the tenant's namespaced view of the
+    /// service's shared, deduplicated chunk space, asynchronous flushes ride the
+    /// service's shared pool under its admission control (a rejected submission
+    /// falls back to a synchronous write — a checkpoint is never skipped), and every
+    /// landed write is metered against the tenant's quota.
+    pub fn with_service(config: JobConfig, service: ServiceHandle) -> Self {
+        let mut runtime = JobRuntime::with_storage(config, service.storage().clone());
+        runtime.service = Some(service);
+        runtime
     }
 
     /// The job configuration.
@@ -331,6 +372,12 @@ impl JobRuntime {
     pub fn flusher(&self) -> &Arc<FlusherPool> {
         self.flusher
             .get_or_init(|| Arc::new(FlusherPool::new(self.storage.clone())))
+    }
+
+    /// The service tenancy this job runs under, when constructed via
+    /// [`JobRuntime::with_service`].
+    pub fn service(&self) -> Option<&ServiceHandle> {
+        self.service.as_ref()
     }
 
     /// The shared user-function registry (survives restarts, as user-defined
@@ -420,8 +467,12 @@ impl JobRuntime {
         // daemon). Let any straggler flush of the dead incarnation land *before*
         // the restart aborts pending generations: a straggler landing after the
         // abort-and-reset could otherwise be counted toward the new incarnation's
-        // round for the same generation number.
-        if let Some(pool) = self.flusher.get() {
+        // round for the same generation number. A service-attached job waits on its
+        // *tenant-scoped* idle condition, never on the service's whole pool — a
+        // global drain could be starved indefinitely by other tenants' traffic.
+        if let Some(service) = &self.service {
+            service.wait_idle();
+        } else if let Some(pool) = self.flusher.get() {
             pool.wait_idle();
         }
         let session = self.session.fetch_add(1, Ordering::SeqCst);
@@ -446,11 +497,13 @@ impl JobRuntime {
         let coordinator = self.coordinator();
         let storage = self.storage.clone();
         let flusher = Arc::clone(&self.flusher);
+        let service = self.service.clone();
         run_world(ranks, move |_, rank| {
             let ctx = JobCtx {
                 coordinator: Arc::clone(&coordinator),
                 storage: storage.clone(),
                 flusher: Arc::clone(&flusher),
+                service: service.clone(),
             };
             body(Session::new(rank), ctx)
         })
@@ -532,11 +585,13 @@ impl JobRuntime {
         }
         let coordinator = self.coordinator();
         let storage = self.storage.clone();
+        let service = self.service.clone();
         // Mid-step mode takes precedence (see `JobConfig::async_checkpoint`): all
         // its checkpoints are synchronous, so the flag is only effective without
-        // it — and only an effectively-async run materializes the flusher pool.
+        // it — and only an effectively-async run without a service tenancy
+        // materializes the private flusher pool (service jobs ride the shared one).
         let async_ckpt = self.config.async_checkpoint && !self.config.checkpoint_mid_step;
-        let flusher = async_ckpt.then(|| Arc::clone(self.flusher()));
+        let flusher = (async_ckpt && service.is_none()).then(|| Arc::clone(self.flusher()));
         let kill_at = if self.kill_armed.load(Ordering::SeqCst) {
             self.config.kill_at_step
         } else {
@@ -556,10 +611,11 @@ impl JobRuntime {
         let outcomes = run_world(ranks, move |_, rank| {
             let mut session = Session::new(rank);
             let intercept = if mid_step {
-                let hook = Arc::new(MidStepIntercept::new(
-                    Arc::clone(&coordinator),
-                    storage.clone(),
-                ));
+                let mut hook = MidStepIntercept::new(Arc::clone(&coordinator), storage.clone());
+                if let Some(service) = &service {
+                    hook = hook.with_service(service.clone());
+                }
+                let hook = Arc::new(hook);
                 session
                     .rank_mut()
                     .set_intercept(Arc::clone(&hook) as Arc<dyn CheckpointIntercept>);
@@ -634,20 +690,34 @@ impl JobRuntime {
                             // Snapshot fast, flush in the background: the rank holds the
                             // handle and moves straight on to the next step. The commit
                             // (storage visibility + ledger publish) happens on the
-                            // flusher thread that lands the last rank's image.
-                            *in_flight = Some(coordinated_checkpoint_async(
-                                session.rank_mut(),
-                                &coordinator,
-                                flusher.as_ref().expect("async runs materialize the pool"),
-                                Some(boundary),
-                            )?);
+                            // flusher thread that lands the last rank's image. A
+                            // service-attached job submits through its tenant handle
+                            // (admission control, sync fallback on rejection) instead
+                            // of a private pool.
+                            *in_flight = Some(match &service {
+                                Some(service) => coordinated_checkpoint_tenant(
+                                    session.rank_mut(),
+                                    &coordinator,
+                                    service,
+                                    Some(boundary),
+                                )?,
+                                None => coordinated_checkpoint_async(
+                                    session.rank_mut(),
+                                    &coordinator,
+                                    flusher.as_ref().expect("async runs materialize the pool"),
+                                    Some(boundary),
+                                )?,
+                            });
                         } else {
-                            coordinated_checkpoint(
+                            let report = coordinated_checkpoint(
                                 session.rank_mut(),
                                 &coordinator,
                                 &storage,
                                 Some(boundary),
                             )?;
+                            if let Some(service) = &service {
+                                service.note_external_write(&report);
+                            }
                         }
                     }
                     if kill_at == Some(boundary) && boundary < total_steps {

@@ -23,6 +23,13 @@
 //! *different* MPI implementation), and a [`Backend`] selector spanning `mpich-sim`,
 //! `openmpi-sim` and `exampi-sim`.
 //!
+//! A job can also run as one **tenant of a shared multi-tenant checkpoint service**
+//! ([`JobRuntime::with_service`]): checkpoints land in the tenant's namespaced view
+//! of a [`ckpt_service::CkptService`]'s deduplicated chunk space, asynchronous
+//! flushes ride the service's shared pool under admission control (with a
+//! synchronous fallback on rejection, so a checkpoint is never skipped), and every
+//! landed write is metered against the tenant's quota.
+//!
 //! With [`JobConfig::checkpoint_mid_step`], intent broadcast is no longer confined to
 //! step boundaries: every rank carries a [`MidStepIntercept`], and an intent raised
 //! at any moment ([`Coordinator::request_checkpoint_now`]) is serviced at the safe
@@ -39,6 +46,7 @@ mod job;
 
 pub use backend::Backend;
 pub use coordinator::{
-    coordinated_checkpoint, CommitLedger, Coordinator, IntentSnapshot, MidStepIntercept,
+    coordinated_checkpoint, coordinated_checkpoint_async, coordinated_checkpoint_tenant,
+    CommitLedger, Coordinator, IntentSnapshot, MidStepIntercept,
 };
 pub use job::{run_world, JobConfig, JobCtx, JobRun, JobRuntime};

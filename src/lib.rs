@@ -12,6 +12,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use ckpt_service;
 pub use ckpt_store;
 pub use exampi_sim;
 pub use job_runtime;
