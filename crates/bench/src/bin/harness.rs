@@ -3,8 +3,9 @@
 //! Usage:
 //!
 //! ```text
-//! harness [--json] [table1|table2|table3|ckpt-store|parallel|collectives|typed-overhead|async-ckpt|ckpt-service|figure2|figure3|figure4|cs-rate|validate|all]
+//! harness [--json] [table1|table2|table3|ckpt-store|parallel|collectives|typed-overhead|async-ckpt|ckpt-service|chaos|figure2|figure3|figure4|cs-rate|validate|all]
 //! harness ci
+//! harness chaos-soak
 //! ```
 //!
 //! With no argument (or `all`) every section is produced. `--json` emits the
@@ -20,8 +21,14 @@
 //! the typed layer costs 5% or more over the raw byte path, the async checkpoint
 //! stall exceeds 50% of the synchronous write wall time, the service's cross-job
 //! dedup falls under 1.5x or its aggregate throughput under 0.7x the single-job
-//! baseline, any fleet job fails to complete and restart, or the cold-tier round
-//! trip is not bit-identical.
+//! baseline, any fleet job fails to complete and restart, the cold-tier round
+//! trip is not bit-identical, or the seeded chaos soak fails to self-heal
+//! bit-identically within the recovery-blackout gate.
+//!
+//! `chaos-soak` runs the seeded chaos matrix on its own, writes the combined
+//! per-seed `RecoveryLog` stream to `RECOVERY_log.json` for the CI artifact
+//! upload, and exits nonzero if any seed diverges from the chaos-free baseline
+//! or the worst recovery blackout exceeds the gate.
 
 use mana_apps::workloads::{perlmutter_workloads, single_node_workloads};
 use mana_apps::AppId;
@@ -31,6 +38,27 @@ use mana_bench::runner::{run_small_scale, SmallScaleConfig};
 
 /// Minimum acceptable incremental-vs-full byte reduction at 1% dirty.
 const CI_REDUCTION_GATE: f64 = 50.0;
+
+/// The `harness chaos-soak` mode: run the seeded soak, write the combined
+/// recovery-log artifact, gate on blackout + bit-identity.
+fn run_chaos_soak() -> std::process::ExitCode {
+    let outcome = mana_bench::measure_chaos_soak(
+        &mana_bench::ChaosSoakConfig::default(),
+        mana_bench::CHAOS_BLACKOUT_GATE_MS,
+    );
+    std::fs::write(
+        "RECOVERY_log.json",
+        mana_bench::recovery_logs_json(&outcome.logs),
+    )
+    .expect("write RECOVERY_log.json");
+    println!("{}", mana_bench::chaos_note_from(&outcome.report));
+    println!("wrote RECOVERY_log.json");
+    if outcome.report.pass {
+        std::process::ExitCode::SUCCESS
+    } else {
+        std::process::ExitCode::FAILURE
+    }
+}
 
 /// The `harness ci` smoke mode: measure, write `BENCH_ci.json`, gate.
 fn run_ci() -> std::process::ExitCode {
@@ -58,6 +86,7 @@ fn run_ci() -> std::process::ExitCode {
     );
     println!("{}", mana_bench::async_ckpt_note_from(&report.async_ckpt));
     println!("{}", mana_bench::service_note_from(&report.service));
+    println!("{}", mana_bench::chaos_note_from(&report.chaos));
     println!("wrote BENCH_ci.json");
     if report.pass {
         std::process::ExitCode::SUCCESS
@@ -157,6 +186,9 @@ fn main() -> std::process::ExitCode {
     if selections.contains(&"ci") {
         return run_ci();
     }
+    if selections.contains(&"chaos-soak") {
+        return run_chaos_soak();
+    }
     let want = |section: &str| {
         selections.is_empty() || selections.contains(&"all") || selections.contains(&section)
     };
@@ -224,6 +256,9 @@ fn main() -> std::process::ExitCode {
     }
     if want("ckpt-service") {
         report.notes.push(mana_bench::service_note());
+    }
+    if want("chaos") {
+        report.notes.push(mana_bench::chaos_note());
     }
     if want("validate") {
         report.validation_runs = validation_runs();

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod async_ckpt;
+pub mod chaos;
 pub mod ckpt;
 pub mod collectives;
 pub mod model;
@@ -51,8 +52,18 @@ pub const SERVICE_DEDUP_GATE: f64 = 1.5;
 /// concurrent jobs).
 pub const SERVICE_THROUGHPUT_GATE: f64 = 0.7;
 
+/// Maximum acceptable recovery blackout — heartbeat declaration to resumed world —
+/// across the chaos soak seed matrix, in milliseconds (the self-healing
+/// acceptance gate; the matrix must also complete bit-identically with zero
+/// operator restarts).
+pub const CHAOS_BLACKOUT_GATE_MS: u64 = 5_000;
+
 pub use async_ckpt::{
     async_ckpt_note, async_ckpt_note_from, measure_async_ckpt, AsyncCkptReport, ASYNC_CKPT_ROUNDS,
+};
+pub use chaos::{
+    chaos_note, chaos_note_from, measure_chaos_soak, recovery_logs_json, ChaosBenchReport,
+    ChaosSoakConfig, ChaosSoakOutcome, ChaosSoakRow, CHAOS_SOAK_SEEDS,
 };
 pub use ckpt::{
     measure_parallel_checkpoint, parallel_checkpoint_note, parallel_checkpoint_note_from,

@@ -1,6 +1,7 @@
 //! Plain-text and JSON rendering of the harness output.
 
 use crate::async_ckpt::AsyncCkptReport;
+use crate::chaos::{ChaosBenchReport, ChaosSoakConfig};
 use crate::ckpt::{ParallelCkptRow, StorageRow};
 use crate::model::{CheckpointRow, OverheadRow};
 use crate::runner::SmallScaleResult;
@@ -134,6 +135,10 @@ pub struct CiReport {
     /// throughput, the preempt/restart fleet, the cold-tier round trip), with its
     /// own gate verdicts folded into `pass`.
     pub service: ServiceBenchReport,
+    /// The seeded chaos soak through the self-healing runtime (detection latency,
+    /// recovery blackout, bit-identical completion), with its own blackout gate
+    /// verdict folded into `pass`.
+    pub chaos: ChaosBenchReport,
     /// Whether every gate passed.
     pub pass: bool,
 }
@@ -178,10 +183,16 @@ impl CiReport {
             crate::SERVICE_DEDUP_GATE,
             crate::SERVICE_THROUGHPUT_GATE,
         );
+        let chaos = crate::chaos::measure_chaos_soak(
+            &ChaosSoakConfig::default(),
+            crate::CHAOS_BLACKOUT_GATE_MS,
+        )
+        .report;
         let pass = incremental_reduction_1pct >= reduction_gate
             && typed_overhead.pass
             && async_ckpt.pass
-            && service.pass;
+            && service.pass
+            && chaos.pass;
         CiReport {
             storage_rows,
             parallel_rows,
@@ -191,6 +202,7 @@ impl CiReport {
             typed_overhead,
             async_ckpt,
             service,
+            chaos,
             pass,
         }
     }

@@ -20,7 +20,7 @@ use mana::{CheckpointIntercept, DrainObserver, IntentOutcome, ManaRank};
 use mpi_model::error::{MpiError, MpiResult};
 use mpi_model::types::Rank;
 use parking_lot::{Condvar, Mutex};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -157,6 +157,10 @@ pub struct Coordinator {
     /// flushes have landed and the fold of their step counts (minimum wins, like the
     /// blocking barrier). Nobody ever *waits* on this state — that is the point.
     flush_rounds: Mutex<BTreeMap<u64, FlushRound>>,
+    /// Ranks the failure detector has declared dead this incarnation. Feeds
+    /// [`DrainObserver::dead_peers`], so a drain waiting on a dead peer fails fast
+    /// ("peer dead: heartbeat expired") instead of burning the stall budget.
+    dead: Mutex<BTreeSet<Rank>>,
     ledger: Arc<CommitLedger>,
 }
 
@@ -192,6 +196,7 @@ impl Coordinator {
             barrier_cv: Condvar::new(),
             barrier_timeout: Duration::from_secs(30),
             flush_rounds: Mutex::new(BTreeMap::new()),
+            dead: Mutex::new(BTreeSet::new()),
             ledger,
         }
     }
@@ -210,6 +215,36 @@ impl Coordinator {
     /// The shared commit ledger.
     pub fn ledger(&self) -> &Arc<CommitLedger> {
         &self.ledger
+    }
+
+    // ------------------------------------------------------------------
+    // Failure lane: detector declarations and the job-level abort
+    // ------------------------------------------------------------------
+
+    /// Record that the failure detector declared these ranks dead. From now on any
+    /// drain whose shortfall involves one of them fails fast with a "peer dead"
+    /// diagnostic instead of waiting out the stall budget.
+    pub fn note_dead_ranks(&self, ranks: &[Rank]) {
+        self.dead.lock().extend(ranks.iter().copied());
+    }
+
+    /// Ranks declared dead this incarnation, in rank order.
+    pub fn dead_ranks(&self) -> Vec<Rank> {
+        self.dead.lock().iter().copied().collect()
+    }
+
+    /// Abort the coordinated-checkpoint machinery: the commit barrier is poisoned
+    /// with `reason`, waking every rank parked in it and failing every later
+    /// arrival. Called by the failure detector the moment it declares ranks dead —
+    /// a commit round can never complete once a member of the world is gone, and
+    /// without the poison its survivors would sit out the full barrier timeout.
+    /// Idempotent; an earlier poison reason wins.
+    pub fn abort(&self, reason: &str) {
+        let mut state = self.barrier.lock();
+        if state.poisoned.is_none() {
+            state.poisoned = Some(format!("job aborted: {reason}"));
+        }
+        self.barrier_cv.notify_all();
     }
 
     // ------------------------------------------------------------------
@@ -425,6 +460,10 @@ impl DrainObserver for Coordinator {
 
     fn stall_budget(&self) -> Duration {
         self.stall_budget
+    }
+
+    fn dead_peers(&self) -> Vec<Rank> {
+        self.dead_ranks()
     }
 }
 
@@ -729,6 +768,28 @@ mod tests {
         assert_eq!(ledger.published_generation(), Some(5));
         assert_eq!(ledger.steps_at(4), Some(6));
         assert_eq!(coordinator.flushes_in_flight(), 0);
+    }
+
+    #[test]
+    fn abort_poisons_the_commit_barrier_and_wakes_waiters() {
+        let ledger = Arc::new(CommitLedger::new());
+        let coordinator = Arc::new(Coordinator::new(2, None, Arc::clone(&ledger)));
+        let peer = Arc::clone(&coordinator);
+        let handle = std::thread::spawn(move || peer.commit(0, 3, None));
+        // Let rank 0 park in the barrier, then the detector declares rank 1 dead.
+        std::thread::sleep(Duration::from_millis(20));
+        coordinator.note_dead_ranks(&[1]);
+        coordinator.abort("rank 1 missed its heartbeat deadline");
+        let waiter = handle.join().unwrap();
+        let message = format!("{:?}", waiter.unwrap_err());
+        assert!(
+            message.contains("job aborted"),
+            "poison reason lost: {message}"
+        );
+        // Later arrivals fail too, and nothing was ever published.
+        assert!(coordinator.commit(1, 3, None).is_err());
+        assert!(ledger.published_generation().is_none());
+        assert_eq!(coordinator.dead_ranks(), vec![1]);
     }
 
     #[test]

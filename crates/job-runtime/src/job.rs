@@ -7,20 +7,29 @@ use crate::coordinator::{
     coordinated_checkpoint, coordinated_checkpoint_async, coordinated_checkpoint_tenant,
     CommitLedger, Coordinator, MidStepIntercept,
 };
+use crate::recovery::{HeartbeatMonitor, RecoveryEventKind, RecoveryLog};
 use ckpt_service::ServiceHandle;
 use ckpt_store::{CheckpointStorage, FlushHandle, FlusherPool, StoreReport};
 use mana::restart::restart_job_from_storage;
 use mana::{CheckpointIntercept, IntentOutcome, ManaConfig, ManaRank, Session, StoragePolicy};
 use mpi_model::error::{MpiError, MpiResult};
 use mpi_model::op::UserFunctionRegistry;
-use parking_lot::RwLock;
+use net_sim::{ChaosPlan, Fabric};
+use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Run one closure per worker, each on its own thread, and collect the results in
 /// launch order. A panic in a worker is surfaced as an [`MpiError::Internal`] naming
 /// the rank that panicked (and the panic message, when it carries one).
+///
+/// **Every** worker thread is joined before anything is returned; on failure the
+/// lowest-ranked error is propagated. A failing rank therefore never leaves its
+/// peers' threads running detached behind the error return — the self-healing
+/// recovery loop depends on this: the dead incarnation must be fully unwound
+/// (every rank woken by the fabric abort and joined) before a fresh world is
+/// launched over the same storage.
 ///
 /// This is the one thread-spawn scaffold in the workspace: `JobRuntime` builds on it
 /// for MANA worlds, and lower layers (the engine tests) reuse it for raw
@@ -41,21 +50,33 @@ where
         })
         .collect();
     let mut results = Vec::with_capacity(handles.len());
+    let mut first_error: Option<MpiError> = None;
     for (rank, handle) in handles {
-        results.push(handle.join().map_err(|payload| {
+        let joined = handle.join().map_err(|payload| {
             let message = payload
                 .downcast_ref::<&str>()
                 .map(|s| s.to_string())
                 .or_else(|| payload.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "non-string panic payload".to_string());
             MpiError::Internal(format!("rank {rank} thread panicked: {message}"))
-        })??);
+        });
+        match joined {
+            Ok(Ok(value)) => results.push(value),
+            Ok(Err(error)) | Err(error) => {
+                if first_error.is_none() {
+                    first_error = Some(error);
+                }
+            }
+        }
     }
-    Ok(results)
+    match first_error {
+        Some(error) => Err(error),
+        None => Ok(results),
+    }
 }
 
 /// Everything the orchestrator needs to know about a job.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct JobConfig {
     /// Ranks in the world.
     pub world_size: usize,
@@ -63,8 +84,12 @@ pub struct JobConfig {
     pub backend: Backend,
     /// Per-rank MANA configuration (virtual-id design, ggid policy, storage policy).
     pub mana: ManaConfig,
-    /// Take a coordinated checkpoint every this many completed steps (`None` = only
-    /// explicitly requested checkpoints).
+    /// Take a coordinated checkpoint every this many completed steps.
+    ///
+    /// Default: `None` — only explicitly requested checkpoints. A job without
+    /// committed generations has no fallback: a failure or preemption before the
+    /// first commit restarts from step 0 (self-healing runs log
+    /// `FallbackRestored { generation: None }`).
     pub checkpoint_every: Option<u64>,
     /// Inject a preemption: the job vacates after completing this many steps (after
     /// any checkpoint due at that boundary). Consumed by the first run it fires in.
@@ -100,7 +125,42 @@ pub struct JobConfig {
     pub async_checkpoint: bool,
     /// How long the drain may observe zero job-wide progress before declaring a
     /// stall.
+    ///
+    /// Default: 5 s. On expiry the drain errors with a diagnostic naming every
+    /// peer still owing messages (and by how many) rather than hanging. The error
+    /// itself is not recoverable; under the self-healing loop a stall whose cause
+    /// was a rank death is recovered anyway, because the heartbeat monitor's
+    /// declaration (not the stall) marks the run recoverable.
     pub stall_budget: Duration,
+    /// Failure-detector deadline for the self-healing loop: a rank whose fabric
+    /// heartbeat is silent for longer than this is declared dead, the world is
+    /// aborted, and the job falls back to its newest committed generation.
+    ///
+    /// Default: 250 ms. Tune it above the job's longest natural heartbeat gap
+    /// (synchronous checkpoint writes and commit-barrier waits do not beat) and
+    /// above any transient outage that should stay *masked* — a partition that
+    /// heals inside the deadline is invisible, one that outlives it is a failure.
+    /// Only consulted by [`JobRuntime::run_steps_self_healing`]; plain runs spawn
+    /// no detector.
+    pub heartbeat_deadline: Duration,
+    /// Seeded fault schedule installed on each incarnation's fabric (see
+    /// [`net_sim::ChaosPlan`]). Faults that already fired are *not* re-armed on a
+    /// relaunched incarnation, so one scheduled crash kills the job once, not on
+    /// every recovery.
+    ///
+    /// Default: `None` (no fault injection). Masked faults (delay, loss, reorder,
+    /// healing partitions) are absorbed by the transport and never surface;
+    /// lethal faults require [`JobRuntime::run_steps_self_healing`] to complete
+    /// the job, and fail a plain run with the underlying fabric error.
+    pub chaos: Option<ChaosPlan>,
+    /// Upper bound on automatic recoveries before
+    /// [`JobRuntime::run_steps_self_healing`] gives up and surfaces the last
+    /// failure. Guards against a fault the fallback cannot outrun (e.g. storage
+    /// with no committed generation and a deterministic crash at step 0).
+    ///
+    /// Default: 8. A completed run reports its actual recovery count in the
+    /// [`RecoveryLog`](crate::RecoveryLog)'s `JobCompleted` event.
+    pub max_recoveries: u32,
 }
 
 impl Default for JobConfig {
@@ -116,6 +176,9 @@ impl Default for JobConfig {
             preempt_mid_step_at: None,
             async_checkpoint: false,
             stall_budget: Duration::from_secs(5),
+            heartbeat_deadline: Duration::from_millis(250),
+            chaos: None,
+            max_recoveries: 8,
         }
     }
 }
@@ -173,6 +236,24 @@ impl JobConfig {
     /// [`JobConfig::async_checkpoint`]).
     pub fn with_async_checkpoint(mut self) -> Self {
         self.async_checkpoint = true;
+        self
+    }
+
+    /// Install a seeded fault schedule (see [`JobConfig::chaos`]).
+    pub fn with_chaos(mut self, plan: ChaosPlan) -> Self {
+        self.chaos = Some(plan);
+        self
+    }
+
+    /// Set the failure-detector deadline (see [`JobConfig::heartbeat_deadline`]).
+    pub fn with_heartbeat_deadline(mut self, deadline: Duration) -> Self {
+        self.heartbeat_deadline = deadline;
+        self
+    }
+
+    /// Bound the number of automatic recoveries (see [`JobConfig::max_recoveries`]).
+    pub fn with_max_recoveries(mut self, recoveries: u32) -> Self {
+        self.max_recoveries = recoveries;
         self
     }
 }
@@ -319,6 +400,23 @@ pub struct JobRuntime {
     kill_armed: AtomicBool,
     mid_ckpt_armed: AtomicBool,
     mid_kill_armed: AtomicBool,
+    /// The current incarnation's fabric, captured out of the backend factory at
+    /// launch/restart time (the factory API stays network-agnostic; the capture
+    /// hook is a thread-local side channel). `None` until the first launch.
+    fabric: Mutex<Option<Fabric>>,
+    /// The not-yet-fired remainder of [`JobConfig::chaos`], with each surviving
+    /// fault's id in the *original* plan — what gets installed on the next
+    /// incarnation's fabric, so a fault that already fired never fires twice.
+    chaos: Mutex<Option<ChaosArm>>,
+}
+
+struct ChaosArm {
+    /// The full plan as configured (categories looked up by original id).
+    original: ChaosPlan,
+    /// Faults not yet fired, in original order.
+    remaining: ChaosPlan,
+    /// `remaining[i]`'s id in `original`.
+    ids: Vec<usize>,
 }
 
 impl JobRuntime {
@@ -330,6 +428,11 @@ impl JobRuntime {
     /// A runtime writing checkpoints into the given store (metered models, custom
     /// shard counts, or a store shared with an inspector).
     pub fn with_storage(config: JobConfig, storage: CheckpointStorage) -> Self {
+        let chaos = config.chaos.clone().map(|plan| ChaosArm {
+            ids: (0..plan.faults.len()).collect(),
+            remaining: plan.clone(),
+            original: plan,
+        });
         JobRuntime {
             kill_armed: AtomicBool::new(config.kill_at_step.is_some()),
             mid_ckpt_armed: AtomicBool::new(config.mid_step_checkpoint_at.is_some()),
@@ -341,6 +444,8 @@ impl JobRuntime {
             registry: Arc::new(RwLock::new(UserFunctionRegistry::new())),
             ledger: Arc::new(CommitLedger::new()),
             session: AtomicU64::new(1),
+            fabric: Mutex::new(None),
+            chaos: Mutex::new(chaos),
         }
     }
 
@@ -399,15 +504,74 @@ impl JobRuntime {
     /// Launch a fresh world of MANA-wrapped ranks on the configured backend.
     pub fn launch(&self) -> MpiResult<Vec<ManaRank>> {
         let session = self.session.fetch_add(1, Ordering::SeqCst);
+        let capture = Fabric::capture_next();
         let lowers = self.config.backend.factory().launch(
             self.config.world_size,
             self.registry(),
             session,
         )?;
+        self.adopt_fabric(capture.take(), true);
         lowers
             .into_iter()
             .map(|lower| ManaRank::new(lower, self.config.mana, self.registry()))
             .collect()
+    }
+
+    /// The current incarnation's fabric (captured from the backend factory at
+    /// launch/restart), for fault injection and inspection. `None` before the
+    /// first launch.
+    pub fn fabric(&self) -> Option<Fabric> {
+        self.fabric.lock().clone()
+    }
+
+    /// Track a freshly captured fabric; with `arm_chaos`, install the not-yet-fired
+    /// chaos remainder on it. Restart leaves the fabric unarmed so a leftover fault
+    /// cannot fire while ranks are still being *restored* — the self-healing loop
+    /// re-arms the remainder once the restore has succeeded.
+    fn adopt_fabric(&self, fabric: Option<Fabric>, arm_chaos: bool) {
+        if let Some(fabric) = &fabric {
+            if arm_chaos {
+                self.arm_remaining_chaos(fabric);
+            }
+        }
+        *self.fabric.lock() = fabric;
+    }
+
+    /// Install the not-yet-fired chaos remainder on `fabric` (no-op when the
+    /// remainder is empty).
+    fn arm_remaining_chaos(&self, fabric: &Fabric) {
+        if let Some(arm) = self.chaos.lock().as_ref() {
+            if !arm.remaining.is_empty() {
+                fabric.install_chaos(arm.remaining.clone());
+            }
+        }
+    }
+
+    /// Fold the faults that fired on `fabric` into the recovery log (with their
+    /// original plan ids) and strip them from the remainder armed on the next
+    /// incarnation.
+    fn retire_fired_faults(&self, fabric: &Fabric, log: &RecoveryLog, incarnation: u32) {
+        let fired = fabric.fired_fault_ids();
+        if fired.is_empty() {
+            return;
+        }
+        let mut guard = self.chaos.lock();
+        if let Some(arm) = guard.as_mut() {
+            for &index in &fired {
+                if let Some(&original_id) = arm.ids.get(index) {
+                    log.record(
+                        incarnation,
+                        RecoveryEventKind::FaultInjected {
+                            fault_id: original_id,
+                            category: arm.original.faults[original_id].category().to_string(),
+                        },
+                    );
+                }
+            }
+            let (remaining, kept) = arm.remaining.without_fired(&fired);
+            arm.ids = kept.into_iter().map(|position| arm.ids[position]).collect();
+            arm.remaining = remaining;
+        }
     }
 
     fn coordinator(&self) -> Arc<Coordinator> {
@@ -476,9 +640,11 @@ impl JobRuntime {
             pool.wait_idle();
         }
         let session = self.session.fetch_add(1, Ordering::SeqCst);
+        let capture = Fabric::capture_next();
         let lowers = backend
             .factory()
             .launch(self.config.world_size, self.registry(), session)?;
+        self.adopt_fabric(capture.take(), false);
         let (ranks, generation) =
             restart_job_from_storage(lowers, &self.storage, self.config.mana, self.registry())?;
         // A fallback legitimately regresses the generation counter: rewind the
@@ -523,7 +689,7 @@ impl JobRuntime {
         F: Fn(&mut Session, u64) -> MpiResult<T> + Send + Sync + 'static,
     {
         let ranks = self.launch()?;
-        self.drive(ranks, 0, total_steps, Arc::new(step_fn))
+        self.drive(self.coordinator(), ranks, 0, total_steps, Arc::new(step_fn))
     }
 
     /// Restart from the newest fully-valid generation and continue stepping to
@@ -542,7 +708,13 @@ impl JobRuntime {
                  was it written outside a step-driven run?"
             ))
         })?;
-        self.drive(ranks, start_step, total_steps, Arc::new(step_fn))
+        self.drive(
+            self.coordinator(),
+            ranks,
+            start_step,
+            total_steps,
+            Arc::new(step_fn),
+        )
     }
 
     /// Run to completion, resuming through any injected preemption: `run_steps`
@@ -554,7 +726,13 @@ impl JobRuntime {
     {
         let step_fn = Arc::new(step_fn);
         let ranks = self.launch()?;
-        let mut run = self.drive(ranks, 0, total_steps, Arc::clone(&step_fn))?;
+        let mut run = self.drive(
+            self.coordinator(),
+            ranks,
+            0,
+            total_steps,
+            Arc::clone(&step_fn),
+        )?;
         while run.was_preempted() {
             let (ranks, generation) = self.restart(self.config.backend)?;
             let start_step = self.ledger.steps_at(generation).ok_or_else(|| {
@@ -562,13 +740,178 @@ impl JobRuntime {
                     "restored generation {generation} has no step record in the ledger"
                 ))
             })?;
-            run = self.drive(ranks, start_step, total_steps, Arc::clone(&step_fn))?;
+            run = self.drive(
+                self.coordinator(),
+                ranks,
+                start_step,
+                total_steps,
+                Arc::clone(&step_fn),
+            )?;
         }
         Ok(run)
     }
 
+    /// Run to completion through **failures**: the self-healing loop of the chaos
+    /// fabric work. Per incarnation it launches (or relaunches) the world with the
+    /// not-yet-fired remainder of [`JobConfig::chaos`] armed on the fabric, spawns a
+    /// [`HeartbeatMonitor`] with [`JobConfig::heartbeat_deadline`], and drives steps
+    /// exactly like [`JobRuntime::run_to_completion`]. When a rank dies (or falls
+    /// silent past the deadline) the monitor aborts the world, the dead
+    /// incarnation's pending generations are aborted, the job falls back to the
+    /// newest committed generation — or to its initial state when nothing has
+    /// committed yet — and a fresh world resumes. Every event lands in the returned
+    /// [`RecoveryLog`].
+    ///
+    /// Fails with the underlying error when a failure is *not* recoverable (a
+    /// genuine bug rather than a detected fault), or with
+    /// [`MpiError::Internal`] after [`JobConfig::max_recoveries`] recoveries.
+    pub fn run_steps_self_healing<T, F>(
+        &self,
+        total_steps: u64,
+        step_fn: F,
+    ) -> MpiResult<(JobRun<T>, RecoveryLog)>
+    where
+        T: Send + 'static,
+        F: Fn(&mut Session, u64) -> MpiResult<T> + Send + Sync + 'static,
+    {
+        let step_fn = Arc::new(step_fn);
+        let log = RecoveryLog::new();
+        let mut recoveries: u32 = 0;
+        let mut incarnation: u32 = 1;
+        let mut ranks = self.launch()?;
+        let mut start_step = 0u64;
+        if let Some(arm) = self.chaos.lock().as_ref() {
+            log.record(
+                incarnation,
+                RecoveryEventKind::ChaosInstalled {
+                    seed: arm.original.seed,
+                    faults: arm.remaining.faults.len(),
+                    lethal: arm.remaining.lethal_count(),
+                },
+            );
+        }
+        loop {
+            let fabric = self.fabric();
+            let coordinator = self.coordinator();
+            let monitor = fabric.clone().map(|fabric| {
+                HeartbeatMonitor::spawn(
+                    fabric,
+                    Arc::clone(&coordinator),
+                    log.clone(),
+                    self.config.heartbeat_deadline,
+                    incarnation,
+                )
+            });
+            let outcome = self.drive(
+                Arc::clone(&coordinator),
+                ranks,
+                start_step,
+                total_steps,
+                Arc::clone(&step_fn),
+            );
+            let report = monitor.map(HeartbeatMonitor::stop).unwrap_or_default();
+            if let Some(fabric) = &fabric {
+                self.retire_fired_faults(fabric, &log, incarnation);
+            }
+            match outcome {
+                Ok(run) if !run.was_preempted() => {
+                    log.record(
+                        incarnation,
+                        RecoveryEventKind::JobCompleted {
+                            incarnations: incarnation,
+                            recoveries,
+                        },
+                    );
+                    return Ok((run, log));
+                }
+                // An operator-driven preemption (kill-at-step) is not a failure:
+                // resume without charging a recovery.
+                Ok(_preempted) => {}
+                Err(error) => {
+                    let aborted = fabric.as_ref().is_some_and(|fabric| fabric.aborted());
+                    let recoverable = error.is_recoverable_failure()
+                        || aborted
+                        || !report.declared_dead.is_empty();
+                    if !recoverable {
+                        return Err(error);
+                    }
+                    recoveries += 1;
+                    if recoveries > self.config.max_recoveries {
+                        return Err(MpiError::Internal(format!(
+                            "job still failing after {} automatic recoveries \
+                             (last failure: {error:?})",
+                            self.config.max_recoveries
+                        )));
+                    }
+                }
+            }
+            // Blackout clock: from the detector's first declaration (or now, for
+            // failures that surfaced without one) to the resumed world stepping.
+            let blackout_start = report.first_detection.unwrap_or_else(Instant::now);
+            // Let the dead incarnation's straggler flushes land *before* deciding
+            // what the newest committed generation is — a flush that commits a
+            // moment after the failure must count as committed, not be mistaken
+            // for "nothing to fall back to".
+            if let Some(service) = &self.service {
+                service.wait_idle();
+            } else if let Some(pool) = self.flusher.get() {
+                pool.wait_idle();
+            }
+            let pending = self.storage.pending_generations();
+            let (relaunched, restored, resume_step) =
+                if self.ledger.published_generation().is_some() {
+                    // `restart` aborts the dead incarnation's pending generations
+                    // and rewinds the ledger to the restored one. The restore runs
+                    // with chaos unarmed; the remainder is re-armed below, so a
+                    // leftover fault targets the resumed run, not the restore.
+                    let (ranks, generation) = self.restart(self.config.backend)?;
+                    if let Some(fabric) = self.fabric() {
+                        self.arm_remaining_chaos(&fabric);
+                    }
+                    let step = self.ledger.steps_at(generation).unwrap_or(0);
+                    (ranks, Some(generation), step)
+                } else {
+                    // Nothing committed yet: abort the dead incarnation's pending
+                    // rounds and relaunch from the initial state.
+                    for generation in &pending {
+                        self.storage.abort_generation(*generation);
+                    }
+                    (self.launch()?, None, 0)
+                };
+            if !pending.is_empty() {
+                log.record(
+                    incarnation,
+                    RecoveryEventKind::PendingAborted {
+                        generations: pending,
+                    },
+                );
+            }
+            incarnation += 1;
+            log.record(
+                incarnation,
+                RecoveryEventKind::FallbackRestored {
+                    generation: restored,
+                    start_step: resume_step,
+                },
+            );
+            log.record(
+                incarnation,
+                RecoveryEventKind::WorldRelaunched { incarnation },
+            );
+            log.record(
+                incarnation,
+                RecoveryEventKind::Resumed {
+                    blackout_ms: blackout_start.elapsed().as_millis() as u64,
+                },
+            );
+            ranks = relaunched;
+            start_step = resume_step;
+        }
+    }
+
     fn drive<T, F>(
         &self,
+        coordinator: Arc<Coordinator>,
         ranks: Vec<ManaRank>,
         start_step: u64,
         total_steps: u64,
@@ -583,7 +926,6 @@ impl JobRuntime {
                 "nothing to run: starting at step {start_step} of {total_steps}"
             )));
         }
-        let coordinator = self.coordinator();
         let storage = self.storage.clone();
         let service = self.service.clone();
         // Mid-step mode takes precedence (see `JobConfig::async_checkpoint`): all

@@ -36,6 +36,25 @@
 //! points of MANA's two-phase collective protocol — ranks caught in a collective's
 //! registration phase withdraw, checkpoint, and re-register, so the checkpoint lands
 //! with every rank provably outside any collective's critical phase.
+//!
+//! ## Chaos and self-healing
+//!
+//! The runtime is built to be *broken on purpose*. A seeded fault schedule
+//! ([`ChaosPlan`], rolled from a [`ChaosMenu`] — deterministic per seed) installs
+//! into the job's fabric via [`JobConfig::with_chaos`]: message delays, losses and
+//! reorders are masked by the transport; rank crashes, node failures and unhealed
+//! partitions are **lethal** and surface as missed heartbeats.
+//! [`JobRuntime::run_steps_self_healing`] is the one-call driver that survives
+//! them: a [`HeartbeatMonitor`] watches the fabric's heartbeat board and declares
+//! ranks dead past [`JobConfig::heartbeat_deadline`], the world is aborted (every
+//! blocked rank wakes with a failure), straggler asynchronous flushes are allowed
+//! to land, pending generations of the dead incarnation are aborted, and the job
+//! falls back to its newest *committed* generation (or relaunches from scratch if
+//! nothing committed yet) and resumes — up to [`JobConfig::max_recoveries`] times.
+//! Every incident is narrated as a structured [`RecoveryLog`] event stream
+//! (detection latency, recovery blackout, fallback generation), which is also the
+//! CI soak's `RECOVERY_log.json` artifact format. `docs/RUNBOOK.md` at the repo
+//! root is the operator-facing guide (deadline tuning, log forensics).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,6 +62,7 @@
 mod backend;
 mod coordinator;
 mod job;
+mod recovery;
 
 pub use backend::Backend;
 pub use coordinator::{
@@ -50,3 +70,10 @@ pub use coordinator::{
     CommitLedger, Coordinator, IntentSnapshot, MidStepIntercept,
 };
 pub use job::{run_world, JobConfig, JobCtx, JobRun, JobRuntime};
+pub use recovery::{
+    HeartbeatMonitor, MonitorReport, RecoveryEvent, RecoveryEventKind, RecoveryLog,
+};
+
+// Re-exported so chaos-soak tests, benches and examples can build fault schedules
+// without depending on `net-sim` directly.
+pub use net_sim::{ChaosMenu, ChaosPlan, FaultKind};

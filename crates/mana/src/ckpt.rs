@@ -140,12 +140,21 @@ impl DrainShortfall {
     }
 }
 
-fn describe_shortfalls(shortfalls: &[DrainShortfall]) -> String {
+fn describe_shortfalls(shortfalls: &[DrainShortfall], dead_peers: &[Rank]) -> String {
     shortfalls
         .iter()
         .map(|s| {
+            // Distinguish a peer that will *never* send (its heartbeat expired) from
+            // one that is merely slow: under chaos the two need opposite responses —
+            // abort-and-recover vs wait — and a stall budget is only meaningful for
+            // the latter.
+            let verdict = if dead_peers.contains(&s.peer) {
+                "peer dead: heartbeat expired"
+            } else {
+                "peer slow"
+            };
             format!(
-                "rank {} is short {} (expected {}, received {})",
+                "rank {} is short {} (expected {}, received {}; {verdict})",
                 s.peer,
                 s.missing(),
                 s.expected,
@@ -174,6 +183,15 @@ pub trait DrainObserver: Send + Sync {
     /// How long a rank may watch a frozen stamp before declaring the drain stalled.
     fn stall_budget(&self) -> Duration {
         Duration::from_secs(5)
+    }
+
+    /// World ranks the observer's failure detector has declared dead (heartbeat
+    /// expired). The drain uses this to fail *fast* — a peer that will never send
+    /// again should not be waited on for the whole stall budget — and to label its
+    /// stall diagnostic "peer dead" instead of the misleading "peer slow". The
+    /// default (no detector) reports nobody dead.
+    fn dead_peers(&self) -> Vec<Rank> {
+        Vec::new()
     }
 }
 
@@ -474,6 +492,22 @@ impl ManaRank {
                 frozen_since = Instant::now();
                 continue;
             }
+            // A declared-dead peer that still owes us messages can never satisfy the
+            // plan: fail fast with an honest diagnostic instead of burning the whole
+            // stall budget waiting on a corpse.
+            let dead = observer.dead_peers();
+            if !dead.is_empty() {
+                let shortfalls = self.drain_shortfall(expected_from);
+                if shortfalls.iter().any(|s| dead.contains(&s.peer)) {
+                    return Err(MpiError::Checkpoint(format!(
+                        "drain on rank {} cannot complete: a peer it is waiting on \
+                         is dead (heartbeat expired); still missing {} messages: {}",
+                        self.world_rank,
+                        shortfalls.iter().map(DrainShortfall::missing).sum::<u64>(),
+                        describe_shortfalls(&shortfalls, &dead)
+                    )));
+                }
+            }
             // Nothing here — but if any observed rank progressed, the job is healthy;
             // reset the stall clock and stay patient.
             let stamp = observer.progress_stamp();
@@ -491,7 +525,7 @@ impl ManaRank {
                     frozen_since.elapsed().as_secs_f64(),
                     observer.stall_budget().as_secs_f64(),
                     shortfalls.iter().map(DrainShortfall::missing).sum::<u64>(),
-                    describe_shortfalls(&shortfalls)
+                    describe_shortfalls(&shortfalls, &dead)
                 )));
             }
             // Clamp the sleep to the remaining stall budget: an uncapped backoff

@@ -194,6 +194,52 @@ impl DrainObserver for FrozenObserver {
     }
 }
 
+/// An observer whose failure detector has declared rank 0 dead: the drain must fail
+/// fast — well inside the stall budget — and label the shortfall "peer dead", not
+/// "peer slow".
+struct DeadPeerObserver;
+
+impl DrainObserver for DeadPeerObserver {
+    fn record_progress(&self, _rank: Rank, _messages: u64) {}
+
+    fn progress_stamp(&self) -> u64 {
+        0
+    }
+
+    fn stall_budget(&self) -> Duration {
+        Duration::from_secs(30)
+    }
+
+    fn dead_peers(&self) -> Vec<Rank> {
+        vec![0]
+    }
+}
+
+#[test]
+fn drain_fails_fast_when_a_shortfall_peer_is_dead() {
+    let registry = Arc::new(RwLock::new(UserFunctionRegistry::new()));
+    let mut ranks = launch_ranks(1, 1, incremental(), &registry);
+    let mut rank = ranks.pop().unwrap();
+
+    // Expect 2 messages from rank 0, which the detector says is dead.
+    let plan = DrainPlan::synthetic(vec![2], 0);
+    let start = Instant::now();
+    let err = rank.drain_quiescent(&plan, &DeadPeerObserver).unwrap_err();
+    let elapsed = start.elapsed();
+
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "dead-peer drain must fail fast, not wait out the 30s stall budget \
+         (took {elapsed:?})"
+    );
+    let message = format!("{err:?}");
+    assert!(
+        message.contains("peer dead: heartbeat expired"),
+        "diagnostic must say the peer is dead, not slow: {message}"
+    );
+    assert!(!message.contains("peer slow"), "no slow label: {message}");
+}
+
 #[test]
 fn drain_stall_fires_on_budget_and_reports_the_real_wait() {
     let registry = Arc::new(RwLock::new(UserFunctionRegistry::new()));
@@ -220,7 +266,7 @@ fn drain_stall_fires_on_budget_and_reports_the_real_wait() {
     );
 
     let message = format!("{err:?}");
-    assert!(message.contains("rank 0 is short 3 (expected 3, received 0)"));
+    assert!(message.contains("rank 0 is short 3 (expected 3, received 0; peer slow)"));
     assert!(
         message.contains("stall budget 0.100s"),
         "diagnostic must name the budget: {message}"

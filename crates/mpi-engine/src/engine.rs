@@ -985,9 +985,8 @@ impl<C: HandleCodec> MpiApi for Engine<C> {
             "collective registration",
         )?;
         let (context, _, _, _) = self.registration_route(comm)?;
-        Ok(self
-            .endpoint
-            .collective_registration_committed(context, ticket))
+        self.endpoint
+            .collective_registration_committed(context, ticket)
     }
 
     fn collective_withdraw(&mut self, comm: PhysHandle, ticket: u64) -> MpiResult<bool> {

@@ -109,6 +109,23 @@ pub enum MpiError {
     /// marker, treat the run as preempted, and later resume it from the committed
     /// generation.
     Preempted,
+    /// This rank was killed by fault injection (chaos crash or node failure): every
+    /// subsequent fabric operation from the rank fails with this error. Uncoordinated —
+    /// no intent broadcast, no drain — so peers only learn of it through missed
+    /// heartbeats. Orchestrators treat it as recoverable: fall back to the newest
+    /// committed generation and relaunch.
+    RankKilled {
+        /// World rank that was killed.
+        rank: Rank,
+    },
+    /// The job was aborted fabric-wide (by the failure detector after declaring a peer
+    /// dead, or by an operator). Surviving ranks blocked in receives or collectives are
+    /// woken with this error so the world can be torn down and relaunched from the
+    /// newest committed generation. Carries the abort reason.
+    JobAborted(
+        /// Human-readable reason the job was aborted.
+        String,
+    ),
 }
 
 impl MpiError {
@@ -144,7 +161,19 @@ impl MpiError {
             MpiError::Internal(_) => "MPI_ERR_INTERN",
             MpiError::Checkpoint(_) => "MPI_ERR_OTHER",
             MpiError::Preempted => "MPI_ERR_OTHER",
+            MpiError::RankKilled { .. } => "MPI_ERR_PROC_FAILED",
+            MpiError::JobAborted(_) => "MPI_ERR_REVOKED",
         }
+    }
+
+    /// Whether a self-healing orchestrator should treat this error as a *survivable
+    /// infrastructure failure* (fall back to the newest committed generation and
+    /// relaunch) rather than a program bug to surface. Only the two uncoordinated
+    /// failure markers qualify; everything else — truncation, collective mismatch,
+    /// internal invariant violations — indicates a logic error that a restart would
+    /// simply replay.
+    pub fn is_recoverable_failure(&self) -> bool {
+        matches!(self, MpiError::RankKilled { .. } | MpiError::JobAborted(_))
     }
 }
 
@@ -194,6 +223,10 @@ impl std::fmt::Display for MpiError {
             MpiError::Preempted => {
                 write!(f, "rank vacated after a preempting checkpoint intent")
             }
+            MpiError::RankKilled { rank } => {
+                write!(f, "rank {rank} killed by fault injection (uncoordinated)")
+            }
+            MpiError::JobAborted(reason) => write!(f, "job aborted: {reason}"),
         }
     }
 }

@@ -1,6 +1,23 @@
 //! The fabric: the shared, in-memory "network" connecting all ranks of a job, and the
 //! per-rank [`Endpoint`] the MPI implementations use to move bytes.
+//!
+//! Beyond plain delivery, the fabric carries the three lanes the self-healing
+//! orchestrator is built on:
+//!
+//! * **A chaos lane.** An installed [`ChaosPlan`] can delay, drop (then retransmit)
+//!   or reorder individual messages, partition rank sets, and kill ranks or whole
+//!   "nodes" — all seeded and replayable. Masked faults are absorbed by per-pair
+//!   sequencing plus the mailbox re-sequencing lane; lethal faults surface as
+//!   [`MpiError::RankKilled`] on the victim and silence everywhere else.
+//! * **A heartbeat lane.** When enabled, every endpoint operation (and every slice of
+//!   a blocking wait) records a beat for its rank on a shared board. Beats from dead
+//!   or partition-isolated ranks are suppressed, so "no beat within the deadline" is
+//!   exactly the observable a failure detector needs.
+//! * **An abort lane.** [`Fabric::abort`] wakes every blocked rank with
+//!   [`MpiError::JobAborted`], which is how a detector tears down a world whose
+//!   survivors are wedged on a dead peer.
 
+use crate::chaos::{ChaosAction, ChaosEvent, ChaosPlan, FaultKind};
 use crate::mailbox::Mailbox;
 use crate::message::{Envelope, MatchSpec};
 use crate::stats::{FabricStats, StatsSnapshot};
@@ -8,15 +25,21 @@ use mpi_model::error::{MpiError, MpiResult};
 use mpi_model::status::Status;
 use mpi_model::types::{ContextId, Rank};
 use parking_lot::{Condvar, Mutex};
-use std::collections::HashMap;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long a blocking receive or collective will wait for its counterpart before the
 /// fabric declares the job wedged. Real MPI would hang forever; failing fast keeps the
 /// test suite debuggable. Generous enough for heavily oversubscribed CI machines.
 const BLOCKING_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Wait-slice length used once the fabric is "lively" (chaos installed or heartbeats
+/// enabled): blocked ranks wake this often to beat, pump held messages, and notice
+/// deaths or aborts. Without liveliness, waits use the full [`BLOCKING_TIMEOUT`].
+const WAIT_SLICE: Duration = Duration::from_millis(2);
 
 /// Configuration for a fabric instance.
 #[derive(Debug, Clone)]
@@ -61,21 +84,90 @@ struct CollectiveSlot {
 /// the collective's critical phase.
 struct RegistrationSlot {
     expected: usize,
-    registered: std::collections::HashSet<usize>,
+    registered: HashSet<usize>,
     /// Once every member has registered the round is *committed*: withdrawals fail
     /// and every member must proceed into the real collective exchange.
     committed: bool,
 }
 
+/// A rank's death record: when it died and why.
+#[derive(Debug, Clone)]
+struct DeathRecord {
+    at: Instant,
+    cause: String,
+}
+
+/// One active network partition: `isolated` ranks cannot reach the rest of the world
+/// (and their heartbeats are suppressed) until `heals_at`, if ever.
+struct ActivePartition {
+    fault_id: Option<usize>,
+    isolated: HashSet<Rank>,
+    started: Instant,
+    heals_at: Option<Instant>,
+}
+
+/// Why a held message is being withheld, and when it may go.
+enum Release {
+    /// Deliver once this instant passes (delay, or drop-then-retransmit).
+    At(Instant),
+    /// Deliver once this many messages have been injected fabric-wide (reorder),
+    /// or once the retransmit backstop instant passes — whichever comes first. The
+    /// backstop matters at the tail of a run: if traffic ends before enough
+    /// overtaking messages are injected, a real transport's retransmit timer still
+    /// fires; without it the held message would be parked forever and wedge its
+    /// receiver.
+    AfterInjected(u64, Instant),
+    /// Deliver once no active partition separates source from destination.
+    WhenConnected,
+}
+
+/// Retransmit backstop for reorder holds: long enough that overtaking traffic
+/// normally wins the race (the reorder is observed), short enough to stay inside
+/// the masked-outage envelope of every heartbeat deadline used in practice.
+const REORDER_BACKSTOP: Duration = Duration::from_millis(50);
+
+struct HeldEnvelope {
+    envelope: Envelope,
+    release: Release,
+}
+
+/// Installed chaos plan plus per-fault fired flags.
+struct ChaosExec {
+    plan: ChaosPlan,
+    fired: Vec<bool>,
+}
+
 struct FabricInner {
     world_size: usize,
     session_nonce: u64,
+    epoch: Instant,
     slots: Vec<RankSlot>,
     collectives: Mutex<HashMap<(ContextId, u64), CollectiveSlot>>,
     registrations: Mutex<HashMap<(ContextId, u64), RegistrationSlot>>,
     collective_done: Condvar,
     next_context: AtomicU64,
     next_seq: AtomicU64,
+    /// Per-(source, destination) consecutive delivery sequence counters, row-major
+    /// `source * world_size + dest`. Assigned at injection, before chaos.
+    pair_seqs: Vec<AtomicU64>,
+    /// Fabric operations performed, per rank and globally; trigger clocks for chaos.
+    rank_ops: Vec<AtomicU64>,
+    global_ops: AtomicU64,
+    collective_entries: Vec<AtomicU64>,
+    injected_messages: AtomicU64,
+    /// Whether any chaos/heartbeat machinery is active; when false every per-op hook
+    /// is a single relaxed load and blocking waits use the full timeout.
+    lively: AtomicBool,
+    heartbeats_enabled: AtomicBool,
+    /// Microseconds since `epoch` of each rank's last heartbeat.
+    beats: Vec<AtomicU64>,
+    deaths: Mutex<HashMap<Rank, DeathRecord>>,
+    aborted: AtomicBool,
+    abort_reason: Mutex<Option<String>>,
+    partitions: Mutex<Vec<ActivePartition>>,
+    held: Mutex<Vec<HeldEnvelope>>,
+    chaos: Mutex<Option<ChaosExec>>,
+    events: Mutex<Vec<ChaosEvent>>,
     stats: FabricStats,
 }
 
@@ -97,6 +189,28 @@ impl std::fmt::Debug for Fabric {
     }
 }
 
+thread_local! {
+    /// Capture slot armed by [`Fabric::capture_next`]: the next fabric constructed on
+    /// this thread clones itself into the slot. This is how an orchestrator obtains
+    /// the fabric an MPI implementation factory builds internally during `launch`,
+    /// without widening the factory trait with network-specific types.
+    static CAPTURE: RefCell<Option<Arc<Mutex<Option<Fabric>>>>> = const { RefCell::new(None) };
+}
+
+/// Handle returned by [`Fabric::capture_next`]; yields the captured fabric once one
+/// has been constructed on the arming thread.
+#[derive(Clone)]
+pub struct FabricCapture {
+    slot: Arc<Mutex<Option<Fabric>>>,
+}
+
+impl FabricCapture {
+    /// The captured fabric, if one has been constructed since arming.
+    pub fn take(&self) -> Option<Fabric> {
+        self.slot.lock().take()
+    }
+}
+
 impl Fabric {
     /// Create a new fabric for `config.world_size` ranks.
     pub fn new(config: FabricConfig) -> Self {
@@ -107,10 +221,12 @@ impl Fabric {
                 open: AtomicBool::new(true),
             })
             .collect();
-        Fabric {
+        let n = config.world_size;
+        let fabric = Fabric {
             inner: Arc::new(FabricInner {
-                world_size: config.world_size,
+                world_size: n,
                 session_nonce: config.session_nonce,
+                epoch: Instant::now(),
                 slots,
                 collectives: Mutex::new(HashMap::new()),
                 registrations: Mutex::new(HashMap::new()),
@@ -118,9 +234,39 @@ impl Fabric {
                 // Contexts 1 and 2 are reserved for MPI_COMM_WORLD / MPI_COMM_SELF.
                 next_context: AtomicU64::new(16),
                 next_seq: AtomicU64::new(0),
+                pair_seqs: (0..n * n).map(|_| AtomicU64::new(0)).collect(),
+                rank_ops: (0..n).map(|_| AtomicU64::new(0)).collect(),
+                global_ops: AtomicU64::new(0),
+                collective_entries: (0..n).map(|_| AtomicU64::new(0)).collect(),
+                injected_messages: AtomicU64::new(0),
+                lively: AtomicBool::new(false),
+                heartbeats_enabled: AtomicBool::new(false),
+                beats: (0..n).map(|_| AtomicU64::new(0)).collect(),
+                deaths: Mutex::new(HashMap::new()),
+                aborted: AtomicBool::new(false),
+                abort_reason: Mutex::new(None),
+                partitions: Mutex::new(Vec::new()),
+                held: Mutex::new(Vec::new()),
+                chaos: Mutex::new(None),
+                events: Mutex::new(Vec::new()),
                 stats: FabricStats::new(),
             }),
-        }
+        };
+        CAPTURE.with(|slot| {
+            if let Some(capture) = slot.borrow_mut().take() {
+                *capture.lock() = Some(fabric.clone());
+            }
+        });
+        fabric
+    }
+
+    /// Arm a one-shot capture on the *current thread*: the next [`Fabric::new`] call
+    /// made from this thread (typically inside an MPI implementation factory's
+    /// synchronous `launch`) clones the new fabric into the returned handle.
+    pub fn capture_next() -> FabricCapture {
+        let slot = Arc::new(Mutex::new(None));
+        CAPTURE.with(|cell| *cell.borrow_mut() = Some(Arc::clone(&slot)));
+        FabricCapture { slot }
     }
 
     /// Number of ranks connected to this fabric.
@@ -154,16 +300,19 @@ impl Fabric {
     }
 
     /// Total number of point-to-point messages currently in flight (injected but not
-    /// yet received), across all ranks. After a correct MANA drain this is zero.
+    /// yet received — chaos-held messages included), across all ranks. After a correct
+    /// MANA drain this is zero.
     pub fn pending_messages(&self) -> usize {
-        self.inner
+        let queued: usize = self
+            .inner
             .slots
             .iter()
             .map(|s| s.mailbox.lock().pending())
-            .sum()
+            .sum();
+        queued + self.inner.held.lock().len()
     }
 
-    /// Number of in-flight messages addressed to one rank.
+    /// Number of in-flight messages addressed to one rank (chaos-held included).
     pub fn pending_for_rank(&self, world_rank: Rank) -> MpiResult<usize> {
         let slot =
             self.inner
@@ -173,12 +322,618 @@ impl Fabric {
                     rank: world_rank,
                     size: self.inner.world_size,
                 })?;
-        Ok(slot.mailbox.lock().pending())
+        let held = self
+            .inner
+            .held
+            .lock()
+            .iter()
+            .filter(|h| h.envelope.dest_world == world_rank)
+            .count();
+        Ok(slot.mailbox.lock().pending() + held)
     }
 
     /// Snapshot of the traffic counters.
     pub fn stats(&self) -> StatsSnapshot {
         self.inner.stats.snapshot()
+    }
+
+    /// Total number of envelopes that arrived out of order at some mailbox and were
+    /// re-sequenced before becoming visible — a direct measure of how much network
+    /// misbehaviour the transport masked.
+    pub fn resequenced_messages(&self) -> u64 {
+        self.inner
+            .slots
+            .iter()
+            .map(|s| s.mailbox.lock().resequenced)
+            .sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Chaos lane
+    // ------------------------------------------------------------------
+
+    /// Install a chaos plan. Subsequent fabric operations consult it; each fault fires
+    /// at most once. Installing a plan makes the fabric lively (sliced waits).
+    pub fn install_chaos(&self, plan: ChaosPlan) {
+        let fired = vec![false; plan.faults.len()];
+        *self.inner.chaos.lock() = Some(ChaosExec { plan, fired });
+        self.inner.set_lively();
+    }
+
+    /// Plan indices of the faults that have fired so far (empty without a plan).
+    pub fn fired_fault_ids(&self) -> Vec<usize> {
+        match self.inner.chaos.lock().as_ref() {
+            Some(exec) => exec
+                .fired
+                .iter()
+                .enumerate()
+                .filter_map(|(i, f)| f.then_some(i))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Everything the chaos layer has actually done, in order. Timestamps are
+    /// microseconds since fabric creation.
+    pub fn chaos_events(&self) -> Vec<ChaosEvent> {
+        self.inner.events.lock().clone()
+    }
+
+    /// Kill `world_rank` immediately (manual fault injection): its next fabric
+    /// operation — and every one after — fails with [`MpiError::RankKilled`], its
+    /// heartbeats stop, and messages addressed to it vanish. Peers are *not* notified;
+    /// detection is the failure detector's job.
+    pub fn kill_rank(&self, world_rank: Rank, cause: &str) {
+        self.inner.set_lively();
+        self.inner.kill(world_rank, cause, None);
+    }
+
+    /// Ranks currently marked dead.
+    pub fn dead_ranks(&self) -> Vec<Rank> {
+        let mut ranks: Vec<Rank> = self.inner.deaths.lock().keys().copied().collect();
+        ranks.sort_unstable();
+        ranks
+    }
+
+    /// Whether `world_rank` is marked dead.
+    pub fn is_dead(&self, world_rank: Rank) -> bool {
+        self.inner.deaths.lock().contains_key(&world_rank)
+    }
+
+    /// Cause label recorded when `world_rank` was killed ("crash",
+    /// "crash-in-collective", "node-failure", or a manual-injection label).
+    pub fn death_cause(&self, world_rank: Rank) -> Option<String> {
+        self.inner
+            .deaths
+            .lock()
+            .get(&world_rank)
+            .map(|r| r.cause.clone())
+    }
+
+    /// The instant `world_rank`'s failure began, if it is currently failed: its death
+    /// instant, or the start of the partition isolating it. This is the ground truth a
+    /// detector's latency is measured against.
+    pub fn failure_instant(&self, world_rank: Rank) -> Option<Instant> {
+        if let Some(record) = self.inner.deaths.lock().get(&world_rank) {
+            return Some(record.at);
+        }
+        self.inner
+            .partitions
+            .lock()
+            .iter()
+            .filter(|p| p.isolated.contains(&world_rank))
+            .map(|p| p.started)
+            .min()
+    }
+
+    /// Start a network partition isolating `isolated` from every other rank. Cross-cut
+    /// messages are buffered until the partition heals (after `heal_after`, if given;
+    /// never, otherwise), collective entries from isolated ranks stall, and isolated
+    /// ranks' heartbeats are suppressed. A heal faster than the failure detector's
+    /// deadline is therefore fully masked; a slower one is indistinguishable from
+    /// death — exactly as in a real cluster.
+    pub fn inject_partition(&self, isolated: &[Rank], heal_after: Option<Duration>) {
+        self.inner.set_lively();
+        self.inner.start_partition(
+            isolated.iter().copied().collect(),
+            heal_after.map(|d| Instant::now() + d),
+            None,
+        );
+    }
+
+    /// Whether any partition is currently active.
+    pub fn partitioned(&self) -> bool {
+        !self.inner.partitions.lock().is_empty()
+    }
+
+    // ------------------------------------------------------------------
+    // Heartbeat lane
+    // ------------------------------------------------------------------
+
+    /// Enable the heartbeat lane: every endpoint operation (and every slice of a
+    /// blocking wait) from a live, connected rank records a beat. All ranks start
+    /// with a fresh beat so ages are meaningful immediately.
+    pub fn enable_heartbeats(&self) {
+        let now = self.inner.micros();
+        for beat in &self.inner.beats {
+            beat.store(now, Ordering::Relaxed);
+        }
+        self.inner.heartbeats_enabled.store(true, Ordering::Release);
+        self.inner.set_lively();
+    }
+
+    /// Age of each rank's most recent heartbeat. Meaningless (all zero-ish) before
+    /// [`Fabric::enable_heartbeats`].
+    pub fn heartbeat_ages(&self) -> Vec<Duration> {
+        let now = self.inner.micros();
+        self.inner
+            .beats
+            .iter()
+            .map(|b| Duration::from_micros(now.saturating_sub(b.load(Ordering::Relaxed))))
+            .collect()
+    }
+
+    /// Record a heartbeat for `world_rank` from outside the endpoint op stream (e.g.
+    /// from a compute-only phase that performs no MPI calls). Suppressed for dead or
+    /// isolated ranks, like every other beat.
+    pub fn beat(&self, world_rank: Rank) {
+        self.inner.beat(world_rank);
+    }
+
+    // ------------------------------------------------------------------
+    // Abort lane
+    // ------------------------------------------------------------------
+
+    /// Abort the job fabric-wide: every rank's next (or currently blocked) fabric
+    /// operation fails with [`MpiError::JobAborted`]. Idempotent; the first reason
+    /// wins.
+    pub fn abort(&self, reason: &str) {
+        {
+            let mut slot = self.inner.abort_reason.lock();
+            if slot.is_none() {
+                *slot = Some(reason.to_string());
+            }
+        }
+        self.inner.aborted.store(true, Ordering::Release);
+        self.inner.set_lively();
+    }
+
+    /// Whether the fabric has been aborted.
+    pub fn aborted(&self) -> bool {
+        self.inner.aborted.load(Ordering::Acquire)
+    }
+
+    /// The abort reason, if aborted.
+    pub fn abort_reason(&self) -> Option<String> {
+        self.inner.abort_reason.lock().clone()
+    }
+}
+
+impl FabricInner {
+    fn micros(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn event(&self, fault_id: Option<usize>, action: ChaosAction) {
+        self.events.lock().push(ChaosEvent {
+            at_micros: self.micros(),
+            fault_id,
+            action,
+        });
+    }
+
+    fn is_dead(&self, rank: Rank) -> bool {
+        self.deaths.lock().contains_key(&rank)
+    }
+
+    fn is_isolated(&self, rank: Rank) -> bool {
+        self.partitions
+            .lock()
+            .iter()
+            .any(|p| p.isolated.contains(&rank))
+    }
+
+    /// Whether an active partition separates `a` from `b` (exactly one of the two is
+    /// on the isolated side of some cut).
+    fn cut(&self, a: Rank, b: Rank) -> bool {
+        self.partitions
+            .lock()
+            .iter()
+            .any(|p| p.isolated.contains(&a) != p.isolated.contains(&b))
+    }
+
+    fn beat(&self, rank: Rank) {
+        if !self.heartbeats_enabled.load(Ordering::Acquire) {
+            return;
+        }
+        if self.is_dead(rank) || self.is_isolated(rank) {
+            return;
+        }
+        if let Some(slot) = self.beats.get(rank.max(0) as usize) {
+            slot.store(self.micros(), Ordering::Relaxed);
+        }
+    }
+
+    fn kill(&self, rank: Rank, cause: &str, fault_id: Option<usize>) {
+        {
+            let mut deaths = self.deaths.lock();
+            if deaths.contains_key(&rank) {
+                return;
+            }
+            deaths.insert(
+                rank,
+                DeathRecord {
+                    at: Instant::now(),
+                    cause: cause.to_string(),
+                },
+            );
+        }
+        self.event(
+            fault_id,
+            ChaosAction::RankKilled {
+                rank,
+                cause: cause.to_string(),
+            },
+        );
+        // Wake the victim wherever it is blocked so it notices its own death.
+        if let Some(slot) = self.slots.get(rank.max(0) as usize) {
+            slot.arrival.notify_all();
+        }
+        self.collective_done.notify_all();
+    }
+
+    /// Flip the fabric into lively (sliced-wait) mode and wake every parked waiter.
+    /// The wake matters: a rank that blocked *before* the transition is parked on a
+    /// full [`BLOCKING_TIMEOUT`] condvar slice — without a notify it would sit there
+    /// beat-less (and blind to chaos) until some unrelated traffic woke it, and a
+    /// failure detector would declare a perfectly healthy rank dead.
+    fn set_lively(&self) {
+        if self.lively.swap(true, Ordering::Release) {
+            return;
+        }
+        for slot in &self.slots {
+            slot.arrival.notify_all();
+        }
+        self.collective_done.notify_all();
+    }
+
+    fn start_partition(
+        &self,
+        isolated: HashSet<Rank>,
+        heals_at: Option<Instant>,
+        fault_id: Option<usize>,
+    ) {
+        let mut ranks: Vec<Rank> = isolated.iter().copied().collect();
+        ranks.sort_unstable();
+        self.event(fault_id, ChaosAction::PartitionStarted { isolated: ranks });
+        self.partitions.lock().push(ActivePartition {
+            fault_id,
+            isolated,
+            started: Instant::now(),
+            heals_at,
+        });
+    }
+
+    /// Deposit an envelope into its destination mailbox (dropping it silently if the
+    /// destination is dead or closed) and wake the destination.
+    fn deliver(&self, envelope: Envelope) {
+        let dest = envelope.dest_world;
+        if self.is_dead(dest) {
+            return;
+        }
+        let Some(slot) = self.slots.get(dest.max(0) as usize) else {
+            return;
+        };
+        if !slot.open.load(Ordering::Acquire) {
+            return;
+        }
+        {
+            let mut mailbox = slot.mailbox.lock();
+            mailbox.deposit(envelope);
+        }
+        slot.arrival.notify_all();
+    }
+
+    /// Advance chaos time: heal due partitions, fire due global-op-triggered faults,
+    /// and release held messages whose release condition is now met. Must be called
+    /// with **no mailbox or collective-table lock held**.
+    fn pump(&self) {
+        let now = Instant::now();
+        // Heal partitions whose deadline has passed.
+        let healed: Vec<(Option<usize>, Vec<Rank>)> = {
+            let mut partitions = self.partitions.lock();
+            let mut healed = Vec::new();
+            partitions.retain(|p| match p.heals_at {
+                Some(at) if now >= at => {
+                    let mut ranks: Vec<Rank> = p.isolated.iter().copied().collect();
+                    ranks.sort_unstable();
+                    healed.push((p.fault_id, ranks));
+                    false
+                }
+                _ => true,
+            });
+            healed
+        };
+        for (fault_id, isolated) in healed {
+            self.event(fault_id, ChaosAction::PartitionHealed { isolated });
+            // A healed rank resumes beating on its next op; give it a fresh beat now
+            // so a just-healed masked partition does not race the detector.
+            // (Suppression has ended, so this goes through.)
+        }
+        // Fire global-op-count faults: partitions and node failures.
+        let global = self.global_ops.load(Ordering::Relaxed);
+        let mut to_start: Vec<(usize, HashSet<Rank>, Option<Duration>)> = Vec::new();
+        let mut to_kill: Vec<(usize, Vec<Rank>)> = Vec::new();
+        {
+            let mut chaos = self.chaos.lock();
+            if let Some(exec) = chaos.as_mut() {
+                for (id, fault) in exec.plan.faults.iter().enumerate() {
+                    if exec.fired[id] {
+                        continue;
+                    }
+                    match fault {
+                        FaultKind::Partition {
+                            at_op,
+                            isolated,
+                            heal_ms,
+                        } if *at_op <= global => {
+                            exec.fired[id] = true;
+                            to_start.push((
+                                id,
+                                isolated.iter().copied().collect(),
+                                heal_ms.map(Duration::from_millis),
+                            ));
+                        }
+                        FaultKind::KillNode { ranks, at_op } if *at_op <= global => {
+                            exec.fired[id] = true;
+                            to_kill.push((id, ranks.clone()));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        for (id, isolated, heal) in to_start {
+            self.start_partition(isolated, heal.map(|d| now + d), Some(id));
+        }
+        for (id, ranks) in to_kill {
+            for rank in ranks {
+                self.kill(rank, "node-failure", Some(id));
+            }
+        }
+        // Release held messages whose condition is met.
+        let injected = self.injected_messages.load(Ordering::Relaxed);
+        let due: Vec<Envelope> = {
+            let mut held = self.held.lock();
+            let mut due = Vec::new();
+            held.retain_mut(|h| {
+                let ready = match h.release {
+                    Release::At(at) => now >= at,
+                    Release::AfterInjected(n, backstop) => injected >= n || now >= backstop,
+                    Release::WhenConnected => {
+                        !self.cut(h.envelope.source_world, h.envelope.dest_world)
+                    }
+                };
+                if ready {
+                    due.push(std::mem::replace(
+                        &mut h.envelope,
+                        Envelope {
+                            source_world: 0,
+                            source_comm_rank: 0,
+                            dest_world: 0,
+                            context: 0,
+                            tag: 0,
+                            seq: 0,
+                            pair_seq: 0,
+                            payload: Vec::new(),
+                        },
+                    ));
+                    false
+                } else {
+                    true
+                }
+            });
+            due
+        };
+        for envelope in due {
+            self.event(
+                None,
+                ChaosAction::MessageReleased {
+                    source: envelope.source_world,
+                    dest: envelope.dest_world,
+                },
+            );
+            self.deliver(envelope);
+        }
+    }
+
+    /// Per-operation hook: count the op, fire this rank's own crash triggers, advance
+    /// chaos time, beat, and fail if the rank is dead or the job aborted. Must be
+    /// called with no fabric lock held.
+    fn tick_op(&self, rank: Rank) -> MpiResult<()> {
+        if !self.lively.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let ops = self.rank_ops[rank.max(0) as usize].fetch_add(1, Ordering::Relaxed) + 1;
+        self.global_ops.fetch_add(1, Ordering::Relaxed);
+        let mut crash: Option<usize> = None;
+        {
+            let mut chaos = self.chaos.lock();
+            if let Some(exec) = chaos.as_mut() {
+                for (id, fault) in exec.plan.faults.iter().enumerate() {
+                    if exec.fired[id] {
+                        continue;
+                    }
+                    if let FaultKind::CrashRank {
+                        rank: victim,
+                        at_rank_op,
+                    } = fault
+                    {
+                        if *victim == rank && *at_rank_op <= ops {
+                            exec.fired[id] = true;
+                            crash = Some(id);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(id) = crash {
+            self.kill(rank, "crash", Some(id));
+        }
+        self.pump();
+        self.beat(rank);
+        self.check_alive(rank)
+    }
+
+    /// Wait-slice hook: advance chaos time and beat without counting an operation.
+    fn tick_wait(&self, rank: Rank) -> MpiResult<()> {
+        if !self.lively.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        self.pump();
+        self.beat(rank);
+        self.check_alive(rank)
+    }
+
+    fn check_alive(&self, rank: Rank) -> MpiResult<()> {
+        if self.is_dead(rank) {
+            return Err(MpiError::RankKilled { rank });
+        }
+        if self.aborted.load(Ordering::Acquire) {
+            let reason = self
+                .abort_reason
+                .lock()
+                .clone()
+                .unwrap_or_else(|| "unspecified".into());
+            return Err(MpiError::JobAborted(reason));
+        }
+        Ok(())
+    }
+
+    /// Collective-entry hook: count the entry and fire this rank's mid-collective
+    /// crash triggers (the victim dies *after* registering intent, *before*
+    /// contributing — the nastiest possible moment).
+    fn tick_collective_entry(&self, rank: Rank) -> MpiResult<()> {
+        if !self.lively.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let entries =
+            self.collective_entries[rank.max(0) as usize].fetch_add(1, Ordering::Relaxed) + 1;
+        let mut crash: Option<usize> = None;
+        {
+            let mut chaos = self.chaos.lock();
+            if let Some(exec) = chaos.as_mut() {
+                for (id, fault) in exec.plan.faults.iter().enumerate() {
+                    if exec.fired[id] {
+                        continue;
+                    }
+                    if let FaultKind::CrashInCollective {
+                        rank: victim,
+                        at_entry,
+                    } = fault
+                    {
+                        if *victim == rank && *at_entry <= entries {
+                            exec.fired[id] = true;
+                            crash = Some(id);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(id) = crash {
+            self.kill(rank, "crash-in-collective", Some(id));
+        }
+        self.check_alive(rank)
+    }
+
+    /// Route a freshly injected envelope through the chaos layer: drop it if the
+    /// destination is dead, hold it if a partition cuts the pair or a message fault
+    /// matches its injection index, otherwise deliver immediately.
+    fn route(&self, envelope: Envelope) {
+        if self.is_dead(envelope.dest_world) {
+            return;
+        }
+        if self.cut(envelope.source_world, envelope.dest_world) {
+            self.event(
+                None,
+                ChaosAction::MessageHeld {
+                    source: envelope.source_world,
+                    dest: envelope.dest_world,
+                    category: "partition".into(),
+                },
+            );
+            self.held.lock().push(HeldEnvelope {
+                envelope,
+                release: Release::WhenConnected,
+            });
+            return;
+        }
+        let idx = self.injected_messages.fetch_add(1, Ordering::Relaxed);
+        let mut verdict: Option<(usize, Release, &'static str)> = None;
+        {
+            let mut chaos = self.chaos.lock();
+            if let Some(exec) = chaos.as_mut() {
+                for (id, fault) in exec.plan.faults.iter().enumerate() {
+                    if exec.fired[id] {
+                        continue;
+                    }
+                    match fault {
+                        FaultKind::DelayMessage { nth, hold_ms } if *nth == idx => {
+                            exec.fired[id] = true;
+                            verdict = Some((
+                                id,
+                                Release::At(Instant::now() + Duration::from_millis(*hold_ms)),
+                                "delay",
+                            ));
+                        }
+                        FaultKind::DropMessage { nth, retransmit_ms } if *nth == idx => {
+                            exec.fired[id] = true;
+                            verdict = Some((
+                                id,
+                                Release::At(Instant::now() + Duration::from_millis(*retransmit_ms)),
+                                "loss",
+                            ));
+                        }
+                        FaultKind::ReorderMessage { nth, overtaken_by } if *nth == idx => {
+                            exec.fired[id] = true;
+                            verdict = Some((
+                                id,
+                                Release::AfterInjected(
+                                    idx + overtaken_by,
+                                    Instant::now() + REORDER_BACKSTOP,
+                                ),
+                                "reorder",
+                            ));
+                        }
+                        _ => {}
+                    }
+                    if verdict.is_some() {
+                        break;
+                    }
+                }
+            }
+        }
+        match verdict {
+            Some((id, release, category)) => {
+                let action = if category == "loss" {
+                    ChaosAction::MessageDropped {
+                        source: envelope.source_world,
+                        dest: envelope.dest_world,
+                    }
+                } else {
+                    ChaosAction::MessageHeld {
+                        source: envelope.source_world,
+                        dest: envelope.dest_world,
+                        category: category.into(),
+                    }
+                };
+                self.event(Some(id), action);
+                self.held.lock().push(HeldEnvelope { envelope, release });
+            }
+            None => self.deliver(envelope),
+        }
     }
 }
 
@@ -235,8 +990,21 @@ impl Endpoint {
             })
     }
 
+    /// The wait-slice to use for blocking operations: short when the fabric is lively
+    /// (so blocked ranks keep beating and noticing deaths), the full timeout
+    /// otherwise.
+    fn wait_slice(&self) -> Duration {
+        if self.inner.lively.load(Ordering::Acquire) {
+            WAIT_SLICE
+        } else {
+            BLOCKING_TIMEOUT
+        }
+    }
+
     /// Inject a point-to-point message (eager protocol: the payload is buffered at the
-    /// destination immediately, whether or not a receive is posted).
+    /// destination immediately, whether or not a receive is posted). Under chaos the
+    /// message may be held, dropped-then-retransmitted, or reordered — all invisibly
+    /// to the receiver, thanks to the per-pair sequence assigned here at injection.
     pub fn send(
         &self,
         dest_world: Rank,
@@ -245,11 +1013,15 @@ impl Endpoint {
         tag: i32,
         payload: Vec<u8>,
     ) -> MpiResult<()> {
+        self.inner.tick_op(self.world_rank)?;
         let dest = self.slot(dest_world)?;
         if !dest.open.load(Ordering::Acquire) {
             return Err(MpiError::PeerUnreachable(dest_world));
         }
         let seq = self.inner.next_seq.fetch_add(1, Ordering::Relaxed);
+        let pair_seq = self.inner.pair_seqs
+            [self.world_rank as usize * self.inner.world_size + dest_world as usize]
+            .fetch_add(1, Ordering::Relaxed);
         self.inner.stats.record_send(payload.len());
         let envelope = Envelope {
             source_world: self.world_rank,
@@ -258,18 +1030,16 @@ impl Endpoint {
             context,
             tag,
             seq,
+            pair_seq,
             payload,
         };
-        {
-            let mut mailbox = dest.mailbox.lock();
-            mailbox.deposit(envelope);
-        }
-        dest.arrival.notify_all();
+        self.inner.route(envelope);
         Ok(())
     }
 
     /// Non-blocking receive: take the earliest matching message if one is present.
     pub fn try_recv(&self, spec: &MatchSpec) -> MpiResult<Option<Envelope>> {
+        self.inner.tick_op(self.world_rank)?;
         let slot = self.slot(self.world_rank)?;
         let mut mailbox = slot.mailbox.lock();
         let taken = mailbox.take(spec);
@@ -279,23 +1049,27 @@ impl Endpoint {
         Ok(taken)
     }
 
-    /// Blocking receive: wait until a matching message arrives, then take it.
+    /// Blocking receive: wait until a matching message arrives, then take it. While
+    /// blocked, the rank keeps heartbeating in wait slices and is woken early by its
+    /// own death or a job abort.
     pub fn recv_blocking(&self, spec: &MatchSpec) -> MpiResult<Envelope> {
+        self.inner.tick_op(self.world_rank)?;
         let slot = self.slot(self.world_rank)?;
-        let mut mailbox = slot.mailbox.lock();
+        let deadline = Instant::now() + BLOCKING_TIMEOUT;
         loop {
-            if let Some(envelope) = mailbox.take(spec) {
-                self.inner.stats.record_recv();
-                return Ok(envelope);
-            }
-            if !slot.open.load(Ordering::Acquire) {
-                return Err(MpiError::PeerUnreachable(self.world_rank));
-            }
-            if slot
-                .arrival
-                .wait_for(&mut mailbox, BLOCKING_TIMEOUT)
-                .timed_out()
             {
+                let mut mailbox = slot.mailbox.lock();
+                if let Some(envelope) = mailbox.take(spec) {
+                    self.inner.stats.record_recv();
+                    return Ok(envelope);
+                }
+                if !slot.open.load(Ordering::Acquire) {
+                    return Err(MpiError::PeerUnreachable(self.world_rank));
+                }
+                slot.arrival.wait_for(&mut mailbox, self.wait_slice());
+            }
+            self.inner.tick_wait(self.world_rank)?;
+            if Instant::now() >= deadline {
                 return Err(MpiError::Internal(format!(
                     "rank {} blocked in receive for more than {:?} (context {}, source {:?}, tag {:?})",
                     self.world_rank, BLOCKING_TIMEOUT, spec.context, spec.source_comm_rank, spec.tag
@@ -306,6 +1080,7 @@ impl Endpoint {
 
     /// Probe for a matching message without consuming it (`MPI_Iprobe`).
     pub fn probe(&self, spec: &MatchSpec) -> MpiResult<Option<Status>> {
+        self.inner.tick_op(self.world_rank)?;
         let slot = self.slot(self.world_rank)?;
         let mailbox = slot.mailbox.lock();
         Ok(mailbox
@@ -313,8 +1088,10 @@ impl Endpoint {
             .map(|e| Status::new(e.source_comm_rank, e.tag, e.payload.len())))
     }
 
-    /// Number of messages currently queued for this rank (any context).
+    /// Number of messages currently queued for this rank (any context). Also beats,
+    /// since drain loops poll this while otherwise quiet.
     pub fn pending_incoming(&self) -> usize {
+        let _ = self.inner.tick_wait(self.world_rank);
         self.slot(self.world_rank)
             .map(|s| s.mailbox.lock().pending())
             .unwrap_or(0)
@@ -322,6 +1099,7 @@ impl Endpoint {
 
     /// Number of messages currently queued for this rank on one context.
     pub fn pending_incoming_for_context(&self, context: ContextId) -> usize {
+        let _ = self.inner.tick_wait(self.world_rank);
         self.slot(self.world_rank)
             .map(|s| s.mailbox.lock().pending_for_context(context))
             .unwrap_or(0)
@@ -352,6 +1130,11 @@ impl Endpoint {
     /// concurrent collectives on different communicators — and why collective sequence
     /// numbers restart cleanly after a MANA restart (the new lower half starts a new
     /// context space on a new fabric).
+    ///
+    /// Under chaos: a partition-isolated rank stalls here (before contributing) until
+    /// the partition heals, a mid-collective crash trigger kills the rank after its
+    /// entry is counted but before its contribution lands, and a job abort wakes every
+    /// blocked member with [`MpiError::JobAborted`].
     pub fn collective_exchange(
         &self,
         context: ContextId,
@@ -365,8 +1148,24 @@ impl Endpoint {
                 "collective exchange with index {my_index} out of {comm_size}"
             )));
         }
+        self.inner.tick_op(self.world_rank)?;
+        self.inner.tick_collective_entry(self.world_rank)?;
+        // A partition-isolated rank cannot reach the exchange: stall until heal (or
+        // death/abort), exactly like a real collective over a cut network.
+        let stall_deadline = Instant::now() + BLOCKING_TIMEOUT;
+        while self.inner.is_isolated(self.world_rank) {
+            std::thread::sleep(WAIT_SLICE);
+            self.inner.tick_wait(self.world_rank)?;
+            if Instant::now() >= stall_deadline {
+                return Err(MpiError::Internal(format!(
+                    "rank {} isolated by a partition for more than {:?}",
+                    self.world_rank, BLOCKING_TIMEOUT
+                )));
+            }
+        }
         self.inner.stats.record_collective(contribution.len());
         let key = (context, seq);
+        let deadline = Instant::now() + BLOCKING_TIMEOUT;
         let mut table = self.inner.collectives.lock();
         {
             let slot = table.entry(key).or_insert_with(|| CollectiveSlot {
@@ -423,12 +1222,25 @@ impl Endpoint {
                 }
                 return Ok(result.as_ref().clone());
             }
-            if self
+            let slice = self.wait_slice();
+            let timed_out = self
                 .inner
                 .collective_done
-                .wait_for(&mut table, BLOCKING_TIMEOUT)
-                .timed_out()
-            {
+                .wait_for(&mut table, slice)
+                .timed_out();
+            if self.inner.lively.load(Ordering::Acquire) {
+                // Release the table while ticking: the pump may need mailboxes, and
+                // beats/death checks must not be starved by a long collective wait.
+                drop(table);
+                self.inner.tick_wait(self.world_rank)?;
+                if Instant::now() >= deadline {
+                    return Err(MpiError::Internal(format!(
+                        "rank {} blocked in collective (context {context}, seq {seq}) for more than {:?}",
+                        self.world_rank, BLOCKING_TIMEOUT
+                    )));
+                }
+                table = self.inner.collectives.lock();
+            } else if timed_out {
                 return Err(MpiError::Internal(format!(
                     "rank {} blocked in collective (context {context}, seq {seq}) for more than {:?}",
                     self.world_rank, BLOCKING_TIMEOUT
@@ -456,12 +1268,13 @@ impl Endpoint {
                 "collective registration with index {my_index} out of {comm_size}"
             )));
         }
+        self.inner.tick_op(self.world_rank)?;
         let mut board = self.inner.registrations.lock();
         let slot = board
             .entry((context, seq))
             .or_insert_with(|| RegistrationSlot {
                 expected: comm_size,
-                registered: std::collections::HashSet::with_capacity(comm_size),
+                registered: HashSet::with_capacity(comm_size),
                 committed: false,
             });
         if slot.expected != comm_size {
@@ -479,14 +1292,22 @@ impl Endpoint {
 
     /// Whether the registration round `(context, seq)` has committed (every member
     /// registered). A missing slot reads as not committed: the caller is expected to
-    /// hold a live registration of its own while polling.
-    pub fn collective_registration_committed(&self, context: ContextId, seq: u64) -> bool {
-        self.inner
+    /// hold a live registration of its own while polling. Errors if this rank has
+    /// died or the job was aborted — a poll loop must observe the failure lane, or
+    /// a rank whose peer died pre-registration would spin until its stall budget.
+    pub fn collective_registration_committed(
+        &self,
+        context: ContextId,
+        seq: u64,
+    ) -> MpiResult<bool> {
+        self.inner.tick_wait(self.world_rank)?;
+        Ok(self
+            .inner
             .registrations
             .lock()
             .get(&(context, seq))
             .map(|slot| slot.committed)
-            .unwrap_or(false)
+            .unwrap_or(false))
     }
 
     /// Atomically withdraw `my_index`'s registration from round `(context, seq)`.
@@ -501,6 +1322,7 @@ impl Endpoint {
         seq: u64,
         my_index: usize,
     ) -> MpiResult<bool> {
+        self.inner.tick_op(self.world_rank)?;
         let mut board = self.inner.registrations.lock();
         let Some(slot) = board.get_mut(&(context, seq)) else {
             // Nothing registered under this key: trivially out.
@@ -520,6 +1342,7 @@ impl Endpoint {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chaos::ChaosMenu;
     use std::thread;
 
     fn fabric(n: usize) -> Fabric {
@@ -689,14 +1512,14 @@ mod tests {
         e0.collective_register(40, 0, 0, 3).unwrap();
         e0.collective_register(40, 0, 0, 3).unwrap();
         e1.collective_register(40, 0, 1, 3).unwrap();
-        assert!(!e0.collective_registration_committed(40, 0));
+        assert!(!e0.collective_registration_committed(40, 0).unwrap());
         assert!(e1.collective_withdraw(40, 0, 1).unwrap());
         // After the withdrawal the last member cannot commit the round alone.
         e2.collective_register(40, 0, 2, 3).unwrap();
-        assert!(!e2.collective_registration_committed(40, 0));
+        assert!(!e2.collective_registration_committed(40, 0).unwrap());
         // All three in: committed, withdrawal now fails for everyone.
         e1.collective_register(40, 0, 1, 3).unwrap();
-        assert!(e0.collective_registration_committed(40, 0));
+        assert!(e0.collective_registration_committed(40, 0).unwrap());
         assert!(!e1.collective_withdraw(40, 0, 1).unwrap());
         assert!(!e0.collective_withdraw(40, 0, 0).unwrap());
         // A size disagreement is caught at registration time.
@@ -735,5 +1558,269 @@ mod tests {
             let env = e1.recv_blocking(&spec).unwrap();
             assert_eq!(env.payload, vec![i]);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Chaos lane
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn capture_hook_grabs_next_fabric_on_thread() {
+        let capture = Fabric::capture_next();
+        assert!(capture.take().is_none());
+        let capture = Fabric::capture_next();
+        let f = fabric(3);
+        let grabbed = capture.take().expect("fabric captured");
+        assert_eq!(grabbed.world_size(), 3);
+        assert_eq!(grabbed.session_nonce(), f.session_nonce());
+        // One-shot: a second fabric is not captured.
+        let _g = fabric(2);
+        assert!(capture.take().is_none());
+    }
+
+    #[test]
+    fn delayed_message_is_masked_by_resequencing() {
+        let f = fabric(2);
+        f.install_chaos(ChaosPlan::from_faults(vec![FaultKind::DelayMessage {
+            nth: 0,
+            hold_ms: 15,
+        }]));
+        let e0 = f.endpoint(0).unwrap();
+        let e1 = f.endpoint(1).unwrap();
+        // Message 0 is held; message 1 arrives first but is parked behind the gap.
+        e0.send(1, 0, 1, 0, vec![0]).unwrap();
+        e0.send(1, 0, 1, 0, vec![1]).unwrap();
+        let spec = MatchSpec::from_mpi_args(1, 0, 0);
+        // Both must still arrive in order.
+        for i in 0..2u8 {
+            let env = e1.recv_blocking(&spec).unwrap();
+            assert_eq!(env.payload, vec![i]);
+        }
+        assert_eq!(f.fired_fault_ids(), vec![0]);
+        assert!(f.resequenced_messages() >= 1);
+        assert!(!f.chaos_events().is_empty());
+    }
+
+    #[test]
+    fn dropped_message_is_retransmitted() {
+        let f = fabric(2);
+        f.install_chaos(ChaosPlan::from_faults(vec![FaultKind::DropMessage {
+            nth: 0,
+            retransmit_ms: 10,
+        }]));
+        let e0 = f.endpoint(0).unwrap();
+        let e1 = f.endpoint(1).unwrap();
+        e0.send(1, 0, 1, 0, vec![42]).unwrap();
+        assert_eq!(f.pending_messages(), 1, "held messages stay in flight");
+        let env = e1
+            .recv_blocking(&MatchSpec::from_mpi_args(1, 0, 0))
+            .unwrap();
+        assert_eq!(env.payload, vec![42]);
+        let events = f.chaos_events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.action, ChaosAction::MessageDropped { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.action, ChaosAction::MessageReleased { .. })));
+    }
+
+    #[test]
+    fn reordered_message_is_masked() {
+        let f = fabric(2);
+        f.install_chaos(ChaosPlan::from_faults(vec![FaultKind::ReorderMessage {
+            nth: 0,
+            overtaken_by: 2,
+        }]));
+        let e0 = f.endpoint(0).unwrap();
+        let e1 = f.endpoint(1).unwrap();
+        for i in 0..4u8 {
+            e0.send(1, 0, 1, 0, vec![i]).unwrap();
+        }
+        let spec = MatchSpec::from_mpi_args(1, 0, 0);
+        for i in 0..4u8 {
+            let env = e1.recv_blocking(&spec).unwrap();
+            assert_eq!(env.payload, vec![i], "delivery order survives reordering");
+        }
+    }
+
+    #[test]
+    fn killed_rank_fails_ops_and_sends_to_it_vanish() {
+        let f = fabric(2);
+        let e0 = f.endpoint(0).unwrap();
+        let e1 = f.endpoint(1).unwrap();
+        f.kill_rank(1, "test");
+        assert!(f.is_dead(1));
+        assert_eq!(f.dead_ranks(), vec![1]);
+        assert!(f.failure_instant(1).is_some());
+        // The victim's own ops fail.
+        assert_eq!(
+            e1.send(0, 1, 1, 0, vec![1]),
+            Err(MpiError::RankKilled { rank: 1 })
+        );
+        // Sends to the dead rank vanish silently (no error back to the sender).
+        e0.send(1, 0, 1, 0, vec![1]).unwrap();
+        assert_eq!(f.pending_messages(), 0);
+    }
+
+    #[test]
+    fn crash_trigger_fires_at_op_count() {
+        let f = fabric(2);
+        f.install_chaos(ChaosPlan::from_faults(vec![FaultKind::CrashRank {
+            rank: 0,
+            at_rank_op: 3,
+        }]));
+        let e0 = f.endpoint(0).unwrap();
+        e0.send(1, 0, 1, 0, vec![]).unwrap();
+        e0.send(1, 0, 1, 0, vec![]).unwrap();
+        let err = e0.send(1, 0, 1, 0, vec![]).unwrap_err();
+        assert_eq!(err, MpiError::RankKilled { rank: 0 });
+        assert!(f.is_dead(0));
+    }
+
+    #[test]
+    fn abort_wakes_blocked_receiver() {
+        let f = fabric(2);
+        f.enable_heartbeats();
+        let f2 = f.clone();
+        let h = thread::spawn(move || {
+            let e1 = f2.endpoint(1).unwrap();
+            e1.recv_blocking(&MatchSpec::from_mpi_args(1, 0, 0))
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        f.abort("detector: rank 0 heartbeat expired");
+        let err = h.join().unwrap().unwrap_err();
+        assert!(matches!(err, MpiError::JobAborted(_)));
+        assert!(f.aborted());
+        assert!(f.abort_reason().unwrap().contains("heartbeat"));
+    }
+
+    #[test]
+    fn abort_wakes_blocked_collective() {
+        let f = fabric(2);
+        f.enable_heartbeats();
+        let f2 = f.clone();
+        let h = thread::spawn(move || {
+            let e0 = f2.endpoint(0).unwrap();
+            // Rank 1 never joins: blocked until abort.
+            e0.collective_exchange(1, 0, 0, 2, vec![])
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        f.abort("test abort");
+        let err = h.join().unwrap().unwrap_err();
+        assert!(matches!(err, MpiError::JobAborted(_)));
+    }
+
+    #[test]
+    fn healing_partition_masks_traffic_and_suppresses_beats() {
+        let f = fabric(3);
+        f.enable_heartbeats();
+        let e0 = f.endpoint(0).unwrap();
+        let e2 = f.endpoint(2).unwrap();
+        f.inject_partition(&[2], Some(Duration::from_millis(30)));
+        assert!(f.partitioned());
+        // Cross-cut message is held.
+        e0.send(2, 0, 1, 0, vec![7]).unwrap();
+        assert_eq!(e2.pending_incoming(), 0, "held at the cut, not delivered");
+        assert_eq!(f.pending_messages(), 1);
+        // Isolated rank's beats are suppressed while the partition is active.
+        let before = f.heartbeat_ages()[2];
+        std::thread::sleep(Duration::from_millis(10));
+        let _ = e2.pending_incoming(); // would normally beat
+        assert!(f.heartbeat_ages()[2] >= before);
+        // After heal, the held message is delivered and beats resume.
+        let env = e2
+            .recv_blocking(&MatchSpec::from_mpi_args(1, 0, 0))
+            .unwrap();
+        assert_eq!(env.payload, vec![7]);
+        assert!(!f.partitioned());
+        let _ = e2.pending_incoming();
+        assert!(f.heartbeat_ages()[2] < Duration::from_millis(100));
+        let events = f.chaos_events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.action, ChaosAction::PartitionStarted { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.action, ChaosAction::PartitionHealed { .. })));
+    }
+
+    #[test]
+    fn heartbeats_age_without_ops_and_refresh_with_them() {
+        let f = fabric(2);
+        f.enable_heartbeats();
+        let e0 = f.endpoint(0).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        let ages = f.heartbeat_ages();
+        assert!(ages[0] >= Duration::from_millis(15));
+        e0.send(1, 0, 1, 0, vec![]).unwrap();
+        assert!(f.heartbeat_ages()[0] < Duration::from_millis(15));
+        // Manual beats work too (compute-only phases).
+        std::thread::sleep(Duration::from_millis(20));
+        f.beat(0);
+        assert!(f.heartbeat_ages()[0] < Duration::from_millis(15));
+    }
+
+    #[test]
+    fn node_failure_kills_all_its_ranks() {
+        let f = fabric(4);
+        f.install_chaos(ChaosPlan::from_faults(vec![FaultKind::KillNode {
+            ranks: vec![1, 2],
+            at_op: 1,
+        }]));
+        let e0 = f.endpoint(0).unwrap();
+        e0.send(3, 0, 1, 0, vec![]).unwrap();
+        e0.send(3, 0, 1, 0, vec![]).unwrap();
+        assert!(f.is_dead(1) && f.is_dead(2));
+        assert!(!f.is_dead(0) && !f.is_dead(3));
+    }
+
+    #[test]
+    fn mid_collective_crash_kills_before_contribution() {
+        let f = fabric(2);
+        f.install_chaos(ChaosPlan::from_faults(vec![FaultKind::CrashInCollective {
+            rank: 1,
+            at_entry: 1,
+        }]));
+        let e1 = f.endpoint(1).unwrap();
+        let err = e1.collective_exchange(1, 0, 1, 2, vec![1]).unwrap_err();
+        assert_eq!(err, MpiError::RankKilled { rank: 1 });
+        // No contribution landed: the slot (if any) has nothing from index 1.
+        let table = f.inner.collectives.lock();
+        assert!(table
+            .get(&(1, 0))
+            .is_none_or(|s| s.contributions.is_empty()));
+    }
+
+    #[test]
+    fn seeded_plan_runs_end_to_end_on_fabric() {
+        // Smoke: install a full seeded plan and push traffic through; masked faults
+        // must not corrupt or lose any message (no lethal faults in this menu).
+        let f = fabric(2);
+        let plan = ChaosPlan::seeded(
+            7,
+            2,
+            &ChaosMenu {
+                op_horizon: 40,
+                ..ChaosMenu::masked_only()
+            },
+        );
+        f.install_chaos(plan);
+        let e0 = f.endpoint(0).unwrap();
+        let e1 = f.endpoint(1).unwrap();
+        let f2 = f.clone();
+        let h = thread::spawn(move || {
+            let spec = MatchSpec::from_mpi_args(1, 0, 0);
+            let e1 = f2.endpoint(1).unwrap();
+            (0..50u8)
+                .map(|_| e1.recv_blocking(&spec).unwrap().payload[0])
+                .collect::<Vec<u8>>()
+        });
+        for i in 0..50u8 {
+            e0.send(1, 0, 1, 0, vec![i]).unwrap();
+        }
+        let got = h.join().unwrap();
+        assert_eq!(got, (0..50u8).collect::<Vec<u8>>());
+        drop(e1);
     }
 }

@@ -23,15 +23,23 @@
 //! arrives. Collectives use a generation-counted exchange slot keyed by communication
 //! context, giving the same rendezvous semantics a real implementation builds from
 //! point-to-point or hardware collectives.
+//!
+//! The [`chaos`] module adds a third reason to exist: seeded fault injection. A
+//! [`ChaosPlan`] installed on a fabric can delay, drop or reorder messages (masked by
+//! per-pair sequencing and the mailbox re-sequencing lane), partition rank sets, and
+//! kill ranks or whole nodes (detected through the fabric's heartbeat lane). This is
+//! what the self-healing orchestrator in `job-runtime` is exercised against.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod fabric;
 pub mod mailbox;
 pub mod message;
 pub mod stats;
 
-pub use fabric::{Endpoint, Fabric, FabricConfig};
+pub use chaos::{ChaosAction, ChaosEvent, ChaosMenu, ChaosPlan, FaultKind, SplitMix64};
+pub use fabric::{Endpoint, Fabric, FabricCapture, FabricConfig};
 pub use message::{Envelope, MatchSpec};
 pub use stats::FabricStats;

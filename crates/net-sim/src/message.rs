@@ -24,6 +24,13 @@ pub struct Envelope {
     pub tag: Tag,
     /// Injection sequence number, used to keep per-(source, context) FIFO ordering.
     pub seq: SeqNo,
+    /// Consecutive per-(source, destination) delivery sequence number, assigned at
+    /// injection time *before* the chaos layer gets a chance to delay, drop or
+    /// reorder the message. The destination mailbox uses it to re-sequence
+    /// deliveries: an envelope arriving ahead of a gap is parked until the missing
+    /// envelopes arrive, which is what masks chaos-injected delay, loss (with
+    /// retransmission) and reordering from the MPI layer above.
+    pub pair_seq: SeqNo,
     /// Payload bytes.
     pub payload: Vec<u8>,
 }
@@ -97,6 +104,7 @@ mod tests {
             context,
             tag,
             seq: 0,
+            pair_seq: 0,
             payload: vec![1, 2, 3],
         }
     }
