@@ -1,0 +1,407 @@
+//! A lightweight Rust lexer: just enough token structure for line-oriented lint
+//! rules, with none of the grammar.
+//!
+//! The lexer understands the parts of Rust that would otherwise produce false
+//! matches in a plain text scan — line and (nested) block comments, string / raw
+//! string / byte-string / char literals, and lifetimes — and flattens everything
+//! else into identifier and punctuation tokens tagged with their line numbers.
+//! Comments are not tokens, but allow-annotations inside them (the
+//! `analyzer: allow(rule): reason` form) are extracted into a side table the lint
+//! engine consults before reporting.
+
+/// One token of a lexed source file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based source line the token starts on.
+    pub line: u32,
+    /// What the token is.
+    pub kind: TokenKind,
+}
+
+/// Token classification. Only the distinctions the lint rules need are kept.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unwrap`, `let`, `Instant`, ...).
+    Ident(String),
+    /// One punctuation character (`.`, `:`, `!`, `{`, ...). Multi-character
+    /// operators appear as consecutive tokens.
+    Punct(char),
+    /// String, char, byte, or numeric literal (content not preserved).
+    Literal,
+    /// Lifetime or loop label (`'a`, `'outer`).
+    Lifetime,
+}
+
+/// A parsed `// analyzer: allow(rule): reason` annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowAnnotation {
+    /// 1-based line the annotation comment starts on.
+    pub line: u32,
+    /// Whether the comment was alone on its line (then it covers the next code
+    /// line) or trailing code (then it covers its own line).
+    pub standalone: bool,
+    /// The rule name inside `allow(...)`.
+    pub rule: String,
+    /// The reason after the closing paren, if any (`: reason`). Annotations
+    /// without a reason are themselves reported by the lint engine.
+    pub reason: Option<String>,
+}
+
+/// A fully lexed file: the token stream plus the allow-annotation side table.
+#[derive(Debug, Default)]
+pub struct LexedFile {
+    /// Tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All `analyzer: allow` annotations found in comments.
+    pub allows: Vec<AllowAnnotation>,
+}
+
+impl LexedFile {
+    /// Whether `rule` is allowed at `line`: an annotation trailing code on that
+    /// line, or a standalone annotation on any directly preceding comment line.
+    pub fn allowed(&self, rule: &str, line: u32) -> Option<&AllowAnnotation> {
+        self.allows.iter().find(|a| {
+            a.rule == rule
+                && (a.line == line || (a.standalone && a.line < line && line - a.line <= 3))
+        })
+    }
+}
+
+/// Parse the inside of a comment for an `analyzer: allow(rule): reason` marker
+/// (the `: reason` tail is syntactically optional but its absence is itself a
+/// violation).
+fn parse_allow(comment: &str, line: u32, standalone: bool) -> Option<AllowAnnotation> {
+    let idx = comment.find("analyzer: allow(")?;
+    let rest = &comment[idx + "analyzer: allow(".len()..];
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    let tail = rest[close + 1..].trim();
+    let reason = tail
+        .strip_prefix(':')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty());
+    Some(AllowAnnotation {
+        line,
+        standalone,
+        rule,
+        reason,
+    })
+}
+
+/// Lex `source` into tokens and annotations.
+pub fn lex(source: &str) -> LexedFile {
+    let bytes = source.as_bytes();
+    let mut out = LexedFile::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    // Tracks whether any token has been produced on the current line, so comment
+    // annotations can tell trailing from standalone.
+    let mut code_on_line = false;
+
+    macro_rules! bump_line {
+        () => {{
+            line += 1;
+            code_on_line = false;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                i += 1;
+                bump_line!();
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                // Line comment (incl. doc comments); scan to end of line.
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                if let Some(a) = parse_allow(text, line, !code_on_line) {
+                    out.allows.push(a);
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comment, nested per Rust rules.
+                let start_line = line;
+                let standalone = !code_on_line;
+                let start = i;
+                i += 2;
+                let mut depth = 1;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        bump_line!();
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                if let Some(a) = parse_allow(&source[start..i], start_line, standalone) {
+                    out.allows.push(a);
+                }
+            }
+            '"' => {
+                i = skip_string(bytes, i + 1, &mut line, &mut code_on_line);
+                out.tokens.push(Token {
+                    line,
+                    kind: TokenKind::Literal,
+                });
+                code_on_line = true;
+            }
+            'r' | 'b' if starts_raw_or_byte_string(bytes, i) => {
+                let tok_line = line;
+                i = skip_raw_or_byte_string(bytes, i, &mut line);
+                out.tokens.push(Token {
+                    line: tok_line,
+                    kind: TokenKind::Literal,
+                });
+                code_on_line = true;
+            }
+            '\'' => {
+                // Lifetime/label vs char literal: a lifetime is `'` + ident not
+                // closed by another `'`.
+                let is_lifetime = match bytes.get(i + 1) {
+                    Some(&n) if (n as char).is_alphabetic() || n == b'_' => {
+                        // `'a'` is a char, `'a` (no closing quote) is a lifetime.
+                        bytes.get(i + 2) != Some(&b'\'')
+                    }
+                    _ => false,
+                };
+                if is_lifetime {
+                    i += 1;
+                    while i < bytes.len()
+                        && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        line,
+                        kind: TokenKind::Lifetime,
+                    });
+                } else {
+                    // Char literal: skip to the closing quote, honouring escapes.
+                    i += 1;
+                    while i < bytes.len() && bytes[i] != b'\'' {
+                        if bytes[i] == b'\\' {
+                            i += 1;
+                        }
+                        if i < bytes.len() && bytes[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                    i += 1;
+                    out.tokens.push(Token {
+                        line,
+                        kind: TokenKind::Literal,
+                    });
+                }
+                code_on_line = true;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    line,
+                    kind: TokenKind::Ident(source[start..i].to_string()),
+                });
+                code_on_line = true;
+            }
+            c if c.is_ascii_digit() => {
+                // Numeric literal (incl. suffixes, underscores, hex/float forms).
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_alphanumeric()
+                        || bytes[i] == b'_'
+                        || bytes[i] == b'.'
+                            && bytes
+                                .get(i + 1)
+                                .map(|n| (*n as char).is_ascii_digit())
+                                .unwrap_or(false))
+                {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    line,
+                    kind: TokenKind::Literal,
+                });
+                code_on_line = true;
+            }
+            c => {
+                i += 1;
+                out.tokens.push(Token {
+                    line,
+                    kind: TokenKind::Punct(c),
+                });
+                code_on_line = true;
+            }
+        }
+    }
+    out
+}
+
+/// Whether position `i` starts a raw string (`r"`, `r#`), byte string (`b"`),
+/// or raw byte string (`br"`, `br#`).
+fn starts_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    match bytes[i] {
+        b'r' => matches!(bytes.get(i + 1), Some(&b'"') | Some(&b'#')),
+        b'b' => match bytes.get(i + 1) {
+            Some(&b'"') => true,
+            Some(&b'r') => matches!(bytes.get(i + 2), Some(&b'"') | Some(&b'#')),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Skip a plain string body starting just after the opening `"`; returns the index
+/// past the closing quote.
+fn skip_string(bytes: &[u8], mut i: usize, line: &mut u32, code_on_line: &mut bool) -> usize {
+    while i < bytes.len() && bytes[i] != b'"' {
+        if bytes[i] == b'\\' {
+            i += 1;
+        }
+        if i < bytes.len() && bytes[i] == b'\n' {
+            *line += 1;
+            *code_on_line = false;
+        }
+        i += 1;
+    }
+    i + 1
+}
+
+/// Skip a raw/byte/raw-byte string starting at its `r`/`b` prefix; returns the
+/// index past the closing delimiter.
+fn skip_raw_or_byte_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    // Skip prefix letters.
+    while i < bytes.len() && (bytes[i] == b'r' || bytes[i] == b'b') {
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while i < bytes.len() && bytes[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i < bytes.len() && bytes[i] == b'"' {
+        i += 1;
+        loop {
+            if i >= bytes.len() {
+                break;
+            }
+            if bytes[i] == b'\n' {
+                *line += 1;
+                i += 1;
+                continue;
+            }
+            if bytes[i] == b'"' {
+                let mut k = 0;
+                while k < hashes && bytes.get(i + 1 + k) == Some(&b'#') {
+                    k += 1;
+                }
+                if k == hashes {
+                    return i + 1 + hashes;
+                }
+            }
+            i += 1;
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_produce_idents() {
+        let src = r##"
+// unwrap() in a comment
+/* panic!() in /* a nested */ block comment */
+let s = "call .unwrap() inside a string";
+let r = r#"raw "string" with panic!()"#;
+let c = 'x';
+real_ident();
+"##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { let c = 'q'; x }";
+        let lexed = lex(src);
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 3);
+        let literals = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .count();
+        assert_eq!(literals, 1);
+    }
+
+    #[test]
+    fn allow_annotations_are_extracted() {
+        let src = "\
+let a = 1; // analyzer: allow(no-panic): provably fine
+// analyzer: allow(no-wall-clock): test shim
+let b = 2;
+// analyzer: allow(missing-reason)
+let c = 3;
+";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 3);
+        let a = &lexed.allows[0];
+        assert_eq!(
+            (a.line, a.standalone, a.rule.as_str()),
+            (1, false, "no-panic")
+        );
+        assert_eq!(a.reason.as_deref(), Some("provably fine"));
+        let b = &lexed.allows[1];
+        assert!(b.standalone);
+        assert!(lexed.allowed("no-wall-clock", 3).is_some());
+        assert!(lexed.allowed("no-wall-clock", 1).is_none());
+        let c = &lexed.allows[2];
+        assert_eq!(c.reason, None);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "let a = \"two\nlines\";\nmarker();\n";
+        let lexed = lex(src);
+        let marker = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident("marker".into()))
+            .unwrap();
+        assert_eq!(marker.line, 3);
+    }
+}

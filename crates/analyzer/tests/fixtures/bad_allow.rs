@@ -1,0 +1,7 @@
+//! Known-bad fixture for the `allow-without-reason` meta rule: an annotation with
+//! no `: reason` tail is itself a violation and suppresses nothing.
+
+pub fn reasonless(input: Option<u32>) -> u32 {
+    // analyzer: allow(no-panic)
+    input.unwrap()
+}

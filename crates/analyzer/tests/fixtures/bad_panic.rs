@@ -1,0 +1,29 @@
+//! Known-bad fixture for the `no-panic` rule: every panicking construct the rule
+//! knows, one per line, plus the exemptions that must NOT fire.
+
+pub fn hot_path(input: Option<u32>) -> u32 {
+    let a = input.unwrap();
+    let b = input.expect("present");
+    if a + b == 0 {
+        panic!("zero");
+    }
+    match a {
+        0 => unreachable!(),
+        1 => todo!(),
+        2 => unimplemented!(),
+        _ => {}
+    }
+    // analyzer: allow(no-panic): fixture — demonstrates a reasoned suppression
+    let c = input.unwrap();
+    a + b + c
+}
+
+#[cfg(test)]
+mod tests {
+    // Inside cfg(test): unwrap is fine here.
+    #[test]
+    fn test_helper() {
+        let x: Option<u32> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+    }
+}

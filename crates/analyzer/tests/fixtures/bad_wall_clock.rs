@@ -1,0 +1,13 @@
+//! Known-bad fixture for the `no-wall-clock` rule (linted under a synthetic
+//! `crates/net-sim/src/...` path so the deterministic scope applies).
+
+use std::time::{Duration, Instant, SystemTime};
+
+pub fn drifting_schedule() -> Duration {
+    let start = Instant::now();
+    let _wall = SystemTime::now();
+    std::thread::sleep(Duration::from_millis(1));
+    // analyzer: allow(no-wall-clock): fixture — demonstrates a reasoned suppression
+    let _allowed = Instant::now();
+    start.elapsed()
+}

@@ -79,6 +79,7 @@ impl Manifest {
 
     /// Encode to the CRC-trailed binary form.
     pub fn encode(&self) -> Vec<u8> {
+        // analyzer: allow(no-panic): infallible by construction — metadata is a plain string/number struct; the value-model serializer has no failure mode for it, and encode() has no Result channel
         let metadata =
             serde_json::to_vec(&self.metadata).expect("image metadata always serializes");
         let mut out = Vec::with_capacity(64 + metadata.len() + self.regions.len() * 48);
@@ -125,7 +126,9 @@ impl Manifest {
             return Err(MpiError::Checkpoint("truncated checkpoint manifest".into()));
         }
         let payload_end = bytes.len() - 4;
-        let stored_crc = u32::from_le_bytes(bytes[payload_end..].try_into().expect("4 bytes"));
+        let stored_crc = u32::from_le_bytes(bytes[payload_end..].try_into().map_err(|_| {
+            MpiError::Checkpoint("checkpoint manifest CRC trailer truncated".into())
+        })?);
         let computed_crc = crc32(&bytes[..payload_end]);
         if stored_crc != computed_crc {
             return Err(MpiError::Checkpoint(format!(

@@ -428,17 +428,19 @@ impl Coordinator {
     /// exactly once per generation, from the landing that completed it.
     pub fn note_flush_landed(&self, generation: u64, steps: Option<u64>) -> bool {
         let mut rounds = self.flush_rounds.lock();
-        let round = rounds.entry(generation).or_default();
+        // Own the round while folding: the map only keeps rounds still in flight,
+        // so there is no remove-after-touch step to get wrong.
+        let mut round = rounds.remove(&generation).unwrap_or_default();
         round.landed += 1;
         round.steps = match (round.steps, steps) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         };
         if round.landed >= self.world_size {
-            let round = rounds.remove(&generation).expect("entry just touched");
             self.ledger.record(generation, round.steps);
             true
         } else {
+            rounds.insert(generation, round);
             false
         }
     }

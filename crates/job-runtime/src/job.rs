@@ -1046,7 +1046,13 @@ impl JobRuntime {
                                 None => coordinated_checkpoint_async(
                                     session.rank_mut(),
                                     &coordinator,
-                                    flusher.as_ref().expect("async runs materialize the pool"),
+                                    flusher.as_ref().ok_or_else(|| {
+                                        MpiError::Internal(
+                                            "async checkpoint requested but no flusher pool \
+                                             was materialized for this run"
+                                                .into(),
+                                        )
+                                    })?,
                                     Some(boundary),
                                 )?,
                             });
@@ -1068,7 +1074,9 @@ impl JobRuntime {
                         return Ok(RankOutcome::Preempted);
                     }
                 }
-                Ok(RankOutcome::Completed(last.expect("at least one step ran")))
+                Ok(RankOutcome::Completed(last.ok_or_else(|| {
+                    MpiError::Internal("run finished without executing any step".into())
+                })?))
             })(&mut session, &mut in_flight);
             if let Some(handle) = in_flight {
                 handle.wait();
@@ -1083,9 +1091,11 @@ impl JobRuntime {
         if preempted == outcomes.len() {
             self.kill_armed.store(false, Ordering::SeqCst);
             self.mid_kill_armed.store(false, Ordering::SeqCst);
-            let at_step = kill_at
-                .or(mid_kill_at)
-                .expect("preemption implies a kill step");
+            let at_step = kill_at.or(mid_kill_at).ok_or_else(|| {
+                MpiError::Internal(
+                    "every rank reported preemption but no kill step was armed".into(),
+                )
+            })?;
             // An injected (non-preempting) mid-step intent is consumed by the first
             // run it fires in — which includes a run that was later preempted, as
             // long as the run reached the intent's step before vacating.
@@ -1112,10 +1122,14 @@ impl JobRuntime {
         let results = outcomes
             .into_iter()
             .map(|o| match o {
-                RankOutcome::Completed(value) => value,
-                RankOutcome::Preempted => unreachable!("counted above"),
+                RankOutcome::Completed(value) => Ok(value),
+                // preempted == 0 was established above; keep the impossible arm
+                // typed anyway so a future bookkeeping change cannot panic here.
+                RankOutcome::Preempted => Err(MpiError::Internal(
+                    "rank outcome flipped to Preempted after the preemption count".into(),
+                )),
             })
-            .collect();
+            .collect::<Result<Vec<_>, MpiError>>()?;
         Ok(JobRun::Completed {
             results,
             generation: self.published_generation(),

@@ -40,7 +40,9 @@ pub fn audit_features(name: &str, provided: &[SubsetFeature]) -> ManaCompatibili
     let report = ComplianceReport::audit(name, provided);
     let mut missing_by_category: Vec<(u8, Vec<SubsetFeature>)> = vec![];
     for &feature in &report.missing_required {
-        let category = required_category(feature).expect("required features have a category");
+        // A required feature without a category is a table bug; sort it last and
+        // keep it visible in the report rather than panicking the audit.
+        let category = required_category(feature).unwrap_or(u8::MAX);
         match missing_by_category.iter_mut().find(|(c, _)| *c == category) {
             Some((_, list)) => list.push(feature),
             None => missing_by_category.push((category, vec![feature])),

@@ -85,6 +85,7 @@ impl<C: HandleCodec> Engine<C> {
         };
         if !engine.config.lazy_constants {
             for object in PredefinedObject::all() {
+                // analyzer: allow(no-panic): infallible by construction — predefined objects materialize into freshly created empty stores, and the constructor has no Result channel
                 engine
                     .materialize_constant(object)
                     .expect("materializing predefined constants cannot fail");
@@ -449,10 +450,18 @@ impl<C: HandleCodec> MpiApi for Engine<C> {
                     "malformed MPI_Comm_split contribution".into(),
                 ));
             }
+            let le_i32 = |range: std::ops::Range<usize>| {
+                raw.get(range)
+                    .and_then(|bytes| <[u8; 4]>::try_from(bytes).ok())
+                    .map(i32::from_le_bytes)
+                    .ok_or_else(|| {
+                        MpiError::CollectiveMismatch("malformed MPI_Comm_split contribution".into())
+                    })
+            };
             let has_color = raw[0] != 0;
-            let color = i32::from_le_bytes(raw[1..5].try_into().unwrap());
-            let key = i32::from_le_bytes(raw[5..9].try_into().unwrap());
-            let world = i32::from_le_bytes(raw[9..13].try_into().unwrap());
+            let color = le_i32(1..5)?;
+            let key = le_i32(5..9)?;
+            let world = le_i32(9..13)?;
             contributions.push(SplitContribution {
                 parent_rank: parent_rank as Rank,
                 world_rank: world,

@@ -78,6 +78,7 @@ impl TypedBuffer {
     pub fn as_f64(&self) -> Vec<f64> {
         self.bytes
             .chunks_exact(8)
+            // analyzer: allow(no-panic): provable invariant — chunks_exact(8) yields exactly 8-byte slices
             .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
             .collect()
     }
@@ -86,6 +87,7 @@ impl TypedBuffer {
     pub fn as_i32(&self) -> Vec<i32> {
         self.bytes
             .chunks_exact(4)
+            // analyzer: allow(no-panic): provable invariant — chunks_exact(4) yields exactly 4-byte slices
             .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
             .collect()
     }
@@ -94,6 +96,7 @@ impl TypedBuffer {
     pub fn as_u64(&self) -> Vec<u64> {
         self.bytes
             .chunks_exact(8)
+            // analyzer: allow(no-panic): provable invariant — chunks_exact(8) yields exactly 8-byte slices
             .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
             .collect()
     }
@@ -138,6 +141,7 @@ pub fn f64_to_bytes(values: &[f64]) -> Vec<u8> {
 pub fn bytes_to_f64(bytes: &[u8]) -> Vec<f64> {
     bytes
         .chunks_exact(8)
+        // analyzer: allow(no-panic): provable invariant — chunks_exact(8) yields exactly 8-byte slices
         .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
         .collect()
 }
@@ -151,6 +155,7 @@ pub fn i32_to_bytes(values: &[i32]) -> Vec<u8> {
 pub fn bytes_to_i32(bytes: &[u8]) -> Vec<i32> {
     bytes
         .chunks_exact(4)
+        // analyzer: allow(no-panic): provable invariant — chunks_exact(4) yields exactly 4-byte slices
         .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
         .collect()
 }
@@ -164,6 +169,7 @@ pub fn u64_to_bytes(values: &[u64]) -> Vec<u8> {
 pub fn bytes_to_u64(bytes: &[u8]) -> Vec<u64> {
     bytes
         .chunks_exact(8)
+        // analyzer: allow(no-panic): provable invariant — chunks_exact(8) yields exactly 8-byte slices
         .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
         .collect()
 }

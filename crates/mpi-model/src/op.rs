@@ -59,6 +59,7 @@ impl PredefinedOp {
         PredefinedOp::ALL
             .iter()
             .position(|&o| o == self)
+            // analyzer: allow(no-panic): provable invariant — the table enumerates every variant; the unit test below locks the bijection
             .expect("every op is in ALL")
     }
 
@@ -178,6 +179,7 @@ macro_rules! reduce_numeric {
             .chunks_exact_mut(width)
             .zip($incoming.chunks_exact(width))
         {
+            // analyzer: allow(no-panic): provable invariant — chunks_exact(width) yields exactly width-byte slices
             let a = <$ty>::from_le_bytes(dst.try_into().unwrap());
             let b = <$ty>::from_le_bytes(src.try_into().unwrap());
             let r: $ty = match $op {
@@ -260,8 +262,10 @@ macro_rules! impl_numeric_float {
             fn band_model(self, _other: Self) -> Self {
                 // Bitwise ops on floating types are erroneous in MPI; the caller
                 // filters this case out, so reaching here is a model bug.
+                // analyzer: allow(no-panic): caller invariant — reduce() rejects bitwise ops on float types before dispatch
                 unreachable!("bitwise op on float")
             }
+            // analyzer: allow(no-panic): caller invariant — reduce() rejects bitwise ops on float types before dispatch
             fn bor_model(self, _other: Self) -> Self { unreachable!("bitwise op on float") }
             fn zero_model() -> Self { 0.0 }
             fn one_model() -> Self { 1.0 }
@@ -333,13 +337,16 @@ fn apply_loc(op: PredefinedOp, inout: &mut [u8], incoming: &[u8]) -> MpiResult<(
         .chunks_exact_mut(PAIR)
         .zip(incoming.chunks_exact(PAIR))
     {
+        // analyzer: allow(no-panic): provable invariant — chunks_exact(12) yields exactly 12-byte slices
         let a_val = f64::from_le_bytes(dst[..8].try_into().unwrap());
         let a_idx = i32::from_le_bytes(dst[8..12].try_into().unwrap());
+        // analyzer: allow(no-panic): provable invariant — chunks_exact(12) yields exactly 12-byte slices
         let b_val = f64::from_le_bytes(src[..8].try_into().unwrap());
         let b_idx = i32::from_le_bytes(src[8..12].try_into().unwrap());
         let take_b = match op {
             PredefinedOp::MaxLoc => b_val > a_val || (b_val == a_val && b_idx < a_idx),
             PredefinedOp::MinLoc => b_val < a_val || (b_val == a_val && b_idx < a_idx),
+            // analyzer: allow(no-panic): caller invariant — this helper is dispatched only for MaxLoc/MinLoc
             _ => unreachable!(),
         };
         if take_b {

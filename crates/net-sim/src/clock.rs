@@ -1,0 +1,50 @@
+//! The simulator's single wall-clock authority.
+//!
+//! Every other module in `net-sim` (and every `chaos.rs` in the workspace) is a
+//! *deterministic* path: given a seed, a chaos schedule must replay identically,
+//! so those modules may not read real time or sleep directly — the in-tree
+//! analyzer's `no-wall-clock` rule enforces that. Real time is still needed at
+//! the edges (blocking-receive timeouts, reorder backstops, wait-slice backoff),
+//! and this module is the one approved place it enters the system. Concentrating
+//! the calls here keeps the blast radius of nondeterminism auditable: a grep of
+//! `clock::` callers is the complete list of time-dependent behaviour in the
+//! simulator.
+//!
+//! The functions are deliberately thin aliases of `std` — the point is the choke
+//! point, not an abstraction. If a virtual clock ever becomes necessary (e.g. to
+//! make blocking timeouts deterministic under test), this is the only file that
+//! changes.
+
+use std::time::{Duration, Instant};
+
+/// Read the wall clock. The only approved `Instant::now` in the simulator.
+#[inline]
+pub fn now() -> Instant {
+    Instant::now()
+}
+
+/// Sleep the calling OS thread. The only approved `thread::sleep` in the
+/// simulator; used for the bounded wait-slice backoff in blocking paths.
+#[inline]
+pub fn sleep(duration: Duration) {
+    std::thread::sleep(duration)
+}
+
+/// Elapsed time since `start`, via the approved clock.
+#[inline]
+pub fn elapsed_since(start: Instant) -> Duration {
+    now().duration_since(start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let a = now();
+        let b = now();
+        assert!(b >= a);
+        assert!(elapsed_since(a) >= Duration::ZERO);
+    }
+}

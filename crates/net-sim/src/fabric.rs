@@ -226,7 +226,7 @@ impl Fabric {
             inner: Arc::new(FabricInner {
                 world_size: n,
                 session_nonce: config.session_nonce,
-                epoch: Instant::now(),
+                epoch: crate::clock::now(),
                 slots,
                 collectives: Mutex::new(HashMap::new()),
                 registrations: Mutex::new(HashMap::new()),
@@ -436,7 +436,7 @@ impl Fabric {
         self.inner.set_lively();
         self.inner.start_partition(
             isolated.iter().copied().collect(),
-            heal_after.map(|d| Instant::now() + d),
+            heal_after.map(|d| crate::clock::now() + d),
             None,
         );
     }
@@ -563,7 +563,7 @@ impl FabricInner {
             deaths.insert(
                 rank,
                 DeathRecord {
-                    at: Instant::now(),
+                    at: crate::clock::now(),
                     cause: cause.to_string(),
                 },
             );
@@ -609,7 +609,7 @@ impl FabricInner {
         self.partitions.lock().push(ActivePartition {
             fault_id,
             isolated,
-            started: Instant::now(),
+            started: crate::clock::now(),
             heals_at,
         });
     }
@@ -638,7 +638,7 @@ impl FabricInner {
     /// and release held messages whose release condition is now met. Must be called
     /// with **no mailbox or collective-table lock held**.
     fn pump(&self) {
-        let now = Instant::now();
+        let now = crate::clock::now();
         // Heal partitions whose deadline has passed.
         let healed: Vec<(Option<usize>, Vec<Rank>)> = {
             let mut partitions = self.partitions.lock();
@@ -884,7 +884,7 @@ impl FabricInner {
                             exec.fired[id] = true;
                             verdict = Some((
                                 id,
-                                Release::At(Instant::now() + Duration::from_millis(*hold_ms)),
+                                Release::At(crate::clock::now() + Duration::from_millis(*hold_ms)),
                                 "delay",
                             ));
                         }
@@ -892,7 +892,9 @@ impl FabricInner {
                             exec.fired[id] = true;
                             verdict = Some((
                                 id,
-                                Release::At(Instant::now() + Duration::from_millis(*retransmit_ms)),
+                                Release::At(
+                                    crate::clock::now() + Duration::from_millis(*retransmit_ms),
+                                ),
                                 "loss",
                             ));
                         }
@@ -902,7 +904,7 @@ impl FabricInner {
                                 id,
                                 Release::AfterInjected(
                                     idx + overtaken_by,
-                                    Instant::now() + REORDER_BACKSTOP,
+                                    crate::clock::now() + REORDER_BACKSTOP,
                                 ),
                                 "reorder",
                             ));
@@ -1055,7 +1057,7 @@ impl Endpoint {
     pub fn recv_blocking(&self, spec: &MatchSpec) -> MpiResult<Envelope> {
         self.inner.tick_op(self.world_rank)?;
         let slot = self.slot(self.world_rank)?;
-        let deadline = Instant::now() + BLOCKING_TIMEOUT;
+        let deadline = crate::clock::now() + BLOCKING_TIMEOUT;
         loop {
             {
                 let mut mailbox = slot.mailbox.lock();
@@ -1069,7 +1071,7 @@ impl Endpoint {
                 slot.arrival.wait_for(&mut mailbox, self.wait_slice());
             }
             self.inner.tick_wait(self.world_rank)?;
-            if Instant::now() >= deadline {
+            if crate::clock::now() >= deadline {
                 return Err(MpiError::Internal(format!(
                     "rank {} blocked in receive for more than {:?} (context {}, source {:?}, tag {:?})",
                     self.world_rank, BLOCKING_TIMEOUT, spec.context, spec.source_comm_rank, spec.tag
@@ -1152,11 +1154,11 @@ impl Endpoint {
         self.inner.tick_collective_entry(self.world_rank)?;
         // A partition-isolated rank cannot reach the exchange: stall until heal (or
         // death/abort), exactly like a real collective over a cut network.
-        let stall_deadline = Instant::now() + BLOCKING_TIMEOUT;
+        let stall_deadline = crate::clock::now() + BLOCKING_TIMEOUT;
         while self.inner.is_isolated(self.world_rank) {
-            std::thread::sleep(WAIT_SLICE);
+            crate::clock::sleep(WAIT_SLICE);
             self.inner.tick_wait(self.world_rank)?;
-            if Instant::now() >= stall_deadline {
+            if crate::clock::now() >= stall_deadline {
                 return Err(MpiError::Internal(format!(
                     "rank {} isolated by a partition for more than {:?}",
                     self.world_rank, BLOCKING_TIMEOUT
@@ -1165,7 +1167,7 @@ impl Endpoint {
         }
         self.inner.stats.record_collective(contribution.len());
         let key = (context, seq);
-        let deadline = Instant::now() + BLOCKING_TIMEOUT;
+        let deadline = crate::clock::now() + BLOCKING_TIMEOUT;
         let mut table = self.inner.collectives.lock();
         {
             let slot = table.entry(key).or_insert_with(|| CollectiveSlot {
@@ -1188,11 +1190,15 @@ impl Endpoint {
             if slot.contributions.len() == slot.expected {
                 let mut ordered = Vec::with_capacity(slot.expected);
                 for i in 0..slot.expected {
-                    ordered.push(
-                        slot.contributions
-                            .remove(&i)
-                            .expect("all indices 0..expected contributed"),
-                    );
+                    // len == expected and double contributions are rejected above, so
+                    // every index is present — but a bookkeeping bug here must fail
+                    // the collective, not panic a rank mid-round.
+                    ordered.push(slot.contributions.remove(&i).ok_or_else(|| {
+                        MpiError::Internal(format!(
+                            "collective {key:?}: contribution from rank index {i} missing \
+                             at completion"
+                        ))
+                    })?);
                 }
                 slot.result = Some(Arc::new(ordered));
                 self.inner.collective_done.notify_all();
@@ -1208,9 +1214,13 @@ impl Endpoint {
             };
             if let Some(result) = finished {
                 let remove = {
-                    let slot = table
-                        .get_mut(&key)
-                        .expect("slot exists while readers remain");
+                    // The slot outlives its readers by construction; if it vanished
+                    // anyway, surface a typed fault instead of killing the rank.
+                    let slot = table.get_mut(&key).ok_or_else(|| {
+                        MpiError::Internal(format!(
+                            "collective slot {key:?} vanished while readers remained"
+                        ))
+                    })?;
                     slot.readers_remaining -= 1;
                     slot.readers_remaining == 0
                 };
@@ -1233,7 +1243,7 @@ impl Endpoint {
                 // beats/death checks must not be starved by a long collective wait.
                 drop(table);
                 self.inner.tick_wait(self.world_rank)?;
-                if Instant::now() >= deadline {
+                if crate::clock::now() >= deadline {
                     return Err(MpiError::Internal(format!(
                         "rank {} blocked in collective (context {context}, seq {seq}) for more than {:?}",
                         self.world_rank, BLOCKING_TIMEOUT

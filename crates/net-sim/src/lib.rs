@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod clock;
 pub mod fabric;
 pub mod mailbox;
 pub mod message;

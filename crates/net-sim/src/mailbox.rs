@@ -67,7 +67,12 @@ impl Mailbox {
         // The arrival may have filled a gap: release every parked envelope from the
         // same source that is now in sequence.
         loop {
-            let expected = self.next_expected[&source];
+            // The entry was created at the top of this call; `get` (rather than
+            // indexing) keeps a hypothetical bookkeeping bug from panicking the
+            // owning rank's delivery pump.
+            let Some(&expected) = self.next_expected.get(&source) else {
+                return;
+            };
             let Some(idx) = self
                 .parked
                 .iter()
@@ -76,7 +81,9 @@ impl Mailbox {
                 return;
             };
             let released = self.parked.swap_remove(idx);
-            *self.next_expected.get_mut(&source).expect("entry exists") += 1;
+            if let Some(next) = self.next_expected.get_mut(&source) {
+                *next += 1;
+            }
             self.delivered += 1;
             self.envelopes.push(released);
         }

@@ -9,24 +9,42 @@
 //!   is held must not wedge every other rank thread of a simulated job, so poisoned
 //!   locks are recovered transparently;
 //! * `Condvar::wait_for` takes `&mut MutexGuard` rather than consuming the guard.
+//!
+//! Because every lock in the workspace goes through this shim, it is also the natural
+//! instrumentation point for the in-tree deadlock detector: the [`order`] module can
+//! tag each lock with its construction site and record per-thread acquisition orders,
+//! which the `analyzer` crate turns into a lock-order graph with cycle detection. The
+//! tracing is env-var gated (`MANA_LOCK_ORDER` / `MANA_LOCK_ORDER_DIR`) and costs one
+//! branch per operation when off.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod order;
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::time::Duration;
 
 /// A mutual-exclusion lock with `parking_lot`'s panic-free locking API.
-#[derive(Default)]
 pub struct Mutex<T: ?Sized> {
+    site: Option<u32>,
     inner: std::sync::Mutex<T>,
+}
+
+impl<T: Default> Default for Mutex<T> {
+    #[track_caller]
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
 }
 
 impl<T> Mutex<T> {
     /// Create a new mutex guarding `value`.
+    #[track_caller]
     pub fn new(value: T) -> Self {
         Mutex {
+            site: trace_site(),
             inner: std::sync::Mutex::new(value),
         }
     }
@@ -39,14 +57,33 @@ impl<T> Mutex<T> {
     }
 }
 
+/// Construction-site tag for the lock-order tracer, when tracing is enabled.
+#[track_caller]
+fn trace_site() -> Option<u32> {
+    if order::enabled() {
+        Some(order::site_id(std::panic::Location::caller()))
+    } else {
+        None
+    }
+}
+
 impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock, blocking until it is available. Poisoning is recovered.
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        if let Some(site) = self.site {
+            order::on_attempt(site);
+        }
         let guard = self
             .inner
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner());
-        MutexGuard { inner: Some(guard) }
+        if let Some(site) = self.site {
+            order::on_acquired(site);
+        }
+        MutexGuard {
+            inner: Some(guard),
+            site: self.site,
+        }
     }
 
     /// Mutable access without locking (the borrow checker proves exclusivity).
@@ -72,31 +109,51 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
 /// the underlying std guard; it is `Some` at every point user code can observe.
 pub struct MutexGuard<'a, T: ?Sized> {
     inner: Option<std::sync::MutexGuard<'a, T>>,
+    site: Option<u32>,
 }
 
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
+        // analyzer: allow(no-panic): guard invariant — `inner` is Some outside Condvar::wait
         self.inner.as_ref().expect("guard present outside wait")
     }
 }
 
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
+        // analyzer: allow(no-panic): guard invariant — `inner` is Some outside Condvar::wait
         self.inner.as_mut().expect("guard present outside wait")
     }
 }
 
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(site) = self.site {
+            order::on_release(site);
+        }
+    }
+}
+
 /// A reader-writer lock with `parking_lot`'s panic-free locking API.
-#[derive(Default)]
 pub struct RwLock<T: ?Sized> {
+    site: Option<u32>,
     inner: std::sync::RwLock<T>,
+}
+
+impl<T: Default> Default for RwLock<T> {
+    #[track_caller]
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
 }
 
 impl<T> RwLock<T> {
     /// Create a new lock guarding `value`.
+    #[track_caller]
     pub fn new(value: T) -> Self {
         RwLock {
+            site: trace_site(),
             inner: std::sync::RwLock::new(value),
         }
     }
@@ -112,21 +169,37 @@ impl<T> RwLock<T> {
 impl<T: ?Sized> RwLock<T> {
     /// Acquire a shared read lock. Poisoning is recovered.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        if let Some(site) = self.site {
+            order::on_attempt(site);
+        }
+        let guard = self
+            .inner
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if let Some(site) = self.site {
+            order::on_acquired(site);
+        }
         RwLockReadGuard {
-            inner: self
-                .inner
-                .read()
-                .unwrap_or_else(|poisoned| poisoned.into_inner()),
+            inner: guard,
+            site: self.site,
         }
     }
 
     /// Acquire an exclusive write lock. Poisoning is recovered.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        if let Some(site) = self.site {
+            order::on_attempt(site);
+        }
+        let guard = self
+            .inner
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if let Some(site) = self.site {
+            order::on_acquired(site);
+        }
         RwLockWriteGuard {
-            inner: self
-                .inner
-                .write()
-                .unwrap_or_else(|poisoned| poisoned.into_inner()),
+            inner: guard,
+            site: self.site,
         }
     }
 
@@ -150,6 +223,7 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
 /// RAII guard returned by [`RwLock::read`].
 pub struct RwLockReadGuard<'a, T: ?Sized> {
     inner: std::sync::RwLockReadGuard<'a, T>,
+    site: Option<u32>,
 }
 
 impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
@@ -159,9 +233,18 @@ impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
     }
 }
 
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(site) = self.site {
+            order::on_release(site);
+        }
+    }
+}
+
 /// RAII guard returned by [`RwLock::write`].
 pub struct RwLockWriteGuard<'a, T: ?Sized> {
     inner: std::sync::RwLockWriteGuard<'a, T>,
+    site: Option<u32>,
 }
 
 impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
@@ -174,6 +257,14 @@ impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
 impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
         &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(site) = self.site {
+            order::on_release(site);
+        }
     }
 }
 
@@ -201,11 +292,21 @@ impl Condvar {
 
     /// Block until notified, releasing the guard's lock while waiting.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // analyzer: allow(no-panic): guard invariant — `inner` is Some outside a wait
         let std_guard = guard.inner.take().expect("guard present outside wait");
+        // The lock is released for the duration of the park: the held-stack must not
+        // show it, or a concurrent acquisition would record a phantom edge.
+        if let Some(site) = guard.site {
+            order::on_release(site);
+        }
         let std_guard = self
             .inner
             .wait(std_guard)
             .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if let Some(site) = guard.site {
+            order::on_attempt(site);
+            order::on_acquired(site);
+        }
         guard.inner = Some(std_guard);
     }
 
@@ -216,11 +317,19 @@ impl Condvar {
         guard: &mut MutexGuard<'_, T>,
         timeout: Duration,
     ) -> WaitTimeoutResult {
+        // analyzer: allow(no-panic): guard invariant — `inner` is Some outside a wait
         let std_guard = guard.inner.take().expect("guard present outside wait");
+        if let Some(site) = guard.site {
+            order::on_release(site);
+        }
         let (std_guard, result) = self
             .inner
             .wait_timeout(std_guard, timeout)
             .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if let Some(site) = guard.site {
+            order::on_attempt(site);
+            order::on_acquired(site);
+        }
         guard.inner = Some(std_guard);
         WaitTimeoutResult {
             timed_out: result.timed_out(),
@@ -305,6 +414,47 @@ mod tests {
         let mut guard = pair.0.lock();
         while !*guard {
             pair.1.wait_for(&mut guard, Duration::from_millis(50));
+        }
+        drop(guard);
+        waker.join().unwrap();
+    }
+
+    #[test]
+    fn traced_locks_record_acquisition_edges() {
+        order::force_enable();
+        let a = Mutex::new(1u32); // site A
+        let b = Mutex::new(2u32); // site B
+        {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        let snap = order::snapshot();
+        assert!(snap.sites.iter().any(|s| s.contains("lib.rs")));
+        // Some edge from a lib.rs site to another lib.rs site must exist (A -> B).
+        assert!(
+            !snap.edges.is_empty(),
+            "nested acquisition must record an edge"
+        );
+    }
+
+    #[test]
+    fn condvar_wait_releases_held_entry() {
+        order::force_enable();
+        let outer = Arc::new(Mutex::new(0u32));
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        // Holding `outer` then waiting on `pair.0`: while parked, `pair.0` must not
+        // be on the held stack, so a helper acquiring it records no phantom edges
+        // beyond the legitimate outer->pair one from this thread.
+        let pair2 = Arc::clone(&pair);
+        let waker = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            *pair2.0.lock() = true;
+            pair2.1.notify_all();
+        });
+        let _outer_guard = outer.lock();
+        let mut guard = pair.0.lock();
+        while !*guard {
+            pair.1.wait(&mut guard);
         }
         drop(guard);
         waker.join().unwrap();

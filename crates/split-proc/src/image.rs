@@ -71,6 +71,7 @@ impl CheckpointImage {
 
     /// Encode to the binary image format.
     pub fn encode(&self) -> Vec<u8> {
+        // analyzer: allow(no-panic): infallible by construction — metadata is a plain string/number struct with no non-serializable fields, and encode() has no Result channel
         let metadata =
             serde_json::to_vec(&self.metadata).expect("image metadata always serializes");
         let mut out = Vec::with_capacity(
@@ -113,7 +114,10 @@ impl CheckpointImage {
             ));
         }
         let payload_end = bytes.len() - 4;
-        let stored_crc = u32::from_le_bytes(bytes[payload_end..].try_into().expect("4 bytes"));
+        let stored_crc =
+            u32::from_le_bytes(bytes[payload_end..].try_into().map_err(|_| {
+                MpiError::Checkpoint("checkpoint image CRC trailer truncated".into())
+            })?);
         let computed_crc = crc32(&bytes[..payload_end]);
         if stored_crc != computed_crc {
             return Err(MpiError::Checkpoint(format!(
