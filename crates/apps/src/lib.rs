@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod comd;
+pub mod elastic;
 pub mod hpcg;
 pub mod lammps;
 pub mod lulesh;
@@ -33,8 +34,22 @@ pub mod sw4;
 pub mod vasp;
 pub mod workloads;
 
+pub use elastic::{
+    job_checksum, run_elastic, ElasticReport, ElasticShard, ElasticWorldState, SkeletonRepartition,
+    STATE_REGION,
+};
 pub use skeleton::{AppId, AppProfile, AppReport, RunConfig};
 pub use workloads::{perlmutter_workloads, single_node_workloads, WorkloadSpec};
+
+/// Run the named proxy application *elastically* (logical-shard overdecomposition)
+/// on one rank's typed session; see [`elastic::run_elastic`].
+pub fn run_app_elastic(
+    app: AppId,
+    session: &mut mana::Session,
+    config: &RunConfig,
+) -> mpi_model::error::MpiResult<ElasticReport> {
+    elastic::run_elastic(&profile_of(app), session, config)
+}
 
 /// The communication/memory profile of the named proxy application.
 pub fn profile_of(app: AppId) -> AppProfile {

@@ -209,7 +209,7 @@ struct SkeletonState {
 }
 
 /// Bit-exact (de)serialization of an `f64` vector through `u64` bit patterns.
-mod f64_bits {
+pub(crate) mod f64_bits {
     use serde::{Deserialize, Deserializer, Serialize, Serializer};
 
     pub fn serialize<S: Serializer>(values: &[f64], serializer: S) -> Result<S::Ok, S::Error> {

@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! harness [--json] [table1|table2|table3|ckpt-store|parallel|collectives|typed-overhead|async-ckpt|ckpt-service|chaos|figure2|figure3|figure4|cs-rate|validate|all]
+//! harness [--json] [table1|table2|table3|ckpt-store|parallel|collectives|typed-overhead|async-ckpt|ckpt-service|chaos|elastic|figure2|figure3|figure4|cs-rate|validate|all]
 //! harness ci
 //! harness chaos-soak
 //! ```
@@ -22,8 +22,9 @@
 //! stall exceeds 50% of the synchronous write wall time, the service's cross-job
 //! dedup falls under 1.5x or its aggregate throughput under 0.7x the single-job
 //! baseline, any fleet job fails to complete and restart, the cold-tier round
-//! trip is not bit-identical, or the seeded chaos soak fails to self-heal
-//! bit-identically within the recovery-blackout gate.
+//! trip is not bit-identical, the seeded chaos soak fails to self-heal
+//! bit-identically within the recovery-blackout gate, or any elastic (resized)
+//! restart fails to reproduce its uninterrupted baseline bit-for-bit.
 //!
 //! `chaos-soak` runs the seeded chaos matrix on its own, writes the combined
 //! per-seed `RecoveryLog` stream to `RECOVERY_log.json` for the CI artifact
@@ -87,6 +88,7 @@ fn run_ci() -> std::process::ExitCode {
     println!("{}", mana_bench::async_ckpt_note_from(&report.async_ckpt));
     println!("{}", mana_bench::service_note_from(&report.service));
     println!("{}", mana_bench::chaos_note_from(&report.chaos));
+    println!("{}", mana_bench::elastic_note_from(&report.elastic));
     println!("wrote BENCH_ci.json");
     if report.pass {
         std::process::ExitCode::SUCCESS
@@ -259,6 +261,9 @@ fn main() -> std::process::ExitCode {
     }
     if want("chaos") {
         report.notes.push(mana_bench::chaos_note());
+    }
+    if want("elastic") {
+        report.notes.push(mana_bench::elastic_note());
     }
     if want("validate") {
         report.validation_runs = validation_runs();

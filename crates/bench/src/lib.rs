@@ -27,6 +27,7 @@ pub mod async_ckpt;
 pub mod chaos;
 pub mod ckpt;
 pub mod collectives;
+pub mod elastic;
 pub mod model;
 pub mod report;
 pub mod runner;
@@ -72,6 +73,10 @@ pub use ckpt::{
 pub use collectives::{
     collective_checkpoint_note, collective_checkpoint_note_from, collective_checkpoint_rows,
     measure_collective_checkpoint, CollectiveCkptMode, CollectiveCkptRow,
+};
+pub use elastic::{
+    elastic_note, elastic_note_from, measure_elastic_bench, ElasticBenchConfig, ElasticBenchReport,
+    ElasticResizeRow,
 };
 pub use model::{CostModel, OverheadRow};
 pub use report::{CiReport, Report};

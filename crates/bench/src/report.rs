@@ -3,6 +3,7 @@
 use crate::async_ckpt::AsyncCkptReport;
 use crate::chaos::{ChaosBenchReport, ChaosSoakConfig};
 use crate::ckpt::{ParallelCkptRow, StorageRow};
+use crate::elastic::{ElasticBenchConfig, ElasticBenchReport};
 use crate::model::{CheckpointRow, OverheadRow};
 use crate::runner::SmallScaleResult;
 use crate::service::{ServiceBenchConfig, ServiceBenchReport};
@@ -139,6 +140,10 @@ pub struct CiReport {
     /// recovery blackout, bit-identical completion), with its own blackout gate
     /// verdict folded into `pass`.
     pub chaos: ChaosBenchReport,
+    /// The elastic-restart comparison (shrunk and grown restarts of one
+    /// generation vs the same-size restore, bit-identical completion), with its
+    /// own correctness verdict folded into `pass`.
+    pub elastic: ElasticBenchReport,
     /// Whether every gate passed.
     pub pass: bool,
 }
@@ -188,11 +193,13 @@ impl CiReport {
             crate::CHAOS_BLACKOUT_GATE_MS,
         )
         .report;
+        let elastic = crate::elastic::measure_elastic_bench(&ElasticBenchConfig::default());
         let pass = incremental_reduction_1pct >= reduction_gate
             && typed_overhead.pass
             && async_ckpt.pass
             && service.pass
-            && chaos.pass;
+            && chaos.pass
+            && elastic.pass;
         CiReport {
             storage_rows,
             parallel_rows,
@@ -203,6 +210,7 @@ impl CiReport {
             async_ckpt,
             service,
             chaos,
+            elastic,
             pass,
         }
     }

@@ -1010,6 +1010,31 @@ impl CheckpointStorage {
         )))
     }
 
+    /// The newest generation that validates end to end at **its own** recorded world
+    /// size — whatever that size is — together with the validated images in rank
+    /// order. This is the elastic-restart entry point: the caller learns the
+    /// checkpointed rank count from the returned images and maps it onto the new
+    /// world, instead of asserting a size up front.
+    pub fn latest_valid_images_any_size(&self) -> MpiResult<(u64, Vec<CheckpointImage>)> {
+        for generation in self.generations().into_iter().rev() {
+            let ranks = self.ranks_in_generation(generation);
+            let world_size = ranks.len();
+            // Only a contiguous 0..world_size rank set is a whole job's checkpoint.
+            if world_size == 0 || ranks.iter().enumerate().any(|(i, &r)| r != i as Rank) {
+                continue;
+            }
+            let images: MpiResult<Vec<CheckpointImage>> = (0..world_size)
+                .map(|rank| self.read(generation, rank as Rank))
+                .collect();
+            if let Ok(images) = images {
+                return Ok((generation, images));
+            }
+        }
+        Err(MpiError::Checkpoint(
+            "no complete, valid checkpoint generation at any world size".into(),
+        ))
+    }
+
     /// The newest generation for which **every** rank of a `world_size` job validates
     /// end to end (see [`latest_valid_images`](CheckpointStorage::latest_valid_images)).
     pub fn latest_valid_generation(&self, world_size: usize) -> MpiResult<u64> {

@@ -10,13 +10,14 @@ use crate::coordinator::{
 use crate::recovery::{HeartbeatMonitor, RecoveryEventKind, RecoveryLog};
 use ckpt_service::ServiceHandle;
 use ckpt_store::{CheckpointStorage, FlushHandle, FlusherPool, StoreReport};
+use elastic::{resize_job_from_storage, RemapPolicy, Repartition};
 use mana::restart::restart_job_from_storage;
 use mana::{CheckpointIntercept, IntentOutcome, ManaConfig, ManaRank, Session, StoragePolicy};
 use mpi_model::error::{MpiError, MpiResult};
 use mpi_model::op::UserFunctionRegistry;
 use net_sim::{ChaosPlan, Fabric};
 use parking_lot::{Mutex, RwLock};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -72,6 +73,29 @@ where
     match first_error {
         Some(error) => Err(error),
         None => Ok(results),
+    }
+}
+
+/// Elastic-restart policy for a job: how checkpointed ranks are remapped onto a
+/// world of a different size, and how the application's domain state follows them
+/// (see [`elastic::resize_job`]).
+#[derive(Clone)]
+pub struct ElasticConfig {
+    /// How old ranks are assigned to new ranks.
+    pub policy: RemapPolicy,
+    /// The application's state-redistribution hook.
+    pub repartition: Arc<dyn Repartition>,
+}
+
+impl std::fmt::Debug for ElasticConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ElasticConfig")
+            .field("policy", &self.policy)
+            .field(
+                "consumes_derived_comms",
+                &self.repartition.consumes_derived_comms(),
+            )
+            .finish()
     }
 }
 
@@ -161,6 +185,13 @@ pub struct JobConfig {
     /// Default: 8. A completed run reports its actual recovery count in the
     /// [`RecoveryLog`](crate::RecoveryLog)'s `JobCompleted` event.
     pub max_recoveries: u32,
+    /// Elastic restart policy. When set, [`JobRuntime::restart_resized`] becomes
+    /// available, and the self-healing loop resumes a job whose nodes were declared
+    /// dead by **shrinking the world onto the survivors** instead of relaunching at
+    /// full size — logging [`RecoveryEventKind::WorldResized`].
+    ///
+    /// Default: `None` — restarts require the checkpointed world size.
+    pub elastic: Option<ElasticConfig>,
 }
 
 impl Default for JobConfig {
@@ -179,6 +210,7 @@ impl Default for JobConfig {
             heartbeat_deadline: Duration::from_millis(250),
             chaos: None,
             max_recoveries: 8,
+            elastic: None,
         }
     }
 }
@@ -254,6 +286,15 @@ impl JobConfig {
     /// Bound the number of automatic recoveries (see [`JobConfig::max_recoveries`]).
     pub fn with_max_recoveries(mut self, recoveries: u32) -> Self {
         self.max_recoveries = recoveries;
+        self
+    }
+
+    /// Enable elastic restart (see [`JobConfig::elastic`]).
+    pub fn with_elastic(mut self, policy: RemapPolicy, repartition: Arc<dyn Repartition>) -> Self {
+        self.elastic = Some(ElasticConfig {
+            policy,
+            repartition,
+        });
         self
     }
 }
@@ -386,6 +427,11 @@ enum RankOutcome<T> {
 /// restart, preemptible job, implementation shootout) are method calls on this type.
 pub struct JobRuntime {
     config: JobConfig,
+    /// The world size of the *current* incarnation. Starts at
+    /// [`JobConfig::world_size`] and changes only through
+    /// [`JobRuntime::restart_resized`] (directly or via the self-healing loop's
+    /// elastic shrink).
+    world_size: AtomicUsize,
     storage: CheckpointStorage,
     /// Spawned lazily on first async checkpoint (a purely synchronous job never
     /// pays for idle flusher threads); shared across runs and restarts. Never
@@ -437,6 +483,7 @@ impl JobRuntime {
             kill_armed: AtomicBool::new(config.kill_at_step.is_some()),
             mid_ckpt_armed: AtomicBool::new(config.mid_step_checkpoint_at.is_some()),
             mid_kill_armed: AtomicBool::new(config.preempt_mid_step_at.is_some()),
+            world_size: AtomicUsize::new(config.world_size),
             config,
             flusher: Arc::new(OnceLock::new()),
             storage,
@@ -491,6 +538,12 @@ impl JobRuntime {
         Arc::clone(&self.registry)
     }
 
+    /// The world size of the current incarnation: [`JobConfig::world_size`] until an
+    /// elastic restart ([`JobRuntime::restart_resized`]) changes it.
+    pub fn current_world_size(&self) -> usize {
+        self.world_size.load(Ordering::SeqCst)
+    }
+
     /// The newest atomically published checkpoint generation.
     pub fn published_generation(&self) -> Option<u64> {
         self.ledger.published_generation()
@@ -506,7 +559,7 @@ impl JobRuntime {
         let session = self.session.fetch_add(1, Ordering::SeqCst);
         let capture = Fabric::capture_next();
         let lowers = self.config.backend.factory().launch(
-            self.config.world_size,
+            self.current_world_size(),
             self.registry(),
             session,
         )?;
@@ -577,7 +630,7 @@ impl JobRuntime {
     fn coordinator(&self) -> Arc<Coordinator> {
         Arc::new(
             Coordinator::new(
-                self.config.world_size,
+                self.current_world_size(),
                 self.config.checkpoint_every,
                 Arc::clone(&self.ledger),
             )
@@ -641,9 +694,10 @@ impl JobRuntime {
         }
         let session = self.session.fetch_add(1, Ordering::SeqCst);
         let capture = Fabric::capture_next();
-        let lowers = backend
-            .factory()
-            .launch(self.config.world_size, self.registry(), session)?;
+        let lowers =
+            backend
+                .factory()
+                .launch(self.current_world_size(), self.registry(), session)?;
         self.adopt_fabric(capture.take(), false);
         let (ranks, generation) =
             restart_job_from_storage(lowers, &self.storage, self.config.mana, self.registry())?;
@@ -653,6 +707,85 @@ impl JobRuntime {
         // (possibly torn) number by the in-run never-regress guard.
         self.ledger.rewind_to(generation);
         Ok((ranks, generation))
+    }
+
+    /// Relaunch **`new_world` ranks** — a different count than the checkpoint was
+    /// taken with — and restore the newest fully-valid generation onto them through
+    /// the elastic resize engine ([`elastic::resize_job_from_storage`]), using the
+    /// rank-map policy and [`Repartition`] hook from [`JobConfig::elastic`].
+    ///
+    /// Fails with [`MpiError::ElasticResize`] when the job has no elastic
+    /// configuration, when the checkpoint cannot survive a resize (a straddled
+    /// collective, in-flight messages), or when live derived communicators exist and
+    /// the repartition hook does not consume them. On success the runtime's world
+    /// size *becomes* `new_world`: subsequent launches, restarts and coordinators
+    /// all use it.
+    pub fn restart_resized(&self, new_world: usize) -> MpiResult<(Vec<ManaRank>, u64)> {
+        let elastic = self.config.elastic.as_ref().ok_or_else(|| {
+            MpiError::ElasticResize(
+                "this job has no elastic configuration; set JobConfig::elastic \
+                 (with_elastic) to allow restarts onto a different world size"
+                    .into(),
+            )
+        })?;
+        if new_world == 0 {
+            return Err(MpiError::ElasticResize(
+                "cannot resize a job onto an empty world".into(),
+            ));
+        }
+        if let Some(service) = &self.service {
+            service.wait_idle();
+        } else if let Some(pool) = self.flusher.get() {
+            pool.wait_idle();
+        }
+        let session = self.session.fetch_add(1, Ordering::SeqCst);
+        let capture = Fabric::capture_next();
+        let lowers = self
+            .config
+            .backend
+            .factory()
+            .launch(new_world, self.registry(), session)?;
+        self.adopt_fabric(capture.take(), false);
+        let (ranks, generation) = resize_job_from_storage(
+            lowers,
+            &self.storage,
+            elastic.policy,
+            elastic.repartition.as_ref(),
+            self.config.mana,
+            self.registry(),
+        )?;
+        self.world_size.store(new_world, Ordering::SeqCst);
+        self.ledger.rewind_to(generation);
+        Ok((ranks, generation))
+    }
+
+    /// [`JobRuntime::resume_steps`] onto a **resized** world: restart the newest
+    /// generation onto `new_world` ranks via [`JobRuntime::restart_resized`] and
+    /// continue stepping to `total_steps`.
+    pub fn resume_steps_resized<T, F>(
+        &self,
+        new_world: usize,
+        total_steps: u64,
+        step_fn: F,
+    ) -> MpiResult<JobRun<T>>
+    where
+        T: Send + 'static,
+        F: Fn(&mut Session, u64) -> MpiResult<T> + Send + Sync + 'static,
+    {
+        let (ranks, generation) = self.restart_resized(new_world)?;
+        let start_step = self.ledger.steps_at(generation).ok_or_else(|| {
+            MpiError::Checkpoint(format!(
+                "restored generation {generation} has no step record in the ledger; \
+                 was it written outside a step-driven run?"
+            ))
+        })?;
+        self.drive(
+            self.coordinator(),
+            ranks,
+            start_step,
+            total_steps,
+            Arc::new(step_fn),
+        )
     }
 
     fn run_ranks<T, F>(&self, ranks: Vec<ManaRank>, body: F) -> MpiResult<Vec<T>>
@@ -858,13 +991,38 @@ impl JobRuntime {
                 pool.wait_idle();
             }
             let pending = self.storage.pending_generations();
+            // With an elastic policy and ranks declared dead (an unhealed node
+            // loss), the job does not relaunch at full size and wait for
+            // replacement nodes: it shrinks the world onto the survivors.
+            let previous_world = self.current_world_size();
+            let shrink_to = match (&self.config.elastic, report.declared_dead.len()) {
+                (Some(_), dead) if dead > 0 => {
+                    let survivors = previous_world.saturating_sub(dead).max(1);
+                    (survivors < previous_world).then_some(survivors)
+                }
+                _ => None,
+            };
             let (relaunched, restored, resume_step) =
                 if self.ledger.published_generation().is_some() {
-                    // `restart` aborts the dead incarnation's pending generations
-                    // and rewinds the ledger to the restored one. The restore runs
-                    // with chaos unarmed; the remainder is re-armed below, so a
-                    // leftover fault targets the resumed run, not the restore.
-                    let (ranks, generation) = self.restart(self.config.backend)?;
+                    // `restart`/`restart_resized` abort the dead incarnation's
+                    // pending generations and rewind the ledger to the restored
+                    // one. The restore runs with chaos unarmed; the remainder is
+                    // re-armed below, so a leftover fault targets the resumed run,
+                    // not the restore.
+                    let (ranks, generation) = match shrink_to {
+                        Some(survivors) => {
+                            let resized = self.restart_resized(survivors)?;
+                            log.record(
+                                incarnation,
+                                RecoveryEventKind::WorldResized {
+                                    from: previous_world,
+                                    to: survivors,
+                                },
+                            );
+                            resized
+                        }
+                        None => self.restart(self.config.backend)?,
+                    };
                     if let Some(fabric) = self.fabric() {
                         self.arm_remaining_chaos(&fabric);
                     }

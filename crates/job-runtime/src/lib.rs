@@ -69,7 +69,8 @@ pub use coordinator::{
     coordinated_checkpoint, coordinated_checkpoint_async, coordinated_checkpoint_tenant,
     CommitLedger, Coordinator, IntentSnapshot, MidStepIntercept,
 };
-pub use job::{run_world, JobConfig, JobCtx, JobRun, JobRuntime};
+pub use elastic::{RankMap, RemapPolicy, Repartition};
+pub use job::{run_world, ElasticConfig, JobConfig, JobCtx, JobRun, JobRuntime};
 pub use recovery::{
     HeartbeatMonitor, MonitorReport, RecoveryEvent, RecoveryEventKind, RecoveryLog,
 };

@@ -88,6 +88,15 @@ pub enum RecoveryEventKind {
         /// 1-based incarnation number of the new world.
         incarnation: u32,
     },
+    /// The job resumed on a **different world size**: an elastic restart
+    /// ([`crate::JobConfig::elastic`]) remapped the checkpointed ranks onto the
+    /// surviving nodes instead of waiting for the dead ones to heal.
+    WorldResized {
+        /// World size of the checkpointed (dead) incarnation.
+        from: usize,
+        /// World size the job resumed with.
+        to: usize,
+    },
     /// The resumed incarnation started stepping again.
     Resumed {
         /// Recovery blackout: wall time from failure detection to the resumed

@@ -59,6 +59,8 @@ pub use ckpt::{
 };
 pub use config::{GgidPolicy, ManaConfig, StoragePolicy, VirtIdMode};
 pub use record::{CollectiveKind, CollectiveLog, CollectiveRecord};
-pub use restart::{restart_job_from_storage, restart_rank};
+pub use restart::{
+    assemble_rank, dismantle_image, restart_job_from_storage, restart_rank, RestoredUpper,
+};
 pub use runtime::{AppHandle, ManaRank};
 pub use virtid::{Descriptor, VirtualId, VirtualIdTable};

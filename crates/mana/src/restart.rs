@@ -34,20 +34,81 @@ use mpi_model::error::{MpiError, MpiResult};
 use mpi_model::op::UserFunctionRegistry;
 use mpi_model::types::{PhysHandle, Rank};
 use parking_lot::RwLock;
+use split_proc::address_space::UpperHalfSpace;
 use split_proc::crossing::CrossingCounter;
-use split_proc::image::CheckpointImage;
+use split_proc::image::{CheckpointImage, ImageMetadata};
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Rebuild one rank from `image` on top of `lower`.
+/// One rank's MANA state as recovered from a checkpoint image, before it is bound to
+/// any lower half: the deserialized descriptor table, replay log, drained-message
+/// buffer, drain counters and collective ledger, plus the application's upper half
+/// with the MANA-internal regions already unmapped.
 ///
-/// Collective across the job: every rank must call this concurrently with lower halves
-/// obtained from a single [`mpi_model::api::MpiImplementationFactory::launch`] call.
-pub fn restart_rank(
+/// This is the seam the elastic-restart subsystem edits through: `crates/elastic`
+/// dismantles every image of a generation, rewrites memberships, counters and replay
+/// logs through its rank map, and hands the surgically adjusted state back to
+/// [`assemble_rank`]. The identity path ([`restart_rank`]) passes it straight through.
+#[derive(Debug, Clone)]
+pub struct RestoredUpper {
+    /// The virtual-id translator (physical bindings already cleared).
+    pub translator: Translator,
+    /// The object-creation replay log.
+    pub replay_log: ReplayLog,
+    /// The collective-progress ledger, pending record included: the caller decides
+    /// whether to clear it (identity restart) or reject it (resize).
+    pub collectives: CollectiveLog,
+    /// Messages drained from the network at checkpoint time.
+    pub buffered: Vec<BufferedMessage>,
+    /// Per-peer send/receive counters.
+    pub counters: DrainCounters,
+    /// The application's upper half (MANA regions unmapped).
+    pub upper: UpperHalfSpace,
+}
+
+/// Take a checkpoint image apart into its metadata and the MANA state it carries.
+///
+/// Physical bindings recorded before the checkpoint are cleared (they have no meaning
+/// in any new session); the pending collective record, if any, is **kept** — the
+/// identity path clears it, the elastic path rejects it.
+pub fn dismantle_image(image: CheckpointImage) -> MpiResult<(ImageMetadata, RestoredUpper)> {
+    let mut upper = image.upper_half;
+    let mut translator: Translator = upper.load_json(regions::TRANSLATOR)?;
+    let replay_log: ReplayLog = upper.load_json(regions::REPLAY_LOG)?;
+    let buffered: Vec<BufferedMessage> = upper.load_json(regions::BUFFERED)?;
+    let counters: DrainCounters = upper.load_json(regions::COUNTERS)?;
+    let collectives: CollectiveLog = upper.load_json(regions::COLLECTIVES)?;
+    for region in regions::ALL {
+        let _ = upper.unmap_region(region);
+    }
+    // No physical handle recorded before the checkpoint has any meaning now.
+    translator.clear_physical_bindings();
+    Ok((
+        image.metadata,
+        RestoredUpper {
+            translator,
+            replay_log,
+            collectives,
+            buffered,
+            counters,
+            upper,
+        },
+    ))
+}
+
+/// Bind recovered (and possibly remapped) MANA state to a fresh lower half: rebind
+/// every predefined object, replay the creation log — making collective calls where
+/// the original creation was collective — and rebuild the translator's indexes.
+///
+/// Collective across the job: every rank of the new world must call this concurrently
+/// with lower halves from a single `launch`. `generation` is the generation the
+/// rebuilt rank will checkpoint *next* (the restored generation plus one).
+pub fn assemble_rank(
     lower: Box<dyn MpiApi>,
-    image: CheckpointImage,
+    restored: RestoredUpper,
     config: ManaConfig,
     registry: Arc<RwLock<UserFunctionRegistry>>,
+    generation: u64,
 ) -> MpiResult<ManaRank> {
     if config.virtid_mode == crate::config::VirtIdMode::LegacyMaps
         && lower.constant_resolution() != ConstantResolution::CompileTimeInteger
@@ -56,42 +117,14 @@ pub fn restart_rank(
             feature: "legacy integer virtual ids on a non-MPICH-family MPI implementation",
         });
     }
-    if image.metadata.world_size != lower.world_size() {
-        return Err(MpiError::Checkpoint(format!(
-            "checkpoint was taken with {} ranks but the new job has {}",
-            image.metadata.world_size,
-            lower.world_size()
-        )));
-    }
-    if image.metadata.rank != lower.world_rank() {
-        return Err(MpiError::Checkpoint(format!(
-            "image for rank {} restored onto rank {}",
-            image.metadata.rank,
-            lower.world_rank()
-        )));
-    }
-
-    // Step 1: recover MANA state from the upper half.
-    let mut upper = image.upper_half;
-    let mut translator: Translator = upper.load_json(regions::TRANSLATOR)?;
-    let replay_log: ReplayLog = upper.load_json(regions::REPLAY_LOG)?;
-    let buffered: Vec<BufferedMessage> = upper.load_json(regions::BUFFERED)?;
-    let counters: DrainCounters = upper.load_json(regions::COUNTERS)?;
-    // The collective ledger carries the published sequence numbers plus any
-    // straddled (registered-but-not-completed) collective. The pending record is
-    // cleared here: the restored application re-runs the interrupted step from its
-    // beginning, re-issuing every collective of the step in order — the straddled
-    // one is re-executed as a fresh issue that receives the same sequence number
-    // (begin hands out the completed count, which the pending registration never
-    // advanced).
-    let mut collectives: CollectiveLog = upper.load_json(regions::COLLECTIVES)?;
-    collectives.clear_pending();
-    for region in regions::ALL {
-        let _ = upper.unmap_region(region);
-    }
-    // No physical handle recorded before the checkpoint has any meaning now.
-    translator.clear_physical_bindings();
-
+    let RestoredUpper {
+        translator,
+        replay_log,
+        collectives,
+        buffered,
+        counters,
+        mut upper,
+    } = restored;
     // The restored upper half *is* the checkpoint: mark it clean and advance its
     // epoch past the image's, so the next incremental checkpoint diffs against the
     // generation we are restoring from.
@@ -116,7 +149,7 @@ pub fn restart_rank(
         registry,
         world_rank,
         world_size,
-        generation: image.metadata.generation + 1,
+        generation,
         two_phase,
         intercept: None,
     };
@@ -125,6 +158,43 @@ pub fn restart_rank(
     replay_creations(&mut rank)?;
     rank.translator.rebuild_indexes();
     Ok(rank)
+}
+
+/// Rebuild one rank from `image` on top of `lower`.
+///
+/// Collective across the job: every rank must call this concurrently with lower halves
+/// obtained from a single [`mpi_model::api::MpiImplementationFactory::launch`] call.
+pub fn restart_rank(
+    lower: Box<dyn MpiApi>,
+    image: CheckpointImage,
+    config: ManaConfig,
+    registry: Arc<RwLock<UserFunctionRegistry>>,
+) -> MpiResult<ManaRank> {
+    if image.metadata.world_size != lower.world_size() {
+        return Err(MpiError::WorldSizeMismatch {
+            checkpointed: image.metadata.world_size,
+            offered: lower.world_size(),
+            generation: image.metadata.generation,
+        });
+    }
+    if image.metadata.rank != lower.world_rank() {
+        return Err(MpiError::Checkpoint(format!(
+            "image for rank {} restored onto rank {}",
+            image.metadata.rank,
+            lower.world_rank()
+        )));
+    }
+
+    let (metadata, mut restored) = dismantle_image(image)?;
+    // The collective ledger carries the published sequence numbers plus any
+    // straddled (registered-but-not-completed) collective. The pending record is
+    // cleared here: the restored application re-runs the interrupted step from its
+    // beginning, re-issuing every collective of the step in order — the straddled
+    // one is re-executed as a fresh issue that receives the same sequence number
+    // (begin hands out the completed count, which the pending registration never
+    // advanced).
+    restored.collectives.clear_pending();
+    assemble_rank(lower, restored, config, registry, metadata.generation + 1)
 }
 
 /// Step 2: re-resolve every predefined object and rebind its descriptor.

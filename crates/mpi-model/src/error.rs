@@ -126,6 +126,28 @@ pub enum MpiError {
         /// Human-readable reason the job was aborted.
         String,
     ),
+    /// A checkpoint generation was offered to a world of a different size through the
+    /// identity restart path, which can only restore a rank onto the rank it was
+    /// checkpointed from. Restoring onto a resized world is possible — but only
+    /// through the elastic path (`crates/elastic`: `resize_job` /
+    /// `JobRuntime::restart_resized`), which rewrites the virtual-id tables and drain
+    /// counters through an explicit rank map instead of assuming identity.
+    WorldSizeMismatch {
+        /// Ranks in the world when the checkpoint was taken.
+        checkpointed: usize,
+        /// Ranks in the world the images were offered to.
+        offered: usize,
+        /// The checkpoint generation that was offered.
+        generation: u64,
+    },
+    /// An elastic (resized) restart could not map the checkpointed world onto the new
+    /// one: a straddled collective, undrained buffered messages, or a derived
+    /// communicator whose membership does not survive the rank map. Carries the
+    /// specific obstruction.
+    ElasticResize(
+        /// Explanation of why the generation cannot be restored onto the new world.
+        String,
+    ),
 }
 
 impl MpiError {
@@ -163,6 +185,8 @@ impl MpiError {
             MpiError::Preempted => "MPI_ERR_OTHER",
             MpiError::RankKilled { .. } => "MPI_ERR_PROC_FAILED",
             MpiError::JobAborted(_) => "MPI_ERR_REVOKED",
+            MpiError::WorldSizeMismatch { .. } => "MPI_ERR_OTHER",
+            MpiError::ElasticResize(_) => "MPI_ERR_OTHER",
         }
     }
 
@@ -227,6 +251,20 @@ impl std::fmt::Display for MpiError {
                 write!(f, "rank {rank} killed by fault injection (uncoordinated)")
             }
             MpiError::JobAborted(reason) => write!(f, "job aborted: {reason}"),
+            MpiError::WorldSizeMismatch {
+                checkpointed,
+                offered,
+                generation,
+            } => write!(
+                f,
+                "generation {generation} was checkpointed with {checkpointed} ranks but \
+                 offered to a world of {offered}; the identity restart path cannot resize \
+                 a world — use the elastic path (crates/elastic: resize_job / \
+                 JobRuntime::restart_resized) to remap {checkpointed} ranks onto {offered}"
+            ),
+            MpiError::ElasticResize(reason) => {
+                write!(f, "elastic restart cannot resize this generation: {reason}")
+            }
         }
     }
 }
