@@ -8,6 +8,7 @@
 //! | `no-panic` | library error paths return typed errors; `unwrap`/`expect`/`panic!` in non-test library code turn a recoverable fault into a dead rank |
 //! | `no-wall-clock` | deterministic simulator paths (`net-sim`, any `chaos.rs`) read time only through the approved clock module, so seeded chaos schedules replay exactly |
 //! | `guard-across-blocking` | a `parking_lot` guard is never held across a blocking fabric call (`send`/`wait`/condvar park) — the lock-order half of PR 7's parked-waiter bug |
+//! | `no-payload-copy` | message payloads in the fabric/engine hot paths travel as `PayloadBuf` refcounts; `.clone()`/`.to_vec()` on a payload-named value reintroduces a per-hop byte copy |
 //!
 //! Plus one meta rule, `allow-without-reason`: every allow-annotation must carry
 //! a `: reason` suffix, and an annotation without one suppresses nothing.
@@ -70,6 +71,12 @@ pub const RULES: &[RuleInfo] = &[
                   (send/recv/wait/collective_exchange/condvar park/sleep)",
     },
     RuleInfo {
+        name: "no-payload-copy",
+        summary: "no .clone()/.to_vec() on payload-typed values (payload/envelope/\
+                  contribution) in the net-sim/mpi-engine hot paths — share the \
+                  PayloadBuf refcount instead",
+    },
+    RuleInfo {
         name: "allow-without-reason",
         summary: "every analyzer: allow(...) annotation must state a `: reason`",
     },
@@ -78,6 +85,7 @@ pub const RULES: &[RuleInfo] = &[
 const NO_PANIC: &str = "no-panic";
 const NO_WALL_CLOCK: &str = "no-wall-clock";
 const GUARD_ACROSS_BLOCKING: &str = "guard-across-blocking";
+const NO_PAYLOAD_COPY: &str = "no-payload-copy";
 const ALLOW_WITHOUT_REASON: &str = "allow-without-reason";
 
 /// Panicking constructs flagged by `no-panic`: method-call forms.
@@ -102,6 +110,14 @@ const BLOCKING_CALLS: &[&str] = &[
 
 /// Guard-producing method names on `parking_lot` lock types.
 const GUARD_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// Identifiers `no-payload-copy` treats as payload-typed in the hot paths: the
+/// names the fabric and engine bind message bytes to. The heuristic is lexical on
+/// purpose — these crates consistently use these names for `PayloadBuf` values, so
+/// a copying method on one is a refcount hand-off turned back into a byte copy.
+const PAYLOAD_IDENTS: &[&str] = &["payload", "payloads", "envelope", "contribution"];
+/// Copying methods `no-payload-copy` flags on those identifiers.
+const PAYLOAD_COPY_METHODS: &[&str] = &["clone", "to_vec"];
 
 // ---------------------------------------------------------------------------
 // Path scoping
@@ -145,6 +161,14 @@ fn in_deterministic_scope(rel: &str) -> bool {
 
 /// The modules allowed to touch the wall clock inside the deterministic scope.
 pub const APPROVED_CLOCK_MODULES: &[&str] = &["crates/net-sim/src/clock.rs"];
+
+/// Hot-path scope for `no-payload-copy`: the fabric (mailboxes, chaos lanes,
+/// collective slots) and the engine (request tables, collective fan-out) — the
+/// layers the zero-copy refactor converted to `PayloadBuf` hand-offs.
+fn in_payload_hot_scope(rel: &str) -> bool {
+    let rel = rel.replace('\\', "/");
+    rel.starts_with("crates/net-sim/src/") || rel.starts_with("crates/mpi-engine/src/")
+}
 
 // ---------------------------------------------------------------------------
 // cfg(test) block detection
@@ -253,6 +277,9 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Violation> {
     if in_deterministic_scope(rel_path) {
         check_wall_clock(&lexed.tokens, &mut candidates);
     }
+    if in_payload_hot_scope(rel_path) {
+        check_payload_copy(&lexed.tokens, &mut candidates);
+    }
 
     for (line, rule, message) in candidates {
         if in_ranges(&test_ranges, line) {
@@ -342,6 +369,41 @@ fn check_wall_clock(tokens: &[Token], out: &mut Vec<(u32, &'static str, String)>
                  (approved module) so seeded schedules replay"
             ),
         ));
+    }
+}
+
+/// `no-payload-copy`: a payload-named identifier followed by `.clone(` or
+/// `.to_vec(` in the hot-path scope. Matches both `payload.clone()` and chained
+/// forms like `envelope.payload.to_vec()` (the flagged ident is the receiver
+/// immediately before the copying call).
+fn check_payload_copy(tokens: &[Token], out: &mut Vec<(u32, &'static str, String)>) {
+    for (i, tok) in tokens.iter().enumerate() {
+        let TokenKind::Ident(name) = &tok.kind else {
+            continue;
+        };
+        if !PAYLOAD_IDENTS.contains(&name.as_str()) {
+            continue;
+        }
+        // `NAME . METHOD (` with METHOD a copying call.
+        if tokens.get(i + 1).map(|t| &t.kind) != Some(&TokenKind::Punct('.')) {
+            continue;
+        }
+        let Some(TokenKind::Ident(method)) = tokens.get(i + 2).map(|t| &t.kind) else {
+            continue;
+        };
+        if PAYLOAD_COPY_METHODS.contains(&method.as_str())
+            && tokens.get(i + 3).map(|t| &t.kind) == Some(&TokenKind::Punct('('))
+        {
+            out.push((
+                tok.line,
+                NO_PAYLOAD_COPY,
+                format!(
+                    "`{name}.{method}()` on a payload-typed value in a zero-copy hot \
+                     path — move the PayloadBuf instead (a deliberate refcount share \
+                     belongs behind an allow with its reason stated)"
+                ),
+            ));
+        }
     }
 }
 

@@ -103,6 +103,50 @@ fn guard_across_blocking_fires_once_and_spares_the_idioms() {
 }
 
 #[test]
+fn payload_copy_fires_in_hot_paths_and_respects_exemptions() {
+    let source = fixture("bad_payload_copy.rs");
+    let violations = lint_source("crates/net-sim/src/bad_payload_copy.rs", &source);
+    let hits = by_rule(&violations, "no-payload-copy");
+    // payload.clone(), envelope.to_vec(), contribution.clone() — not the
+    // reasoned allow, not `dup.clone()`, not the #[cfg(test)] mod.
+    assert_eq!(
+        hits.len(),
+        3,
+        "expected 3 no-payload-copy hits, got: {violations:?}"
+    );
+    for needle in [
+        "payload.clone()",
+        "envelope.to_vec()",
+        "contribution.clone()",
+    ] {
+        assert!(
+            hits.iter().any(|v| v.message.contains(needle)),
+            "no hit mentioning {needle}: {hits:?}"
+        );
+    }
+    assert_eq!(by_rule(&violations, "allow-without-reason").len(), 0);
+
+    // The engine side of the fabric is in scope too.
+    let engine = lint_source("crates/mpi-engine/src/bad_payload_copy.rs", &source);
+    assert_eq!(by_rule(&engine, "no-payload-copy").len(), 3);
+
+    // Outside the zero-copy hot paths the rule is silent — copying a payload in
+    // e.g. the MANA wrappers or the store is a different layer's trade-off.
+    for path in [
+        "crates/mana/src/bad_payload_copy.rs",
+        "crates/ckpt-store/src/bad_payload_copy.rs",
+        "crates/net-sim/tests/bad_payload_copy.rs",
+    ] {
+        let elsewhere = lint_source(path, &source);
+        assert_eq!(
+            by_rule(&elsewhere, "no-payload-copy").len(),
+            0,
+            "{path} should be out of no-payload-copy scope"
+        );
+    }
+}
+
+#[test]
 fn reasonless_allow_is_flagged_and_suppresses_nothing() {
     let source = fixture("bad_allow.rs");
     let violations = lint_source("crates/demo/src/bad_allow.rs", &source);

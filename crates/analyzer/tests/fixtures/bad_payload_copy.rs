@@ -1,0 +1,24 @@
+//! Known-bad fixture for the `no-payload-copy` rule (linted under synthetic
+//! `crates/net-sim/src/...` / `crates/mpi-engine/src/...` paths so the
+//! zero-copy hot-path scope applies).
+
+pub fn copies_in_the_hot_path(payload: Vec<u8>, envelope: Vec<u8>) -> usize {
+    let dup = payload.clone();
+    let bytes = envelope.to_vec();
+    let contribution = bytes;
+    let again = contribution.clone();
+    // analyzer: allow(no-payload-copy): fixture — a deliberate refcount break with its reason stated
+    let _allowed = payload.clone();
+    // A copying call on a non-payload name is not this rule's business.
+    let other = dup.clone();
+    again.len() + other.len()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_copies_are_exempt() {
+        let payload = vec![1u8, 2, 3];
+        let _fine = payload.clone();
+    }
+}

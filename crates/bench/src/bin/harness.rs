@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! harness [--json] [table1|table2|table3|ckpt-store|parallel|collectives|typed-overhead|async-ckpt|ckpt-service|chaos|elastic|figure2|figure3|figure4|cs-rate|validate|all]
+//! harness [--json] [table1|table2|table3|ckpt-store|parallel|collectives|typed-overhead|async-ckpt|ckpt-service|chaos|elastic|fabric|compression|figure2|figure3|figure4|cs-rate|validate|all]
 //! harness ci
 //! harness chaos-soak
 //! ```
@@ -23,8 +23,11 @@
 //! dedup falls under 1.5x or its aggregate throughput under 0.7x the single-job
 //! baseline, any fleet job fails to complete and restart, the cold-tier round
 //! trip is not bit-identical, the seeded chaos soak fails to self-heal
-//! bit-identically within the recovery-blackout gate, or any elastic (resized)
-//! restart fails to reproduce its uninterrupted baseline bit-for-bit.
+//! bit-identically within the recovery-blackout gate, any elastic (resized)
+//! restart fails to reproduce its uninterrupted baseline bit-for-bit, the fabric
+//! breaches its per-crossing latency / stream throughput gates or copies any
+//! payload byte more than once per injected message, or the in-tree LZ codec
+//! writes more bytes than the legacy RLE on any proxy app's checkpoint corpus.
 //!
 //! `chaos-soak` runs the seeded chaos matrix on its own, writes the combined
 //! per-seed `RecoveryLog` stream to `RECOVERY_log.json` for the CI artifact
@@ -89,6 +92,8 @@ fn run_ci() -> std::process::ExitCode {
     println!("{}", mana_bench::service_note_from(&report.service));
     println!("{}", mana_bench::chaos_note_from(&report.chaos));
     println!("{}", mana_bench::elastic_note_from(&report.elastic));
+    println!("{}", mana_bench::fabric_note_from(&report.fabric));
+    println!("{}", mana_bench::compression_note_from(&report.compression));
     println!("wrote BENCH_ci.json");
     if report.pass {
         std::process::ExitCode::SUCCESS
@@ -264,6 +269,12 @@ fn main() -> std::process::ExitCode {
     }
     if want("elastic") {
         report.notes.push(mana_bench::elastic_note());
+    }
+    if want("fabric") {
+        report.notes.push(mana_bench::fabric_note());
+    }
+    if want("compression") {
+        report.notes.push(mana_bench::compression_note());
     }
     if want("validate") {
         report.validation_runs = validation_runs();

@@ -316,7 +316,7 @@ mod tests {
     fn note_renders_all_rows() {
         let note = storage_comparison_note();
         assert!(note.contains("full"));
-        assert!(note.contains("incremental+rle"));
+        assert!(note.contains("incremental+comp"));
         assert_eq!(note.lines().count(), 2 + 9);
     }
 

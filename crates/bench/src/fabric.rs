@@ -1,0 +1,222 @@
+//! Fabric microbench: what one traversal of the zero-copy fabric costs, and what
+//! the fabric sustains when payloads travel as refcount hand-offs.
+//!
+//! Three measurements over a bare two-endpoint [`net_sim::Fabric`] (no MPI layer,
+//! no chaos, no heartbeats — the fabric alone):
+//!
+//! * **Per-crossing latency** — an 8-byte ping-pong; one *crossing* is one
+//!   message delivered end to end (inject → mailbox → receive). Gated
+//!   generously ([`crate::FABRIC_CROSSING_GATE_US`]): the hop is a mutex'd
+//!   pointer hand-off, so only a gross regression (a reintroduced per-hop
+//!   allocation, a lock convoy) can breach it.
+//! * **Throughput** — a 64 MiB stream of 256 KiB messages cloned from one
+//!   `PayloadBuf`, so the payload bytes move as refcount bumps. Gated at
+//!   [`crate::FABRIC_THROUGHPUT_GATE_MIBS`].
+//! * **Copy accounting** — deterministic, and the gate that actually protects
+//!   the zero-copy refactor: across every measured run, `bytes_copied` must
+//!   equal `bytes_sent` *exactly*. The fabric records one materialization per
+//!   message at injection; any downstream hop that copies again (mailbox
+//!   deposit, re-sequencing park, retransmit) breaks the equality regardless of
+//!   machine load.
+//!
+//! Wall-clock legs keep the fastest of `REPEATS` runs, damping scheduler
+//! noise the same way the parallel-checkpoint bench does.
+
+use net_sim::fabric::{Fabric, FabricConfig};
+use net_sim::stats::StatsSnapshot;
+use net_sim::{MatchSpec, PayloadBuf};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Ping-pong rounds in the latency leg (two crossings per round).
+pub const FABRIC_PING_ROUNDS: usize = 2_000;
+/// Messages in the throughput leg.
+pub const STREAM_MESSAGES: usize = 256;
+/// Payload bytes per throughput message (256 × 256 KiB = 64 MiB moved).
+pub const STREAM_PAYLOAD_BYTES: usize = 256 * 1024;
+/// Measured runs per leg; the fastest is kept.
+const REPEATS: usize = 5;
+
+/// The fabric microbench measurements and their gate verdicts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FabricBenchReport {
+    /// Wall time of one end-to-end message delivery, microseconds (fastest run).
+    pub per_crossing_us: f64,
+    /// Maximum acceptable `per_crossing_us`.
+    pub crossing_gate_us: f64,
+    /// Sustained stream throughput, MiB/s (fastest run).
+    pub throughput_mib_s: f64,
+    /// Minimum acceptable `throughput_mib_s`.
+    pub throughput_gate_mib_s: f64,
+    /// Payload bytes injected across every measured run.
+    pub bytes_sent: u64,
+    /// Payload bytes materialized into fresh allocations across every run.
+    pub bytes_copied: u64,
+    /// Payload bytes handed off by refcount bump across every run.
+    pub bytes_shared: u64,
+    /// Whether `bytes_copied == bytes_sent` exactly — one materialization per
+    /// message, nothing re-copied downstream. Load-independent.
+    pub zero_copy: bool,
+    /// Whether every gate passed.
+    pub pass: bool,
+}
+
+/// One latency run: `FABRIC_PING_ROUNDS` 8-byte ping-pongs on a fresh fabric.
+/// The pong re-injects the ping's own buffer, so the round trip moves exactly
+/// the bytes the stats should account for.
+fn latency_run(nonce: u64) -> (f64, StatsSnapshot) {
+    let fabric = Fabric::new(FabricConfig::new(2, nonce));
+    let a = fabric.endpoint(0).expect("endpoint 0");
+    let b = fabric.endpoint(1).expect("endpoint 1");
+    let context = fabric.allocate_context();
+    let ping = MatchSpec::from_mpi_args(context, 0, 1);
+    let pong = MatchSpec::from_mpi_args(context, 1, 2);
+    let start = Instant::now();
+    for _ in 0..FABRIC_PING_ROUNDS {
+        a.send(1, 0, context, 1, vec![0u8; 8]).expect("ping send");
+        let m = b
+            .try_recv(&ping)
+            .expect("ping recv")
+            .expect("eager delivery");
+        b.send(0, 1, context, 2, m.payload).expect("pong send");
+        a.try_recv(&pong)
+            .expect("pong recv")
+            .expect("eager delivery");
+    }
+    (start.elapsed().as_secs_f64(), fabric.stats())
+}
+
+/// One throughput run: `STREAM_MESSAGES` clones of one `PayloadBuf` injected,
+/// then drained.
+fn throughput_run(nonce: u64) -> (f64, StatsSnapshot) {
+    let fabric = Fabric::new(FabricConfig::new(2, nonce));
+    let a = fabric.endpoint(0).expect("endpoint 0");
+    let b = fabric.endpoint(1).expect("endpoint 1");
+    let context = fabric.allocate_context();
+    let bytes: Vec<u8> = (0..STREAM_PAYLOAD_BYTES).map(|i| (i % 251) as u8).collect();
+    let payload = PayloadBuf::from(bytes);
+    let spec = MatchSpec::from_mpi_args(context, 0, 7);
+    let start = Instant::now();
+    for _ in 0..STREAM_MESSAGES {
+        a.send(1, 0, context, 7, payload.clone())
+            .expect("stream send");
+    }
+    for _ in 0..STREAM_MESSAGES {
+        let envelope = b
+            .try_recv(&spec)
+            .expect("stream recv")
+            .expect("eager delivery");
+        assert_eq!(envelope.len(), STREAM_PAYLOAD_BYTES);
+    }
+    (start.elapsed().as_secs_f64(), fabric.stats())
+}
+
+/// Run both wall legs `REPEATS` times, keep each leg's fastest wall time,
+/// aggregate the copy accounting over every run, and gate.
+pub fn measure_fabric_bench(
+    crossing_gate_us: f64,
+    throughput_gate_mib_s: f64,
+) -> FabricBenchReport {
+    let mut latency_wall = f64::INFINITY;
+    let mut throughput_wall = f64::INFINITY;
+    let mut sent = 0u64;
+    let mut copied = 0u64;
+    let mut shared = 0u64;
+    for repeat in 0..REPEATS as u64 {
+        let (wall, stats) = latency_run(1_000 + repeat);
+        latency_wall = latency_wall.min(wall);
+        sent += stats.bytes_sent;
+        copied += stats.bytes_copied;
+        shared += stats.bytes_shared;
+        let (wall, stats) = throughput_run(2_000 + repeat);
+        throughput_wall = throughput_wall.min(wall);
+        sent += stats.bytes_sent;
+        copied += stats.bytes_copied;
+        shared += stats.bytes_shared;
+    }
+    let per_crossing_us = latency_wall * 1e6 / (2 * FABRIC_PING_ROUNDS) as f64;
+    let throughput_mib_s =
+        (STREAM_MESSAGES * STREAM_PAYLOAD_BYTES) as f64 / throughput_wall / (1024.0 * 1024.0);
+    let zero_copy = copied == sent;
+    let pass = per_crossing_us <= crossing_gate_us
+        && throughput_mib_s >= throughput_gate_mib_s
+        && zero_copy;
+    FabricBenchReport {
+        per_crossing_us,
+        crossing_gate_us,
+        throughput_mib_s,
+        throughput_gate_mib_s,
+        bytes_sent: sent,
+        bytes_copied: copied,
+        bytes_shared: shared,
+        zero_copy,
+        pass,
+    }
+}
+
+/// Render an already-measured fabric report as an aligned text note.
+pub fn fabric_note_from(report: &FabricBenchReport) -> String {
+    let mut note = format!(
+        "== Fabric: per-crossing latency, zero-copy throughput ({FABRIC_PING_ROUNDS} \
+         ping-pongs, {} x {} KiB stream) ==\n",
+        STREAM_MESSAGES,
+        STREAM_PAYLOAD_BYTES / 1024
+    );
+    note.push_str(&format!(
+        "per-crossing latency: {:.2} us (gate: <={:.0} us)\n",
+        report.per_crossing_us, report.crossing_gate_us
+    ));
+    note.push_str(&format!(
+        "stream throughput: {:.0} MiB/s (gate: >={:.0} MiB/s)\n",
+        report.throughput_mib_s, report.throughput_gate_mib_s
+    ));
+    note.push_str(&format!(
+        "copy accounting: {} B sent, {} B copied, {} B shared — one materialization \
+         per message: {}\n",
+        report.bytes_sent,
+        report.bytes_copied,
+        report.bytes_shared,
+        if report.zero_copy {
+            "exact"
+        } else {
+            "VIOLATED"
+        }
+    ));
+    note.push_str(&format!(
+        "fabric gates — {}\n",
+        if report.pass { "PASS" } else { "FAIL" }
+    ));
+    note
+}
+
+/// Measure with the default gates and render the note.
+pub fn fabric_note() -> String {
+    fabric_note_from(&measure_fabric_bench(
+        crate::FABRIC_CROSSING_GATE_US,
+        crate::FABRIC_THROUGHPUT_GATE_MIBS,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fabric_bench_passes_and_renders() {
+        let report = measure_fabric_bench(
+            crate::FABRIC_CROSSING_GATE_US,
+            crate::FABRIC_THROUGHPUT_GATE_MIBS,
+        );
+        // The deterministic half must hold on any machine: exactly one
+        // materialization per injected message.
+        assert!(
+            report.zero_copy,
+            "copy amplification: {} B sent but {} B copied",
+            report.bytes_sent, report.bytes_copied
+        );
+        assert!(report.bytes_sent > 0);
+        let note = fabric_note_from(&report);
+        assert!(note.contains("per-crossing latency"));
+        assert!(note.contains("one materialization"));
+    }
+}

@@ -27,7 +27,9 @@ pub mod async_ckpt;
 pub mod chaos;
 pub mod ckpt;
 pub mod collectives;
+pub mod compression;
 pub mod elastic;
+pub mod fabric;
 pub mod model;
 pub mod report;
 pub mod runner;
@@ -59,6 +61,16 @@ pub const SERVICE_THROUGHPUT_GATE: f64 = 0.7;
 /// operator restarts).
 pub const CHAOS_BLACKOUT_GATE_MS: u64 = 5_000;
 
+/// Maximum acceptable per-crossing fabric latency, microseconds: one message
+/// delivered end to end through the simulated fabric. The hop is a mutex'd
+/// pointer hand-off, so the gate is generous — it catches a reintroduced
+/// per-hop byte copy or lock convoy, not scheduler noise.
+pub const FABRIC_CROSSING_GATE_US: f64 = 50.0;
+
+/// Minimum acceptable fabric stream throughput, MiB/s, for 256 KiB payloads
+/// travelling as `PayloadBuf` refcount hand-offs.
+pub const FABRIC_THROUGHPUT_GATE_MIBS: f64 = 100.0;
+
 pub use async_ckpt::{
     async_ckpt_note, async_ckpt_note_from, measure_async_ckpt, AsyncCkptReport, ASYNC_CKPT_ROUNDS,
 };
@@ -74,10 +86,15 @@ pub use collectives::{
     collective_checkpoint_note, collective_checkpoint_note_from, collective_checkpoint_rows,
     measure_collective_checkpoint, CollectiveCkptMode, CollectiveCkptRow,
 };
+pub use compression::{
+    compression_note, compression_note_from, measure_compression_bench, CompressionReport,
+    CompressionRow,
+};
 pub use elastic::{
     elastic_note, elastic_note_from, measure_elastic_bench, ElasticBenchConfig, ElasticBenchReport,
     ElasticResizeRow,
 };
+pub use fabric::{fabric_note, fabric_note_from, measure_fabric_bench, FabricBenchReport};
 pub use model::{CostModel, OverheadRow};
 pub use report::{CiReport, Report};
 pub use runner::{run_small_scale, SmallScaleConfig, SmallScaleResult};

@@ -3,7 +3,9 @@
 use crate::async_ckpt::AsyncCkptReport;
 use crate::chaos::{ChaosBenchReport, ChaosSoakConfig};
 use crate::ckpt::{ParallelCkptRow, StorageRow};
+use crate::compression::CompressionReport;
 use crate::elastic::{ElasticBenchConfig, ElasticBenchReport};
+use crate::fabric::FabricBenchReport;
 use crate::model::{CheckpointRow, OverheadRow};
 use crate::runner::SmallScaleResult;
 use crate::service::{ServiceBenchConfig, ServiceBenchReport};
@@ -144,6 +146,13 @@ pub struct CiReport {
     /// generation vs the same-size restore, bit-identical completion), with its
     /// own correctness verdict folded into `pass`.
     pub elastic: ElasticBenchReport,
+    /// The fabric microbench (per-crossing latency, zero-copy stream throughput,
+    /// exact one-materialization-per-message copy accounting), with its own gate
+    /// verdicts folded into `pass`.
+    pub fabric: FabricBenchReport,
+    /// The LZ-vs-RLE codec comparison on the real proxy-app checkpoint corpus,
+    /// with its LZ-never-loses verdict folded into `pass`.
+    pub compression: CompressionReport,
     /// Whether every gate passed.
     pub pass: bool,
 }
@@ -194,12 +203,19 @@ impl CiReport {
         )
         .report;
         let elastic = crate::elastic::measure_elastic_bench(&ElasticBenchConfig::default());
+        let fabric = crate::fabric::measure_fabric_bench(
+            crate::FABRIC_CROSSING_GATE_US,
+            crate::FABRIC_THROUGHPUT_GATE_MIBS,
+        );
+        let compression = crate::compression::measure_compression_bench();
         let pass = incremental_reduction_1pct >= reduction_gate
             && typed_overhead.pass
             && async_ckpt.pass
             && service.pass
             && chaos.pass
-            && elastic.pass;
+            && elastic.pass
+            && fabric.pass
+            && compression.pass;
         CiReport {
             storage_rows,
             parallel_rows,
@@ -211,6 +227,8 @@ impl CiReport {
             service,
             chaos,
             elastic,
+            fabric,
+            compression,
             pass,
         }
     }

@@ -8,9 +8,15 @@
 //! every generation. This engine instead decomposes an image into fixed-size chunks
 //! addressed by content digest and shares them across generations and ranks:
 //!
-//! * **Chunk store** ([`chunk`]) — fixed-size chunking, FNV-1a/64 content digests,
-//!   reference-counted chunk entries, optional per-chunk RLE compression. A chunk
+//! * **Chunk store** ([`chunk`]) — fixed-size chunking, 64-bit content digests,
+//!   reference-counted chunk entries, optional per-chunk compression. A chunk
 //!   whose digest is already stored costs zero new bytes, whoever wrote it first.
+//! * **Codec selection** ([`codec`]) — which compressor (RLE or the in-tree LZ) and
+//!   which digest (FNV-1a/64 or XXH64) writes use, via
+//!   [`CheckpointStorage::with_config`]. Reads are config-independent: every
+//!   manifest records the digest and per-chunk stored form it was written with, so
+//!   images from any earlier configuration restore bit-identically
+//!   ([`StorageConfig::legacy`] reproduces the pre-codec store exactly).
 //! * **Dirty-region tracking** — [`split_proc::address_space::UpperHalfSpace`] records
 //!   which regions were touched since the previous checkpoint epoch; clean regions are
 //!   re-referenced from the previous generation's manifest without even re-hashing
@@ -42,12 +48,14 @@
 #![warn(missing_docs)]
 
 pub mod chunk;
+pub mod codec;
 pub mod flush;
 pub mod manifest;
 pub mod store;
 pub mod tier;
 
 pub use chunk::{ChunkRef, DEFAULT_CHUNK_SIZE};
+pub use codec::{Codec, Digest, StorageConfig, StoredForm};
 pub use flush::{FlushHandle, FlusherPool};
 pub use manifest::{Manifest, RegionManifest};
 pub use store::{
@@ -69,8 +77,8 @@ pub enum StoragePolicy {
     /// the previous generation are re-chunked, and only chunks whose digest is new
     /// reach storage.
     Incremental,
-    /// [`StoragePolicy::Incremental`] plus per-chunk RLE compression (kept only when
-    /// it actually shrinks the chunk).
+    /// [`StoragePolicy::Incremental`] plus per-chunk compression under the store's
+    /// configured [`Codec`] (kept only when it actually shrinks the chunk).
     IncrementalCompressed,
 }
 
@@ -80,7 +88,7 @@ impl StoragePolicy {
         match self {
             StoragePolicy::FullImage => "full",
             StoragePolicy::Incremental => "incremental",
-            StoragePolicy::IncrementalCompressed => "incremental+rle",
+            StoragePolicy::IncrementalCompressed => "incremental+comp",
         }
     }
 

@@ -1,7 +1,7 @@
 //! The CRC-validated checkpoint manifest: how to reassemble one rank's image for one
 //! generation from content-addressed chunks.
 //!
-//! Binary layout (version 1):
+//! Binary layout (version 1, the pre-codec format):
 //!
 //! ```text
 //! magic (8 bytes, "CKPTMANI")
@@ -15,15 +15,30 @@
 //!   per chunk: digest (u64 LE) | raw length (u32 LE) | stored length (u32 LE) | flags (u8)
 //! crc32 of everything above (u32 LE)
 //! ```
+//!
+//! Version 2 inserts one `digest tag (u8)` immediately after the chunk size, naming
+//! the digest function chunks were content-addressed with, and widens the per-chunk
+//! flags byte from a compressed boolean to a [`StoredForm`] tag (0 = raw, 1 = RLE,
+//! 2 = LZ — the first two coincide with version 1's boolean).
+//!
+//! **Version negotiation:** [`Manifest::encode`] emits the *oldest* version able to
+//! represent the content — a manifest whose digest is FNV-1a and whose chunks are all
+//! raw/RLE encodes byte-identically to what pre-codec builds wrote, so a store
+//! running [`crate::codec::StorageConfig::legacy`] produces images old readers still
+//! accept, and images written before the codec switch decode unchanged here.
 
 use crate::chunk::ChunkRef;
+use crate::codec::{Digest, StoredForm};
 use crate::StoragePolicy;
 use mpi_model::error::{MpiError, MpiResult};
 use split_proc::image::ImageMetadata;
 use split_proc::integrity::{crc32, Cursor};
 
 const MAGIC: &[u8; 8] = b"CKPTMANI";
-const VERSION: u32 = 1;
+/// The pre-codec format: FNV-1a digests, boolean compressed flag.
+const VERSION_LEGACY: u32 = 1;
+/// Adds the digest tag and the stored-form byte.
+const VERSION_CURRENT: u32 = 2;
 
 /// One region's reassembly recipe.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,6 +63,9 @@ pub struct Manifest {
     pub upper_epoch: u64,
     /// Policy this manifest was written under.
     pub policy: StoragePolicy,
+    /// Digest function the chunks were content-addressed with. Version-1 manifests
+    /// decode with [`Digest::Fnv1a64`] (the only digest that existed then).
+    pub digest: Digest,
     /// Chunk size used when the image was split.
     pub chunk_size: u32,
     /// Regions in name order.
@@ -77,19 +95,37 @@ impl Manifest {
         self.regions.iter().flat_map(|r| r.chunks.iter())
     }
 
-    /// Encode to the CRC-trailed binary form.
+    /// The oldest format version able to represent this manifest. FNV-addressed,
+    /// raw/RLE-only content fits version 1 exactly (the stored-form tags 0 and 1
+    /// coincide with the old compressed boolean); XXH64 digests or LZ chunks need
+    /// version 2.
+    fn wire_version(&self) -> u32 {
+        let legacy_forms = self.chunk_refs().all(|chunk| chunk.form != StoredForm::Lz);
+        if self.digest == Digest::Fnv1a64 && legacy_forms {
+            VERSION_LEGACY
+        } else {
+            VERSION_CURRENT
+        }
+    }
+
+    /// Encode to the CRC-trailed binary form, negotiating the oldest version that
+    /// can carry the content (see the module docs).
     pub fn encode(&self) -> Vec<u8> {
         // analyzer: allow(no-panic): infallible by construction — metadata is a plain string/number struct; the value-model serializer has no failure mode for it, and encode() has no Result channel
         let metadata =
             serde_json::to_vec(&self.metadata).expect("image metadata always serializes");
+        let version = self.wire_version();
         let mut out = Vec::with_capacity(64 + metadata.len() + self.regions.len() * 48);
         out.extend_from_slice(MAGIC);
-        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&version.to_le_bytes());
         out.extend_from_slice(&(metadata.len() as u32).to_le_bytes());
         out.extend_from_slice(&metadata);
         out.extend_from_slice(&self.upper_epoch.to_le_bytes());
         out.push(policy_tag(self.policy));
         out.extend_from_slice(&self.chunk_size.to_le_bytes());
+        if version >= VERSION_CURRENT {
+            out.push(self.digest.tag());
+        }
         out.extend_from_slice(&(self.regions.len() as u32).to_le_bytes());
         for region in &self.regions {
             out.extend_from_slice(&(region.name.len() as u32).to_le_bytes());
@@ -101,7 +137,7 @@ impl Manifest {
                 out.extend_from_slice(&chunk.digest.to_le_bytes());
                 out.extend_from_slice(&chunk.raw_len.to_le_bytes());
                 out.extend_from_slice(&chunk.stored_len.to_le_bytes());
-                out.push(chunk.compressed as u8);
+                out.push(chunk.form.tag());
             }
         }
         let checksum = crc32(&out);
@@ -117,9 +153,10 @@ impl Manifest {
             return Err(MpiError::Checkpoint("bad checkpoint manifest magic".into()));
         }
         let version = cursor.u32()?;
-        if version != VERSION {
+        if !(VERSION_LEGACY..=VERSION_CURRENT).contains(&version) {
             return Err(MpiError::Checkpoint(format!(
-                "unsupported checkpoint manifest version {version} (expected {VERSION})"
+                "unsupported checkpoint manifest version {version} \
+                 (expected {VERSION_LEGACY}..={VERSION_CURRENT})"
             )));
         }
         if bytes.len() < 16 {
@@ -142,6 +179,11 @@ impl Manifest {
         let upper_epoch = cursor.u64()?;
         let policy = policy_from_tag(cursor.u8()?)?;
         let chunk_size = cursor.u32()?;
+        let digest = if version >= VERSION_CURRENT {
+            Digest::from_tag(cursor.u8()?)?
+        } else {
+            Digest::Fnv1a64 // the only digest the version-1 format ever carried
+        };
         let region_count = cursor.u32()? as usize;
         let mut regions = Vec::with_capacity(region_count.min(1 << 16));
         for _ in 0..region_count {
@@ -154,11 +196,30 @@ impl Manifest {
             let chunk_count = cursor.u32()? as usize;
             let mut chunks = Vec::with_capacity(chunk_count.min(1 << 16));
             for _ in 0..chunk_count {
+                let chunk_digest = cursor.u64()?;
+                let raw_len = cursor.u32()?;
+                let stored_len = cursor.u32()?;
+                let flags = cursor.u8()?;
+                let form = if version >= VERSION_CURRENT {
+                    StoredForm::from_tag(flags)?
+                } else {
+                    // Version 1's flags byte is a strict boolean: anything else is
+                    // corruption, not a forward-compat form.
+                    match flags {
+                        0 => StoredForm::Raw,
+                        1 => StoredForm::Rle,
+                        other => {
+                            return Err(MpiError::Checkpoint(format!(
+                                "bad chunk flags byte {other} in version-1 manifest"
+                            )))
+                        }
+                    }
+                };
                 chunks.push(ChunkRef {
-                    digest: cursor.u64()?,
-                    raw_len: cursor.u32()?,
-                    stored_len: cursor.u32()?,
-                    compressed: cursor.u8()? != 0,
+                    digest: chunk_digest,
+                    raw_len,
+                    stored_len,
+                    form,
                 });
             }
             regions.push(RegionManifest {
@@ -178,6 +239,7 @@ impl Manifest {
             metadata,
             upper_epoch,
             policy,
+            digest,
             chunk_size,
             regions,
         })
@@ -207,7 +269,7 @@ fn policy_from_tag(tag: u8) -> MpiResult<StoragePolicy> {
 mod tests {
     use super::*;
 
-    fn sample_manifest() -> Manifest {
+    fn sample_manifest(digest: Digest, compressed_form: StoredForm) -> Manifest {
         Manifest {
             metadata: ImageMetadata {
                 rank: 2,
@@ -217,6 +279,7 @@ mod tests {
             },
             upper_epoch: 5,
             policy: StoragePolicy::IncrementalCompressed,
+            digest,
             chunk_size: 65536,
             regions: vec![
                 RegionManifest {
@@ -227,13 +290,13 @@ mod tests {
                             digest: 0xDEAD_BEEF_0123_4567,
                             raw_len: 65536,
                             stored_len: 120,
-                            compressed: true,
+                            form: compressed_form,
                         },
                         ChunkRef {
                             digest: 0x0102_0304_0506_0708,
                             raw_len: 64464,
                             stored_len: 64464,
-                            compressed: false,
+                            form: StoredForm::Raw,
                         },
                     ],
                     reused: false,
@@ -249,31 +312,79 @@ mod tests {
     }
 
     #[test]
-    fn roundtrip() {
-        let manifest = sample_manifest();
-        let encoded = manifest.encode();
-        let decoded = Manifest::decode(&encoded).unwrap();
-        assert_eq!(decoded, manifest);
-        assert_eq!(decoded.base_epoch(), 6);
-        assert_eq!(decoded.logical_bytes(), 130_000);
-        assert_eq!(decoded.chunk_refs().count(), 2);
-        assert!(decoded.region("empty").unwrap().reused);
-        assert!(decoded.region("missing").is_none());
+    fn roundtrip_both_versions() {
+        for (digest, form) in [
+            (Digest::Fnv1a64, StoredForm::Rle), // encodes as version 1
+            (Digest::Xx64, StoredForm::Lz),     // needs version 2
+            (Digest::Xx64, StoredForm::Rle),    // digest alone forces version 2
+            (Digest::Fnv1a64, StoredForm::Lz),  // form alone forces version 2
+        ] {
+            let manifest = sample_manifest(digest, form);
+            let encoded = manifest.encode();
+            let decoded = Manifest::decode(&encoded).unwrap();
+            assert_eq!(decoded, manifest);
+            assert_eq!(decoded.base_epoch(), 6);
+            assert_eq!(decoded.logical_bytes(), 130_000);
+            assert_eq!(decoded.chunk_refs().count(), 2);
+            assert!(decoded.region("empty").unwrap().reused);
+            assert!(decoded.region("missing").is_none());
+        }
+    }
+
+    #[test]
+    fn legacy_content_encodes_as_version_1() {
+        // FNV + raw/RLE chunks must produce the pre-codec byte layout: version word
+        // 1, no digest byte (a version-2 encode of the same content is exactly one
+        // byte longer), flags byte equal to the old compressed boolean.
+        let legacy = sample_manifest(Digest::Fnv1a64, StoredForm::Rle);
+        let encoded = legacy.encode();
+        assert_eq!(&encoded[8..12], &1u32.to_le_bytes());
+        let modern = sample_manifest(Digest::Xx64, StoredForm::Rle);
+        let modern_encoded = modern.encode();
+        assert_eq!(&modern_encoded[8..12], &2u32.to_le_bytes());
+        assert_eq!(modern_encoded.len(), encoded.len() + 1);
+        // And the decoded legacy manifest carries the implied FNV digest.
+        assert_eq!(Manifest::decode(&encoded).unwrap().digest, Digest::Fnv1a64);
+    }
+
+    #[test]
+    fn version_1_rejects_lz_flags_byte() {
+        // Hand-corrupt a version-1 manifest's chunk flags to the LZ tag and refresh
+        // the CRC: the strict boolean check must still reject it.
+        let legacy = sample_manifest(Digest::Fnv1a64, StoredForm::Rle);
+        let mut encoded = legacy.encode();
+        let payload_end = encoded.len() - 4;
+        let flag_at = (0..payload_end)
+            .find(|&i| {
+                encoded[i..].starts_with(&0xDEAD_BEEF_0123_4567u64.to_le_bytes())
+                    && encoded[i + 16] == 1
+            })
+            .map(|i| i + 16)
+            .expect("sample chunk present");
+        encoded[flag_at] = 2;
+        let crc = crc32(&encoded[..payload_end]);
+        encoded[payload_end..].copy_from_slice(&crc.to_le_bytes());
+        assert!(Manifest::decode(&encoded).is_err());
     }
 
     #[test]
     fn rejects_corruption_and_truncation_everywhere() {
-        let encoded = sample_manifest().encode();
-        for cut in 0..encoded.len() {
-            assert!(Manifest::decode(&encoded[..cut]).is_err(), "cut at {cut}");
-        }
-        for position in 0..encoded.len() {
-            let mut corrupted = encoded.clone();
-            corrupted[position] ^= 0x10;
-            assert!(
-                Manifest::decode(&corrupted).is_err(),
-                "flip at {position} accepted"
-            );
+        for (digest, form) in [
+            (Digest::Fnv1a64, StoredForm::Rle),
+            (Digest::Xx64, StoredForm::Lz),
+        ] {
+            let encoded = sample_manifest(digest, form).encode();
+            for cut in 0..encoded.len() {
+                assert!(Manifest::decode(&encoded[..cut]).is_err(), "cut at {cut}");
+            }
+            for position in 0..encoded.len() {
+                let mut corrupted = encoded.clone();
+                corrupted[position] ^= 0x10;
+                assert!(
+                    Manifest::decode(&corrupted).is_err(),
+                    "flip at {position} accepted"
+                );
+            }
         }
     }
 }

@@ -1,16 +1,17 @@
 //! The checkpoint storage engine: ref-counted chunk store + manifests + full-image
 //! blobs, shared by all ranks of a job (clone-shared, like the flat store).
 
-use crate::chunk::{for_each_chunk, rle_compress, rle_decompress, ChunkRef, DEFAULT_CHUNK_SIZE};
+use crate::chunk::{for_each_chunk, ChunkRef, DEFAULT_CHUNK_SIZE};
+use crate::codec::{compress_chunk, decode_chunk, StorageConfig, StoredForm};
 use crate::manifest::{Manifest, RegionManifest};
 use crate::tier::ColdTier;
 use crate::StoragePolicy;
 use mpi_model::error::{MpiError, MpiResult};
+use mpi_model::payload::PayloadBuf;
 use mpi_model::types::Rank;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use split_proc::image::CheckpointImage;
-use split_proc::integrity::fnv1a64;
 use split_proc::store::StoreConfig;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -182,8 +183,9 @@ pub struct SpillReport {
 
 /// Where a chunk's stored payload currently lives.
 enum ChunkPayload {
-    /// Resident in memory.
-    Hot(Vec<u8>),
+    /// Resident in memory. A [`PayloadBuf`], so reads hand the stored bytes out as
+    /// a refcount bump on this allocation instead of a copy per read.
+    Hot(PayloadBuf),
     /// Demoted to the cold tier; fetched (and CRC-revalidated) on next read.
     Cold,
 }
@@ -193,7 +195,9 @@ struct ChunkEntry {
     payload: ChunkPayload,
     /// Length of the stored form (kept even while the payload is cold).
     stored_len: u32,
-    compressed: bool,
+    /// The form the stored bytes take — mirrored into every [`ChunkRef`] that
+    /// references this entry.
+    form: StoredForm,
     /// Last-referenced tick from the store's LRU clock; spill candidates are the
     /// chunks with the oldest touch.
     touch: u64,
@@ -286,6 +290,10 @@ pub struct CheckpointStorage {
     /// tenant view of this chunk space.
     tier: Arc<TierState>,
     model: Option<StoreConfig>,
+    /// Codec + digest selection for *writes*. Reads are config-independent: they
+    /// decode by what each manifest records, which is what lets a store restore
+    /// images written under any earlier configuration.
+    config: StorageConfig,
     chunk_size: usize,
 }
 
@@ -317,6 +325,7 @@ impl CheckpointStorage {
             pending: Arc::new(Mutex::new(BTreeMap::new())),
             tier: Arc::new(TierState::default()),
             model: None,
+            config: StorageConfig::default(),
             chunk_size: DEFAULT_CHUNK_SIZE,
         }
     }
@@ -335,6 +344,20 @@ impl CheckpointStorage {
     pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
         self.chunk_size = chunk_size.max(1);
         self
+    }
+
+    /// Override the codec/digest selection for subsequent writes.
+    /// [`StorageConfig::legacy`] reproduces the pre-codec store byte for byte;
+    /// reads always follow each manifest's own record, so images written under a
+    /// different configuration restore unchanged.
+    pub fn with_config(mut self, config: StorageConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The codec/digest selection writes currently use.
+    pub fn config(&self) -> StorageConfig {
+        self.config
     }
 
     /// Override the number of digest-keyed chunk shards. `1` reproduces the old
@@ -386,6 +409,7 @@ impl CheckpointStorage {
             pending: Arc::new(Mutex::new(BTreeMap::new())),
             tier: Arc::clone(&self.tier),
             model: self.model,
+            config: self.config,
             chunk_size: self.chunk_size,
         }
     }
@@ -421,14 +445,14 @@ impl CheckpointStorage {
     }
 
     /// Increment the reference count of `key` if the chunk is resident, returning its
-    /// stored form `(stored_len, compressed)` when it was.
-    fn bump_chunk_ref(&self, key: (u64, u32)) -> Option<(u32, bool)> {
+    /// stored form `(stored_len, form)` when it was.
+    fn bump_chunk_ref(&self, key: (u64, u32)) -> Option<(u32, StoredForm)> {
         let now = self.tick();
         let mut shard = self.shard(key.0).lock();
         shard.chunks.get_mut(&key).map(|entry| {
             entry.refs += 1;
             entry.touch = now;
-            (entry.stored_len, entry.compressed)
+            (entry.stored_len, entry.form)
         })
     }
 
@@ -696,7 +720,12 @@ impl CheckpointStorage {
                 .map(|(_, bytes)| bytes.clone())
         }
         .and_then(|bytes| Manifest::decode(&bytes).ok())
-        .filter(|m| m.base_epoch() == upper.epoch());
+        .filter(|m| m.base_epoch() == upper.epoch())
+        // A manifest records one digest function for all its chunks, so clean-region
+        // reuse across a digest change would stamp old-digest references into a
+        // new-digest manifest and fail validation on read. After a config switch the
+        // first checkpoint re-chunks everything; reuse resumes from then on.
+        .filter(|m| m.digest == self.config.digest);
 
         let mut regions = Vec::with_capacity(upper.region_count());
         for (name, data) in upper.iter() {
@@ -728,68 +757,70 @@ impl CheckpointStorage {
             // generation. Only the per-digest shard is locked, and never while
             // compressing, so concurrent rank writes proceed in parallel.
             let mut chunks = Vec::with_capacity(data.len() / self.chunk_size + 1);
-            for_each_chunk(data, self.chunk_size, |digest, piece| {
-                let key = (digest, piece.len() as u32);
-                if let Some((stored_len, compressed)) = self.bump_chunk_ref(key) {
-                    report.chunks_reused += 1;
-                    chunks.push(ChunkRef {
-                        digest,
-                        raw_len: piece.len() as u32,
-                        stored_len,
-                        compressed,
-                    });
-                    return;
-                }
-                let (stored, compressed) = if policy.compresses() {
-                    match rle_compress(piece) {
-                        Some(compressed) => (compressed, true),
-                        None => (piece.to_vec(), false),
+            for_each_chunk(
+                data,
+                self.chunk_size,
+                self.config.digest,
+                |digest, piece| {
+                    let key = (digest, piece.len() as u32);
+                    if let Some((stored_len, form)) = self.bump_chunk_ref(key) {
+                        report.chunks_reused += 1;
+                        chunks.push(ChunkRef {
+                            digest,
+                            raw_len: piece.len() as u32,
+                            stored_len,
+                            form,
+                        });
+                        return;
                     }
-                } else {
-                    (piece.to_vec(), false)
-                };
-                // Re-check under the shard lock: another rank may have stored the
-                // same content while we were compressing. Whoever loses the race
-                // re-references the winner's copy instead of inserting a duplicate.
-                let now = self.tick();
-                let mut shard = self.shard(digest).lock();
-                if let Some(entry) = shard.chunks.get_mut(&key) {
-                    entry.refs += 1;
-                    entry.touch = now;
-                    report.chunks_reused += 1;
+                    let (stored, form) = if policy.compresses() {
+                        compress_chunk(self.config.codec, piece)
+                    } else {
+                        (piece.to_vec(), StoredForm::Raw)
+                    };
+                    // Re-check under the shard lock: another rank may have stored the
+                    // same content while we were compressing. Whoever loses the race
+                    // re-references the winner's copy instead of inserting a duplicate.
+                    let now = self.tick();
+                    let mut shard = self.shard(digest).lock();
+                    if let Some(entry) = shard.chunks.get_mut(&key) {
+                        entry.refs += 1;
+                        entry.touch = now;
+                        report.chunks_reused += 1;
+                        chunks.push(ChunkRef {
+                            digest,
+                            raw_len: piece.len() as u32,
+                            stored_len: entry.stored_len,
+                            form: entry.form,
+                        });
+                        return;
+                    }
+                    if form.is_compressed() {
+                        report.compression_saved_bytes += piece.len() - stored.len();
+                    }
+                    report.chunks_new += 1;
+                    report.written_bytes += stored.len();
                     chunks.push(ChunkRef {
                         digest,
                         raw_len: piece.len() as u32,
-                        stored_len: entry.stored_len,
-                        compressed: entry.compressed,
-                    });
-                    return;
-                }
-                if compressed {
-                    report.compression_saved_bytes += piece.len() - stored.len();
-                }
-                report.chunks_new += 1;
-                report.written_bytes += stored.len();
-                chunks.push(ChunkRef {
-                    digest,
-                    raw_len: piece.len() as u32,
-                    stored_len: stored.len() as u32,
-                    compressed,
-                });
-                self.tier
-                    .hot_bytes
-                    .fetch_add(stored.len(), Ordering::Relaxed);
-                shard.chunks.insert(
-                    key,
-                    ChunkEntry {
-                        refs: 1,
                         stored_len: stored.len() as u32,
-                        payload: ChunkPayload::Hot(stored),
-                        compressed,
-                        touch: now,
-                    },
-                );
-            });
+                        form,
+                    });
+                    self.tier
+                        .hot_bytes
+                        .fetch_add(stored.len(), Ordering::Relaxed);
+                    shard.chunks.insert(
+                        key,
+                        ChunkEntry {
+                            refs: 1,
+                            stored_len: stored.len() as u32,
+                            payload: ChunkPayload::Hot(stored.into()),
+                            form,
+                            touch: now,
+                        },
+                    );
+                },
+            );
             regions.push(RegionManifest {
                 name: name.to_string(),
                 len: data.len() as u64,
@@ -802,6 +833,7 @@ impl CheckpointStorage {
             metadata: image.metadata.clone(),
             upper_epoch: upper.epoch(),
             policy,
+            digest: self.config.digest,
             chunk_size: self.chunk_size as u32,
             regions,
         };
@@ -867,27 +899,35 @@ impl CheckpointStorage {
                     })?;
                     entry.touch = now;
                     match &entry.payload {
-                        ChunkPayload::Hot(stored) => Some((stored.clone(), entry.compressed)),
+                        // A PayloadBuf clone is a refcount bump on the stored
+                        // allocation, not a copy — the hot read path shares.
+                        ChunkPayload::Hot(stored) => Some((stored.clone(), entry.form)),
                         ChunkPayload::Cold => None,
                     }
                 };
-                let (stored, compressed) = match hot {
+                let (stored, form) = match hot {
                     Some(hot) => hot,
                     None => self.promote_chunk(chunk)?,
                 };
-                let raw = if compressed {
-                    rle_decompress(&stored, chunk.raw_len as usize)?
+                // Decode by the *manifest's* record, never by this store's current
+                // codec configuration — that is what keeps images written under any
+                // earlier config restorable.
+                let decompressed;
+                let raw: &[u8] = if form.is_compressed() {
+                    decompressed = decode_chunk(form, &stored, chunk.raw_len as usize)?;
+                    &decompressed
                 } else {
-                    stored
+                    &stored
                 };
-                if raw.len() != chunk.raw_len as usize || fnv1a64(&raw) != chunk.digest {
+                if raw.len() != chunk.raw_len as usize || manifest.digest.hash(raw) != chunk.digest
+                {
                     return Err(MpiError::Checkpoint(format!(
                         "chunk {:#018x} of region {:?} failed digest validation \
                          (generation {generation}, rank {rank})",
                         chunk.digest, region.name
                     )));
                 }
-                data.extend_from_slice(&raw);
+                data.extend_from_slice(raw);
             }
             if data.len() != region.len as usize {
                 return Err(MpiError::Checkpoint(format!(
@@ -906,15 +946,16 @@ impl CheckpointStorage {
 
     /// Fetch a cold chunk's stored form from the spill file (the tier re-validates
     /// its CRC-32 frame) and promote it back into the in-memory shard. Returns the
-    /// stored bytes and compression flag for the caller's decode.
-    fn promote_chunk(&self, chunk: &ChunkRef) -> MpiResult<(Vec<u8>, bool)> {
+    /// stored bytes and their form for the caller's decode. The promoted entry and
+    /// the returned buffer share one allocation.
+    fn promote_chunk(&self, chunk: &ChunkRef) -> MpiResult<(PayloadBuf, StoredForm)> {
         let cold = self.tier.cold.as_ref().ok_or_else(|| {
             MpiError::Checkpoint(format!(
                 "chunk {:#018x} is marked cold but no cold tier is attached",
                 chunk.digest
             ))
         })?;
-        let stored = cold.fetch(chunk.key())?;
+        let stored: PayloadBuf = cold.fetch(chunk.key())?.into();
         if stored.len() != chunk.stored_len as usize {
             return Err(MpiError::Checkpoint(format!(
                 "cold chunk {:#018x} promoted to {} bytes, manifest says {}",
@@ -924,7 +965,7 @@ impl CheckpointStorage {
             )));
         }
         let mut shard = self.shard(chunk.digest).lock();
-        let compressed = match shard.chunks.get_mut(&chunk.key()) {
+        let form = match shard.chunks.get_mut(&chunk.key()) {
             Some(entry) => {
                 if matches!(entry.payload, ChunkPayload::Cold) {
                     entry.payload = ChunkPayload::Hot(stored.clone());
@@ -932,14 +973,14 @@ impl CheckpointStorage {
                         .hot_bytes
                         .fetch_add(stored.len(), Ordering::Relaxed);
                 }
-                entry.compressed
+                entry.form
             }
             // The entry was pruned while we were fetching; serve this read from the
             // file's content anyway (the digest check downstream still guards it).
-            None => chunk.compressed,
+            None => chunk.form,
         };
         self.tier.cold_hits.fetch_add(1, Ordering::Relaxed);
-        Ok((stored, compressed))
+        Ok((stored, form))
     }
 
     /// Whether a checkpoint exists (valid or not) for `(generation, rank)`.
@@ -1301,8 +1342,13 @@ impl CheckpointStorage {
             .ok_or_else(|| MpiError::Checkpoint("private chunk vanished".into()))?;
         match &mut entry.payload {
             ChunkPayload::Hot(stored) => {
-                let position = stored.len() / 2;
-                stored[position] ^= 0x01;
+                // The stored buffer is immutable (readers may hold refcounts on it);
+                // corruption rebuilds the entry around a flipped copy, exactly like a
+                // torn write replacing the on-disk bytes.
+                let mut flipped = stored.to_vec();
+                let position = flipped.len() / 2;
+                flipped[position] ^= 0x01;
+                *stored = flipped.into();
                 Ok(())
             }
             // The private chunk was demoted: corrupt its spill file instead, which

@@ -695,6 +695,12 @@ impl Session {
     // ------------------------------------------------------------------
 
     /// `MPI_Send` of a typed buffer.
+    ///
+    /// The borrow-based fast path: the elements are encoded once into an owned
+    /// buffer which is handed down as a refcounted
+    /// [`PayloadBuf`](mpi_model::payload::PayloadBuf) — the wrapper layer, the
+    /// lower half and the fabric all share that single allocation, so a typed send
+    /// costs exactly one marshalling pass and zero further copies.
     pub fn send<T: MpiData>(
         &mut self,
         data: &[T],
@@ -705,10 +711,15 @@ impl Session {
         self.reap();
         let datatype = self.datatype_handle::<T>()?;
         self.rank
-            .send(&T::encode(data), datatype, dest, tag, comm.0)
+            .send_payload(T::encode(data).into(), datatype, dest, tag, comm.0)
     }
 
     /// `MPI_Recv` of up to `max_count` elements of `T`.
+    ///
+    /// The decode runs directly over the received
+    /// [`PayloadBuf`](mpi_model::payload::PayloadBuf) view — still the sender's
+    /// allocation — so the only copy on the receive side is the typed unmarshalling
+    /// itself; no intermediate `Vec<u8>` is materialized.
     pub fn recv<T: MpiData>(
         &mut self,
         max_count: usize,
@@ -734,9 +745,9 @@ impl Session {
     ) -> MpiResult<Request<T>> {
         self.reap();
         let datatype = self.datatype_handle::<T>()?;
-        let handle = self
-            .rank
-            .isend(&T::encode(data), datatype, dest, tag, comm.0)?;
+        let handle =
+            self.rank
+                .isend_payload(T::encode(data).into(), datatype, dest, tag, comm.0)?;
         Ok(self.request(handle))
     }
 

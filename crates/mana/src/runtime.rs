@@ -18,6 +18,7 @@ use mpi_model::api::MpiApi;
 use mpi_model::constants::{ConstantResolution, PredefinedObject};
 use mpi_model::error::{MpiError, MpiResult};
 use mpi_model::op::UserFunctionRegistry;
+use mpi_model::payload::PayloadBuf;
 use mpi_model::subset::SubsetFeature;
 use mpi_model::types::{HandleKind, PhysHandle, Rank, Tag};
 use parking_lot::RwLock;
@@ -72,8 +73,10 @@ pub struct BufferedMessage {
     pub source: Rank,
     /// Message tag.
     pub tag: Tag,
-    /// Payload bytes.
-    pub payload: Vec<u8>,
+    /// Payload bytes. A refcounted [`PayloadBuf`]: buffering a drained message
+    /// keeps sharing the allocation the sender injected, and it serializes into
+    /// the checkpoint image exactly like the `Vec<u8>` it replaced.
+    pub payload: PayloadBuf,
 }
 
 /// Either virtual-id data structure, behind one dispatching facade so the wrapper layer
@@ -500,7 +503,7 @@ impl ManaRank {
         source: Rank,
         tag: Tag,
         max_bytes: usize,
-    ) -> MpiResult<Option<(mpi_model::status::Status, Vec<u8>)>> {
+    ) -> MpiResult<Option<(mpi_model::status::Status, PayloadBuf)>> {
         let Some(position) = self.buffered_position(comm, source, tag) else {
             return Ok(None);
         };

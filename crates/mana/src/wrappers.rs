@@ -13,6 +13,7 @@ use crate::runtime::{AppHandle, BufferedMessage, ManaRank};
 use crate::virtid::blank_descriptor;
 use mpi_model::error::{MpiError, MpiResult};
 use mpi_model::op::OpDescriptor;
+use mpi_model::payload::PayloadBuf;
 use mpi_model::request::{RequestKind, RequestRecord, RequestState};
 use mpi_model::status::Status;
 use mpi_model::types::{HandleKind, PhysHandle, Rank, Tag};
@@ -505,6 +506,30 @@ impl ManaRank {
         Ok(())
     }
 
+    /// `MPI_Send` of an owned buffer: the zero-copy fast path.
+    ///
+    /// The caller hands over a [`PayloadBuf`] (typically built once from an encoded
+    /// `Vec<u8>`), and the buffer crosses the wrapper, the lower half and the fabric
+    /// as a refcount hand-off — no byte is copied anywhere on the send side.
+    pub fn send_payload(
+        &mut self,
+        buf: PayloadBuf,
+        datatype: AppHandle,
+        dest: Rank,
+        tag: Tag,
+        comm: AppHandle,
+    ) -> MpiResult<()> {
+        let comm_vid = comm.virtual_id()?;
+        let comm_phys = self.phys(comm, HandleKind::Comm)?;
+        let type_phys = self.phys(datatype, HandleKind::Datatype)?;
+        let dest_world = self.peer_world_rank(comm_vid, dest)?;
+        self.cross();
+        self.lower
+            .send_payload(buf, type_phys, dest, tag, comm_phys)?;
+        self.counters.sent_to[dest_world as usize] += 1;
+        Ok(())
+    }
+
     /// `MPI_Recv`.
     ///
     /// Messages drained into the upper-half buffer at a previous checkpoint are
@@ -516,7 +541,7 @@ impl ManaRank {
         source: Rank,
         tag: Tag,
         comm: AppHandle,
-    ) -> MpiResult<(Vec<u8>, Status)> {
+    ) -> MpiResult<(PayloadBuf, Status)> {
         let comm_vid = comm.virtual_id()?;
         // Peek before taking: a truncation error must leave the drained message
         // buffered, so a retry with a large enough buffer still receives it.
@@ -547,6 +572,32 @@ impl ManaRank {
         comm: AppHandle,
     ) -> MpiResult<AppHandle> {
         self.send(buf, datatype, dest, tag, comm)?;
+        self.record_eager_send(buf.len(), dest, tag, comm)
+    }
+
+    /// `MPI_Isend` of an owned buffer: the zero-copy counterpart of
+    /// [`ManaRank::send_payload`] for the non-blocking path.
+    pub fn isend_payload(
+        &mut self,
+        buf: PayloadBuf,
+        datatype: AppHandle,
+        dest: Rank,
+        tag: Tag,
+        comm: AppHandle,
+    ) -> MpiResult<AppHandle> {
+        let len = buf.len();
+        self.send_payload(buf, datatype, dest, tag, comm)?;
+        self.record_eager_send(len, dest, tag, comm)
+    }
+
+    /// Enter the upper-half request descriptor for an already-completed eager send.
+    fn record_eager_send(
+        &mut self,
+        len: usize,
+        dest: Rank,
+        tag: Tag,
+        comm: AppHandle,
+    ) -> MpiResult<AppHandle> {
         let comm_vid = comm.virtual_id()?;
         let ggid_policy = self.config.ggid_policy;
         let mut record = RequestRecord::pending(
@@ -554,9 +605,9 @@ impl ManaRank {
             dest,
             tag,
             PhysHandle(comm_vid.bits() as u64),
-            buf.len(),
+            len,
         );
-        record.complete(Status::new(dest, tag, buf.len()));
+        record.complete(Status::new(dest, tag, len));
         let vid =
             self.translator
                 .insert_with(HandleKind::Request, None, ggid_policy, |vid, seq| {
@@ -619,7 +670,7 @@ impl ManaRank {
     /// The request is consumed whether the wait completes or fails: the descriptor is
     /// removed on the error path too, so a failing lower-half receive (or a peer
     /// translation failure) cannot leak the virtual id.
-    pub fn wait(&mut self, request: AppHandle) -> MpiResult<(Status, Option<Vec<u8>>)> {
+    pub fn wait(&mut self, request: AppHandle) -> MpiResult<(Status, Option<PayloadBuf>)> {
         let vid = request.virtual_id()?;
         let record = self.request_record(request)?;
         match self.wait_complete(&record) {
@@ -636,7 +687,7 @@ impl ManaRank {
 
     /// The completion half of [`ManaRank::wait`], separated so the caller can remove
     /// the request descriptor on success *and* failure alike.
-    fn wait_complete(&mut self, record: &RequestRecord) -> MpiResult<(Status, Option<Vec<u8>>)> {
+    fn wait_complete(&mut self, record: &RequestRecord) -> MpiResult<(Status, Option<PayloadBuf>)> {
         match record.kind {
             RequestKind::Send => match record.state {
                 RequestState::Complete(status) => Ok((status, None)),
@@ -677,7 +728,7 @@ impl ManaRank {
     /// A request that is still pending stays live (retryable); a request that
     /// completes — or whose completion attempt *fails* — is consumed, so error paths
     /// cannot leak the descriptor.
-    pub fn test(&mut self, request: AppHandle) -> MpiResult<Option<(Status, Option<Vec<u8>>)>> {
+    pub fn test(&mut self, request: AppHandle) -> MpiResult<Option<(Status, Option<PayloadBuf>)>> {
         let vid = request.virtual_id()?;
         let record = self.request_record(request)?;
         match self.test_complete(&record) {
@@ -697,7 +748,7 @@ impl ManaRank {
     fn test_complete(
         &mut self,
         record: &RequestRecord,
-    ) -> MpiResult<Option<(Status, Option<Vec<u8>>)>> {
+    ) -> MpiResult<Option<(Status, Option<PayloadBuf>)>> {
         match record.kind {
             RequestKind::Send => match record.state {
                 RequestState::Complete(status) => Ok(Some((status, None))),

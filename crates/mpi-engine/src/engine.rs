@@ -12,6 +12,7 @@ use mpi_model::datatype::{PrimitiveType, TypeDescriptor, TypeEnvelope};
 use mpi_model::error::{MpiError, MpiResult};
 use mpi_model::group::GroupDescriptor;
 use mpi_model::op::{apply_op, OpDescriptor, UserFunctionRegistry};
+use mpi_model::payload::PayloadBuf;
 use mpi_model::request::{RequestKind, RequestRecord, RequestState};
 use mpi_model::status::Status;
 use mpi_model::subset::SubsetFeature;
@@ -231,7 +232,13 @@ impl<C: HandleCodec> Engine<C> {
     // ------------------------------------------------------------------
 
     /// Run one round of the fabric's collective exchange over a communicator.
-    fn exchange(&mut self, comm_index: u32, contribution: Vec<u8>) -> MpiResult<Vec<Vec<u8>>> {
+    /// Contributions and results are [`PayloadBuf`]s: the fabric shares one buffer
+    /// per contributor across all readers, so an N-way fan-out moves no bytes.
+    fn exchange(
+        &mut self,
+        comm_index: u32,
+        contribution: impl Into<PayloadBuf>,
+    ) -> MpiResult<Vec<PayloadBuf>> {
         let (context, seq, my_index, size) = {
             let comm = self.comms.get_mut(comm_index)?;
             let my_index =
@@ -782,8 +789,31 @@ impl<C: HandleCodec> MpiApi for Engine<C> {
         Self::validate_tag(tag)?;
         self.check_committed(datatype)?;
         let (dest_world, my_rank, context, _) = self.p2p_route(comm, dest)?;
-        self.endpoint
-            .send(dest_world, my_rank, context, tag, buf.to_vec())
+        // The borrow forces exactly one materialization here; owned callers use
+        // `send_payload` and skip even that.
+        self.endpoint.send(
+            dest_world,
+            my_rank,
+            context,
+            tag,
+            PayloadBuf::copy_from_slice(buf),
+        )
+    }
+
+    fn send_payload(
+        &mut self,
+        buf: PayloadBuf,
+        datatype: PhysHandle,
+        dest: Rank,
+        tag: Tag,
+        comm: PhysHandle,
+    ) -> MpiResult<()> {
+        self.check_initialized()?;
+        self.require(SubsetFeature::Send, "MPI_Send")?;
+        Self::validate_tag(tag)?;
+        self.check_committed(datatype)?;
+        let (dest_world, my_rank, context, _) = self.p2p_route(comm, dest)?;
+        self.endpoint.send(dest_world, my_rank, context, tag, buf)
     }
 
     fn recv(
@@ -793,7 +823,7 @@ impl<C: HandleCodec> MpiApi for Engine<C> {
         source: Rank,
         tag: Tag,
         comm: PhysHandle,
-    ) -> MpiResult<(Vec<u8>, Status)> {
+    ) -> MpiResult<(PayloadBuf, Status)> {
         self.check_initialized()?;
         self.require(SubsetFeature::Recv, "MPI_Recv")?;
         self.check_committed(datatype)?;
@@ -839,6 +869,29 @@ impl<C: HandleCodec> MpiApi for Engine<C> {
         Ok(self.encode(HandleKind::Request, idx, None))
     }
 
+    fn isend_payload(
+        &mut self,
+        buf: PayloadBuf,
+        datatype: PhysHandle,
+        dest: Rank,
+        tag: Tag,
+        comm: PhysHandle,
+    ) -> MpiResult<PhysHandle> {
+        self.check_initialized()?;
+        self.require(SubsetFeature::NonBlockingPointToPoint, "MPI_Isend")?;
+        let len = buf.len();
+        self.send_payload(buf, datatype, dest, tag, comm)?;
+        let mut record = RequestRecord::pending(RequestKind::Send, dest, tag, comm, len);
+        record.complete(Status::new(dest, tag, len));
+        let idx = self.requests.insert(RequestObject {
+            record,
+            match_spec: None,
+            max_bytes: len,
+            payload: None,
+        });
+        Ok(self.encode(HandleKind::Request, idx, None))
+    }
+
     fn irecv(
         &mut self,
         datatype: PhysHandle,
@@ -863,7 +916,7 @@ impl<C: HandleCodec> MpiApi for Engine<C> {
         Ok(self.encode(HandleKind::Request, idx, None))
     }
 
-    fn test(&mut self, request: PhysHandle) -> MpiResult<Option<(Status, Option<Vec<u8>>)>> {
+    fn test(&mut self, request: PhysHandle) -> MpiResult<Option<(Status, Option<PayloadBuf>)>> {
         self.check_initialized()?;
         self.require(SubsetFeature::Test, "MPI_Test")?;
         let idx = self.request_index(request)?;
@@ -916,7 +969,7 @@ impl<C: HandleCodec> MpiApi for Engine<C> {
         }
     }
 
-    fn wait(&mut self, request: PhysHandle) -> MpiResult<(Status, Option<Vec<u8>>)> {
+    fn wait(&mut self, request: PhysHandle) -> MpiResult<(Status, Option<PayloadBuf>)> {
         self.check_initialized()?;
         let idx = self.request_index(request)?;
         let (kind, spec, max_bytes, state) = {
@@ -1025,9 +1078,17 @@ impl<C: HandleCodec> MpiApi for Engine<C> {
         if root < 0 || root as usize >= size {
             return Err(MpiError::InvalidRank { rank: root, size });
         }
-        let contribution = if my_rank == root { buf.clone() } else { vec![] };
+        let contribution = if my_rank == root {
+            PayloadBuf::copy_from_slice(buf)
+        } else {
+            PayloadBuf::new()
+        };
         let all = self.exchange(idx, contribution)?;
-        *buf = all[root as usize].clone();
+        if my_rank != root {
+            // Non-root ranks materialize into their receive buffer; the fabric-side
+            // fan-out to all N readers shared one allocation.
+            *buf = all[root as usize].to_vec();
+        }
         Ok(())
     }
 
@@ -1050,11 +1111,11 @@ impl<C: HandleCodec> MpiApi for Engine<C> {
         if root < 0 || root as usize >= size {
             return Err(MpiError::InvalidRank { rank: root, size });
         }
-        let all = self.exchange(idx, sendbuf.to_vec())?;
+        let all = self.exchange(idx, PayloadBuf::copy_from_slice(sendbuf))?;
         if my_rank != root {
             return Ok(None);
         }
-        let mut accumulator = all[0].clone();
+        let mut accumulator = all[0].to_vec();
         let registry = self.registry.read();
         for contribution in &all[1..] {
             apply_op(&op_desc, element, &mut accumulator, contribution, &registry)?;
@@ -1075,8 +1136,8 @@ impl<C: HandleCodec> MpiApi for Engine<C> {
         let oidx = self.op_index(op)?;
         let op_desc = self.ops.get(oidx)?.descriptor;
         let idx = self.comm_index(comm)?;
-        let all = self.exchange(idx, sendbuf.to_vec())?;
-        let mut accumulator = all[0].clone();
+        let all = self.exchange(idx, PayloadBuf::copy_from_slice(sendbuf))?;
+        let mut accumulator = all[0].to_vec();
         let registry = self.registry.read();
         for contribution in &all[1..] {
             apply_op(&op_desc, element, &mut accumulator, contribution, &registry)?;
@@ -1098,7 +1159,7 @@ impl<C: HandleCodec> MpiApi for Engine<C> {
         if sendbuf.len() != block_bytes * size {
             return Err(MpiError::InvalidCount(sendbuf.len() as i64));
         }
-        let all = self.exchange(idx, sendbuf.to_vec())?;
+        let all = self.exchange(idx, PayloadBuf::copy_from_slice(sendbuf))?;
         let mut result = Vec::with_capacity(block_bytes * size);
         for contribution in &all {
             if contribution.len() != block_bytes * size {
@@ -1127,7 +1188,7 @@ impl<C: HandleCodec> MpiApi for Engine<C> {
         if root < 0 || root as usize >= size {
             return Err(MpiError::InvalidRank { rank: root, size });
         }
-        let all = self.exchange(idx, sendbuf.to_vec())?;
+        let all = self.exchange(idx, PayloadBuf::copy_from_slice(sendbuf))?;
         if my_rank != root {
             return Ok(None);
         }
@@ -1138,7 +1199,7 @@ impl<C: HandleCodec> MpiApi for Engine<C> {
         self.check_initialized()?;
         self.require(SubsetFeature::Gather, "MPI_Allgather")?;
         let idx = self.comm_index(comm)?;
-        let all = self.exchange(idx, sendbuf.to_vec())?;
+        let all = self.exchange(idx, PayloadBuf::copy_from_slice(sendbuf))?;
         Ok(all.concat())
     }
 
@@ -1164,9 +1225,9 @@ impl<C: HandleCodec> MpiApi for Engine<C> {
             if buf.len() != block_bytes * size {
                 return Err(MpiError::InvalidCount(buf.len() as i64));
             }
-            buf.to_vec()
+            PayloadBuf::copy_from_slice(buf)
         } else {
-            vec![]
+            PayloadBuf::new()
         };
         let all = self.exchange(idx, contribution)?;
         let root_buf = &all[root as usize];

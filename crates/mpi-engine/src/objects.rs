@@ -4,6 +4,7 @@ use mpi_model::comm::CommDescriptor;
 use mpi_model::datatype::TypeDescriptor;
 use mpi_model::group::GroupDescriptor;
 use mpi_model::op::OpDescriptor;
+use mpi_model::payload::PayloadBuf;
 use mpi_model::request::RequestRecord;
 use mpi_model::types::PhysHandle;
 use net_sim::message::MatchSpec;
@@ -82,6 +83,8 @@ pub struct RequestObject {
     /// For receive requests: the receive-buffer capacity in bytes.
     pub max_bytes: usize,
     /// For completed receive requests: the received payload, held until the
-    /// application collects it with `MPI_Test`/`MPI_Wait`.
-    pub payload: Option<Vec<u8>>,
+    /// application collects it with `MPI_Test`/`MPI_Wait`. Holding a
+    /// [`PayloadBuf`] keeps this a refcount on the sender's allocation rather
+    /// than a copy parked in the request table.
+    pub payload: Option<PayloadBuf>,
 }

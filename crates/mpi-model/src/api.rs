@@ -20,6 +20,7 @@ use crate::constants::{ConstantResolution, PredefinedObject};
 use crate::datatype::TypeEnvelope;
 use crate::error::MpiResult;
 use crate::op::UserFunctionRegistry;
+use crate::payload::PayloadBuf;
 use crate::status::Status;
 use crate::subset::SubsetFeature;
 use crate::types::{PhysHandle, Rank, Tag};
@@ -204,7 +205,23 @@ pub trait MpiApi: Send {
         comm: PhysHandle,
     ) -> MpiResult<()>;
 
+    /// `MPI_Send` taking an owned [`PayloadBuf`]: the zero-copy fast path. A caller
+    /// that already holds (or can cheaply build) a refcounted buffer hands it to the
+    /// fabric without any intermediate copy. The default forwards to [`MpiApi::send`]
+    /// (one copy); the simulated implementations override it with a true hand-off.
+    fn send_payload(
+        &mut self,
+        buf: PayloadBuf,
+        datatype: PhysHandle,
+        dest: Rank,
+        tag: Tag,
+        comm: PhysHandle,
+    ) -> MpiResult<()> {
+        self.send(&buf, datatype, dest, tag, comm)
+    }
+
     /// `MPI_Recv` (blocking receive). `max_bytes` is the receive-buffer capacity.
+    /// The returned buffer is the sender's allocation, shared — not a copy.
     fn recv(
         &mut self,
         datatype: PhysHandle,
@@ -212,7 +229,7 @@ pub trait MpiApi: Send {
         source: Rank,
         tag: Tag,
         comm: PhysHandle,
-    ) -> MpiResult<(Vec<u8>, Status)>;
+    ) -> MpiResult<(PayloadBuf, Status)>;
 
     /// `MPI_Isend`.
     fn isend(
@@ -223,6 +240,19 @@ pub trait MpiApi: Send {
         tag: Tag,
         comm: PhysHandle,
     ) -> MpiResult<PhysHandle>;
+
+    /// `MPI_Isend` taking an owned [`PayloadBuf`] (zero-copy, like
+    /// [`MpiApi::send_payload`]).
+    fn isend_payload(
+        &mut self,
+        buf: PayloadBuf,
+        datatype: PhysHandle,
+        dest: Rank,
+        tag: Tag,
+        comm: PhysHandle,
+    ) -> MpiResult<PhysHandle> {
+        self.isend(&buf, datatype, dest, tag, comm)
+    }
 
     /// `MPI_Irecv`.
     fn irecv(
@@ -235,11 +265,11 @@ pub trait MpiApi: Send {
     ) -> MpiResult<PhysHandle>;
 
     /// `MPI_Test`: non-blocking completion check. On completion returns the status and,
-    /// for receive requests, the received payload.
-    fn test(&mut self, request: PhysHandle) -> MpiResult<Option<(Status, Option<Vec<u8>>)>>;
+    /// for receive requests, the received payload (shared, not copied).
+    fn test(&mut self, request: PhysHandle) -> MpiResult<Option<(Status, Option<PayloadBuf>)>>;
 
     /// `MPI_Wait`: block until the request completes.
-    fn wait(&mut self, request: PhysHandle) -> MpiResult<(Status, Option<Vec<u8>>)>;
+    fn wait(&mut self, request: PhysHandle) -> MpiResult<(Status, Option<PayloadBuf>)>;
 
     /// `MPI_Iprobe`: check for a matching incoming message without receiving it.
     fn iprobe(&mut self, source: Rank, tag: Tag, comm: PhysHandle) -> MpiResult<Option<Status>>;

@@ -28,6 +28,8 @@
 //!   which is the crux of paper §4.3.
 //! * [`subset`] — the minimal MPI subset MANA requires from an implementation
 //!   (paper §5), as an auditable feature list.
+//! * [`payload`] — the refcounted immutable [`payload::PayloadBuf`] every layer of
+//!   the messaging stack shares instead of copying `Vec<u8>` payloads.
 //! * [`typed`] — the [`typed::MpiData`] mapping from Rust element types onto
 //!   datatype descriptors/envelopes and wire bytes, which the typed session layer
 //!   (`mana::api`) builds its misuse-resistant generic API on.
@@ -43,6 +45,7 @@ pub mod datatype;
 pub mod error;
 pub mod group;
 pub mod op;
+pub mod payload;
 pub mod request;
 pub mod status;
 pub mod subset;
@@ -55,6 +58,7 @@ pub use datatype::{PrimitiveType, TypeCombiner, TypeContents, TypeDescriptor, Ty
 pub use error::{MpiError, MpiResult};
 pub use group::GroupDescriptor;
 pub use op::{OpDescriptor, PredefinedOp};
+pub use payload::PayloadBuf;
 pub use status::Status;
 pub use subset::{SubsetFeature, REQUIRED_SUBSET};
 pub use typed::{DoubleInt, MpiData};

@@ -189,7 +189,7 @@ mod tests {
                         .unwrap();
                     if rank == 0 {
                         api.send(&[5, 6], byte, 1, 0, world).unwrap();
-                        Vec::new()
+                        mpi_model::payload::PayloadBuf::new()
                     } else {
                         let (data, _) = api.recv(byte, 16, 0, 0, world).unwrap();
                         data

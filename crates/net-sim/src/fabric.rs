@@ -17,6 +17,7 @@
 //!   [`MpiError::JobAborted`], which is how a detector tears down a world whose
 //!   survivors are wedged on a dead peer.
 
+use crate::bytes::PayloadBuf;
 use crate::chaos::{ChaosAction, ChaosEvent, ChaosPlan, FaultKind};
 use crate::mailbox::Mailbox;
 use crate::message::{Envelope, MatchSpec};
@@ -71,8 +72,10 @@ struct RankSlot {
 
 struct CollectiveSlot {
     expected: usize,
-    contributions: HashMap<usize, Vec<u8>>,
-    result: Option<Arc<Vec<Vec<u8>>>>,
+    contributions: HashMap<usize, PayloadBuf>,
+    /// The ordered contributions, shared: every reader receives refcount bumps of
+    /// the same `expected` buffers, so an N-way fan-out moves no payload bytes.
+    result: Option<Arc<Vec<PayloadBuf>>>,
     readers_remaining: usize,
 }
 
@@ -725,7 +728,7 @@ impl FabricInner {
                             tag: 0,
                             seq: 0,
                             pair_seq: 0,
-                            payload: Vec::new(),
+                            payload: PayloadBuf::new(),
                         },
                     ));
                     false
@@ -743,6 +746,9 @@ impl FabricInner {
                     dest: envelope.dest_world,
                 },
             );
+            // A release is a redelivery of the originally injected buffer — the
+            // retransmit/reorder lane reshares, it never re-copies.
+            self.stats.record_payload_share(envelope.payload.len());
             self.deliver(envelope);
         }
     }
@@ -1007,15 +1013,21 @@ impl Endpoint {
     /// destination immediately, whether or not a receive is posted). Under chaos the
     /// message may be held, dropped-then-retransmitted, or reordered — all invisibly
     /// to the receiver, thanks to the per-pair sequence assigned here at injection.
+    ///
+    /// The payload is taken by value as a [`PayloadBuf`] (a `Vec<u8>` converts at no
+    /// cost): injection is a pointer hand-off, and every downstream hop — mailbox
+    /// deposit, re-sequencing park, chaos hold and retransmit — shares the same
+    /// allocation.
     pub fn send(
         &self,
         dest_world: Rank,
         source_comm_rank: Rank,
         context: ContextId,
         tag: i32,
-        payload: Vec<u8>,
+        payload: impl Into<PayloadBuf>,
     ) -> MpiResult<()> {
         self.inner.tick_op(self.world_rank)?;
+        let payload = payload.into();
         let dest = self.slot(dest_world)?;
         if !dest.open.load(Ordering::Acquire) {
             return Err(MpiError::PeerUnreachable(dest_world));
@@ -1025,6 +1037,9 @@ impl Endpoint {
             [self.world_rank as usize * self.inner.world_size + dest_world as usize]
             .fetch_add(1, Ordering::Relaxed);
         self.inner.stats.record_send(payload.len());
+        // The one materialization per message: the caller built this buffer. Every
+        // later hop (mailbox, park, hold, retransmit) must show up as shared bytes.
+        self.inner.stats.record_payload_copy(payload.len());
         let envelope = Envelope {
             source_world: self.world_rank,
             source_comm_rank,
@@ -1143,8 +1158,9 @@ impl Endpoint {
         seq: u64,
         my_index: usize,
         comm_size: usize,
-        contribution: Vec<u8>,
-    ) -> MpiResult<Vec<Vec<u8>>> {
+        contribution: impl Into<PayloadBuf>,
+    ) -> MpiResult<Vec<PayloadBuf>> {
+        let contribution = contribution.into();
         if comm_size == 0 || my_index >= comm_size {
             return Err(MpiError::Internal(format!(
                 "collective exchange with index {my_index} out of {comm_size}"
@@ -1166,6 +1182,7 @@ impl Endpoint {
             }
         }
         self.inner.stats.record_collective(contribution.len());
+        self.inner.stats.record_payload_copy(contribution.len());
         let key = (context, seq);
         let deadline = crate::clock::now() + BLOCKING_TIMEOUT;
         let mut table = self.inner.collectives.lock();
@@ -1229,6 +1246,11 @@ impl Endpoint {
                     // The round is over: clear any registration-board entry for the
                     // same key (every registrant necessarily contributed).
                     self.inner.registrations.lock().remove(&key);
+                }
+                // Each reader's copy of the fan-out is refcount bumps of the shared
+                // contribution buffers, never a byte copy.
+                for buf in result.iter() {
+                    self.inner.stats.record_payload_share(buf.len());
                 }
                 return Ok(result.as_ref().clone());
             }
@@ -1832,5 +1854,70 @@ mod tests {
         let got = h.join().unwrap();
         assert_eq!(got, (0..50u8).collect::<Vec<u8>>());
         drop(e1);
+    }
+
+    #[test]
+    fn chaos_retransmit_reshares_instead_of_recopying() {
+        let f = fabric(2);
+        f.install_chaos(ChaosPlan::from_faults(vec![
+            FaultKind::DropMessage {
+                nth: 0,
+                retransmit_ms: 5,
+            },
+            FaultKind::ReorderMessage {
+                nth: 1,
+                overtaken_by: 2,
+            },
+        ]));
+        let e0 = f.endpoint(0).unwrap();
+        let e1 = f.endpoint(1).unwrap();
+        for i in 0..4u8 {
+            e0.send(1, 0, 1, 0, vec![i; 32]).unwrap();
+        }
+        let spec = MatchSpec::from_mpi_args(1, 0, 0);
+        for i in 0..4u8 {
+            assert_eq!(e1.recv_blocking(&spec).unwrap().payload, vec![i; 32]);
+        }
+        let stats = f.stats();
+        assert_eq!(
+            stats.bytes_copied,
+            4 * 32,
+            "only the initial injections materialize bytes"
+        );
+        assert!(
+            stats.bytes_shared >= 2 * 32,
+            "drop-retransmit and reorder redelivery must reshare the injected \
+             buffers, got {} shared bytes",
+            stats.bytes_shared
+        );
+    }
+
+    #[test]
+    fn collective_fanout_shares_contribution_buffers() {
+        let n = 4usize;
+        let f = fabric(n);
+        let mut handles = vec![];
+        for rank in 0..n {
+            let f = f.clone();
+            handles.push(thread::spawn(move || {
+                let ep = f.endpoint(rank as Rank).unwrap();
+                ep.collective_exchange(1, 0, rank, n, vec![rank as u8; 16])
+                    .unwrap()
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = f.stats();
+        assert_eq!(
+            stats.bytes_copied,
+            (n * 16) as u64,
+            "one materialization per contribution"
+        );
+        assert_eq!(
+            stats.bytes_shared,
+            (n * n * 16) as u64,
+            "every reader's fan-out is refcount bumps of all {n} contributions"
+        );
     }
 }

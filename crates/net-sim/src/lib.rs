@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bytes;
 pub mod chaos;
 pub mod clock;
 pub mod fabric;
@@ -40,6 +41,7 @@ pub mod mailbox;
 pub mod message;
 pub mod stats;
 
+pub use bytes::PayloadBuf;
 pub use chaos::{ChaosAction, ChaosEvent, ChaosMenu, ChaosPlan, FaultKind, SplitMix64};
 pub use fabric::{Endpoint, Fabric, FabricCapture, FabricConfig};
 pub use message::{Envelope, MatchSpec};

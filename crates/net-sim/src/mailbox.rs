@@ -15,6 +15,12 @@
 //! always observes the reliable, per-sender-FIFO network it was built against, which
 //! is exactly how a real transport (TCP, verbs RC, Slingshot reliable delivery)
 //! masks the same faults.
+//!
+//! This lane is copy-free: deposit, park, gap-release and take all *move* the
+//! envelope, and the payload is a refcounted [`crate::bytes::PayloadBuf`], so even
+//! paths that must duplicate an envelope (chaos retransmit, collective fan-out)
+//! share one allocation. The fabric's `bytes_copied` / `bytes_shared` counters
+//! ([`crate::stats::FabricStats`]) measure this.
 
 use crate::message::{Envelope, MatchSpec};
 use mpi_model::types::Rank;
@@ -149,7 +155,7 @@ mod tests {
             tag,
             seq,
             pair_seq: seq,
-            payload: vec![seq as u8],
+            payload: crate::bytes::PayloadBuf::from_vec(vec![seq as u8]),
         }
     }
 

@@ -1,5 +1,6 @@
 //! Wire-level message representation and matching rules.
 
+use crate::bytes::PayloadBuf;
 use mpi_model::types::{ContextId, Rank, SeqNo, Tag, ANY_SOURCE, ANY_TAG};
 use serde::{Deserialize, Serialize};
 
@@ -31,8 +32,10 @@ pub struct Envelope {
     /// envelopes arrive, which is what masks chaos-injected delay, loss (with
     /// retransmission) and reordering from the MPI layer above.
     pub pair_seq: SeqNo,
-    /// Payload bytes.
-    pub payload: Vec<u8>,
+    /// Payload bytes. A refcounted buffer: cloning the envelope (mailbox deposit,
+    /// chaos retransmit, collective fan-out) shares the allocation instead of
+    /// copying it.
+    pub payload: PayloadBuf,
 }
 
 impl Envelope {
@@ -105,7 +108,7 @@ mod tests {
             tag,
             seq: 0,
             pair_seq: 0,
-            payload: vec![1, 2, 3],
+            payload: PayloadBuf::from_vec(vec![1, 2, 3]),
         }
     }
 

@@ -20,6 +20,14 @@ pub struct FabricStats {
     pub collective_rounds: AtomicU64,
     /// Collective payload bytes contributed.
     pub collective_bytes: AtomicU64,
+    /// Payload bytes genuinely materialized (a fresh allocation was filled). The
+    /// initial injection of each payload counts here; so would any accidental
+    /// re-copy on a retransmit or fan-out path.
+    pub bytes_copied: AtomicU64,
+    /// Payload bytes handed off by refcount bump instead of copying: chaos
+    /// redeliveries, retransmits and collective fan-out reads all land here.
+    /// `bytes_shared > 0` under chaos is the measured proof of resharing.
+    pub bytes_shared: AtomicU64,
 }
 
 impl FabricStats {
@@ -46,6 +54,16 @@ impl FabricStats {
             .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
+    /// Record that `bytes` payload bytes were materialized into a fresh allocation.
+    pub fn record_payload_copy(&self, bytes: usize) {
+        self.bytes_copied.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Record that `bytes` payload bytes were handed off by sharing the allocation.
+    pub fn record_payload_share(&self, bytes: usize) {
+        self.bytes_shared.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
     /// Snapshot of the counters as plain numbers.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -54,6 +72,8 @@ impl FabricStats {
             messages_received: self.messages_received.load(Ordering::Relaxed),
             collective_rounds: self.collective_rounds.load(Ordering::Relaxed),
             collective_bytes: self.collective_bytes.load(Ordering::Relaxed),
+            bytes_copied: self.bytes_copied.load(Ordering::Relaxed),
+            bytes_shared: self.bytes_shared.load(Ordering::Relaxed),
         }
     }
 }
@@ -71,6 +91,10 @@ pub struct StatsSnapshot {
     pub collective_rounds: u64,
     /// Collective payload bytes contributed.
     pub collective_bytes: u64,
+    /// Payload bytes genuinely materialized into fresh allocations.
+    pub bytes_copied: u64,
+    /// Payload bytes handed off by refcount bump instead of copying.
+    pub bytes_shared: u64,
 }
 
 impl StatsSnapshot {
@@ -98,5 +122,16 @@ mod tests {
         assert_eq!(snap.in_flight(), 1);
         assert_eq!(snap.collective_rounds, 1);
         assert_eq!(snap.collective_bytes, 8);
+    }
+
+    #[test]
+    fn copy_and_share_accounting() {
+        let stats = FabricStats::new();
+        stats.record_payload_copy(64);
+        stats.record_payload_share(64);
+        stats.record_payload_share(64);
+        let snap = stats.snapshot();
+        assert_eq!(snap.bytes_copied, 64);
+        assert_eq!(snap.bytes_shared, 128);
     }
 }

@@ -52,6 +52,101 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     hash
 }
 
+// XXH64 prime constants (the published algorithm parameters).
+const XXH_PRIME_1: u64 = 0x9E37_79B1_85EB_CA87;
+const XXH_PRIME_2: u64 = 0xC2B2_AE3D_27D4_EB4F;
+const XXH_PRIME_3: u64 = 0x1656_67B1_9E37_79F9;
+const XXH_PRIME_4: u64 = 0x85EB_CA77_C2B2_AE63;
+const XXH_PRIME_5: u64 = 0x27D4_EB2F_1656_67C5;
+
+#[inline]
+fn xxh_round(acc: u64, input: u64) -> u64 {
+    acc.wrapping_add(input.wrapping_mul(XXH_PRIME_2))
+        .rotate_left(31)
+        .wrapping_mul(XXH_PRIME_1)
+}
+
+#[inline]
+fn xxh_merge_round(acc: u64, lane: u64) -> u64 {
+    (acc ^ xxh_round(0, lane))
+        .wrapping_mul(XXH_PRIME_1)
+        .wrapping_add(XXH_PRIME_4)
+}
+
+#[inline]
+fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    // analyzer: allow(no-panic): provable invariant — every caller checks `at + 8 <= len` first
+    u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap())
+}
+
+#[inline]
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    // analyzer: allow(no-panic): provable invariant — every caller checks `at + 4 <= len` first
+    u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap())
+}
+
+/// XXH64 digest of `bytes` with seed 0: a stronger-mixing, faster-diffusing content
+/// address than FNV-1a for the multi-KiB chunks the store keys on. Matches the
+/// published XXH64 algorithm bit for bit (see the known-vector test), so digests are
+/// stable across builds and comparable with external tooling.
+pub fn xxh64(bytes: &[u8]) -> u64 {
+    let len = bytes.len();
+    let mut hash;
+    let mut at = 0usize;
+    if len >= 32 {
+        let mut v1 = XXH_PRIME_1.wrapping_add(XXH_PRIME_2);
+        let mut v2 = XXH_PRIME_2;
+        let mut v3 = 0u64;
+        let mut v4 = 0u64.wrapping_sub(XXH_PRIME_1);
+        while at + 32 <= len {
+            v1 = xxh_round(v1, read_u64(bytes, at));
+            v2 = xxh_round(v2, read_u64(bytes, at + 8));
+            v3 = xxh_round(v3, read_u64(bytes, at + 16));
+            v4 = xxh_round(v4, read_u64(bytes, at + 24));
+            at += 32;
+        }
+        hash = v1
+            .rotate_left(1)
+            .wrapping_add(v2.rotate_left(7))
+            .wrapping_add(v3.rotate_left(12))
+            .wrapping_add(v4.rotate_left(18));
+        hash = xxh_merge_round(hash, v1);
+        hash = xxh_merge_round(hash, v2);
+        hash = xxh_merge_round(hash, v3);
+        hash = xxh_merge_round(hash, v4);
+    } else {
+        hash = XXH_PRIME_5; // seed 0
+    }
+    hash = hash.wrapping_add(len as u64);
+    while at + 8 <= len {
+        hash ^= xxh_round(0, read_u64(bytes, at));
+        hash = hash
+            .rotate_left(27)
+            .wrapping_mul(XXH_PRIME_1)
+            .wrapping_add(XXH_PRIME_4);
+        at += 8;
+    }
+    if at + 4 <= len {
+        hash ^= (read_u32(bytes, at) as u64).wrapping_mul(XXH_PRIME_1);
+        hash = hash
+            .rotate_left(23)
+            .wrapping_mul(XXH_PRIME_2)
+            .wrapping_add(XXH_PRIME_3);
+        at += 4;
+    }
+    while at < len {
+        hash ^= (bytes[at] as u64).wrapping_mul(XXH_PRIME_5);
+        hash = hash.rotate_left(11).wrapping_mul(XXH_PRIME_1);
+        at += 1;
+    }
+    hash ^= hash >> 33;
+    hash = hash.wrapping_mul(XXH_PRIME_2);
+    hash ^= hash >> 29;
+    hash = hash.wrapping_mul(XXH_PRIME_3);
+    hash ^= hash >> 32;
+    hash
+}
+
 /// Bounds-checked little-endian byte cursor shared by the binary checkpoint formats
 /// (the flat image and `ckpt-store`'s manifest). `what` names the format in
 /// truncation errors ("checkpoint image", "checkpoint manifest").
@@ -139,5 +234,38 @@ mod tests {
         let mut b = a.clone();
         b[40000] = 1;
         assert_ne!(fnv1a64(&a), fnv1a64(&b));
+    }
+
+    #[test]
+    fn xxh64_known_vectors() {
+        // Reference values from the canonical xxHash implementation, seed 0.
+        assert_eq!(xxh64(b""), 0xEF46_DB37_51D8_E999);
+        assert_eq!(xxh64(b"a"), 0xD24E_C4F1_A98C_6E5B);
+        assert_eq!(xxh64(b"abc"), 0x44BC_2CF5_AD77_0999);
+        assert_eq!(
+            xxh64(b"Nobody inspects the spammish repetition"),
+            0xFBCE_A83C_8A37_8BF1
+        );
+    }
+
+    #[test]
+    fn xxh64_covers_every_tail_length() {
+        // Exercise the 32-byte stripe loop plus each of the 8/4/1-byte tail paths.
+        let data: Vec<u8> = (0..97u8).collect();
+        let digests: Vec<u64> = (0..data.len()).map(|n| xxh64(&data[..n])).collect();
+        let distinct: std::collections::HashSet<&u64> = digests.iter().collect();
+        assert_eq!(
+            distinct.len(),
+            digests.len(),
+            "prefix digests must all differ"
+        );
+    }
+
+    #[test]
+    fn xxh64_distinguishes_neighbouring_chunks() {
+        let a = vec![0u8; 65536];
+        let mut b = a.clone();
+        b[40000] = 1;
+        assert_ne!(xxh64(&a), xxh64(&b));
     }
 }
